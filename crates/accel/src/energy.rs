@@ -1,0 +1,53 @@
+//! Compute-side energy coefficients.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy for the accelerator core datapath (45/32 nm-class
+/// values for 16-bit fixed point, in the range reported by the DianNao and
+/// Eyeriss papers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeEnergyModel {
+    /// One 16-bit multiply-accumulate, including pipeline overhead (pJ).
+    pub mac_pj: f64,
+    /// One non-MAC ALU op (comparison, activation) (pJ).
+    pub op_pj: f64,
+    /// On-chip SRAM access energy per byte (pJ/B).
+    pub sram_pj_per_byte: f64,
+    /// Off-chip DRAM access energy per byte (pJ/B).
+    pub dram_pj_per_byte: f64,
+}
+
+impl Default for ComputeEnergyModel {
+    fn default() -> Self {
+        Self {
+            mac_pj: 0.6,
+            op_pj: 0.2,
+            sram_pj_per_byte: 0.08,
+            dram_pj_per_byte: 20.0,
+        }
+    }
+}
+
+impl ComputeEnergyModel {
+    /// DRAM access is the dominant per-byte cost — a guard against
+    /// accidentally swapping coefficients.
+    pub fn is_physically_ordered(&self) -> bool {
+        self.dram_pj_per_byte > self.sram_pj_per_byte && self.mac_pj > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_coefficients_are_physically_ordered() {
+        assert!(ComputeEnergyModel::default().is_physically_ordered());
+    }
+
+    #[test]
+    fn dram_dominates_sram_by_orders_of_magnitude() {
+        let e = ComputeEnergyModel::default();
+        assert!(e.dram_pj_per_byte / e.sram_pj_per_byte > 100.0);
+    }
+}

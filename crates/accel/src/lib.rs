@@ -1,0 +1,42 @@
+//! DianNao-style neural-accelerator core timing and energy model.
+//!
+//! The paper's cores are "simulated with an in-house simulator that could
+//! faithfully simulate the design of DianNao" (Table II: 16×16 PEs, one
+//! 128 KB weight buffer, two 32 KB data buffers, 16-bit fixed point).
+//! This crate is the analytic reconstruction: it converts a layer
+//! partition (how many output channels/neurons one core computes) into
+//! compute cycles, DRAM traffic and energy.
+//!
+//! The model follows the DianNao NFU organization: per cycle, the core
+//! consumes `Ti` input values against `Tn` output neurons (a 16×16
+//! multiplier array feeding adder trees), so a layer partition costs
+//! `⌈out/Tn⌉ × ⌈in·k²/Ti⌉ × positions` cycles — the tile quantization is
+//! what makes narrow layers underutilize the array, exactly as in the
+//! paper's baseline. Buffer-capacity-driven DRAM refills overlap with
+//! compute (double buffering): layer latency is the max of the compute
+//! and memory streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use lts_accel::{CoreConfig, CoreModel};
+//! use lts_nn::descriptor::SpecBuilder;
+//!
+//! let spec = SpecBuilder::new("n", (16, 8, 8)).conv("c", 32, 3, 1, 1, 1).build();
+//! let model = CoreModel::new(CoreConfig::diannao());
+//! // One core computing all 32 output channels vs an even 1/4 share.
+//! let whole = model.layer_cost(spec.layer("c").unwrap(), 32);
+//! let quarter = model.layer_cost(spec.layer("c").unwrap(), 8);
+//! assert!(quarter.cycles < whole.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod energy;
+
+pub use config::CoreConfig;
+pub use cost::{CoreModel, LayerCost};
+pub use energy::ComputeEnergyModel;

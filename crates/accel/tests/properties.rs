@@ -1,0 +1,76 @@
+//! Property-based tests for the accelerator cost model.
+
+use lts_accel::{CoreConfig, CoreModel};
+use lts_nn::descriptor::SpecBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cycles_and_macs_are_monotone_in_assignment(
+        out_c in 1usize..64, in_c in 1usize..32, k in 1usize..5
+    ) {
+        let spec = SpecBuilder::new("n", (in_c, 8, 8))
+            .conv("c", out_c, k, 1, k / 2, 1)
+            .build();
+        let layer = spec.layer("c").unwrap();
+        let model = CoreModel::new(CoreConfig::diannao());
+        let mut last = model.layer_cost(layer, 0);
+        for assigned in 1..=out_c {
+            let cost = model.layer_cost(layer, assigned);
+            prop_assert!(cost.compute_cycles >= last.compute_cycles);
+            prop_assert!(cost.macs >= last.macs);
+            prop_assert!(cost.energy_pj >= last.energy_pj);
+            last = cost;
+        }
+    }
+
+    #[test]
+    fn tile_quantization_never_undercounts_ideal_cycles(
+        out_c in 1usize..100, contrib_c in 1usize..32
+    ) {
+        // Quantized tiles can only be >= the ideal MACs/PE ratio.
+        let spec = SpecBuilder::new("n", (contrib_c, 6, 6))
+            .conv("c", out_c, 3, 1, 1, 1)
+            .build();
+        let layer = spec.layer("c").unwrap();
+        let model = CoreModel::new(CoreConfig::diannao());
+        let cost = model.layer_cost(layer, out_c);
+        let ideal = cost.macs.div_ceil(model.config().macs_per_cycle() as u64);
+        prop_assert!(cost.compute_cycles >= ideal);
+        // But never worse than the fully-padded bound.
+        let padded = (out_c as u64).div_ceil(16) * 16 * (contrib_c as u64 * 9).div_ceil(16) * 16
+            * (layer.out_dims.1 * layer.out_dims.2) as u64
+            / model.config().macs_per_cycle() as u64;
+        prop_assert!(cost.compute_cycles <= padded.max(1));
+    }
+
+    #[test]
+    fn partition_sum_of_macs_equals_whole_layer(
+        out_c in 1usize..64, cores in 1usize..17
+    ) {
+        let spec = SpecBuilder::new("n", (16, 8, 8)).conv("c", out_c, 3, 1, 1, 1).build();
+        let layer = spec.layer("c").unwrap();
+        let model = CoreModel::new(CoreConfig::diannao());
+        let blocks = lts_nn::grouping::even_blocks(out_c, cores);
+        let partitioned: u64 = blocks
+            .iter()
+            .map(|b| model.layer_cost(layer, b.len()).macs)
+            .sum();
+        prop_assert_eq!(partitioned, model.layer_cost(layer, out_c).macs);
+    }
+
+    #[test]
+    fn streaming_weights_never_beat_resident(out_f in 1usize..2048) {
+        let spec = SpecBuilder::new("n", (512, 1, 1)).linear("ip", out_f).build();
+        let layer = spec.layer("ip").unwrap();
+        let resident = CoreModel::new(CoreConfig::diannao()).layer_cost(layer, out_f);
+        let streaming = CoreModel::new(CoreConfig::diannao())
+            .with_resident_weights(false)
+            .layer_cost(layer, out_f);
+        prop_assert!(streaming.cycles >= resident.cycles);
+        prop_assert!(streaming.energy_pj >= resident.energy_pj);
+        prop_assert!(streaming.dram_bytes >= resident.dram_bytes);
+    }
+}

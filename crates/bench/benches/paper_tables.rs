@@ -1,0 +1,149 @@
+//! Criterion benches over the analytic/simulation experiment paths, one
+//! per table or figure of the paper.
+//!
+//! Training-based tables (III–VI) are too slow to iterate inside
+//! Criterion; their timed proxies here run micro presets exercising the
+//! identical code path, while the dedicated binaries
+//! (`table3_structure_level`, `table4_sparsified`, …) regenerate the
+//! full tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lts_core::experiment::{
+    motivation_comm_share, sparsified_experiment, table1_rows, EffortPreset, SparsifyParams,
+};
+use lts_core::pipeline::plan_for;
+use lts_core::SystemModel;
+use lts_datasets::presets::synth_mnist;
+use lts_nn::models;
+use lts_nn::prune::PruneCriterion;
+use lts_partition::Plan;
+
+/// A micro effort preset so training-path benches finish quickly.
+fn micro_preset() -> EffortPreset {
+    EffortPreset {
+        train_samples: 64,
+        test_samples: 32,
+        epochs: 1,
+        fine_tune_epochs: 0,
+        batch_size: 32,
+        seed: 2019,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_data_volume_analytic", |b| {
+        b.iter(|| table1_rows(black_box(16)).expect("table 1"))
+    });
+}
+
+fn bench_motivation(c: &mut Criterion) {
+    c.bench_function("motivation_alexnet_comm_share", |b| {
+        b.iter(|| motivation_comm_share().expect("motivation"))
+    });
+}
+
+fn bench_system_evaluation(c: &mut Criterion) {
+    let spec = lts_nn::descriptor::lenet_spec();
+    let plan = Plan::dense(&spec, 16, 2).expect("plan");
+    let model = SystemModel::paper(16).expect("model");
+    c.bench_function("system_eval_lenet_dense_16c", |b| {
+        b.iter(|| model.evaluate(black_box(&plan)).expect("evaluate"))
+    });
+}
+
+fn bench_structure_level_plan(c: &mut Criterion) {
+    // The Table III system-evaluation path (training excluded): grouped
+    // vs dense variant plans through the full accel+NoC model.
+    let dense = models::convnet_variant([64, 128, 256], 1, 0).expect("net").spec();
+    let grouped = models::convnet_variant([64, 128, 256], 16, 0).expect("net").spec();
+    let model = SystemModel::paper(16).expect("model");
+    c.bench_function("table3_system_eval_dense_vs_grouped", |b| {
+        b.iter(|| {
+            let pd = Plan::dense(black_box(&dense), 16, 2).expect("plan");
+            let pg = Plan::dense(black_box(&grouped), 16, 2).expect("plan");
+            let rd = model.evaluate(&pd).expect("evaluate");
+            let rg = model.evaluate(&pg).expect("evaluate");
+            rg.speedup_vs(&rd)
+        })
+    });
+}
+
+fn bench_sparsified_pipeline_micro(c: &mut Criterion) {
+    // The Table IV/VI code path at micro scale: baseline + SS + SS_Mask
+    // over a 2-point λ grid on the MLP.
+    let preset = micro_preset();
+    let data = synth_mnist(preset.train_samples, preset.test_samples, preset.seed);
+    let params = SparsifyParams {
+        lambda_grid: vec![2.0],
+        prune: PruneCriterion::RmsBelowRelative(0.35),
+        accuracy_tolerance: 0.05,
+    };
+    let config = preset.pipeline_config();
+    c.bench_function("table4_pipeline_micro_mlp", |b| {
+        b.iter(|| {
+            sparsified_experiment(
+                "MLP",
+                |s| models::mlp(28 * 28, 10, s),
+                black_box(&data),
+                16,
+                &config,
+                preset.seed,
+                params.clone(),
+            )
+            .expect("micro table 4")
+        })
+    });
+}
+
+fn bench_scalability_planning(c: &mut Criterion) {
+    // The Table V/Fig. 8 system path across core counts (training
+    // excluded).
+    let nets: Vec<_> = [4usize, 8, 16, 32]
+        .iter()
+        .map(|&n| (n, models::convnet_variant([64, 160, 320], n, 0).expect("net").spec()))
+        .collect();
+    c.bench_function("table5_system_eval_4_to_32_cores", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for (cores, spec) in &nets {
+                let model = SystemModel::paper(*cores).expect("model");
+                let plan = Plan::dense(spec, *cores, 2).expect("plan");
+                total += model.evaluate(&plan).expect("evaluate").total_cycles as f64;
+            }
+            total
+        })
+    });
+}
+
+fn bench_fig6_matrix_path(c: &mut Criterion) {
+    // Group-matrix extraction from a network (training excluded).
+    let net = models::mlp(28 * 28, 10, 0).expect("net");
+    let spec = net.spec();
+    let plan = Plan::dense(&spec, 16, 2).expect("plan");
+    let layout = plan.layer("ip2").and_then(|l| l.layout.clone()).expect("layout");
+    let weights = net.layer_weight("ip2").expect("weights").value.as_slice().to_vec();
+    c.bench_function("fig6_group_matrix_extraction", |b| {
+        b.iter(|| layout.norm_matrix(black_box(&weights)))
+    });
+}
+
+fn bench_sparse_plan_construction(c: &mut Criterion) {
+    // Sparsity-aware traffic generation (the Plan::build hot path).
+    let net = models::mlp(28 * 28, 10, 0).expect("net");
+    c.bench_function("sparse_plan_build_mlp_16c", |b| {
+        b.iter(|| plan_for(black_box(&net), 16, true, true).expect("plan"))
+    });
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_table1, bench_motivation, bench_system_evaluation,
+        bench_structure_level_plan, bench_sparsified_pipeline_micro,
+        bench_scalability_planning, bench_fig6_matrix_path,
+        bench_sparse_plan_construction
+);
+criterion_main!(tables);

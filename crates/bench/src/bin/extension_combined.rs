@@ -1,0 +1,36 @@
+//! **Extension experiment** (beyond the paper's tables): structure-level
+//! grouping and communication-aware sparsification composed — the paper
+//! notes its inter-core policies are orthogonal; this quantifies the
+//! combination.
+//!
+//! Run: `cargo run --release -p lts-bench --bin extension_combined`
+//! (`LTS_EFFORT=quick` for a fast pass).
+
+use lts_bench::{banner, effort_from_env};
+use lts_core::experiment::combined_strategy_rows;
+use lts_core::report::render_table;
+
+fn main() {
+    let preset = effort_from_env();
+    banner("Extension — Grouped + SS_Mask combined (ConvNet, 16 cores)", &preset);
+    let rows = combined_strategy_rows(&preset).expect("combined experiment");
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.3}", r.accuracy),
+                format!("{:.0}%", r.traffic_rate * 100.0),
+                format!("{:.2}x", r.speedup),
+                format!("{:.0}%", r.energy_reduction * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Strategy", "Accu.", "NoC traffic", "Speedup", "Energy red."], &data)
+    );
+    println!();
+    println!("Expected shape: grouping removes the conv transitions; SS_Mask then");
+    println!("removes most of what remains (the FC transition), compounding the win.");
+}

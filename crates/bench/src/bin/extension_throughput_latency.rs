@@ -1,0 +1,36 @@
+//! **Extension experiment**: the §I throughput-vs-latency distinction.
+//! Data-level parallelism (one independent inference per core, the
+//! DaDianNao/TPU service model) maximizes throughput but does nothing for
+//! single-inference latency; the paper's model parallelism trades some
+//! aggregate throughput for much lower latency — the QoS metric embedded
+//! systems care about.
+//!
+//! Analytic + simulation, no training. Run:
+//! `cargo run --release -p lts-bench --bin extension_throughput_latency`.
+
+use lts_bench::banner;
+use lts_core::experiment::{parallelism_tradeoff, EffortPreset};
+use lts_nn::descriptor::{alexnet_spec, lenet_spec};
+
+fn main() {
+    banner("Extension — data vs model parallelism (16 cores)", &EffortPreset::paper());
+    for spec in [lenet_spec(), alexnet_spec()] {
+        println!("{}:", spec.name);
+        let rows = parallelism_tradeoff(&spec, 16).expect("tradeoff experiment");
+        for r in &rows {
+            println!(
+                "  {:<22} latency {:>9} cycles   throughput {:>8.2} inf/Mcycle",
+                r.mode, r.latency_cycles, r.throughput_per_mcycle
+            );
+        }
+        let latency_gain =
+            rows[0].latency_cycles as f64 / rows[1].latency_cycles as f64;
+        let throughput_cost =
+            rows[0].throughput_per_mcycle / rows[1].throughput_per_mcycle;
+        println!(
+            "  -> model parallelism answers {latency_gain:.1}x sooner at {throughput_cost:.1}x lower peak throughput\n"
+        );
+    }
+    println!("This is why the paper's communication optimizations matter: they close");
+    println!("the throughput gap of model parallelism without giving up its latency.");
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 6(b)**: the final group-level weight matrix of an
+//! SS_Mask-trained layer — which producer→consumer blocks survive.
+//!
+//! Run: `cargo run --release -p lts-bench --bin fig6_weight_matrix`
+//! (`LTS_EFFORT=quick` for a fast pass).
+
+use lts_bench::{banner, effort_from_env};
+use lts_core::experiment::fig6_matrix;
+use lts_core::report::render_group_matrix;
+use lts_noc::Mesh2d;
+
+fn main() {
+    let preset = effort_from_env();
+    banner("Fig. 6(b) — final group-level weight matrix (MLP/ip2, SS_Mask, 16 cores)", &preset);
+    let matrix = fig6_matrix(&preset).expect("fig 6 experiment");
+    println!("{}", render_group_matrix(&matrix));
+    let mesh = Mesh2d::new(4, 4);
+    println!(
+        "mean hop distance of surviving off-diagonal groups: {:.2} (mesh mean: {:.2})",
+        matrix.mean_surviving_distance(&mesh),
+        mesh.mean_distance()
+    );
+    println!();
+    println!("Expected shape (paper): diagonal groups survive; long-distance groups pruned away.");
+}

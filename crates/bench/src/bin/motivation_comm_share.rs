@@ -1,0 +1,30 @@
+//! Regenerates the **§III-B motivation claim**: the fraction of a
+//! single-pass AlexNet inference spent on inter-core communication on a
+//! 16-core CMP (paper: ~23 %).
+//!
+//! Analytic + flit-level simulation — no training. Run:
+//! `cargo run --release -p lts-bench --bin motivation_comm_share`.
+
+use lts_bench::banner;
+use lts_core::experiment::{motivation_comm_share, EffortPreset};
+
+fn main() {
+    banner("§III-B — AlexNet communication share (16 cores)", &EffortPreset::paper());
+    let (report, share) = motivation_comm_share().expect("motivation experiment");
+    println!(
+        "single-pass latency: {} cycles ({} compute + {} communication)",
+        report.total_cycles, report.compute_cycles, report.comm_cycles
+    );
+    println!("communication share: {:.1}% (paper: ~23%)", share * 100.0);
+    println!();
+    println!("per-layer breakdown:");
+    println!("{:<10} {:>12} {:>12} {:>12}", "layer", "compute", "comm", "traffic(B)");
+    for l in &report.layers {
+        if l.compute_cycles > 0 || l.comm_cycles > 0 {
+            println!(
+                "{:<10} {:>12} {:>12} {:>12}",
+                l.name, l.compute_cycles, l.comm_cycles, l.traffic_bytes
+            );
+        }
+    }
+}

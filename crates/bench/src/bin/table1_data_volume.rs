@@ -1,0 +1,30 @@
+//! Regenerates **Table I**: data volume to transmit in the NoC after layer
+//! partitioning and parallelization (16 cores, traditional scheme).
+//!
+//! Analytic — no training. Run: `cargo run --release -p lts-bench --bin
+//! table1_data_volume`.
+
+use lts_bench::banner;
+use lts_core::experiment::{table1_rows, EffortPreset};
+use lts_core::report::render_table1;
+use lts_partition::comm::format_bytes;
+
+fn main() {
+    banner("Table I — data moving volume (traditional, 16 cores)", &EffortPreset::paper());
+    let rows = table1_rows(16).expect("analytic table construction cannot fail on valid specs");
+    println!("{}", render_table1(&rows));
+    println!();
+    println!("Paper values (bytes, for comparison; formula documented in EXPERIMENTS.md):");
+    println!("  MLP      Ip1 28K  Ip2/3 17K");
+    println!("  LeNet    Conv2 225K  Ip1 57K  Ip2/3 29K");
+    println!("  ConvNet  Conv2 450K  Conv3 113K  Ip1 57K");
+    println!("  AlexNet  Conv2 2M  Conv3 2.4M  Conv4 1.8M  Conv5 1.8M  Ip1 450K  Ip2/3 57K");
+    println!("  VGG19    Conv2 42M  Conv3 22M  Conv4 11M  Conv5 5.4M  Ip1 1.4M  Ip2/3 57K");
+    println!();
+    let alexnet = rows.iter().find(|r| r.network == "AlexNet").expect("AlexNet row");
+    println!(
+        "Cross-check: our AlexNet conv2 = {} (paper: 2M), conv4 = {} (paper: 1.8M)",
+        format_bytes(alexnet.layer("conv2").unwrap_or(0)),
+        format_bytes(alexnet.layer("conv4").unwrap_or(0)),
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table III and Fig. 7**: structure-level parallelization
+//! of the ConvNet variants on 16 cores (accuracy, speedup, communication
+//! energy reduction).
+//!
+//! Trains three networks on the synthetic ImageNet10. Run:
+//! `cargo run --release -p lts-bench --bin table3_structure_level`
+//! (`LTS_EFFORT=quick` for a fast pass).
+
+use lts_bench::{banner, effort_from_env};
+use lts_core::experiment::table3_rows;
+use lts_core::report::render_table3;
+
+fn main() {
+    let preset = effort_from_env();
+    banner("Table III / Fig. 7 — structure-level parallelization (16 cores)", &preset);
+    let rows = table3_rows(&preset).expect("table 3 experiment");
+    println!("{}", render_table3(&rows));
+    println!();
+    println!("Paper: Parallel#1 acc 0.726 1x | Parallel#2 acc 0.698 4.9x | Parallel#3 acc 0.742 4.6x");
+    println!("Paper Fig. 7: comm energy reduction 91% (#2), 88% (#3)");
+    println!();
+    println!("Fig. 7 series (per-variant, vs Parallel#1):");
+    for r in &rows {
+        println!(
+            "  {:<11} perf speedup {:>5.2}x  comm speedup {:>6}  comm energy reduction {:>5.1}%",
+            r.name,
+            r.speedup,
+            if r.comm_speedup.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{:.2}x", r.comm_speedup)
+            },
+            r.comm_energy_reduction * 100.0
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Table IV**: communication-aware sparsified
+//! parallelization of MLP, LeNet, ConvNet and CaffeNet on 16 cores
+//! (accuracy, NoC traffic rate, system speedup, energy reduction for
+//! Baseline / SS / SS_Mask).
+//!
+//! Trains 4 networks × (1 baseline + 2 schemes × λ grid). Run:
+//! `cargo run --release -p lts-bench --bin table4_sparsified`
+//! (`LTS_EFFORT=quick` for a fast pass).
+
+use lts_bench::{banner, effort_from_env};
+use lts_core::experiment::table4_rows;
+use lts_core::report::render_table4;
+
+fn main() {
+    let preset = effort_from_env();
+    banner("Table IV — communication-aware sparsified parallelization (16 cores)", &preset);
+    let rows = table4_rows(&preset).expect("table 4 experiment");
+    println!("{}", render_table4(&rows));
+    println!();
+    println!("Paper (accuracy / traffic / speedup / energy reduction):");
+    println!("  MLP      SS 98.38% 30% 1.40x 59%   SS_Mask 98.36% 11% 1.59x 81%");
+    println!("  LeNet    SS 98.98% 82% 1.20x 15%   SS_Mask 98.60% 23% 1.51x 89%");
+    println!("  ConvNet  SS 80.15% 46% 1.19x 25%   SS_Mask 79.61% 35% 1.32x 55%");
+    println!("  CaffeNet SS 55.02% 98% 1.02x 17%   SS_Mask 54.21% 57% 1.10x 38%");
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table V and Fig. 8**: scalability of structure-level
+//! parallelization (Parallel#3) on 4, 8, 16 and 32 cores.
+//!
+//! Trains one grouped network per core count. Run:
+//! `cargo run --release -p lts-bench --bin table5_fig8_scalability`
+//! (`LTS_EFFORT=quick` for a fast pass).
+
+use lts_bench::{banner, effort_from_env};
+use lts_core::experiment::table5_rows;
+use lts_core::report::render_table5;
+
+fn main() {
+    let preset = effort_from_env();
+    banner("Table V / Fig. 8 — structure-level scalability (Parallel#3)", &preset);
+    let rows = table5_rows(&preset).expect("table 5 experiment");
+    println!("{}", render_table5(&rows));
+    println!();
+    println!("Paper Table V: 4 cores 0.694 2.7x | 8 cores 0.718 4.6x | 16 cores 0.742 6.0x | 32 cores 0.722 6.9x");
+    println!("Paper Fig. 8: computation speedup/energy grow with cores; communication series stay roughly flat.");
+}

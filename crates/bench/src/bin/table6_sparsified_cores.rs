@@ -1,0 +1,20 @@
+//! Regenerates **Table VI**: communication-aware sparsified
+//! parallelization of LeNet on 8 and 32 cores.
+//!
+//! Run: `cargo run --release -p lts-bench --bin table6_sparsified_cores`
+//! (`LTS_EFFORT=quick` for a fast pass).
+
+use lts_bench::{banner, effort_from_env};
+use lts_core::experiment::table6_rows;
+use lts_core::report::render_table4;
+
+fn main() {
+    let preset = effort_from_env();
+    banner("Table VI — sparsified parallelization of LeNet on 8 and 32 cores", &preset);
+    let rows = table6_rows(&preset).expect("table 6 experiment");
+    println!("{}", render_table4(&rows));
+    println!();
+    println!("Paper (accuracy / traffic / speedup / energy reduction):");
+    println!("  8 cores  SS 98.9% 80% 1.20x 10%   SS_Mask 98.9% 68% 1.22x 32%");
+    println!("  32 cores SS 98.7% 32% 1.49x 34%   SS_Mask 98.6% 18% 1.58x 56%");
+}

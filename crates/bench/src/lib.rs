@@ -1,0 +1,47 @@
+//! Shared helpers for the benchmark/regeneration binaries.
+//!
+//! Every binary regenerates one table or figure of the paper; see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
+//! paper-vs-measured values. The effort level is chosen with the
+//! `LTS_EFFORT` environment variable (`quick` or `paper`, default
+//! `paper`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lts_core::experiment::EffortPreset;
+
+/// Reads the effort preset from `LTS_EFFORT` (default: `paper`).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value, listing the accepted ones.
+pub fn effort_from_env() -> EffortPreset {
+    match std::env::var("LTS_EFFORT").as_deref() {
+        Ok("quick") => EffortPreset::quick(),
+        Ok("paper") | Err(_) => EffortPreset::paper(),
+        Ok(other) => panic!("LTS_EFFORT must be `quick` or `paper`, got `{other}`"),
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(what: &str, preset: &EffortPreset) {
+    println!("=== Learn-to-Scale reproduction: {what} ===");
+    println!(
+        "(effort: {} train / {} test samples, {} epochs, seed {})\n",
+        preset.train_samples, preset.test_samples, preset.epochs, preset.seed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_effort_is_paper() {
+        // Unless the variable is set in the environment running the tests.
+        if std::env::var("LTS_EFFORT").is_err() {
+            assert_eq!(effort_from_env(), EffortPreset::paper());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Inter-layer (pipelined) model parallelism — the alternative the paper
+//! argues *against* in §II-B: "pipelining layers with distinct
+//! hyper-parameters cause severe load-imbalance issue on cores".
+//!
+//! This module implements that alternative so the claim can be
+//! quantified: the layer chain is split into contiguous stages, one per
+//! core, balancing per-stage compute greedily; activations stream between
+//! consecutive stages (mapped to adjacent cores in a snake order across
+//! the mesh). The pipeline's throughput is gated by its slowest stage —
+//! the load-imbalance factor is exactly the paper's objection.
+
+use crate::Result;
+use lts_accel::CoreModel;
+use lts_nn::descriptor::NetworkSpec;
+use lts_noc::{Mesh2d, NocConfig};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous-stage assignment of layers to cores.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineMapping {
+    /// `stages[s]` = indices into the network's layer list handled by
+    /// stage (core) `s`. Contiguous and in order; possibly empty for
+    /// trailing cores when there are more cores than layers.
+    pub stages: Vec<Vec<usize>>,
+}
+
+impl PipelineMapping {
+    /// Number of stages (cores).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of non-empty stages.
+    pub fn active_stages(&self) -> usize {
+        self.stages.iter().filter(|s| !s.is_empty()).count()
+    }
+}
+
+/// Performance of a pipelined mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Compute cycles per stage.
+    pub stage_cycles: Vec<u64>,
+    /// The slowest stage's cycles — the pipeline interval (1/throughput).
+    pub bottleneck_cycles: u64,
+    /// Latency of one inference: all stages traversed in sequence plus
+    /// inter-stage transfer time (congestion-free estimate).
+    pub latency_cycles: u64,
+    /// Bytes handed from each stage to the next (length = stages − 1).
+    pub inter_stage_bytes: Vec<u64>,
+    /// Load imbalance: max stage cycles over mean non-empty stage cycles
+    /// (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl PipelineReport {
+    /// Sustained throughput in inferences per million cycles.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.bottleneck_cycles == 0 {
+            return 0.0;
+        }
+        1e6 / self.bottleneck_cycles as f64
+    }
+}
+
+/// Greedily splits the layer chain into `cores` contiguous stages,
+/// approximately balancing per-stage compute: each stage takes layers
+/// until it reaches the ideal share of the total cycles.
+///
+/// # Panics
+///
+/// Panics if `cores == 0`.
+pub fn balance_layers(spec: &NetworkSpec, cores: usize, model: &CoreModel) -> PipelineMapping {
+    assert!(cores > 0, "cores must be positive");
+    let costs: Vec<u64> = spec
+        .layers
+        .iter()
+        .map(|l| model.layer_cost(l, l.out_dims.0).cycles)
+        .collect();
+    let total: u64 = costs.iter().sum();
+    let ideal = total as f64 / cores as f64;
+    let mut stages: Vec<Vec<usize>> = vec![Vec::new(); cores];
+    let mut stage = 0usize;
+    let mut acc = 0u64;
+    for (i, &c) in costs.iter().enumerate() {
+        let remaining_layers = costs.len() - i;
+        let remaining_stages = cores - stage;
+        // Close the stage when it reached its share — unless the
+        // remaining layers are exactly enough to fill the rest one each.
+        let must_stay = remaining_layers <= remaining_stages.saturating_sub(1);
+        if !stages[stage].is_empty()
+            && stage + 1 < cores
+            && (acc as f64 + c as f64 / 2.0 > ideal || must_stay)
+        {
+            stage += 1;
+            acc = 0;
+        }
+        stages[stage].push(i);
+        acc += c;
+    }
+    PipelineMapping { stages }
+}
+
+/// Evaluates a pipelined mapping on the paper's hardware models
+/// (congestion-free inter-stage links: stages are mapped to mesh-adjacent
+/// cores in snake order, so every transfer is one hop).
+///
+/// # Errors
+///
+/// Propagates configuration errors from the NoC config used for link
+/// parameters.
+pub fn evaluate_pipeline(
+    spec: &NetworkSpec,
+    mapping: &PipelineMapping,
+    model: &CoreModel,
+    noc: &NocConfig,
+) -> Result<PipelineReport> {
+    noc.validate()?;
+    let _mesh = Mesh2d::new(noc.width, noc.height);
+    let mut stage_cycles = Vec::with_capacity(mapping.stages.len());
+    for stage in &mapping.stages {
+        let mut cycles = 0u64;
+        for &layer_idx in stage {
+            let layer = &spec.layers[layer_idx];
+            cycles += model.layer_cost(layer, layer.out_dims.0).cycles;
+        }
+        stage_cycles.push(cycles);
+    }
+    // Inter-stage traffic: the activation leaving the last layer of each
+    // non-final, non-empty stage.
+    let mut inter_stage_bytes = Vec::new();
+    let active: Vec<usize> = (0..mapping.stages.len())
+        .filter(|&s| !mapping.stages[s].is_empty())
+        .collect();
+    for window in active.windows(2) {
+        let last_layer = *mapping.stages[window[0]]
+            .last()
+            .expect("active stage is non-empty");
+        inter_stage_bytes.push(spec.layers[last_layer].output_bytes());
+    }
+    // One-hop transfer time per boundary: flit serialization over the
+    // link, no contention (each link is private to its stage pair).
+    let ser = noc.serialization_cycles();
+    let transfer: u64 = inter_stage_bytes
+        .iter()
+        .map(|&b| {
+            let flits = noc.flits_for_bytes(b);
+            2 * noc.router_stages
+                + noc.link_cycles
+                + (ser - 1)
+                + flits.saturating_sub(1) * ser / noc.physical_channels as u64
+        })
+        .sum();
+    let bottleneck_cycles = stage_cycles.iter().copied().max().unwrap_or(0);
+    let compute_latency: u64 = stage_cycles.iter().sum();
+    let nonzero: Vec<u64> = stage_cycles.iter().copied().filter(|&c| c > 0).collect();
+    let imbalance = if nonzero.is_empty() {
+        0.0
+    } else {
+        let mean = nonzero.iter().sum::<u64>() as f64 / nonzero.len() as f64;
+        bottleneck_cycles as f64 / mean
+    };
+    Ok(PipelineReport {
+        stage_cycles,
+        bottleneck_cycles,
+        latency_cycles: compute_latency + transfer,
+        inter_stage_bytes,
+        imbalance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_accel::CoreConfig;
+    use lts_nn::descriptor::{alexnet_spec, lenet_spec};
+
+    fn model() -> CoreModel {
+        CoreModel::new(CoreConfig::diannao())
+    }
+
+    #[test]
+    fn stages_are_contiguous_and_cover_all_layers() {
+        let spec = lenet_spec();
+        let mapping = balance_layers(&spec, 4, &model());
+        assert_eq!(mapping.stage_count(), 4);
+        let flat: Vec<usize> = mapping.stages.iter().flatten().copied().collect();
+        let expect: Vec<usize> = (0..spec.layers.len()).collect();
+        assert_eq!(flat, expect, "stages must be contiguous, ordered, complete");
+    }
+
+    #[test]
+    fn more_cores_than_layers_leaves_stages_empty_but_valid() {
+        let spec = lts_nn::descriptor::mlp_spec(); // 6 layers
+        let mapping = balance_layers(&spec, 16, &model());
+        assert_eq!(mapping.stage_count(), 16);
+        assert!(mapping.active_stages() <= spec.layers.len());
+        let flat: Vec<usize> = mapping.stages.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), spec.layers.len());
+    }
+
+    #[test]
+    fn pipelining_a_cnn_shows_the_papers_load_imbalance() {
+        // The paper's §II-B objection: conv layers dwarf everything else,
+        // so contiguous stages cannot balance.
+        let spec = alexnet_spec();
+        let mapping = balance_layers(&spec, 16, &model());
+        let report =
+            evaluate_pipeline(&spec, &mapping, &model(), &NocConfig::paper_16core()).unwrap();
+        assert!(
+            report.imbalance > 1.5,
+            "imbalance {} should be visible for AlexNet on 16 stages",
+            report.imbalance
+        );
+        // Throughput is gated by the bottleneck, not the mean.
+        assert_eq!(
+            report.bottleneck_cycles,
+            *report.stage_cycles.iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn latency_includes_all_stages_and_transfers() {
+        let spec = lenet_spec();
+        let mapping = balance_layers(&spec, 4, &model());
+        let report =
+            evaluate_pipeline(&spec, &mapping, &model(), &NocConfig::paper_16core()).unwrap();
+        let compute: u64 = report.stage_cycles.iter().sum();
+        assert!(report.latency_cycles >= compute);
+        assert_eq!(report.inter_stage_bytes.len(), report.stage_cycles.iter().filter(|&&c| c > 0).count() - 1);
+    }
+
+    #[test]
+    fn single_stage_pipeline_equals_single_core() {
+        let spec = lenet_spec();
+        let mapping = balance_layers(&spec, 1, &model());
+        let report =
+            evaluate_pipeline(&spec, &mapping, &model(), &NocConfig::paper_16core()).unwrap();
+        let single = model().single_core_cost(&spec.layers);
+        assert_eq!(report.latency_cycles, single.cycles);
+        assert_eq!(report.imbalance, 1.0);
+        assert!(report.inter_stage_bytes.is_empty());
+    }
+
+    #[test]
+    fn balancing_beats_naive_equal_layer_counts() {
+        // Greedy cost balancing should never be worse than splitting the
+        // chain into equal layer-count chunks.
+        let spec = alexnet_spec();
+        let cores = 8;
+        let m = model();
+        let balanced = balance_layers(&spec, cores, &m);
+        let naive = {
+            let per = spec.layers.len().div_ceil(cores);
+            PipelineMapping {
+                stages: (0..cores)
+                    .map(|s| {
+                        (s * per..((s + 1) * per).min(spec.layers.len())).collect::<Vec<_>>()
+                    })
+                    .collect(),
+            }
+        };
+        let cfg = NocConfig::paper_16core();
+        let rb = evaluate_pipeline(&spec, &balanced, &m, &cfg).unwrap();
+        let rn = evaluate_pipeline(&spec, &naive, &m, &cfg).unwrap();
+        assert!(rb.bottleneck_cycles <= rn.bottleneck_cycles);
+    }
+}

@@ -1,0 +1,49 @@
+//! Learn-to-Scale: communication-aware parallelization of single-pass CNN
+//! inference on chip multiprocessors.
+//!
+//! This crate is the paper's contribution proper, assembled from the
+//! substrate crates:
+//!
+//! * [`strategy`] — the three parallelization strategies (§IV):
+//!   traditional, structure-level (grouping), and communication-aware
+//!   sparsified (SS / SS_Mask);
+//! * [`pipeline`] — the train → sparsify → prune → fine-tune → quantize
+//!   flow that produces CMP-friendly models;
+//! * [`system`] — the end-to-end system model: per-layer accelerator
+//!   compute latency ([`lts_accel`]) plus flit-level NoC simulation of the
+//!   layer-transition bursts ([`lts_noc`]), combined under a barrier
+//!   schedule;
+//! * [`experiment`] — one runner per table/figure of the evaluation
+//!   section (Tables I, III–VI; Figs. 6–8; the §III motivation claim);
+//! * [`report`] — ASCII rendering of tables and weight-group matrices.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use lts_core::experiment::{table1_rows, EffortPreset};
+//!
+//! # fn main() -> Result<(), lts_core::CoreError> {
+//! for row in table1_rows(16)? {
+//!     println!("{}: {} bytes total", row.network, row.total());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod experiment;
+pub mod interlayer;
+pub mod pipeline;
+pub mod report;
+pub mod strategy;
+pub mod system;
+
+pub use error::CoreError;
+pub use strategy::{SparsityScheme, Strategy};
+pub use system::{SystemModel, SystemReport};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

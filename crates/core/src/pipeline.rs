@@ -1,0 +1,385 @@
+//! Training pipelines: baseline, structure-level, and communication-aware
+//! sparsified (§IV-C-3).
+//!
+//! The sparsified pipeline follows the paper's methodology:
+//!
+//! 1. build the producer×consumer block layouts for every layer whose
+//!    input crosses the NoC (the first layer reads the replicated input
+//!    image and is skipped);
+//! 2. train with group-Lasso regularization — uniform strengths (SS) or
+//!    hop-distance strengths (SS_Mask);
+//! 3. prune near-zero groups and freeze them at exactly zero;
+//! 4. fine-tune the survivors at a reduced learning rate;
+//! 5. quantize to the accelerator's 16-bit fixed point and evaluate.
+
+use crate::strategy::SparsityScheme;
+use crate::{CoreError, Result};
+use lts_datasets::TrainTest;
+use lts_nn::prune::{prune_groups, PruneCriterion, PruneReport};
+use lts_nn::regularizer::{GroupLasso, StrengthMask};
+use lts_nn::trainer::{parallel_accuracy, TrainConfig, TrainStats, Trainer};
+use lts_nn::Network;
+use lts_noc::{Mesh2d, NocConfig};
+use lts_partition::{hop_power_mask, Plan};
+use std::collections::HashMap;
+
+/// Shared pipeline knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Main training phase.
+    pub train: TrainConfig,
+    /// Fine-tuning epochs after pruning (0 disables fine-tuning).
+    pub fine_tune_epochs: usize,
+    /// Learning-rate multiplier for fine-tuning.
+    pub fine_tune_lr_scale: f32,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Worker threads for test-set evaluation.
+    pub eval_threads: usize,
+    /// Quantize weights to Q7.8 before evaluating (what the chip runs).
+    pub quantize: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            fine_tune_epochs: 2,
+            fine_tune_lr_scale: 0.2,
+            eval_batch: 64,
+            eval_threads: 4,
+            quantize: true,
+        }
+    }
+}
+
+/// Result of training one network.
+#[derive(Debug, Clone)]
+pub struct TrainedOutcome {
+    /// The trained network (unquantized master weights).
+    pub network: Network,
+    /// Per-epoch statistics of the main phase.
+    pub train_stats: TrainStats,
+    /// Test accuracy of the (optionally quantized) network.
+    pub test_accuracy: f32,
+}
+
+/// Result of the sparsified pipeline.
+#[derive(Debug, Clone)]
+pub struct SparsifiedOutcome {
+    /// The trained, pruned, fine-tuned network.
+    pub network: Network,
+    /// Main-phase statistics.
+    pub train_stats: TrainStats,
+    /// Test accuracy after pruning + fine-tuning (+ quantization).
+    pub test_accuracy: f32,
+    /// One prune report per regularized layer, `(layer, report)`.
+    pub prune_reports: Vec<(String, PruneReport)>,
+}
+
+/// Trains a network without structured sparsity (the paper's *Baseline*,
+/// also used for the structure-level variants, whose parallelism is baked
+/// into their grouped topology).
+///
+/// # Examples
+///
+/// ```no_run
+/// use lts_core::pipeline::{train_baseline, PipelineConfig};
+/// use lts_datasets::presets::synth_mnist;
+/// use lts_nn::models;
+///
+/// # fn main() -> Result<(), lts_core::CoreError> {
+/// let data = synth_mnist(480, 160, 0);
+/// let outcome = train_baseline(models::mlp(784, 10, 0)?, &data, &PipelineConfig::default())?;
+/// println!("accuracy: {:.1}%", outcome.test_accuracy * 100.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates training and evaluation errors.
+pub fn train_baseline(
+    mut network: Network,
+    data: &TrainTest,
+    config: &PipelineConfig,
+) -> Result<TrainedOutcome> {
+    let trainer = Trainer::new(config.train)?;
+    let train_stats = trainer.train(&mut network, &data.train.images, &data.train.labels)?;
+    let test_accuracy = evaluate(&network, data, config)?;
+    Ok(TrainedOutcome { network, train_stats, test_accuracy })
+}
+
+/// Runs the full communication-aware sparsified pipeline.
+///
+/// `cores` decides both the block granularity and (for SS_Mask) the mesh
+/// whose hop distances weight the per-block sparsity strengths.
+///
+/// # Examples
+///
+/// ```no_run
+/// use lts_core::pipeline::{train_sparsified, PipelineConfig};
+/// use lts_core::strategy::SparsityScheme;
+/// use lts_datasets::presets::synth_mnist;
+/// use lts_nn::models;
+/// use lts_nn::prune::PruneCriterion;
+///
+/// # fn main() -> Result<(), lts_core::CoreError> {
+/// let data = synth_mnist(480, 160, 0);
+/// let outcome = train_sparsified(
+///     models::mlp(784, 10, 0)?,
+///     &data,
+///     &PipelineConfig::default(),
+///     16,
+///     SparsityScheme::mask(),
+///     2.0,
+///     PruneCriterion::RmsBelowRelative(0.35),
+/// )?;
+/// for (layer, report) in &outcome.prune_reports {
+///     println!("{layer}: {} of {} groups pruned", report.groups_pruned, report.groups_total);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] if the network has no sparsifiable
+/// layers, and propagates training errors.
+pub fn train_sparsified(
+    mut network: Network,
+    data: &TrainTest,
+    config: &PipelineConfig,
+    cores: usize,
+    scheme: SparsityScheme,
+    lambda: f32,
+    prune: PruneCriterion,
+) -> Result<SparsifiedOutcome> {
+    let spec = network.spec();
+    let dense_plan = Plan::dense(&spec, cores, 2)?;
+    // Regularize exactly the layers whose input synchronization crosses
+    // the NoC: zeroing their blocks is what removes traffic.
+    let mask = strength_mask(cores, scheme)?;
+    let mut targeted: Vec<(String, lts_nn::GroupLayout)> = Vec::new();
+    for lp in &dense_plan.layers {
+        if lp.traffic.is_empty() {
+            continue;
+        }
+        if let Some(layout) = &lp.layout {
+            targeted.push((lp.spec.name.clone(), layout.clone()));
+        }
+    }
+    if targeted.is_empty() {
+        return Err(CoreError::BadConfig(format!(
+            "network `{}` has no layers with inter-core traffic to sparsify",
+            spec.name
+        )));
+    }
+    let mut trainer = Trainer::new(config.train)?;
+    for (layer, layout) in &targeted {
+        trainer =
+            trainer.with_regularizer(GroupLasso::new(layer, layout.clone(), lambda, mask.clone())?);
+    }
+    let train_stats = trainer.train(&mut network, &data.train.images, &data.train.labels)?;
+
+    // Prune and freeze.
+    let mut prune_reports = Vec::with_capacity(targeted.len());
+    for (layer, layout) in &targeted {
+        let param = network
+            .layer_weight_mut(layer)
+            .ok_or_else(|| CoreError::BadConfig(format!("layer `{layer}` disappeared")))?;
+        let report = prune_groups(param, layout, prune)?;
+        prune_reports.push((layer.clone(), report));
+    }
+
+    // Fine-tune the survivors (no Lasso; frozen groups stay zero).
+    if config.fine_tune_epochs > 0 {
+        let ft = Trainer::new(TrainConfig {
+            epochs: config.fine_tune_epochs,
+            lr: config.train.lr * config.fine_tune_lr_scale,
+            ..config.train
+        })?;
+        ft.train(&mut network, &data.train.images, &data.train.labels)?;
+    }
+    let test_accuracy = evaluate(&network, data, config)?;
+    Ok(SparsifiedOutcome { network, train_stats, test_accuracy, prune_reports })
+}
+
+/// The strength mask for a scheme on `cores` cores.
+///
+/// # Errors
+///
+/// Propagates mask-construction errors.
+pub fn strength_mask(cores: usize, scheme: SparsityScheme) -> Result<StrengthMask> {
+    match scheme {
+        SparsityScheme::Ss => Ok(StrengthMask::uniform(cores)),
+        SparsityScheme::SsMask { power } => {
+            let config = NocConfig::paper_cores(cores)?;
+            let mesh = Mesh2d::new(config.width, config.height);
+            Ok(hop_power_mask(&mesh, power, true)?)
+        }
+    }
+}
+
+/// Test accuracy under the deployment conditions (optionally quantized),
+/// without disturbing the master weights.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub fn evaluate(network: &Network, data: &TrainTest, config: &PipelineConfig) -> Result<f32> {
+    let mut deployed = network.clone();
+    if config.quantize {
+        deployed.quantize_weights();
+    }
+    Ok(parallel_accuracy(
+        &deployed,
+        &data.test.images,
+        &data.test.labels,
+        config.eval_batch,
+        config.eval_threads,
+    )?)
+}
+
+/// Extracts `layer name → flat weight values` for plan construction.
+/// Weights are quantized first when `quantize` is set, so traffic
+/// decisions see exactly what the chip would hold.
+pub fn weights_map(network: &Network, quantize: bool) -> HashMap<String, Vec<f32>> {
+    let mut deployed = network.clone();
+    if quantize {
+        deployed.quantize_weights();
+    }
+    deployed
+        .weight_layer_names()
+        .into_iter()
+        .filter_map(|name| {
+            deployed
+                .layer_weight(&name)
+                .map(|p| (name.clone(), p.value.as_slice().to_vec()))
+        })
+        .collect()
+}
+
+/// Builds the parallelization plan for a trained network: sparsity-aware
+/// when `sparse` (uses the network's zero structure), dense otherwise.
+///
+/// # Errors
+///
+/// Propagates plan-construction errors.
+pub fn plan_for(network: &Network, cores: usize, sparse: bool, quantize: bool) -> Result<Plan> {
+    let spec = network.spec();
+    if sparse {
+        Ok(Plan::build(&spec, cores, &weights_map(network, quantize), 2)?)
+    } else {
+        Ok(Plan::dense(&spec, cores, 2)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_datasets::presets::synth_mnist;
+    use lts_nn::models;
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            train: TrainConfig { epochs: 4, batch_size: 32, lr: 0.08, ..TrainConfig::default() },
+            fine_tune_epochs: 1,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_mlp_learns_the_synthetic_task() {
+        let data = synth_mnist(256, 96, 3);
+        let net = models::mlp(28 * 28, 10, 7).unwrap();
+        let out = train_baseline(net, &data, &quick_config()).unwrap();
+        assert!(out.test_accuracy > 0.8, "accuracy {}", out.test_accuracy);
+    }
+
+    #[test]
+    fn sparsified_pipeline_reduces_traffic_and_keeps_accuracy() {
+        let data = synth_mnist(256, 96, 4);
+        let config = quick_config();
+        let baseline =
+            train_baseline(models::mlp(28 * 28, 10, 7).unwrap(), &data, &config).unwrap();
+        let sparsified = train_sparsified(
+            models::mlp(28 * 28, 10, 7).unwrap(),
+            &data,
+            &config,
+            16,
+            SparsityScheme::mask(),
+            0.004,
+            PruneCriterion::SmallestFraction(0.5),
+        )
+        .unwrap();
+        // Pruning actually happened.
+        let pruned: usize = sparsified.prune_reports.iter().map(|(_, r)| r.groups_pruned).sum();
+        assert!(pruned > 0);
+        // Traffic strictly below dense.
+        let dense_plan = plan_for(&baseline.network, 16, false, true).unwrap();
+        let sparse_plan = plan_for(&sparsified.network, 16, true, true).unwrap();
+        assert!(
+            sparse_plan.total_traffic_bytes() < dense_plan.total_traffic_bytes(),
+            "sparse {} >= dense {}",
+            sparse_plan.total_traffic_bytes(),
+            dense_plan.total_traffic_bytes()
+        );
+        // Accuracy within a few points of baseline.
+        assert!(
+            sparsified.test_accuracy > baseline.test_accuracy - 0.15,
+            "sparsified {} vs baseline {}",
+            sparsified.test_accuracy,
+            baseline.test_accuracy
+        );
+    }
+
+    #[test]
+    fn mask_scheme_produces_distance_weighted_strengths() {
+        let ss = strength_mask(16, SparsityScheme::Ss).unwrap();
+        assert_eq!(ss.factor(0, 15), ss.factor(0, 1));
+        let mask = strength_mask(16, SparsityScheme::mask()).unwrap();
+        assert!(mask.factor(0, 15) > mask.factor(0, 1));
+        assert_eq!(mask.factor(3, 3), 0.0);
+    }
+
+    #[test]
+    fn weights_map_covers_all_weight_layers() {
+        let net = models::mlp(16, 4, 0).unwrap();
+        let map = weights_map(&net, true);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map["ip1"].len(), 16 * 512);
+    }
+
+    #[test]
+    fn sparsified_rejects_networks_without_traffic() {
+        // A single-layer network reads only the input image.
+        let mut rng = lts_tensor::init::rng(0);
+        let net = lts_nn::network::NetworkBuilder::new("one", (8, 1, 1))
+            .linear("ip1", 4)
+            .build(&mut rng)
+            .unwrap();
+        let data = synth_mnist(16, 8, 0);
+        let _ = data; // dims mismatch is irrelevant; config error fires first
+        let tiny = TrainTest {
+            train: lts_datasets::Dataset::new(
+                lts_tensor::Tensor::zeros(lts_tensor::Shape::d4(4, 8, 1, 1)),
+                vec![0, 1, 2, 3],
+            ),
+            test: lts_datasets::Dataset::new(
+                lts_tensor::Tensor::zeros(lts_tensor::Shape::d4(4, 8, 1, 1)),
+                vec![0, 1, 2, 3],
+            ),
+        };
+        let err = train_sparsified(
+            net,
+            &tiny,
+            &quick_config(),
+            16,
+            SparsityScheme::Ss,
+            0.01,
+            PruneCriterion::RmsBelow(0.01),
+        );
+        assert!(matches!(err, Err(CoreError::BadConfig(_))));
+    }
+}

@@ -1,0 +1,307 @@
+//! End-to-end system model: accelerator compute + NoC communication.
+//!
+//! Single-pass inference on the CMP proceeds layer by layer under a
+//! barrier schedule (the paper's "data packets are injected in burst
+//! during layer transition"): before a partitioned layer starts, its
+//! input-synchronization messages are delivered through the flit-level
+//! NoC simulator; then every core computes its partition, and the slowest
+//! core gates the transition to the next layer.
+
+use crate::Result;
+use lts_accel::{CoreConfig, CoreModel};
+use lts_noc::{EnergyModel, NocConfig, Simulator};
+use lts_partition::Plan;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer latency/energy breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerBreakdown {
+    /// Layer name.
+    pub name: String,
+    /// Compute cycles of the slowest core.
+    pub compute_cycles: u64,
+    /// NoC makespan of the transition into this layer.
+    pub comm_cycles: u64,
+    /// Bytes crossing the NoC for this transition.
+    pub traffic_bytes: u64,
+    /// Sum of all cores' compute energy (pJ).
+    pub compute_energy_pj: f64,
+    /// NoC energy of the transition (pJ).
+    pub noc_energy_pj: f64,
+    /// Cycles flits spent blocked (congestion indicator).
+    pub blocked_flit_cycles: u64,
+}
+
+/// Whole-network single-pass results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Total single-pass latency in cycles (compute + comm barriers).
+    pub total_cycles: u64,
+    /// Compute-only cycles.
+    pub compute_cycles: u64,
+    /// Communication-only cycles.
+    pub comm_cycles: u64,
+    /// Total NoC bytes.
+    pub traffic_bytes: u64,
+    /// Total compute energy (pJ).
+    pub compute_energy_pj: f64,
+    /// Total NoC energy (pJ).
+    pub noc_energy_pj: f64,
+    /// Per-layer details.
+    pub layers: Vec<LayerBreakdown>,
+}
+
+impl SystemReport {
+    /// Fraction of the single pass spent communicating.
+    pub fn comm_share(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.comm_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Latency speedup of `self` relative to `baseline`
+    /// (`> 1` means `self` is faster).
+    pub fn speedup_vs(&self, baseline: &SystemReport) -> f64 {
+        if self.total_cycles == 0 {
+            return f64::INFINITY;
+        }
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// NoC traffic of `self` as a fraction of `baseline`'s
+    /// (the paper's "NoC traffic rate" column).
+    pub fn traffic_rate_vs(&self, baseline: &SystemReport) -> f64 {
+        if baseline.traffic_bytes == 0 {
+            return if self.traffic_bytes == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.traffic_bytes as f64 / baseline.traffic_bytes as f64
+    }
+
+    /// NoC energy reduction relative to `baseline`
+    /// (the paper's "Energy Reduction" column; `0.81` = 81 % saved).
+    pub fn noc_energy_reduction_vs(&self, baseline: &SystemReport) -> f64 {
+        if baseline.noc_energy_pj == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.noc_energy_pj / baseline.noc_energy_pj
+    }
+
+    /// Total (compute + NoC) energy in picojoules.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.compute_energy_pj + self.noc_energy_pj
+    }
+}
+
+/// The combined accelerator + NoC model.
+///
+/// # Examples
+///
+/// ```
+/// use lts_core::SystemModel;
+/// use lts_nn::descriptor::lenet_spec;
+/// use lts_partition::Plan;
+///
+/// # fn main() -> Result<(), lts_core::CoreError> {
+/// let plan = Plan::dense(&lenet_spec(), 16, 2)?;
+/// let report = SystemModel::paper(16)?.evaluate(&plan)?;
+/// assert!(report.comm_share() > 0.0 && report.comm_share() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    core_model: CoreModel,
+    noc_config: NocConfig,
+    noc_energy: EnergyModel,
+    /// Fraction of each transition's NoC makespan hidden under the
+    /// previous layer's compute (0 = strict barrier, the paper's model;
+    /// the `ablation_overlap` bench sweeps this).
+    overlap: f64,
+}
+
+impl SystemModel {
+    /// The paper's configuration on `cores` cores (Table II core + mesh).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for `cores == 0`.
+    pub fn paper(cores: usize) -> Result<Self> {
+        let noc_config = NocConfig::paper_cores(cores)?;
+        Ok(Self {
+            core_model: CoreModel::new(CoreConfig::diannao()),
+            noc_config,
+            noc_energy: EnergyModel::default(),
+            overlap: 0.0,
+        })
+    }
+
+    /// Builds from explicit parts.
+    pub fn new(core_model: CoreModel, noc_config: NocConfig, noc_energy: EnergyModel) -> Self {
+        Self { core_model, noc_config, noc_energy, overlap: 0.0 }
+    }
+
+    /// Sets the compute/communication overlap factor in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap` is outside `[0, 1]`.
+    pub fn with_overlap(mut self, overlap: f64) -> Self {
+        assert!((0.0..=1.0).contains(&overlap), "overlap must be in [0, 1]");
+        self.overlap = overlap;
+        self
+    }
+
+    /// The NoC configuration in use.
+    pub fn noc_config(&self) -> &NocConfig {
+        &self.noc_config
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.noc_config.nodes()
+    }
+
+    /// Evaluates a parallelization plan end to end (single input image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NoC simulation errors (cycle-limit means deadlock or a
+    /// pathological trace).
+    pub fn evaluate(&self, plan: &Plan) -> Result<SystemReport> {
+        let mut sim = Simulator::new(self.noc_config)?;
+        let mut layers = Vec::with_capacity(plan.layers.len());
+        let mut total_cycles = 0u64;
+        let mut compute_total = 0u64;
+        let mut comm_total = 0u64;
+        let mut traffic_total = 0u64;
+        let mut compute_energy = 0.0f64;
+        let mut noc_energy = 0.0f64;
+        for lp in &plan.layers {
+            // Communication phase (barrier before the layer runs).
+            let (comm_cycles, layer_noc_energy, blocked) = if lp.traffic.is_empty() {
+                (0, 0.0, 0)
+            } else {
+                let report = sim.run(&lp.traffic.messages)?;
+                let energy = self.noc_energy.report(&report, self.cores()).total_pj();
+                (report.makespan, energy, report.blocked_flit_cycles)
+            };
+            let visible_comm = ((comm_cycles as f64) * (1.0 - self.overlap)).round() as u64;
+            // Compute phase: the slowest core gates the barrier.
+            let mut worst = 0u64;
+            let mut layer_compute_energy = 0.0f64;
+            for &assigned in &lp.assignments {
+                let cost = self.core_model.layer_cost(&lp.spec, assigned);
+                worst = worst.max(cost.cycles);
+                layer_compute_energy += cost.energy_pj;
+            }
+            total_cycles += visible_comm + worst;
+            compute_total += worst;
+            comm_total += visible_comm;
+            traffic_total += lp.traffic.total_bytes();
+            compute_energy += layer_compute_energy;
+            noc_energy += layer_noc_energy;
+            layers.push(LayerBreakdown {
+                name: lp.spec.name.clone(),
+                compute_cycles: worst,
+                comm_cycles: visible_comm,
+                traffic_bytes: lp.traffic.total_bytes(),
+                compute_energy_pj: layer_compute_energy,
+                noc_energy_pj: layer_noc_energy,
+                blocked_flit_cycles: blocked,
+            });
+        }
+        Ok(SystemReport {
+            total_cycles,
+            compute_cycles: compute_total,
+            comm_cycles: comm_total,
+            traffic_bytes: traffic_total,
+            compute_energy_pj: compute_energy,
+            noc_energy_pj: noc_energy,
+            layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_nn::descriptor::{lenet_spec, mlp_spec};
+    use std::collections::HashMap;
+
+    fn eval(cores: usize, spec: &lts_nn::NetworkSpec) -> SystemReport {
+        let model = SystemModel::paper(cores).unwrap();
+        let plan = Plan::dense(spec, cores, 2).unwrap();
+        model.evaluate(&plan).unwrap()
+    }
+
+    #[test]
+    fn lenet_single_pass_has_compute_and_comm() {
+        let r = eval(16, &lenet_spec());
+        assert!(r.compute_cycles > 0);
+        assert!(r.comm_cycles > 0);
+        assert_eq!(r.total_cycles, r.compute_cycles + r.comm_cycles);
+        assert!(r.comm_share() > 0.0 && r.comm_share() < 1.0);
+        assert!(r.noc_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn sixteen_cores_beat_one_core_on_compute() {
+        let spec = lenet_spec();
+        let single = eval(1, &spec);
+        let sixteen = eval(16, &spec);
+        assert_eq!(single.comm_cycles, 0, "one core never communicates");
+        assert!(sixteen.compute_cycles < single.compute_cycles);
+    }
+
+    #[test]
+    fn zeroed_weights_remove_comm_cycles() {
+        let spec = mlp_spec();
+        let model = SystemModel::paper(16).unwrap();
+        let dense = model.evaluate(&Plan::dense(&spec, 16, 2).unwrap()).unwrap();
+        let mut weights = HashMap::new();
+        weights.insert("ip2".into(), vec![0.0f32; 512 * 304]);
+        weights.insert("ip3".into(), vec![0.0f32; 304 * 10]);
+        let sparse_plan = Plan::build(&spec, 16, &weights, 2).unwrap();
+        let sparse = model.evaluate(&sparse_plan).unwrap();
+        assert_eq!(sparse.comm_cycles, 0);
+        assert!(sparse.speedup_vs(&dense) > 1.0);
+        assert_eq!(sparse.traffic_rate_vs(&dense), 0.0);
+        assert!(sparse.noc_energy_reduction_vs(&dense) > 0.99);
+    }
+
+    #[test]
+    fn overlap_hides_communication() {
+        let spec = lenet_spec();
+        let plan = Plan::dense(&spec, 16, 2).unwrap();
+        let barrier = SystemModel::paper(16).unwrap().evaluate(&plan).unwrap();
+        let overlapped = SystemModel::paper(16)
+            .unwrap()
+            .with_overlap(1.0)
+            .evaluate(&plan)
+            .unwrap();
+        assert_eq!(overlapped.comm_cycles, 0);
+        assert!(overlapped.total_cycles < barrier.total_cycles);
+        // Energy is unaffected by overlap.
+        assert!((overlapped.noc_energy_pj - barrier.noc_energy_pj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_layer_breakdown_sums_to_totals() {
+        let r = eval(16, &lenet_spec());
+        let compute: u64 = r.layers.iter().map(|l| l.compute_cycles).sum();
+        let comm: u64 = r.layers.iter().map(|l| l.comm_cycles).sum();
+        assert_eq!(compute, r.compute_cycles);
+        assert_eq!(comm, r.comm_cycles);
+        let traffic: u64 = r.layers.iter().map(|l| l.traffic_bytes).sum();
+        assert_eq!(traffic, r.traffic_bytes);
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let a = eval(16, &lenet_spec());
+        assert_eq!(a.speedup_vs(&a), 1.0);
+        assert_eq!(a.traffic_rate_vs(&a), 1.0);
+        assert_eq!(a.noc_energy_reduction_vs(&a), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic dataset generators standing in for MNIST, CIFAR-10, and
+//! ImageNet in the Learn-to-Scale reproduction.
+//!
+//! Real datasets cannot ship with this repository (ImageNet alone is
+//! ~150 GB). The paper's mechanisms, however, depend only on the networks
+//! being over-parameterized classifiers with redundancy to shed — not on
+//! the specific pixels. These generators produce class-conditional image
+//! distributions with controllable difficulty that put the networks in the
+//! same regime: high baseline accuracy for MNIST-like tasks, lower for the
+//! ImageNet-like ones (see `DESIGN.md`, "Substitutions").
+//!
+//! Every dataset is deterministic in its seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use lts_datasets::presets;
+//!
+//! let data = presets::synth_mnist(128, 32, 7);
+//! assert_eq!(data.train.len(), 128);
+//! assert_eq!(data.test.len(), 32);
+//! assert_eq!(data.train.images.shape().dims(), &[128, 1, 28, 28]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod presets;
+pub mod synth;
+
+pub use dataset::{Dataset, TrainTest};
+pub use synth::SynthConfig;

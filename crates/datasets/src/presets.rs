@@ -1,0 +1,88 @@
+//! Named dataset presets matching the paper's benchmarks.
+//!
+//! | Preset | Stands in for | Dims | Difficulty |
+//! |---|---|---|---|
+//! | [`synth_mnist`] | MNIST | 1×28×28, 10 classes | easy (baselines ≥ 98 %) |
+//! | [`synth_cifar10`] | CIFAR-10 | 3×32×32, 10 classes | medium |
+//! | [`synth_imagenet10`] | ImageNet10 (ILSVRC subset) | 3×16×16, 10 classes | medium-hard |
+//! | [`synth_imagenet_small`] | ImageNet (CaffeNet rows) | 3×32×32, 10 classes | hard (baseline ~55 %) |
+
+use crate::dataset::TrainTest;
+use crate::synth::{SynthConfig, SynthGenerator};
+use lts_tensor::init;
+
+fn build(config: SynthConfig, n_train: usize, n_test: usize, seed: u64) -> TrainTest {
+    let generator = SynthGenerator::new(config, seed);
+    let mut rng = init::rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    generator.train_test(n_train, n_test, &mut rng)
+}
+
+/// MNIST stand-in: 1×28×28 greyscale, 10 classes, easy.
+pub fn synth_mnist(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
+    build(SynthConfig::easy((1, 28, 28), 10), n_train, n_test, seed)
+}
+
+/// CIFAR-10 stand-in: 3×32×32 colour, 10 classes, medium difficulty
+/// (noisy enough that over-pruning costs accuracy, so the SS/SS_Mask
+/// accuracy constraint binds as it does on the real dataset).
+pub fn synth_cifar10(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
+    let config = SynthConfig {
+        noise_sigma: 2.0,
+        translate_px: 3,
+        ..SynthConfig::easy((3, 32, 32), 10)
+    };
+    build(config, n_train, n_test, seed)
+}
+
+/// ImageNet10 stand-in (downscaled to 3×16×16; see `DESIGN.md`).
+pub fn synth_imagenet10(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
+    let config = SynthConfig {
+        noise_sigma: 1.6,
+        translate_px: 2,
+        gain_jitter: 0.35,
+        ..SynthConfig::hard((3, 16, 16), 10)
+    };
+    build(config, n_train, n_test, seed)
+}
+
+/// ImageNet stand-in for the CaffeNet rows (3×32×32, hard).
+pub fn synth_imagenet_small(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
+    let config = SynthConfig {
+        noise_sigma: 2.2,
+        ..SynthConfig::hard((3, 32, 32), 10)
+    };
+    build(config, n_train, n_test, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_documented_geometry() {
+        let m = synth_mnist(10, 4, 0);
+        assert_eq!(m.train.image_dims(), (1, 28, 28));
+        let c = synth_cifar10(10, 4, 0);
+        assert_eq!(c.train.image_dims(), (3, 32, 32));
+        let i10 = synth_imagenet10(10, 4, 0);
+        assert_eq!(i10.train.image_dims(), (3, 16, 16));
+        let inet = synth_imagenet_small(10, 4, 0);
+        assert_eq!(inet.train.image_dims(), (3, 32, 32));
+    }
+
+    #[test]
+    fn presets_are_deterministic_per_seed() {
+        let a = synth_mnist(8, 2, 5);
+        let b = synth_mnist(8, 2, 5);
+        assert_eq!(a, b);
+        let c = synth_mnist(8, 2, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn train_and_test_are_different_draws() {
+        let d = synth_cifar10(10, 10, 1);
+        assert_ne!(d.train.images, d.test.images);
+        assert_eq!(d.train.classes(), 10);
+    }
+}

@@ -1,0 +1,121 @@
+//! Elementwise activation layers.
+
+use crate::descriptor::{Dims, LayerKind, LayerSpec};
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use lts_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)`.
+///
+/// # Examples
+///
+/// ```
+/// use lts_nn::activation::Relu;
+/// use lts_nn::layer::Layer;
+/// use lts_tensor::Tensor;
+///
+/// # fn main() -> Result<(), lts_nn::NnError> {
+/// let mut relu = Relu::new("relu1", (1, 1, 3));
+/// let y = relu.forward(&Tensor::from_slice_1d(&[-1.0, 0.0, 2.0]))?;
+/// assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Relu {
+    name: String,
+    dims: Dims,
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU over activations of the given dims.
+    pub fn new(name: &str, dims: Dims) -> Self {
+        Self { name: name.to_string(), dims, mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec {
+            name: self.name.clone(),
+            kind: LayerKind::Activation,
+            in_dims: self.dims,
+            out_dims: self.dims,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name.clone() })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!(
+                    "gradient has {} entries but cached forward had {}",
+                    grad_out.len(),
+                    mask.len()
+                ),
+            });
+        }
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(grad_out.shape().clone(), data)?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_tensor::Shape;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new("r", (1, 1, 4));
+        let y = r.forward(&Tensor::from_slice_1d(&[-2.0, -0.5, 0.0, 3.0])).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient_by_input_sign() {
+        let mut r = Relu::new("r", (1, 1, 4));
+        r.forward(&Tensor::from_slice_1d(&[-2.0, -0.5, 0.0, 3.0])).unwrap();
+        let g = r.backward(&Tensor::from_slice_1d(&[1.0, 1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = Relu::new("r", (1, 1, 2));
+        assert!(matches!(
+            r.backward(&Tensor::zeros(Shape::d1(2))),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn backward_rejects_mismatched_gradient() {
+        let mut r = Relu::new("r", (1, 1, 2));
+        r.forward(&Tensor::zeros(Shape::d1(2))).unwrap();
+        assert!(r.backward(&Tensor::zeros(Shape::d1(3))).is_err());
+    }
+}

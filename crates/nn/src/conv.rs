@@ -1,0 +1,460 @@
+//! Grouped 2-D convolution.
+//!
+//! `groups = 1` is an ordinary dense convolution. `groups = n` splits both
+//! the input and output channels into `n` independent blocks — the
+//! "grouping" structure of AlexNet that the paper repurposes as
+//! *structure-level parallelization*: when each group is mapped to one
+//! core, the layer needs **no inter-core feature-map traffic at all**.
+
+use crate::descriptor::{Dims, LayerKind, LayerSpec};
+use crate::layer::Layer;
+use crate::param::Param;
+use crate::{NnError, Result};
+use lts_tensor::im2col::{col2im, im2col, ConvGeometry};
+use lts_tensor::matmul::{matmul_a_bt, matmul_at_b};
+use lts_tensor::{init, Shape, Tensor};
+use rand::rngs::StdRng;
+
+/// A grouped 2-D convolution layer.
+///
+/// Weights are stored `[out_c, in_c/groups, kh, kw]`; inputs and outputs
+/// are NCHW batches.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    in_dims: Dims,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if channels are not divisible by
+    /// `groups`, the kernel exceeds the padded input, or any dimension is
+    /// zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        in_dims: Dims,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        rng: &mut StdRng,
+    ) -> Result<Self> {
+        let (in_c, in_h, in_w) = in_dims;
+        if in_c == 0 || out_c == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::BadConfig(format!("conv `{name}`: zero-sized dimension")));
+        }
+        if groups == 0 || in_c % groups != 0 || !out_c.is_multiple_of(groups) {
+            return Err(NnError::BadConfig(format!(
+                "conv `{name}`: channels ({in_c} in, {out_c} out) not divisible by {groups} groups"
+            )));
+        }
+        if in_h + 2 * pad < kernel || in_w + 2 * pad < kernel {
+            return Err(NnError::BadConfig(format!(
+                "conv `{name}`: kernel {kernel} exceeds padded input {in_h}x{in_w}+2*{pad}"
+            )));
+        }
+        let icg = in_c / groups;
+        let fan_in = icg * kernel * kernel;
+        Ok(Self {
+            name: name.to_string(),
+            in_dims,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            groups,
+            weight: Param::new(init::he_normal(
+                Shape::d4(out_c, icg, kernel, kernel),
+                fan_in,
+                rng,
+            )),
+            bias: Param::zeros(Shape::d1(out_c)),
+            cached_input: None,
+        })
+    }
+
+    /// Number of channel groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Output dims `(out_c, oh, ow)`.
+    pub fn out_dims(&self) -> Dims {
+        let g = self.group_geometry();
+        (self.out_c, g.out_h(), g.out_w())
+    }
+
+    /// Geometry of one channel group's convolution.
+    fn group_geometry(&self) -> ConvGeometry {
+        ConvGeometry {
+            in_c: self.in_dims.0 / self.groups,
+            in_h: self.in_dims.1,
+            in_w: self.in_dims.2,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// Copies group `g`'s channels out of one image `[in_c, h, w]`.
+    fn group_input(&self, image: &Tensor, g: usize) -> Tensor {
+        let (in_c, h, w) = self.in_dims;
+        let icg = in_c / self.groups;
+        let src = image.as_slice();
+        let start = g * icg * h * w;
+        Tensor::from_vec(Shape::d3(icg, h, w), src[start..start + icg * h * w].to_vec())
+            .expect("group slice sized by construction")
+    }
+
+    /// The `[ocg, icg*k*k]` weight matrix of group `g`.
+    fn group_weight_matrix(&self, g: usize) -> Tensor {
+        let icg = self.in_dims.0 / self.groups;
+        let ocg = self.out_c / self.groups;
+        let row = icg * self.kernel * self.kernel;
+        let start = g * ocg * row;
+        Tensor::from_vec(
+            Shape::d2(ocg, row),
+            self.weight.value.as_slice()[start..start + ocg * row].to_vec(),
+        )
+        .expect("group weight slice sized by construction")
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        let (c, h, w) = self.in_dims;
+        let ok = input.shape().rank() == 4
+            && input.shape().dim(1) == c
+            && input.shape().dim(2) == h
+            && input.shape().dim(3) == w;
+        if !ok {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("expected [batch, {c}, {h}, {w}], got {}", input.shape()),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec {
+            name: self.name.clone(),
+            kind: LayerKind::Conv {
+                out_c: self.out_c,
+                kernel: self.kernel,
+                stride: self.stride,
+                pad: self.pad,
+                groups: self.groups,
+            },
+            in_dims: self.in_dims,
+            out_dims: self.out_dims(),
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let batch = input.shape().dim(0);
+        let (out_c, oh, ow) = self.out_dims();
+        let geom = self.group_geometry();
+        let ocg = out_c / self.groups;
+        let positions = oh * ow;
+        let mut out = Tensor::zeros(Shape::d4(batch, out_c, oh, ow));
+        for n in 0..batch {
+            let image = input.image(n);
+            for g in 0..self.groups {
+                let cols = im2col(&self.group_input(&image, g), &geom)?;
+                let wmat = self.group_weight_matrix(g);
+                // [ocg, R] x [R, P] -> [ocg, P]
+                let res = lts_tensor::matmul::matmul(&wmat, &cols)?;
+                let dst = out.as_mut_slice();
+                let res_s = res.as_slice();
+                let bias = self.bias.value.as_slice();
+                for oc in 0..ocg {
+                    let abs_oc = g * ocg + oc;
+                    let base = ((n * out_c) + abs_oc) * positions;
+                    let b = bias[abs_oc];
+                    for p in 0..positions {
+                        dst[base + p] = res_s[oc * positions + p] + b;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .take()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name.clone() })?;
+        let batch = input.shape().dim(0);
+        let (out_c, oh, ow) = self.out_dims();
+        let expect = Shape::d4(batch, out_c, oh, ow);
+        if grad_out.shape() != &expect {
+            self.cached_input = Some(input);
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("expected gradient {expect}, got {}", grad_out.shape()),
+            });
+        }
+        let geom = self.group_geometry();
+        let (in_c, in_h, in_w) = self.in_dims;
+        let icg = in_c / self.groups;
+        let ocg = out_c / self.groups;
+        let positions = oh * ow;
+        let row = icg * self.kernel * self.kernel;
+        let mut grad_in = Tensor::zeros(input.shape().clone());
+        for n in 0..batch {
+            let image = input.image(n);
+            let go = grad_out.as_slice();
+            for g in 0..self.groups {
+                let cols = im2col(&self.group_input(&image, g), &geom)?;
+                // Gather this group's output gradient [ocg, P].
+                let mut gmat = Tensor::zeros(Shape::d2(ocg, positions));
+                {
+                    let gm = gmat.as_mut_slice();
+                    for oc in 0..ocg {
+                        let abs_oc = g * ocg + oc;
+                        let base = ((n * out_c) + abs_oc) * positions;
+                        gm[oc * positions..(oc + 1) * positions]
+                            .copy_from_slice(&go[base..base + positions]);
+                    }
+                }
+                // dW_g = G · colsᵀ  -> [ocg, R]
+                let dw = matmul_a_bt(&gmat, &cols)?;
+                {
+                    let wg = self.weight.grad.as_mut_slice();
+                    let start = g * ocg * row;
+                    for (i, &v) in dw.as_slice().iter().enumerate() {
+                        wg[start + i] += v;
+                    }
+                }
+                // db
+                {
+                    let bg = self.bias.grad.as_mut_slice();
+                    let gm = gmat.as_slice();
+                    for oc in 0..ocg {
+                        let abs_oc = g * ocg + oc;
+                        bg[abs_oc] += gm[oc * positions..(oc + 1) * positions].iter().sum::<f32>();
+                    }
+                }
+                // dCols = Wᵀ · G -> [R, P], then col2im.
+                let wmat = self.group_weight_matrix(g);
+                let dcols = matmul_at_b(&wmat, &gmat)?;
+                let dimg = col2im(&dcols, &geom)?;
+                {
+                    let gi = grad_in.as_mut_slice();
+                    let base = ((n * in_c) + g * icg) * in_h * in_w;
+                    for (i, &v) in dimg.as_slice().iter().enumerate() {
+                        gi[base + i] += v;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input);
+        Ok(grad_in)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn weight(&self) -> Option<&Param> {
+        Some(&self.weight)
+    }
+
+    fn weight_mut(&mut self) -> Option<&mut Param> {
+        Some(&mut self.weight)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_conv(groups: usize) -> Conv2d {
+        let mut rng = init::rng(9);
+        Conv2d::new("conv", (2, 4, 4), 2, 3, 1, 1, groups, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn forward_identity_kernel_passes_input_through() {
+        // Single channel, 1x1 kernel with weight 1 is the identity.
+        let mut rng = init::rng(0);
+        let mut c = Conv2d::new("id", (1, 3, 3), 1, 1, 1, 0, 1, &mut rng).unwrap();
+        c.weight.value.fill(1.0);
+        let x = Tensor::from_vec(Shape::d4(1, 1, 3, 3), (0..9).map(|v| v as f32).collect()).unwrap();
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn forward_matches_hand_convolution() {
+        // 2x2 input, 2x2 kernel of ones, no pad: output = sum of input.
+        let mut rng = init::rng(0);
+        let mut c = Conv2d::new("sum", (1, 2, 2), 1, 2, 1, 0, 1, &mut rng).unwrap();
+        c.weight.value.fill(1.0);
+        c.bias.value.fill(0.5);
+        let x = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[10.5]);
+    }
+
+    #[test]
+    fn grouped_conv_equals_dense_with_block_diagonal_weights() {
+        // A dense conv whose cross-group weight blocks are zero must equal
+        // the grouped conv with the same within-group weights.
+        let mut rng = init::rng(5);
+        let x = init::uniform(Shape::d4(2, 4, 5, 5), 1.0, &mut rng);
+        let mut grouped = Conv2d::new("g", (4, 5, 5), 4, 3, 1, 1, 2, &mut rng).unwrap();
+        let mut dense = Conv2d::new("d", (4, 5, 5), 4, 3, 1, 1, 1, &mut rng).unwrap();
+        // Embed grouped weights [4][2][3][3] into dense [4][4][3][3] block-diagonally.
+        dense.weight.value.fill(0.0);
+        let gw = grouped.weight.value.as_slice().to_vec();
+        let k2 = 9;
+        for oc in 0..4 {
+            let g = oc / 2; // groups of 2 output channels
+            for ic_local in 0..2 {
+                let ic_abs = g * 2 + ic_local;
+                for t in 0..k2 {
+                    let src = (oc * 2 + ic_local) * k2 + t;
+                    let dst = (oc * 4 + ic_abs) * k2 + t;
+                    dense.weight.value.as_mut_slice()[dst] = gw[src];
+                }
+            }
+        }
+        let yg = grouped.forward(&x).unwrap();
+        let yd = dense.forward(&x).unwrap();
+        for (a, b) in yg.as_slice().iter().zip(yd.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_weight_gradient_passes_numerical_check() {
+        let mut rng = init::rng(3);
+        let mut c = tiny_conv(1);
+        let x = init::uniform(Shape::d4(1, 2, 4, 4), 1.0, &mut rng);
+        let eps = 1e-2;
+        let idx = 7;
+        let base = c.weight.value.as_slice()[idx];
+
+        c.weight.value.as_mut_slice()[idx] = base + eps;
+        let p: f32 = c.forward(&x).unwrap().as_slice().iter().sum();
+        c.weight.value.as_mut_slice()[idx] = base - eps;
+        let m: f32 = c.forward(&x).unwrap().as_slice().iter().sum();
+        let numeric = (p - m) / (2.0 * eps);
+
+        c.weight.value.as_mut_slice()[idx] = base;
+        let y = c.forward(&x).unwrap();
+        c.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let analytic = c.weight.grad.as_slice()[idx];
+        assert!((numeric - analytic).abs() < 1e-2, "{numeric} vs {analytic}");
+    }
+
+    #[test]
+    fn backward_input_gradient_passes_numerical_check() {
+        let mut rng = init::rng(4);
+        let mut c = tiny_conv(2);
+        let mut x = init::uniform(Shape::d4(1, 2, 4, 4), 1.0, &mut rng);
+        let eps = 1e-2;
+        let idx = 9;
+        let base = x.as_slice()[idx];
+
+        x.as_mut_slice()[idx] = base + eps;
+        let p: f32 = c.forward(&x).unwrap().as_slice().iter().sum();
+        x.as_mut_slice()[idx] = base - eps;
+        let m: f32 = c.forward(&x).unwrap().as_slice().iter().sum();
+        let numeric = (p - m) / (2.0 * eps);
+
+        x.as_mut_slice()[idx] = base;
+        let y = c.forward(&x).unwrap();
+        let dx = c.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let analytic = dx.as_slice()[idx];
+        assert!((numeric - analytic).abs() < 1e-2, "{numeric} vs {analytic}");
+    }
+
+    #[test]
+    fn strided_padded_conv_passes_numerical_gradient_check() {
+        let mut rng = init::rng(11);
+        let mut c = Conv2d::new("s2", (3, 7, 7), 4, 3, 2, 1, 1, &mut rng).unwrap();
+        let x = init::uniform(Shape::d4(2, 3, 7, 7), 1.0, &mut rng);
+        let eps = 1e-2;
+        for idx in [0usize, 13, 51] {
+            let base = c.weight.value.as_slice()[idx];
+            c.weight.value.as_mut_slice()[idx] = base + eps;
+            let p: f32 = c.forward(&x).unwrap().as_slice().iter().sum();
+            c.weight.value.as_mut_slice()[idx] = base - eps;
+            let m: f32 = c.forward(&x).unwrap().as_slice().iter().sum();
+            let numeric = (p - m) / (2.0 * eps);
+            c.weight.value.as_mut_slice()[idx] = base;
+            let y = c.forward(&x).unwrap();
+            c.weight.zero_grad();
+            c.backward(&Tensor::ones(y.shape().clone())).unwrap();
+            let analytic = c.weight.grad.as_slice()[idx];
+            assert!((numeric - analytic).abs() < 2e-2, "idx {idx}: {numeric} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_spatial_input_works() {
+        // Degenerate spatial extent: a conv acting as a per-pixel linear map.
+        let mut rng = init::rng(12);
+        let mut c = Conv2d::new("pix", (4, 1, 1), 6, 1, 1, 0, 1, &mut rng).unwrap();
+        let x = init::uniform(Shape::d4(3, 4, 1, 1), 1.0, &mut rng);
+        let y = c.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 6, 1, 1]);
+        let g = c.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(g.shape().dims(), &[3, 4, 1, 1]);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = init::rng(0);
+        assert!(Conv2d::new("bad", (3, 8, 8), 4, 3, 1, 1, 2, &mut rng).is_err()); // 3 % 2 != 0
+        assert!(Conv2d::new("bad", (2, 2, 2), 2, 5, 1, 0, 1, &mut rng).is_err()); // kernel too big
+        assert!(Conv2d::new("bad", (2, 8, 8), 2, 3, 0, 1, 1, &mut rng).is_err()); // stride 0
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_shape() {
+        let mut c = tiny_conv(1);
+        assert!(c.forward(&Tensor::zeros(Shape::d4(1, 3, 4, 4))).is_err());
+        assert!(c.forward(&Tensor::zeros(Shape::d3(2, 4, 4))).is_err());
+    }
+
+    #[test]
+    fn spec_reports_geometry() {
+        let c = tiny_conv(2);
+        let s = c.spec();
+        assert_eq!(s.out_dims, (2, 4, 4));
+        assert!(matches!(s.kind, LayerKind::Conv { groups: 2, .. }));
+    }
+}

@@ -1,0 +1,520 @@
+//! Analytic layer and network descriptors.
+//!
+//! Every layer exposes a [`LayerSpec`] describing its geometry; a network's
+//! chain of specs ([`NetworkSpec`]) is all the partitioning, accelerator
+//! timing and NoC traffic models need. That lets networks far too large to
+//! train in this environment — full AlexNet and VGG19, for Table I — go
+//! through exactly the same analysis path as the small trained models.
+
+use serde::{Deserialize, Serialize};
+
+/// Spatial extent of an activation tensor: `(channels, height, width)`.
+///
+/// Fully-connected activations use `(features, 1, 1)`.
+pub type Dims = (usize, usize, usize);
+
+/// Number of values in a `(c, h, w)` activation.
+pub fn dims_len(d: Dims) -> usize {
+    d.0 * d.1 * d.2
+}
+
+/// The kind and hyper-parameters of a layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv {
+        /// Output channel count.
+        out_c: usize,
+        /// Kernel height/width (square kernels only).
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Number of channel groups (1 = dense; `n` = structure-level
+        /// parallelization with `n` independent sub-convolutions).
+        groups: usize,
+    },
+    /// Fully-connected layer.
+    Linear {
+        /// Input feature count.
+        in_f: usize,
+        /// Output feature count.
+        out_f: usize,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Pooling window (square).
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// `true` for average pooling, `false` for max pooling.
+        average: bool,
+    },
+    /// Elementwise activation (no parameters, no shape change).
+    Activation,
+    /// Collapse `(c, h, w)` to `(c*h*w, 1, 1)` (no data movement).
+    Flatten,
+}
+
+/// Geometry record for one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer name (unique within its network; e.g. `conv2`, `ip1`).
+    pub name: String,
+    /// Layer kind and hyper-parameters.
+    pub kind: LayerKind,
+    /// Input activation dims.
+    pub in_dims: Dims,
+    /// Output activation dims.
+    pub out_dims: Dims,
+}
+
+impl LayerSpec {
+    /// Whether the layer carries trainable weights (conv or linear).
+    pub fn has_weights(&self) -> bool {
+        matches!(self.kind, LayerKind::Conv { .. } | LayerKind::Linear { .. })
+    }
+
+    /// Number of trainable weight values (excluding biases).
+    pub fn weight_count(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { out_c, kernel, groups, .. } => {
+                let in_per_group = self.in_dims.0 / groups;
+                out_c * in_per_group * kernel * kernel
+            }
+            LayerKind::Linear { in_f, out_f } => in_f * out_f,
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate operations for a single-image forward pass.
+    pub fn macs(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv { out_c, kernel, groups, .. } => {
+                let in_per_group = self.in_dims.0 / groups;
+                let out_positions = self.out_dims.1 * self.out_dims.2;
+                (out_c * out_positions * in_per_group * kernel * kernel) as u64
+            }
+            LayerKind::Linear { in_f, out_f } => (in_f * out_f) as u64,
+            LayerKind::Pool { kernel, .. } => {
+                // Comparisons, counted like MACs for the latency model.
+                (dims_len(self.out_dims) * kernel * kernel) as u64
+            }
+            LayerKind::Activation => dims_len(self.out_dims) as u64,
+            LayerKind::Flatten => 0,
+        }
+    }
+
+    /// Bytes of the layer's input activations at 16-bit precision.
+    pub fn input_bytes(&self) -> u64 {
+        2 * dims_len(self.in_dims) as u64
+    }
+
+    /// Bytes of the layer's output activations at 16-bit precision.
+    pub fn output_bytes(&self) -> u64 {
+        2 * dims_len(self.out_dims) as u64
+    }
+}
+
+/// The analytic description of a whole network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network name (e.g. `AlexNet`).
+    pub name: String,
+    /// Input dims `(c, h, w)`.
+    pub input: Dims,
+    /// Layer chain, in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Total single-image forward MACs across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::macs).sum()
+    }
+
+    /// Total trainable weight count.
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(LayerSpec::weight_count).sum()
+    }
+
+    /// Names of the weight-bearing layers, in order.
+    pub fn weight_layer_names(&self) -> Vec<&str> {
+        self.layers
+            .iter()
+            .filter(|l| l.has_weights())
+            .map(|l| l.name.as_str())
+            .collect()
+    }
+
+    /// The spec of the layer called `name`, if present.
+    pub fn layer(&self, name: &str) -> Option<&LayerSpec> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+/// Incremental builder that tracks activation dims through the chain.
+///
+/// # Examples
+///
+/// ```
+/// use lts_nn::descriptor::SpecBuilder;
+///
+/// let spec = SpecBuilder::new("tiny", (1, 28, 28))
+///     .conv("conv1", 8, 5, 1, 0, 1)
+///     .relu()
+///     .pool("pool1", 2, 2)
+///     .flatten()
+///     .linear("ip1", 10)
+///     .build();
+/// assert_eq!(spec.layer("conv1").unwrap().out_dims, (8, 24, 24));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecBuilder {
+    name: String,
+    input: Dims,
+    current: Dims,
+    layers: Vec<LayerSpec>,
+    auto_index: usize,
+}
+
+impl SpecBuilder {
+    /// Starts a network description with the given input dims.
+    pub fn new(name: &str, input: Dims) -> Self {
+        Self { name: name.to_string(), input, current: input, layers: Vec::new(), auto_index: 0 }
+    }
+
+    /// The activation dims after the layers added so far.
+    pub fn current_dims(&self) -> Dims {
+        self.current
+    }
+
+    /// Appends a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channels are not divisible by `groups`, the
+    /// output channels are not divisible by `groups`, or the kernel exceeds
+    /// the padded input.
+    pub fn conv(
+        mut self,
+        name: &str,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        let (in_c, in_h, in_w) = self.current;
+        assert!(groups >= 1, "groups must be >= 1");
+        assert_eq!(in_c % groups, 0, "in_c {in_c} not divisible by groups {groups}");
+        assert_eq!(out_c % groups, 0, "out_c {out_c} not divisible by groups {groups}");
+        let oh = conv_out(in_h, kernel, stride, pad);
+        let ow = conv_out(in_w, kernel, stride, pad);
+        let spec = LayerSpec {
+            name: name.to_string(),
+            kind: LayerKind::Conv { out_c, kernel, stride, pad, groups },
+            in_dims: self.current,
+            out_dims: (out_c, oh, ow),
+        };
+        self.current = spec.out_dims;
+        self.layers.push(spec);
+        self
+    }
+
+    /// Appends a max-pooling layer.
+    pub fn pool(self, name: &str, kernel: usize, stride: usize) -> Self {
+        self.pool_of(name, kernel, stride, false)
+    }
+
+    /// Appends an average-pooling layer.
+    pub fn avg_pool(self, name: &str, kernel: usize, stride: usize) -> Self {
+        self.pool_of(name, kernel, stride, true)
+    }
+
+    fn pool_of(mut self, name: &str, kernel: usize, stride: usize, average: bool) -> Self {
+        let (c, h, w) = self.current;
+        let oh = pool_out(h, kernel, stride);
+        let ow = pool_out(w, kernel, stride);
+        let spec = LayerSpec {
+            name: name.to_string(),
+            kind: LayerKind::Pool { kernel, stride, average },
+            in_dims: self.current,
+            out_dims: (c, oh, ow),
+        };
+        self.current = spec.out_dims;
+        self.layers.push(spec);
+        self
+    }
+
+    /// Appends a ReLU activation.
+    pub fn relu(mut self) -> Self {
+        self.auto_index += 1;
+        let spec = LayerSpec {
+            name: format!("relu{}", self.auto_index),
+            kind: LayerKind::Activation,
+            in_dims: self.current,
+            out_dims: self.current,
+        };
+        self.layers.push(spec);
+        self
+    }
+
+    /// Appends a flatten pseudo-layer collapsing `(c, h, w)` to a vector.
+    pub fn flatten(mut self) -> Self {
+        let flat = (dims_len(self.current), 1, 1);
+        let spec = LayerSpec {
+            name: "flatten".to_string(),
+            kind: LayerKind::Flatten,
+            in_dims: self.current,
+            out_dims: flat,
+        };
+        self.current = flat;
+        self.layers.push(spec);
+        self
+    }
+
+    /// Appends a fully-connected layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current activation is not flat (call
+    /// [`SpecBuilder::flatten`] after spatial layers).
+    pub fn linear(mut self, name: &str, out_f: usize) -> Self {
+        let (in_f, h, w) = self.current;
+        assert!(h == 1 && w == 1, "linear layer needs flat input; call flatten() first");
+        let spec = LayerSpec {
+            name: name.to_string(),
+            kind: LayerKind::Linear { in_f, out_f },
+            in_dims: self.current,
+            out_dims: (out_f, 1, 1),
+        };
+        self.current = spec.out_dims;
+        self.layers.push(spec);
+        self
+    }
+
+    /// Finishes the description.
+    pub fn build(self) -> NetworkSpec {
+        NetworkSpec { name: self.name, input: self.input, layers: self.layers }
+    }
+}
+
+/// Output size of a convolution along one dimension.
+///
+/// # Panics
+///
+/// Panics if the kernel exceeds the padded input or `stride == 0`.
+pub fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(padded >= kernel, "kernel {kernel} exceeds padded input {padded}");
+    (padded - kernel) / stride + 1
+}
+
+/// Output size of a pooling window along one dimension (ceil mode, like
+/// Caffe).
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or `kernel > input`.
+pub fn pool_out(input: usize, kernel: usize, stride: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(kernel <= input, "pool kernel {kernel} exceeds input {input}");
+    (input - kernel).div_ceil(stride) + 1
+}
+
+/// Full-size AlexNet (Krizhevsky et al. 2012, Caffe layer dims) — analytic
+/// only, used by Table I.
+///
+/// The historical 2-group split of conv2/4/5 (a dual-GPU memory artifact)
+/// is omitted: the paper's Table I volumes match dense accounting (its
+/// conv2 entry equals `96·27²·2 B × 15` exactly), so the dense layer graph
+/// is what its analysis used.
+pub fn alexnet_spec() -> NetworkSpec {
+    SpecBuilder::new("AlexNet", (3, 227, 227))
+        .conv("conv1", 96, 11, 4, 0, 1)
+        .relu()
+        .pool("pool1", 3, 2)
+        .conv("conv2", 256, 5, 1, 2, 1)
+        .relu()
+        .pool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1, 1)
+        .relu()
+        .conv("conv4", 384, 3, 1, 1, 1)
+        .relu()
+        .conv("conv5", 256, 3, 1, 1, 1)
+        .relu()
+        .pool("pool5", 3, 2)
+        .flatten()
+        .linear("ip1", 4096)
+        .relu()
+        .linear("ip2", 4096)
+        .relu()
+        .linear("ip3", 1000)
+        .build()
+}
+
+/// Full-size VGG19 (Simonyan & Zisserman 2015) — analytic only, used by
+/// Table I. Layer names follow the paper's "Conv2 means Conv2_1/Conv2_2"
+/// footnote: each stage keeps its sub-layers.
+pub fn vgg19_spec() -> NetworkSpec {
+    let mut b = SpecBuilder::new("VGG19", (3, 224, 224));
+    let stages: [(usize, usize, &str); 5] =
+        [(64, 2, "conv1"), (128, 2, "conv2"), (256, 4, "conv3"), (512, 4, "conv4"), (512, 4, "conv5")];
+    for (ch, reps, base) in stages {
+        for r in 1..=reps {
+            b = b.conv(&format!("{base}_{r}"), ch, 3, 1, 1, 1).relu();
+        }
+        b = b.pool(&format!("pool{}", &base[4..]), 2, 2);
+    }
+    b.flatten()
+        .linear("ip1", 4096)
+        .relu()
+        .linear("ip2", 4096)
+        .relu()
+        .linear("ip3", 1000)
+        .build()
+}
+
+/// Full-size Caffe LeNet (MNIST) — analytic descriptor.
+pub fn lenet_spec() -> NetworkSpec {
+    SpecBuilder::new("LeNet", (1, 28, 28))
+        .conv("conv1", 20, 5, 1, 0, 1)
+        .pool("pool1", 2, 2)
+        .conv("conv2", 50, 5, 1, 0, 1)
+        .pool("pool2", 2, 2)
+        .flatten()
+        .linear("ip1", 500)
+        .relu()
+        .linear("ip2", 10)
+        .build()
+}
+
+/// The paper's MLP: three fully-connected layers of 512/304/10 neurons on
+/// 28×28 inputs.
+pub fn mlp_spec() -> NetworkSpec {
+    SpecBuilder::new("MLP", (1, 28, 28))
+        .flatten()
+        .linear("ip1", 512)
+        .relu()
+        .linear("ip2", 304)
+        .relu()
+        .linear("ip3", 10)
+        .build()
+}
+
+/// Caffe CIFAR-10 "quick" ConvNet — analytic descriptor.
+pub fn convnet_spec() -> NetworkSpec {
+    SpecBuilder::new("ConvNet", (3, 32, 32))
+        .conv("conv1", 32, 5, 1, 2, 1)
+        .pool("pool1", 3, 2)
+        .relu()
+        .conv("conv2", 32, 5, 1, 2, 1)
+        .relu()
+        .pool("pool2", 3, 2)
+        .conv("conv3", 64, 5, 1, 2, 1)
+        .relu()
+        .pool("pool3", 3, 2)
+        .flatten()
+        .linear("ip1", 64)
+        .linear("ip2", 10)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_matches_known_cases() {
+        assert_eq!(conv_out(227, 11, 4, 0), 55); // AlexNet conv1
+        assert_eq!(conv_out(32, 5, 1, 2), 32); // same-padding
+        assert_eq!(conv_out(28, 5, 1, 0), 24); // LeNet conv1
+    }
+
+    #[test]
+    fn pool_out_is_ceil_mode() {
+        assert_eq!(pool_out(55, 3, 2), 27);
+        assert_eq!(pool_out(13, 3, 2), 6);
+        assert_eq!(pool_out(32, 3, 2), 16); // Caffe cifar10_quick pool1 (ceil)
+    }
+
+    #[test]
+    fn alexnet_dims_match_published_values() {
+        let spec = alexnet_spec();
+        assert_eq!(spec.layer("conv1").unwrap().out_dims, (96, 55, 55));
+        assert_eq!(spec.layer("conv2").unwrap().in_dims, (96, 27, 27));
+        assert_eq!(spec.layer("conv2").unwrap().out_dims, (256, 27, 27));
+        assert_eq!(spec.layer("conv3").unwrap().out_dims, (384, 13, 13));
+        assert_eq!(spec.layer("conv5").unwrap().out_dims, (256, 13, 13));
+        assert_eq!(spec.layer("ip1").unwrap().in_dims, (256 * 6 * 6, 1, 1));
+    }
+
+    #[test]
+    fn alexnet_weight_count_in_published_ballpark() {
+        // ~61M parameters (weights only, no biases here).
+        let w = alexnet_spec().total_weights();
+        assert!((55_000_000..65_000_000).contains(&w), "{w}");
+    }
+
+    #[test]
+    fn vgg19_has_sixteen_conv_and_three_fc() {
+        let spec = vgg19_spec();
+        let convs = spec
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+            .count();
+        let fcs = spec
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Linear { .. }))
+            .count();
+        assert_eq!(convs, 16);
+        assert_eq!(fcs, 3);
+        assert_eq!(spec.layer("conv2_1").unwrap().in_dims, (64, 112, 112));
+    }
+
+    #[test]
+    fn lenet_dims_match_caffe() {
+        let spec = lenet_spec();
+        assert_eq!(spec.layer("conv2").unwrap().in_dims, (20, 12, 12));
+        assert_eq!(spec.layer("ip1").unwrap().in_dims, (50 * 4 * 4, 1, 1));
+    }
+
+    #[test]
+    fn grouped_conv_reduces_weights_and_macs() {
+        let dense = SpecBuilder::new("d", (64, 8, 8)).conv("c", 64, 3, 1, 1, 1).build();
+        let grouped = SpecBuilder::new("g", (64, 8, 8)).conv("c", 64, 3, 1, 1, 16).build();
+        assert_eq!(
+            dense.layer("c").unwrap().weight_count(),
+            16 * grouped.layer("c").unwrap().weight_count()
+        );
+        assert_eq!(dense.layer("c").unwrap().macs(), 16 * grouped.layer("c").unwrap().macs());
+    }
+
+    #[test]
+    fn macs_formula_for_linear() {
+        let spec = mlp_spec();
+        assert_eq!(spec.layer("ip1").unwrap().macs(), (784 * 512) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by groups")]
+    fn grouped_conv_requires_divisible_channels() {
+        SpecBuilder::new("bad", (3, 8, 8)).conv("c", 4, 3, 1, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat input")]
+    fn linear_requires_flatten() {
+        SpecBuilder::new("bad", (3, 8, 8)).linear("ip", 10);
+    }
+
+    #[test]
+    fn weight_layer_names_skips_pools_and_activations() {
+        assert_eq!(lenet_spec().weight_layer_names(), vec!["conv1", "conv2", "ip1", "ip2"]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Inverted dropout.
+//!
+//! CaffeNet/AlexNet train their large FC layers under dropout; the model
+//! zoo's scaled CaffeNet can too. Uses the *inverted* convention:
+//! surviving activations are scaled by `1/(1-p)` during training so
+//! inference is a plain identity (no extra work on the accelerator).
+
+use crate::descriptor::{Dims, LayerKind, LayerSpec};
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use lts_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout over flat or spatial activations.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    name: String,
+    dims: Dims,
+    /// Drop probability in `[0, 1)`.
+    p: f32,
+    rng: StdRng,
+    training: bool,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and its own
+    /// deterministic RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] unless `0 <= p < 1`.
+    pub fn new(name: &str, dims: Dims, p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::BadConfig(format!(
+                "dropout `{name}`: p must be in [0, 1), got {p}"
+            )));
+        }
+        Ok(Self {
+            name: name.to_string(),
+            dims,
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            training: true,
+            mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec {
+            name: self.name.clone(),
+            kind: LayerKind::Activation,
+            in_dims: self.dims,
+            out_dims: self.dims,
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&x, &m)| x * m)
+            .collect();
+        self.mask = Some(mask);
+        Ok(Tensor::from_vec(input.shape().clone(), data)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            None => Ok(grad_out.clone()),
+            Some(mask) => {
+                if mask.len() != grad_out.len() {
+                    return Err(NnError::BadInput {
+                        layer: self.name.clone(),
+                        reason: format!(
+                            "gradient has {} entries, cached mask has {}",
+                            grad_out.len(),
+                            mask.len()
+                        ),
+                    });
+                }
+                let data = grad_out
+                    .as_slice()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Ok(Tensor::from_vec(grad_out.shape().clone(), data)?)
+            }
+        }
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+        if !training {
+            self.mask = None;
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_tensor::Shape;
+
+    fn input(n: usize) -> Tensor {
+        Tensor::ones(Shape::d2(1, n))
+    }
+
+    #[test]
+    fn inference_mode_is_identity() {
+        let mut d = Dropout::new("do", (64, 1, 1), 0.5, 1).unwrap();
+        d.set_training(false);
+        let x = input(64);
+        assert_eq!(d.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn training_mode_zeroes_about_p_and_rescales_the_rest() {
+        let mut d = Dropout::new("do", (10_000, 1, 1), 0.5, 2).unwrap();
+        let y = d.forward(&input(10_000)).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "{zeros} zeros");
+        // Survivors are scaled by 2 so the expected value is preserved.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        let mean = lts_tensor::stats::mean(y.as_slice());
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new("do", (100, 1, 1), 0.3, 3).unwrap();
+        let y = d.forward(&input(100)).unwrap();
+        let g = d.backward(&input(100)).unwrap();
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv == &0.0, gv == &0.0, "mask must match between passes");
+        }
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_training() {
+        let mut d = Dropout::new("do", (8, 1, 1), 0.0, 4).unwrap();
+        let x = input(8);
+        assert_eq!(d.forward(&x).unwrap(), x);
+        assert_eq!(d.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        assert!(Dropout::new("do", (8, 1, 1), 1.0, 0).is_err());
+        assert!(Dropout::new("do", (8, 1, 1), -0.1, 0).is_err());
+    }
+}

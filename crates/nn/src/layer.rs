@@ -1,0 +1,73 @@
+//! The layer abstraction shared by all network components.
+
+use crate::descriptor::LayerSpec;
+use crate::param::Param;
+use crate::Result;
+use lts_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers are stateful: `forward` caches whatever `backward` needs, and
+/// `backward` must be called with the gradient of the loss w.r.t. the
+/// layer's most recent output. Layers are `Send` so evaluation can be
+/// parallelized across cloned networks.
+pub trait Layer: Send {
+    /// The layer's unique name within its network.
+    fn name(&self) -> &str;
+
+    /// The analytic geometry descriptor of this layer.
+    fn spec(&self) -> LayerSpec;
+
+    /// Runs the layer on a batch (NCHW for spatial layers, `[batch, f]` for
+    /// flat layers) and returns the output batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BadInput`] if the input shape does not
+    /// match the layer's geometry.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor>;
+
+    /// Propagates the output gradient to the input, accumulating parameter
+    /// gradients along the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] if no forward pass
+    /// has been run, or [`crate::NnError::BadInput`] on a shape mismatch.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// The layer's trainable parameters (empty for pools/activations).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// The main weight parameter (what structured sparsification operates
+    /// on), if the layer has one.
+    fn weight(&self) -> Option<&Param> {
+        None
+    }
+
+    /// Mutable access to the main weight parameter.
+    fn weight_mut(&mut self) -> Option<&mut Param> {
+        None
+    }
+
+    /// Switches between training and inference behaviour (dropout etc.).
+    /// Most layers behave identically in both modes; the default is a
+    /// no-op.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Clones the layer into a boxed trait object (weights included).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

@@ -1,0 +1,406 @@
+//! Max-pooling layer (ceil mode, matching Caffe).
+
+use crate::descriptor::{Dims, LayerKind, LayerSpec};
+use crate::descriptor::pool_out;
+use crate::layer::Layer;
+use crate::{NnError, Result};
+use lts_tensor::{Shape, Tensor};
+
+/// 2-D max pooling over an NCHW batch.
+///
+/// Uses ceil-mode output sizing (a partial window at the right/bottom edge
+/// still produces an output), matching the Caffe networks the paper
+/// evaluates.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    name: String,
+    in_dims: Dims,
+    kernel: usize,
+    stride: usize,
+    /// For each output element of the last forward pass, the flat input
+    /// index that won the max (for gradient routing).
+    argmax: Option<Vec<usize>>,
+    last_batch: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the window exceeds the input or
+    /// `stride == 0`.
+    pub fn new(name: &str, in_dims: Dims, kernel: usize, stride: usize) -> Result<Self> {
+        let (_, h, w) = in_dims;
+        if stride == 0 || kernel == 0 {
+            return Err(NnError::BadConfig(format!("pool `{name}`: zero kernel or stride")));
+        }
+        if kernel > h || kernel > w {
+            return Err(NnError::BadConfig(format!(
+                "pool `{name}`: kernel {kernel} exceeds input {h}x{w}"
+            )));
+        }
+        Ok(Self { name: name.to_string(), in_dims, kernel, stride, argmax: None, last_batch: 0 })
+    }
+
+    /// Output dims `(c, oh, ow)`.
+    pub fn out_dims(&self) -> Dims {
+        let (c, h, w) = self.in_dims;
+        (c, pool_out(h, self.kernel, self.stride), pool_out(w, self.kernel, self.stride))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec {
+            name: self.name.clone(),
+            kind: LayerKind::Pool { kernel: self.kernel, stride: self.stride, average: false },
+            in_dims: self.in_dims,
+            out_dims: self.out_dims(),
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (c, h, w) = self.in_dims;
+        let ok = input.shape().rank() == 4
+            && input.shape().dim(1) == c
+            && input.shape().dim(2) == h
+            && input.shape().dim(3) == w;
+        if !ok {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("expected [batch, {c}, {h}, {w}], got {}", input.shape()),
+            });
+        }
+        let batch = input.shape().dim(0);
+        let (_, oh, ow) = self.out_dims();
+        let mut out = Tensor::zeros(Shape::d4(batch, c, oh, ow));
+        let mut argmax = vec![0usize; batch * c * oh * ow];
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for n in 0..batch {
+            for ch in 0..c {
+                let plane = (n * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let y0 = oy * self.stride;
+                        let x0 = ox * self.stride;
+                        let y1 = (y0 + self.kernel).min(h);
+                        let x1 = (x0 + self.kernel).min(w);
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = plane + y0 * w + x0;
+                        for y in y0..y1 {
+                            for x in x0..x1 {
+                                let idx = plane + y * w + x;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((n * c + ch) * oh + oy) * ow + ox;
+                        dst[o] = best;
+                        argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.last_batch = batch;
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let argmax = self
+            .argmax
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward { layer: self.name.clone() })?;
+        if grad_out.len() != argmax.len() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!(
+                    "gradient has {} entries, cached forward produced {}",
+                    grad_out.len(),
+                    argmax.len()
+                ),
+            });
+        }
+        let (c, h, w) = self.in_dims;
+        let mut grad_in = Tensor::zeros(Shape::d4(self.last_batch, c, h, w));
+        let gi = grad_in.as_mut_slice();
+        for (o, &src_idx) in argmax.iter().enumerate() {
+            gi[src_idx] += grad_out.as_slice()[o];
+        }
+        Ok(grad_in)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// 2-D average pooling over an NCHW batch (ceil mode).
+///
+/// Edge windows average over their *actual* (possibly clipped) element
+/// count, matching Caffe's behaviour.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    name: String,
+    in_dims: Dims,
+    kernel: usize,
+    stride: usize,
+    last_batch: usize,
+    ran_forward: bool,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the window exceeds the input or
+    /// `stride == 0`.
+    pub fn new(name: &str, in_dims: Dims, kernel: usize, stride: usize) -> Result<Self> {
+        let (_, h, w) = in_dims;
+        if stride == 0 || kernel == 0 {
+            return Err(NnError::BadConfig(format!("pool `{name}`: zero kernel or stride")));
+        }
+        if kernel > h || kernel > w {
+            return Err(NnError::BadConfig(format!(
+                "pool `{name}`: kernel {kernel} exceeds input {h}x{w}"
+            )));
+        }
+        Ok(Self {
+            name: name.to_string(),
+            in_dims,
+            kernel,
+            stride,
+            last_batch: 0,
+            ran_forward: false,
+        })
+    }
+
+    /// Output dims `(c, oh, ow)`.
+    pub fn out_dims(&self) -> Dims {
+        let (c, h, w) = self.in_dims;
+        (c, pool_out(h, self.kernel, self.stride), pool_out(w, self.kernel, self.stride))
+    }
+
+    /// The clipped window for output `(oy, ox)`.
+    fn window(&self, oy: usize, ox: usize) -> (usize, usize, usize, usize) {
+        let (_, h, w) = self.in_dims;
+        let y0 = oy * self.stride;
+        let x0 = ox * self.stride;
+        (y0, x0, (y0 + self.kernel).min(h), (x0 + self.kernel).min(w))
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec {
+            name: self.name.clone(),
+            kind: LayerKind::Pool { kernel: self.kernel, stride: self.stride, average: true },
+            in_dims: self.in_dims,
+            out_dims: self.out_dims(),
+        }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (c, h, w) = self.in_dims;
+        let ok = input.shape().rank() == 4
+            && input.shape().dim(1) == c
+            && input.shape().dim(2) == h
+            && input.shape().dim(3) == w;
+        if !ok {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("expected [batch, {c}, {h}, {w}], got {}", input.shape()),
+            });
+        }
+        let batch = input.shape().dim(0);
+        let (_, oh, ow) = self.out_dims();
+        let mut out = Tensor::zeros(Shape::d4(batch, c, oh, ow));
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for n in 0..batch {
+            for ch in 0..c {
+                let plane = (n * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let (y0, x0, y1, x1) = self.window(oy, ox);
+                        let mut acc = 0.0f32;
+                        for y in y0..y1 {
+                            for x in x0..x1 {
+                                acc += src[plane + y * w + x];
+                            }
+                        }
+                        let count = ((y1 - y0) * (x1 - x0)) as f32;
+                        dst[((n * c + ch) * oh + oy) * ow + ox] = acc / count;
+                    }
+                }
+            }
+        }
+        self.last_batch = batch;
+        self.ran_forward = true;
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if !self.ran_forward {
+            return Err(NnError::BackwardBeforeForward { layer: self.name.clone() });
+        }
+        let (c, h, w) = self.in_dims;
+        let (_, oh, ow) = self.out_dims();
+        let expect = self.last_batch * c * oh * ow;
+        if grad_out.len() != expect {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("gradient has {} entries, expected {expect}", grad_out.len()),
+            });
+        }
+        let mut grad_in = Tensor::zeros(Shape::d4(self.last_batch, c, h, w));
+        let gi = grad_in.as_mut_slice();
+        let go = grad_out.as_slice();
+        for n in 0..self.last_batch {
+            for ch in 0..c {
+                let plane = (n * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let (y0, x0, y1, x1) = self.window(oy, ox);
+                        let count = ((y1 - y0) * (x1 - x0)) as f32;
+                        let g = go[((n * c + ch) * oh + oy) * ow + ox] / count;
+                        for y in y0..y1 {
+                            for x in x0..x1 {
+                                gi[plane + y * w + x] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_computes_window_means() {
+        let mut p = AvgPool2d::new("a", (1, 4, 4), 2, 2).unwrap();
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 4, 4),
+            (0..16).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_uniformly() {
+        let mut p = AvgPool2d::new("a", (1, 2, 2), 2, 2).unwrap();
+        p.forward(&Tensor::ones(Shape::d4(1, 1, 2, 2))).unwrap();
+        let g = p.backward(&Tensor::from_vec(Shape::d4(1, 1, 1, 1), vec![4.0]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradient_conserves_mass() {
+        // Sum of input gradients equals sum of output gradients when
+        // windows tile the input exactly.
+        let mut p = AvgPool2d::new("a", (2, 4, 4), 2, 2).unwrap();
+        p.forward(&Tensor::ones(Shape::d4(1, 2, 4, 4))).unwrap();
+        let go = Tensor::ones(Shape::d4(1, 2, 2, 2));
+        let gi = p.backward(&go).unwrap();
+        let sum_in: f32 = gi.as_slice().iter().sum();
+        let sum_out: f32 = go.as_slice().iter().sum();
+        assert!((sum_in - sum_out).abs() < 1e-5);
+    }
+
+    #[test]
+    fn avg_pool_edge_windows_average_actual_elements() {
+        // 3x3 input, 2x2 window stride 2 (ceil mode): bottom/right windows
+        // are clipped and average fewer elements.
+        let mut p = AvgPool2d::new("a", (1, 3, 3), 2, 2).unwrap();
+        let x = Tensor::ones(Shape::d4(1, 1, 3, 3));
+        let y = p.forward(&x).unwrap();
+        // Means of all-ones are 1 regardless of window size.
+        assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn avg_pool_validation() {
+        assert!(AvgPool2d::new("a", (1, 2, 2), 3, 2).is_err());
+        let mut p = AvgPool2d::new("a", (1, 4, 4), 2, 2).unwrap();
+        assert!(p.backward(&Tensor::zeros(Shape::d4(1, 1, 2, 2))).is_err());
+    }
+
+    #[test]
+    fn forward_takes_window_maximum() {
+        let mut p = MaxPool2d::new("p", (1, 4, 4), 2, 2).unwrap();
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 4, 4),
+            (0..16).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[5., 7., 13., 15.]);
+    }
+
+    #[test]
+    fn ceil_mode_handles_partial_windows() {
+        // 5x5 input, 2x2 window stride 2 -> 3x3 output (Caffe ceil mode).
+        let mut p = MaxPool2d::new("p", (1, 5, 5), 2, 2).unwrap();
+        let x = Tensor::ones(Shape::d4(1, 1, 5, 5));
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut p = MaxPool2d::new("p", (1, 2, 2), 2, 2).unwrap();
+        let x = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1., 9., 3., 4.]).unwrap();
+        p.forward(&x).unwrap();
+        let g = p.backward(&Tensor::from_vec(Shape::d4(1, 1, 1, 1), vec![2.0]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[0., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(MaxPool2d::new("p", (1, 2, 2), 3, 2).is_err());
+        assert!(MaxPool2d::new("p", (1, 4, 4), 2, 0).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut p = MaxPool2d::new("p", (1, 4, 4), 2, 2).unwrap();
+        assert!(p.backward(&Tensor::zeros(Shape::d4(1, 1, 2, 2))).is_err());
+    }
+
+    #[test]
+    fn pool_is_per_channel() {
+        let mut p = MaxPool2d::new("p", (2, 2, 2), 2, 2).unwrap();
+        let x = Tensor::from_vec(
+            Shape::d4(1, 2, 2, 2),
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4., 40.]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Serializable snapshots of trained networks.
+//!
+//! `Box<dyn Layer>` cannot derive serde, so persistence goes through
+//! [`SavedNetwork`]: the analytic [`NetworkSpec`] plus every layer's
+//! parameters and freeze masks. Training-only layers (dropout) are
+//! represented by their identity inference behaviour and reloaded as
+//! plain activations, so a saved network is the *deployment* artifact —
+//! exactly what would be burned into the accelerator cores' buffers.
+//!
+//! # Examples
+//!
+//! ```
+//! use lts_nn::models;
+//! use lts_nn::saved::SavedNetwork;
+//!
+//! # fn main() -> Result<(), lts_nn::NnError> {
+//! let net = models::mlp(16, 4, 3)?;
+//! let saved = SavedNetwork::from_network(&net);
+//! let json = saved.to_json().expect("serializable");
+//! let restored = SavedNetwork::from_json(&json).expect("parsable").into_network()?;
+//! assert_eq!(
+//!     restored.layer_weight("ip1").unwrap().value,
+//!     net.layer_weight("ip1").unwrap().value
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::descriptor::{LayerKind, NetworkSpec};
+use crate::network::{Network, NetworkBuilder};
+use crate::{NnError, Result};
+use lts_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One layer's persisted parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedParams {
+    /// Layer name.
+    pub layer: String,
+    /// Weight tensor.
+    pub weight: Tensor,
+    /// Bias tensor.
+    pub bias: Tensor,
+    /// Indices of frozen (pruned) weight entries.
+    pub frozen_weight_indices: Vec<usize>,
+}
+
+/// A serializable snapshot of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedNetwork {
+    /// The layer-chain description.
+    pub spec: NetworkSpec,
+    /// Parameters of every weight-bearing layer, in order.
+    pub params: Vec<SavedParams>,
+}
+
+impl SavedNetwork {
+    /// Captures a network's structure and parameters.
+    pub fn from_network(net: &Network) -> Self {
+        let spec = net.spec();
+        let params = spec
+            .layers
+            .iter()
+            .filter(|l| l.has_weights())
+            .filter_map(|l| {
+                let layer = net.layer(&l.name)?;
+                let ps = layer.params();
+                let weight = ps.first()?;
+                let bias = ps.get(1)?;
+                let frozen_weight_indices = weight
+                    .frozen_mask()
+                    .map(|mask| {
+                        mask.iter()
+                            .enumerate()
+                            .filter_map(|(i, &f)| f.then_some(i))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Some(SavedParams {
+                    layer: l.name.clone(),
+                    weight: weight.value.clone(),
+                    bias: bias.value.clone(),
+                    frozen_weight_indices,
+                })
+            })
+            .collect();
+        Self { spec, params }
+    }
+
+    /// Rebuilds a runnable network (fresh momentum/grad state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if the snapshot is internally
+    /// inconsistent (missing parameters, shape mismatches).
+    pub fn into_network(self) -> Result<Network> {
+        let mut builder = NetworkBuilder::new(&self.spec.name, self.spec.input);
+        for layer in &self.spec.layers {
+            builder = match layer.kind {
+                LayerKind::Conv { out_c, kernel, stride, pad, groups } => {
+                    builder.conv(&layer.name, out_c, kernel, stride, pad, groups)
+                }
+                LayerKind::Linear { out_f, .. } => builder.linear(&layer.name, out_f),
+                LayerKind::Pool { kernel, stride, average: false } => {
+                    builder.pool(&layer.name, kernel, stride)
+                }
+                LayerKind::Pool { kernel, stride, average: true } => {
+                    builder.avg_pool(&layer.name, kernel, stride)
+                }
+                LayerKind::Activation => builder.relu(),
+                LayerKind::Flatten => builder.flatten(),
+            };
+        }
+        // Weights get overwritten below; the init RNG seed is irrelevant.
+        let mut rng = lts_tensor::init::rng(0);
+        let mut net = builder.build(&mut rng)?;
+        for saved in self.params {
+            let layer = net.layer_mut(&saved.layer).ok_or_else(|| {
+                NnError::BadConfig(format!("snapshot layer `{}` not reconstructible", saved.layer))
+            })?;
+            let mut params = layer.params_mut();
+            if params.len() < 2 {
+                return Err(NnError::BadConfig(format!(
+                    "snapshot layer `{}` lacks weight/bias parameters",
+                    saved.layer
+                )));
+            }
+            if params[0].value.shape() != saved.weight.shape()
+                || params[1].value.shape() != saved.bias.shape()
+            {
+                return Err(NnError::BadConfig(format!(
+                    "snapshot layer `{}` parameter shapes disagree with the rebuilt network",
+                    saved.layer
+                )));
+            }
+            params[0].value = saved.weight;
+            if !saved.frozen_weight_indices.is_empty() {
+                params[0].freeze_indices(&saved.frozen_weight_indices);
+            }
+            params[1].value = saved.bias;
+        }
+        Ok(net)
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serde error message if serialization fails (cannot happen
+    /// for well-formed snapshots).
+    pub fn to_json(&self) -> std::result::Result<String, String> {
+        serde_json::to_string(self).map_err(|e| e.to_string())
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message for malformed input.
+    pub fn from_json(json: &str) -> std::result::Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::GroupLayout;
+    use crate::models;
+    use crate::prune::{prune_groups, PruneCriterion};
+    use lts_tensor::{init, Shape};
+
+    #[test]
+    fn roundtrip_preserves_forward_outputs() {
+        let mut net = models::lenet(10, 4).unwrap();
+        let x = init::uniform(Shape::d4(2, 1, 28, 28), 1.0, &mut init::rng(1));
+        let y1 = net.forward(&x).unwrap();
+        let mut restored =
+            SavedNetwork::from_network(&net).into_network().unwrap();
+        let y2 = restored.forward(&x).unwrap();
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_freeze_masks() {
+        let mut net = models::mlp(16, 4, 2).unwrap();
+        let layout = GroupLayout::new(304, 512, 1, 4);
+        let param = net.layer_weight_mut("ip2").unwrap();
+        prune_groups(param, &layout, PruneCriterion::SmallestFraction(0.5)).unwrap();
+        let frozen_before = net.layer_weight("ip2").unwrap().frozen_count();
+        assert!(frozen_before > 0);
+        let restored = SavedNetwork::from_network(&net).into_network().unwrap();
+        assert_eq!(restored.layer_weight("ip2").unwrap().frozen_count(), frozen_before);
+        // Frozen entries are still exactly zero.
+        let w = restored.layer_weight("ip2").unwrap();
+        for i in 0..w.len() {
+            if w.is_frozen(i) {
+                assert_eq!(w.value.as_slice()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let net = models::mlp(16, 4, 9).unwrap();
+        let saved = SavedNetwork::from_network(&net);
+        let json = saved.to_json().unwrap();
+        let parsed = SavedNetwork::from_json(&json).unwrap();
+        assert_eq!(saved, parsed);
+        assert!(SavedNetwork::from_json("{bad json").is_err());
+    }
+
+    #[test]
+    fn avg_pool_roundtrips_as_avg_pool() {
+        let mut rng = init::rng(0);
+        let mut net = NetworkBuilder::new("a", (1, 8, 8))
+            .conv("c", 2, 3, 1, 1, 1)
+            .avg_pool("ap", 2, 2)
+            .flatten()
+            .linear("ip", 3)
+            .build(&mut rng)
+            .unwrap();
+        let x = init::uniform(Shape::d4(1, 1, 8, 8), 1.0, &mut init::rng(5));
+        let y1 = net.forward(&x).unwrap();
+        let mut restored = SavedNetwork::from_network(&net).into_network().unwrap();
+        let y2 = restored.forward(&x).unwrap();
+        assert_eq!(y1, y2);
+        // The spec marks the pool as average.
+        let spec = restored.spec();
+        assert!(matches!(
+            spec.layer("ap").unwrap().kind,
+            LayerKind::Pool { average: true, .. }
+        ));
+    }
+}

@@ -1,0 +1,543 @@
+//! Mini-batch SGD training loop with optional group-Lasso regularizers.
+
+use crate::loss::softmax_cross_entropy;
+use crate::network::Network;
+use crate::optim::Sgd;
+use crate::regularizer::GroupLasso;
+use crate::{NnError, Result};
+use lts_tensor::{Shape, Tensor};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Per-epoch multiplicative learning-rate decay.
+    pub lr_decay: f32,
+    /// Global gradient-norm clip (0 disables). Deep conv stacks at
+    /// aggressive learning rates occasionally produce exploding batches;
+    /// clipping keeps every model family stable at its tuned rate.
+    pub clip_grad_norm: f32,
+    /// Shuffle seed (training is fully deterministic given this).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            lr_decay: 0.9,
+            clip_grad_norm: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss (data term only).
+    pub loss: f32,
+    /// Mean group-Lasso penalty at epoch end.
+    pub penalty: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f32,
+}
+
+/// Summary of a whole training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainStats {
+    /// Final-epoch training accuracy (`0` if no epochs ran).
+    pub fn final_accuracy(&self) -> f32 {
+        self.epochs.last().map_or(0.0, |e| e.accuracy)
+    }
+
+    /// Final-epoch loss (`inf` if no epochs ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map_or(f32::INFINITY, |e| e.loss)
+    }
+}
+
+/// Trains networks with SGD and (optionally) per-layer group-Lasso
+/// regularizers — the mechanism behind the paper's SS and SS_Mask schemes.
+///
+/// # Examples
+///
+/// ```
+/// use lts_nn::network::NetworkBuilder;
+/// use lts_nn::trainer::{TrainConfig, Trainer};
+/// use lts_tensor::{init, Shape, Tensor};
+///
+/// # fn main() -> Result<(), lts_nn::NnError> {
+/// let mut rng = init::rng(1);
+/// let mut net = NetworkBuilder::new("xor-ish", (2, 1, 1))
+///     .linear("ip1", 8)
+///     .relu()
+///     .linear("ip2", 2)
+///     .build(&mut rng)?;
+/// let inputs = Tensor::from_vec(
+///     Shape::d2(4, 2),
+///     vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+/// ).map_err(lts_nn::NnError::from)?;
+/// let labels = [0usize, 1, 1, 0];
+/// let trainer = Trainer::new(TrainConfig { epochs: 50, batch_size: 4, lr: 0.2, ..TrainConfig::default() })?;
+/// let stats = trainer.train(&mut net, &inputs, &labels)?;
+/// assert!(stats.final_loss() < 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    regularizers: Vec<GroupLasso>,
+}
+
+impl Trainer {
+    /// Creates a trainer without structured-sparsity regularization
+    /// (the paper's *Baseline*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for invalid hyper-parameters.
+    pub fn new(config: TrainConfig) -> Result<Self> {
+        if config.epochs == 0 || config.batch_size == 0 {
+            return Err(NnError::BadConfig("epochs and batch_size must be positive".into()));
+        }
+        Sgd::new(config.lr, config.momentum, config.weight_decay)?;
+        Ok(Self { config, regularizers: Vec::new() })
+    }
+
+    /// Adds a group-Lasso regularizer for one layer.
+    pub fn with_regularizer(mut self, reg: GroupLasso) -> Self {
+        self.regularizers.push(reg);
+        self
+    }
+
+    /// The attached regularizers.
+    pub fn regularizers(&self) -> &[GroupLasso] {
+        &self.regularizers
+    }
+
+    /// Runs the training loop on `(inputs, labels)`.
+    ///
+    /// `inputs` is a full dataset batch (NCHW or `[n, features]`); labels
+    /// are class indices. Training is deterministic given
+    /// [`TrainConfig::seed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/loss errors and returns [`NnError::BadInput`] if
+    /// labels and inputs disagree, or [`NnError::BadConfig`] if a
+    /// regularizer names a layer the network lacks.
+    pub fn train(
+        &self,
+        net: &mut Network,
+        inputs: &Tensor,
+        labels: &[usize],
+    ) -> Result<TrainStats> {
+        let total = inputs.shape().dim(0);
+        if labels.len() != total {
+            return Err(NnError::BadInput {
+                layer: "trainer".into(),
+                reason: format!("{} labels for {total} inputs", labels.len()),
+            });
+        }
+        for reg in &self.regularizers {
+            let w = net.layer_weight(&reg.layer).ok_or_else(|| {
+                NnError::BadConfig(format!("regularizer targets unknown layer `{}`", reg.layer))
+            })?;
+            if w.len() != reg.layout.weight_len() {
+                return Err(NnError::BadConfig(format!(
+                    "regularizer layout for `{}` covers {} weights, layer has {}",
+                    reg.layer,
+                    reg.layout.weight_len(),
+                    w.len()
+                )));
+            }
+        }
+        let sample_len = inputs.len().checked_div(total).unwrap_or(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..total).collect();
+        let mut opt = Sgd::new(self.config.lr, self.config.momentum, self.config.weight_decay)?;
+        let mut stats = TrainStats { epochs: Vec::with_capacity(self.config.epochs) };
+
+        net.set_training(true);
+        for epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut epoch_correct = 0usize;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let (batch, batch_labels) =
+                    gather_batch(inputs, labels, chunk, sample_len)?;
+                net.zero_grads();
+                let logits = net.forward(&batch)?;
+                let out = softmax_cross_entropy(&logits, &batch_labels)?;
+                net.backward(&out.grad)?;
+                self.apply_subgradient_regularizers(net)?;
+                let mut params = net.params_mut();
+                clip_global_grad_norm(&mut params, self.config.clip_grad_norm);
+                opt.step(&mut params);
+                self.apply_proximal_regularizers(net, opt.lr)?;
+                epoch_loss += out.loss as f64;
+                epoch_correct += out.correct;
+                batches += 1;
+            }
+            let penalty = self.total_penalty(net)?;
+            stats.epochs.push(EpochStats {
+                epoch,
+                loss: (epoch_loss / batches.max(1) as f64) as f32,
+                penalty,
+                accuracy: epoch_correct as f32 / total.max(1) as f32,
+            });
+            opt = opt.with_lr_scaled(self.config.lr_decay);
+        }
+        net.set_training(false);
+        Ok(stats)
+    }
+
+    /// Sum of all regularizer penalties at the network's current weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if a regularizer names a missing layer.
+    pub fn total_penalty(&self, net: &Network) -> Result<f32> {
+        let mut total = 0.0;
+        for reg in &self.regularizers {
+            let w = net.layer_weight(&reg.layer).ok_or_else(|| {
+                NnError::BadConfig(format!("regularizer targets unknown layer `{}`", reg.layer))
+            })?;
+            total += reg.penalty(w.value.as_slice());
+        }
+        Ok(total)
+    }
+
+    fn apply_subgradient_regularizers(&self, net: &mut Network) -> Result<()> {
+        for reg in &self.regularizers {
+            if reg.mode != crate::regularizer::LassoMode::Subgradient {
+                continue;
+            }
+            let param = net.layer_weight_mut(&reg.layer).ok_or_else(|| {
+                NnError::BadConfig(format!("regularizer targets unknown layer `{}`", reg.layer))
+            })?;
+            reg.accumulate_grad(param);
+        }
+        Ok(())
+    }
+
+    fn apply_proximal_regularizers(&self, net: &mut Network, step_size: f32) -> Result<()> {
+        for reg in &self.regularizers {
+            if reg.mode != crate::regularizer::LassoMode::Proximal {
+                continue;
+            }
+            let param = net.layer_weight_mut(&reg.layer).ok_or_else(|| {
+                NnError::BadConfig(format!("regularizer targets unknown layer `{}`", reg.layer))
+            })?;
+            reg.proximal_shrink(param, step_size);
+        }
+        Ok(())
+    }
+}
+
+/// Scales all gradients down so their global L2 norm is at most
+/// `max_norm` (no-op when `max_norm <= 0` or the norm is already within
+/// bounds).
+pub fn clip_global_grad_norm(params: &mut [&mut Param], max_norm: f32) {
+    if max_norm <= 0.0 {
+        return;
+    }
+    let mut ss = 0.0f64;
+    for p in params.iter() {
+        for &g in p.grad.as_slice() {
+            ss += (g as f64) * (g as f64);
+        }
+    }
+    let norm = ss.sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            lts_tensor::ops::scale(scale, &mut p.grad);
+        }
+    }
+}
+
+use crate::param::Param;
+
+/// Copies the samples at `indices` into one contiguous batch tensor.
+fn gather_batch(
+    inputs: &Tensor,
+    labels: &[usize],
+    indices: &[usize],
+    sample_len: usize,
+) -> Result<(Tensor, Vec<usize>)> {
+    let mut dims = inputs.shape().dims().to_vec();
+    dims[0] = indices.len();
+    let mut data = Vec::with_capacity(indices.len() * sample_len);
+    let src = inputs.as_slice();
+    let mut batch_labels = Vec::with_capacity(indices.len());
+    for &i in indices {
+        data.extend_from_slice(&src[i * sample_len..(i + 1) * sample_len]);
+        batch_labels.push(labels[i]);
+    }
+    Ok((Tensor::from_vec(Shape::new(dims), data)?, batch_labels))
+}
+
+/// Evaluates classification accuracy in parallel across `threads` worker
+/// threads, each running its own clone of the network.
+///
+/// # Errors
+///
+/// Propagates forward errors from any worker.
+pub fn parallel_accuracy(
+    net: &Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    threads: usize,
+) -> Result<f32> {
+    let total = inputs.shape().dim(0);
+    if labels.len() != total {
+        return Err(NnError::BadInput {
+            layer: "parallel_accuracy".into(),
+            reason: format!("{} labels for {total} inputs", labels.len()),
+        });
+    }
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let threads = threads.clamp(1, total);
+    let sample_len = inputs.len() / total;
+    let chunk = total.div_ceil(threads);
+    let results = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(total);
+            if start >= end {
+                break;
+            }
+            let mut local = net.clone();
+            let in_slice = &inputs.as_slice()[start * sample_len..end * sample_len];
+            let label_slice = &labels[start..end];
+            let mut dims = inputs.shape().dims().to_vec();
+            dims[0] = end - start;
+            handles.push(s.spawn(move |_| -> Result<usize> {
+                let local_inputs = Tensor::from_vec(Shape::new(dims), in_slice.to_vec())?;
+                let acc = local.evaluate(&local_inputs, label_slice, batch_size)?;
+                Ok((acc * label_slice.len() as f32).round() as usize)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect::<Result<Vec<usize>>>()
+    })
+    .expect("evaluation scope panicked")?;
+    Ok(results.iter().sum::<usize>() as f32 / total as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::GroupLayout;
+    use crate::network::NetworkBuilder;
+    use crate::regularizer::StrengthMask;
+    use lts_tensor::init;
+
+    /// A linearly separable toy problem: class = argmax over 4 fixed
+    /// directions.
+    fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = init::rng(seed);
+        let x = init::uniform(Shape::d2(n, 8), 1.0, &mut rng);
+        let labels = (0..n)
+            .map(|i| {
+                let row = &x.as_slice()[i * 8..(i + 1) * 8];
+                lts_tensor::ops::argmax(&row[0..4]).map(|(j, _)| j).unwrap_or(0)
+            })
+            .collect();
+        (x, labels)
+    }
+
+    fn toy_net(seed: u64) -> Network {
+        let mut rng = init::rng(seed);
+        NetworkBuilder::new("toy", (8, 1, 1))
+            .linear("ip1", 16)
+            .relu()
+            .linear("ip2", 4)
+            .build(&mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_the_task() {
+        let (x, y) = toy_data(256, 1);
+        let mut net = toy_net(2);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            lr: 0.1,
+            ..TrainConfig::default()
+        })
+        .unwrap();
+        let stats = trainer.train(&mut net, &x, &y).unwrap();
+        assert!(stats.epochs[0].loss > stats.final_loss());
+        assert!(stats.final_accuracy() > 0.9, "accuracy {}", stats.final_accuracy());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (x, y) = toy_data(64, 3);
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let mut a = toy_net(4);
+        let mut b = toy_net(4);
+        let sa = Trainer::new(cfg).unwrap().train(&mut a, &x, &y).unwrap();
+        let sb = Trainer::new(cfg).unwrap().train(&mut b, &x, &y).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(
+            a.layer_weight("ip1").unwrap().value,
+            b.layer_weight("ip1").unwrap().value
+        );
+    }
+
+    #[test]
+    fn group_lasso_drives_masked_groups_toward_zero() {
+        let (x, y) = toy_data(256, 5);
+        let mut net = toy_net(6);
+        let layout = GroupLayout::new(16, 8, 1, 4);
+        // Heavily penalize every off-diagonal group.
+        let mut factors = vec![4.0f32; 16];
+        for d in 0..4 {
+            factors[d * 4 + d] = 0.0;
+        }
+        let reg = GroupLasso::new(
+            "ip1",
+            layout.clone(),
+            0.2,
+            StrengthMask::from_factors(4, factors).unwrap(),
+        )
+        .unwrap();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 40,
+            batch_size: 32,
+            lr: 0.1,
+            ..TrainConfig::default()
+        })
+        .unwrap()
+        .with_regularizer(reg);
+        trainer.train(&mut net, &x, &y).unwrap();
+        let w = net.layer_weight("ip1").unwrap().value.as_slice().to_vec();
+        let mut off_diag = 0.0;
+        let mut diag = 0.0;
+        for p in 0..4 {
+            for c in 0..4 {
+                let n = layout.group_norm(p, c, &w);
+                if p == c {
+                    diag += n;
+                } else {
+                    off_diag += n;
+                }
+            }
+        }
+        assert!(
+            off_diag < diag * 0.25,
+            "off-diagonal mass {off_diag} should be far below diagonal {diag}"
+        );
+    }
+
+    #[test]
+    fn regularizer_on_unknown_layer_is_rejected() {
+        let (x, y) = toy_data(16, 7);
+        let mut net = toy_net(8);
+        let reg = GroupLasso::new(
+            "nope",
+            GroupLayout::new(16, 8, 1, 4),
+            0.01,
+            StrengthMask::uniform(4),
+        )
+        .unwrap();
+        let trainer = Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() })
+            .unwrap()
+            .with_regularizer(reg);
+        assert!(trainer.train(&mut net, &x, &y).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_trains_to_nothing_without_panicking() {
+        let mut net = toy_net(20);
+        let x = Tensor::zeros(Shape::d2(0, 8));
+        let trainer =
+            Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).unwrap();
+        let stats = trainer.train(&mut net, &x, &[]).unwrap();
+        assert_eq!(stats.epochs.len(), 2);
+        assert_eq!(stats.final_accuracy(), 0.0);
+        assert_eq!(parallel_accuracy(&net, &x, &[], 8, 4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dataset_trains() {
+        let (x, y) = toy_data(1, 30);
+        let mut net = toy_net(31);
+        let trainer =
+            Trainer::new(TrainConfig { epochs: 3, ..TrainConfig::default() }).unwrap();
+        let stats = trainer.train(&mut net, &x, &y).unwrap();
+        assert!(stats.final_loss().is_finite());
+    }
+
+    #[test]
+    fn parallel_accuracy_matches_sequential() {
+        let (x, y) = toy_data(64, 9);
+        let mut net = toy_net(10);
+        let seq = net.evaluate(&x, &y, 16).unwrap();
+        let par = parallel_accuracy(&net, &x, &y, 16, 4).unwrap();
+        assert!((seq - par).abs() < 1e-6);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Trainer::new(TrainConfig { epochs: 0, ..TrainConfig::default() }).is_err());
+        assert!(Trainer::new(TrainConfig { batch_size: 0, ..TrainConfig::default() }).is_err());
+        assert!(Trainer::new(TrainConfig { lr: -1.0, ..TrainConfig::default() }).is_err());
+    }
+
+    #[test]
+    fn grad_clipping_scales_to_max_norm() {
+        use crate::param::Param;
+        use lts_tensor::{Shape, Tensor};
+        let mut a = Param::new(Tensor::zeros(Shape::d1(2)));
+        let mut b = Param::new(Tensor::zeros(Shape::d1(2)));
+        a.grad = Tensor::from_slice_1d(&[3.0, 0.0]);
+        b.grad = Tensor::from_slice_1d(&[0.0, 4.0]);
+        // Global norm = 5; clip to 1 -> everything scaled by 1/5.
+        clip_global_grad_norm(&mut [&mut a, &mut b], 1.0);
+        assert!((a.grad.as_slice()[0] - 0.6).abs() < 1e-6);
+        assert!((b.grad.as_slice()[1] - 0.8).abs() < 1e-6);
+        // Already within bounds -> untouched; 0 disables.
+        clip_global_grad_norm(&mut [&mut a, &mut b], 10.0);
+        assert!((a.grad.as_slice()[0] - 0.6).abs() < 1e-6);
+        a.grad = Tensor::from_slice_1d(&[100.0, 0.0]);
+        clip_global_grad_norm(&mut [&mut a], 0.0);
+        assert_eq!(a.grad.as_slice()[0], 100.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! NoC configuration and error type.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Packet routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Dimension-ordered XY (Table II's "dimensional-ordered routing").
+    #[default]
+    XyDor,
+    /// Dimension-ordered YX.
+    YxDor,
+    /// O1TURN: each packet picks XY or YX (balanced, deterministic by
+    /// packet id); the two orders use disjoint VC classes so the
+    /// combination stays deadlock-free. Needs at least 2 VCs.
+    O1Turn,
+}
+
+/// Errors produced by the NoC simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NocError {
+    /// An invalid configuration value.
+    BadConfig(String),
+    /// A message references a node outside the mesh.
+    BadNode {
+        /// Offending node id.
+        node: usize,
+        /// Number of nodes in the mesh.
+        nodes: usize,
+    },
+    /// The simulation exceeded its cycle budget — almost always a
+    /// deadlock or an unreasonably small budget.
+    CycleLimitExceeded {
+        /// The configured cycle cap.
+        limit: u64,
+        /// Messages still undelivered when the cap hit.
+        undelivered: usize,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::BadConfig(msg) => write!(f, "bad NoC configuration: {msg}"),
+            NocError::BadNode { node, nodes } => {
+                write!(f, "node {node} out of range for mesh of {nodes} nodes")
+            }
+            NocError::CycleLimitExceeded { limit, undelivered } => write!(
+                f,
+                "simulation exceeded {limit} cycles with {undelivered} messages undelivered"
+            ),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+/// Full NoC configuration (defaults reproduce Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh width (columns).
+    pub width: usize,
+    /// Mesh height (rows).
+    pub height: usize,
+    /// Flit size in bytes (Table II: 512-bit flits = 64 B).
+    pub flit_bytes: usize,
+    /// Physical link (phit) width in bits. A flit occupies a link/lane
+    /// for `flit_bits / phit_bits` cycles. The default of 64 bits (8
+    /// cycles per 512-bit flit) is calibrated so that traditional
+    /// parallelization of AlexNet on 16 cores spends ~23 % of a single
+    /// pass communicating, the paper's §III-B measurement.
+    pub phit_bits: usize,
+    /// Maximum flits per packet (Table II: 20).
+    pub max_packet_flits: usize,
+    /// Virtual channels per input port (Table II: 3).
+    pub vcs: usize,
+    /// Input buffer depth per VC, in flits.
+    pub vc_buffer_flits: usize,
+    /// Router pipeline depth in cycles (Table II: 3 stages).
+    pub router_stages: u64,
+    /// Link traversal latency in cycles.
+    pub link_cycles: u64,
+    /// Physical channels per link (Table II: 2); modelled as the number of
+    /// flits a link can move per cycle.
+    pub physical_channels: usize,
+    /// Packet routing policy (Table II: dimension-ordered, i.e. XY).
+    pub routing: RoutingPolicy,
+    /// Hard cap on simulated cycles (deadlock guard).
+    pub max_cycles: u64,
+}
+
+impl NocConfig {
+    /// The paper's 16-core configuration: 4×4 mesh, 512-bit flits,
+    /// 20-flit packets, 3 VCs, 3-stage routers, 2 physical channels.
+    pub fn paper_16core() -> Self {
+        Self::paper_mesh(4, 4)
+    }
+
+    /// The paper's configuration on an arbitrary mesh (used by the
+    /// 4/8/32-core scalability experiments).
+    pub fn paper_mesh(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            flit_bytes: 64,
+            phit_bits: 64,
+            max_packet_flits: 20,
+            vcs: 3,
+            vc_buffer_flits: 4,
+            router_stages: 3,
+            link_cycles: 1,
+            physical_channels: 2,
+            routing: RoutingPolicy::XyDor,
+            max_cycles: 50_000_000,
+        }
+    }
+
+    /// Mesh geometry for a core count, as used in the paper's scalability
+    /// study: 4 → 2×2, 8 → 4×2, 16 → 4×4, 32 → 8×4; other counts get the
+    /// most square factorization.
+    pub fn paper_cores(cores: usize) -> Result<Self, NocError> {
+        if cores == 0 {
+            return Err(NocError::BadConfig("core count must be positive".into()));
+        }
+        let (w, h) = squarest_factors(cores);
+        Ok(Self::paper_mesh(w, h))
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), NocError> {
+        let positive: [(&str, usize); 8] = [
+            ("width", self.width),
+            ("height", self.height),
+            ("flit_bytes", self.flit_bytes),
+            ("max_packet_flits", self.max_packet_flits),
+            ("vcs", self.vcs),
+            ("vc_buffer_flits", self.vc_buffer_flits),
+            ("physical_channels", self.physical_channels),
+            ("phit_bits", self.phit_bits),
+        ];
+        for (name, v) in positive {
+            if v == 0 {
+                return Err(NocError::BadConfig(format!("{name} must be positive")));
+            }
+        }
+        if self.router_stages == 0 {
+            return Err(NocError::BadConfig("router_stages must be positive".into()));
+        }
+        if self.max_cycles == 0 {
+            return Err(NocError::BadConfig("max_cycles must be positive".into()));
+        }
+        if self.routing == RoutingPolicy::O1Turn && self.vcs < 2 {
+            return Err(NocError::BadConfig(
+                "O1TURN routing needs at least 2 VCs for deadlock freedom".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The virtual channels a packet of the given dimension order may
+    /// use. Under O1TURN the VC space is split between the two orders;
+    /// under a single fixed order every VC is available.
+    pub fn vc_class(&self, yx: bool) -> std::ops::Range<usize> {
+        match self.routing {
+            RoutingPolicy::O1Turn => {
+                let split = self.vcs.div_ceil(2);
+                if yx {
+                    split..self.vcs
+                } else {
+                    0..split
+                }
+            }
+            _ => 0..self.vcs,
+        }
+    }
+
+    /// The dimension order the policy assigns to a packet.
+    pub fn packet_order_is_yx(&self, packet_id: u64) -> bool {
+        match self.routing {
+            RoutingPolicy::XyDor => false,
+            RoutingPolicy::YxDor => true,
+            RoutingPolicy::O1Turn => packet_id % 2 == 1,
+        }
+    }
+
+    /// Flits needed to carry `bytes` of payload.
+    pub fn flits_for_bytes(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.flit_bytes as u64).max(1)
+    }
+
+    /// Cycles one flit occupies a link lane (`flit_bits / phit_bits`).
+    pub fn serialization_cycles(&self) -> u64 {
+        ((self.flit_bytes * 8).div_ceil(self.phit_bits)) as u64
+    }
+}
+
+/// The factor pair of `n` closest to a square, wider than tall.
+pub fn squarest_factors(n: usize) -> (usize, usize) {
+    let mut best = (n, 1);
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = (n / d, d);
+        }
+        d += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_ii() {
+        let c = NocConfig::paper_16core();
+        assert_eq!(c.nodes(), 16);
+        assert_eq!(c.flit_bytes * 8, 512);
+        assert_eq!(c.max_packet_flits, 20);
+        assert_eq!(c.vcs, 3);
+        assert_eq!(c.router_stages, 3);
+        assert_eq!(c.physical_channels, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn squarest_factors_examples() {
+        assert_eq!(squarest_factors(4), (2, 2));
+        assert_eq!(squarest_factors(8), (4, 2));
+        assert_eq!(squarest_factors(16), (4, 4));
+        assert_eq!(squarest_factors(32), (8, 4));
+        assert_eq!(squarest_factors(7), (7, 1));
+    }
+
+    #[test]
+    fn flits_for_bytes_rounds_up() {
+        let c = NocConfig::paper_16core();
+        assert_eq!(c.flits_for_bytes(1), 1);
+        assert_eq!(c.flits_for_bytes(64), 1);
+        assert_eq!(c.flits_for_bytes(65), 2);
+        assert_eq!(c.flits_for_bytes(0), 1); // at least a head flit
+    }
+
+    #[test]
+    fn validation_catches_zero_fields() {
+        let mut c = NocConfig::paper_16core();
+        c.vcs = 0;
+        assert!(c.validate().is_err());
+        let mut c2 = NocConfig::paper_16core();
+        c2.width = 0;
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NocError::BadNode { node: 20, nodes: 16 };
+        assert!(e.to_string().contains("20"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Messages, packets and flits.
+
+use crate::config::NocConfig;
+use serde::{Deserialize, Serialize};
+
+/// Unique message id within one simulation.
+pub type MessageId = u64;
+/// Unique packet id within one simulation.
+pub type PacketId = u64;
+
+/// A single flit in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Owning message.
+    pub message: MessageId,
+    /// Destination node.
+    pub dst: usize,
+    /// Head flit (carries routing info; triggers VC allocation).
+    pub is_head: bool,
+    /// Tail flit (releases the VC).
+    pub is_tail: bool,
+    /// Dimension order of this packet (`true` = YX); fixed at injection
+    /// by the routing policy.
+    pub yx: bool,
+}
+
+/// A packet: a contiguous run of flits of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketDescriptor {
+    /// Packet id.
+    pub id: PacketId,
+    /// Owning message id.
+    pub message: MessageId,
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Number of flits (including head and tail).
+    pub flits: u64,
+    /// Dimension order (`true` = YX).
+    pub yx: bool,
+}
+
+/// Splits a message payload into packet descriptors of at most
+/// `config.max_packet_flits` flits each.
+///
+/// The first flit of each packet is its head and the last its tail (a
+/// single-flit packet is both). `next_packet_id` supplies globally unique
+/// packet ids and is advanced.
+pub fn packetize(
+    message: MessageId,
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    config: &NocConfig,
+    next_packet_id: &mut PacketId,
+) -> Vec<PacketDescriptor> {
+    let total_flits = config.flits_for_bytes(bytes);
+    let max = config.max_packet_flits as u64;
+    let mut packets = Vec::with_capacity(total_flits.div_ceil(max) as usize);
+    let mut remaining = total_flits;
+    while remaining > 0 {
+        let flits = remaining.min(max);
+        packets.push(PacketDescriptor {
+            id: *next_packet_id,
+            message,
+            src,
+            dst,
+            flits,
+            yx: config.packet_order_is_yx(*next_packet_id),
+        });
+        *next_packet_id += 1;
+        remaining -= flits;
+    }
+    packets
+}
+
+impl PacketDescriptor {
+    /// Materializes the packet's flits in wire order.
+    pub fn flit_sequence(&self) -> impl Iterator<Item = Flit> + '_ {
+        let n = self.flits;
+        (0..n).map(move |i| Flit {
+            packet: self.id,
+            message: self.message,
+            dst: self.dst,
+            is_head: i == 0,
+            is_tail: i + 1 == n,
+            yx: self.yx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_splits_at_max_packet_size() {
+        let config = NocConfig::paper_16core(); // 64 B flits, 20-flit packets
+        let mut next = 0;
+        // 64 * 45 bytes = 45 flits = 20 + 20 + 5.
+        let packets = packetize(1, 0, 5, 64 * 45, &config, &mut next);
+        assert_eq!(packets.len(), 3);
+        assert_eq!(packets[0].flits, 20);
+        assert_eq!(packets[1].flits, 20);
+        assert_eq!(packets[2].flits, 5);
+        assert_eq!(next, 3);
+        assert!(packets.iter().all(|p| p.message == 1 && p.src == 0 && p.dst == 5));
+    }
+
+    #[test]
+    fn tiny_message_is_single_flit_packet() {
+        let config = NocConfig::paper_16core();
+        let mut next = 10;
+        let packets = packetize(2, 1, 2, 4, &config, &mut next);
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].flits, 1);
+        assert_eq!(packets[0].id, 10);
+    }
+
+    #[test]
+    fn flit_sequence_marks_head_and_tail() {
+        let p = PacketDescriptor { id: 0, message: 0, src: 0, dst: 1, flits: 3, yx: false };
+        let flits: Vec<Flit> = p.flit_sequence().collect();
+        assert!(flits[0].is_head && !flits[0].is_tail);
+        assert!(!flits[1].is_head && !flits[1].is_tail);
+        assert!(!flits[2].is_head && flits[2].is_tail);
+    }
+
+    #[test]
+    fn single_flit_is_head_and_tail() {
+        let p = PacketDescriptor { id: 0, message: 0, src: 0, dst: 1, flits: 1, yx: false };
+        let flits: Vec<Flit> = p.flit_sequence().collect();
+        assert!(flits[0].is_head && flits[0].is_tail);
+    }
+}

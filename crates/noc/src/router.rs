@@ -1,0 +1,157 @@
+//! Router microarchitecture state.
+//!
+//! Each node has an input-queued virtual-channel router with five ports
+//! (N/E/S/W/Local). The cycle-by-cycle pipeline logic lives in
+//! [`crate::network`], which needs simultaneous access to neighbouring
+//! routers for credit return; this module defines the per-router state.
+
+use crate::packet::Flit;
+use crate::topology::Direction;
+use std::collections::VecDeque;
+
+/// Number of router ports (4 mesh directions + local).
+pub const PORTS: usize = 5;
+
+/// A flit waiting in an input buffer, ready for arbitration at
+/// `ready_at` (models router pipeline + link latency).
+#[derive(Debug, Clone, Copy)]
+pub struct TimedFlit {
+    /// The flit itself.
+    pub flit: Flit,
+    /// First cycle at which this flit may traverse the switch.
+    pub ready_at: u64,
+}
+
+/// One virtual channel of one input port.
+#[derive(Debug, Clone, Default)]
+pub struct InputVc {
+    /// Buffered flits, in arrival order.
+    pub queue: VecDeque<TimedFlit>,
+    /// Output direction of the packet currently at the front
+    /// (computed when its head flit first reaches the front).
+    pub route: Option<Direction>,
+    /// Downstream VC allocated to the current packet.
+    pub out_vc: Option<usize>,
+}
+
+impl InputVc {
+    /// Whether a new packet may start buffering here (no packet of a
+    /// previous allocation is still flowing through).
+    pub fn accepts_new_packet(&self) -> bool {
+        self.queue.is_empty() && self.route.is_none()
+    }
+}
+
+/// Book-keeping for one downstream virtual channel as seen from an output
+/// port: who holds it and how many downstream buffer slots remain.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputVc {
+    /// The input (port, vc) whose packet currently holds this VC.
+    pub holder: Option<(usize, usize)>,
+    /// Credits = free flit slots in the downstream input buffer.
+    pub credits: usize,
+}
+
+/// Full state of one router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// `inputs[port][vc]`.
+    pub inputs: Vec<Vec<InputVc>>,
+    /// `outputs[port][vc]` (the `Local` output needs no VC bookkeeping but
+    /// keeps entries for uniformity).
+    pub outputs: Vec<Vec<OutputVc>>,
+    /// Physical lane occupancy per output port: `lanes[port][lane]` is the
+    /// first cycle the lane is free again (flit serialization over
+    /// narrower phits keeps a lane busy for several cycles).
+    pub lanes: Vec<Vec<u64>>,
+    /// Round-robin arbitration pointer per output port, over the flattened
+    /// `(input port, vc)` space.
+    pub rr_pointer: [usize; PORTS],
+}
+
+impl Router {
+    /// Creates a router with `vcs` virtual channels of `buffer_flits`
+    /// credits each and `physical_channels` lanes per output port.
+    pub fn new(vcs: usize, buffer_flits: usize, physical_channels: usize) -> Self {
+        Self {
+            inputs: (0..PORTS)
+                .map(|_| (0..vcs).map(|_| InputVc::default()).collect())
+                .collect(),
+            outputs: (0..PORTS)
+                .map(|_| {
+                    (0..vcs)
+                        .map(|_| OutputVc { holder: None, credits: buffer_flits })
+                        .collect()
+                })
+                .collect(),
+            lanes: (0..PORTS).map(|_| vec![0u64; physical_channels]).collect(),
+            rr_pointer: [0; PORTS],
+        }
+    }
+
+    /// Index of a free lane on `port` at `cycle`, if any.
+    pub fn free_lane(&self, port: usize, cycle: u64) -> Option<usize> {
+        self.lanes[port].iter().position(|&busy_until| busy_until <= cycle)
+    }
+
+    /// Number of free lanes on `port` at `cycle`.
+    pub fn free_lanes(&self, port: usize, cycle: u64) -> usize {
+        self.lanes[port].iter().filter(|&&busy_until| busy_until <= cycle).count()
+    }
+
+    /// Total flits currently buffered in this router's input queues.
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter())
+            .map(|vc| vc.queue.len())
+            .sum()
+    }
+
+    /// Earliest `ready_at` among buffered flits, if any.
+    pub fn earliest_ready(&self) -> Option<u64> {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter())
+            .filter_map(|vc| vc.queue.front().map(|t| t.ready_at))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_router_is_empty_with_full_credits() {
+        let r = Router::new(3, 4, 2);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.earliest_ready(), None);
+        for port in &r.outputs {
+            for vc in port {
+                assert_eq!(vc.credits, 4);
+                assert!(vc.holder.is_none());
+            }
+        }
+        assert_eq!(r.inputs.len(), PORTS);
+        assert_eq!(r.inputs[0].len(), 3);
+    }
+
+    #[test]
+    fn accepts_new_packet_requires_idle_vc() {
+        let mut vc = InputVc::default();
+        assert!(vc.accepts_new_packet());
+        vc.route = Some(Direction::East);
+        assert!(!vc.accepts_new_packet());
+    }
+
+    #[test]
+    fn earliest_ready_finds_minimum() {
+        let mut r = Router::new(2, 4, 2);
+        let f = Flit { packet: 0, message: 0, dst: 0, is_head: true, is_tail: true, yx: false };
+        r.inputs[0][0].queue.push_back(TimedFlit { flit: f, ready_at: 9 });
+        r.inputs[3][1].queue.push_back(TimedFlit { flit: f, ready_at: 4 });
+        assert_eq!(r.earliest_ready(), Some(4));
+        assert_eq!(r.buffered_flits(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw event counts accumulated during a simulation (the energy model's
+/// inputs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Flit writes into input buffers (arrivals + injections).
+    pub buffer_writes: u64,
+    /// Flit reads out of input buffers (switch traversals).
+    pub buffer_reads: u64,
+    /// Crossbar traversals (one per switch win).
+    pub crossbar_traversals: u64,
+    /// Router-to-router link traversals.
+    pub link_traversals: u64,
+    /// Switch/VC arbitration decisions performed.
+    pub arbitrations: u64,
+    /// Flits ejected at their destination's local port.
+    pub ejections: u64,
+}
+
+/// Result of simulating one traffic trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Cycle at which the last flit was ejected (0 for an empty trace).
+    pub makespan: u64,
+    /// Messages fully delivered.
+    pub messages_delivered: usize,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Total flits ejected.
+    pub flits_delivered: u64,
+    /// Per-message latency (completion − injection), message order matches
+    /// the input trace.
+    pub message_latencies: Vec<u64>,
+    /// Cycles in which at least one ready flit lost arbitration or stalled
+    /// on credits — the congestion/blocking measure.
+    pub blocked_flit_cycles: u64,
+    /// Low-level event counts for the energy model.
+    pub events: EventCounts,
+    /// Flits carried per directed link, indexed `node * 4 + direction`
+    /// (N/E/S/W); the utilization heat map.
+    pub link_flits: Vec<u64>,
+}
+
+impl SimReport {
+    /// Mean message latency in cycles (`0` when no messages).
+    pub fn mean_latency(&self) -> f64 {
+        if self.message_latencies.is_empty() {
+            return 0.0;
+        }
+        self.message_latencies.iter().sum::<u64>() as f64 / self.message_latencies.len() as f64
+    }
+
+    /// Maximum message latency (`0` when no messages).
+    pub fn max_latency(&self) -> u64 {
+        self.message_latencies.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Delivered throughput in flits per cycle (`0` for empty traces).
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.flits_delivered as f64 / self.makespan as f64
+    }
+
+    /// The most-loaded directed link's flit count.
+    pub fn max_link_flits(&self) -> u64 {
+        self.link_flits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Load-imbalance factor: max link load over mean nonzero link load
+    /// (`0` when nothing moved). High values mean a hotspot.
+    pub fn link_imbalance(&self) -> f64 {
+        let nonzero: Vec<u64> = self.link_flits.iter().copied().filter(|&f| f > 0).collect();
+        if nonzero.is_empty() {
+            return 0.0;
+        }
+        let mean = nonzero.iter().sum::<u64>() as f64 / nonzero.len() as f64;
+        self.max_link_flits() as f64 / mean
+    }
+}
+
+/// Renders per-node outgoing link load as an ASCII grid (sum over the
+/// four outgoing directions), plus the single hottest directed link.
+pub fn render_link_heatmap(report: &SimReport, mesh: &crate::topology::Mesh2d) -> String {
+    use crate::topology::Direction;
+    let mut out = String::from("outgoing flits per node (sum over N/E/S/W links):\n");
+    for y in 0..mesh.height() {
+        for x in 0..mesh.width() {
+            let node = mesh.node_at(x, y);
+            let total: u64 = (0..4)
+                .map(|d| report.link_flits.get(node * 4 + d).copied().unwrap_or(0))
+                .sum();
+            out.push_str(&format!("[{node:>2}]{total:<8}"));
+        }
+        out.push('\n');
+    }
+    // Name the hottest directed link.
+    if let Some((idx, &max)) = report
+        .link_flits
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &f)| f)
+    {
+        if max > 0 {
+            let node = idx / 4;
+            let dir = Direction::ALL[idx % 4];
+            out.push_str(&format!("hottest link: node {node} {dir:?} ({max} flits)\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_helpers_handle_empty_reports() {
+        let r = SimReport {
+            makespan: 0,
+            messages_delivered: 0,
+            bytes_delivered: 0,
+            flits_delivered: 0,
+            message_latencies: vec![],
+            blocked_flit_cycles: 0,
+            events: EventCounts::default(),
+            link_flits: vec![],
+        };
+        assert_eq!(r.mean_latency(), 0.0);
+        assert_eq!(r.max_link_flits(), 0);
+        assert_eq!(r.link_imbalance(), 0.0);
+        assert_eq!(r.max_latency(), 0);
+        assert_eq!(r.throughput_flits_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn latency_helpers_compute_aggregates() {
+        let r = SimReport {
+            makespan: 100,
+            messages_delivered: 2,
+            bytes_delivered: 128,
+            flits_delivered: 50,
+            message_latencies: vec![10, 30],
+            blocked_flit_cycles: 5,
+            events: EventCounts::default(),
+            link_flits: vec![4, 0, 2, 0],
+        };
+        assert_eq!(r.mean_latency(), 20.0);
+        assert_eq!(r.max_latency(), 30);
+        assert_eq!(r.throughput_flits_per_cycle(), 0.5);
+        assert_eq!(r.max_link_flits(), 4);
+        assert!((r.link_imbalance() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heatmap_renders_loads_for_a_2x2_mesh() {
+        let mesh = crate::topology::Mesh2d::new(2, 2);
+        let mut link_flits = vec![0u64; 16];
+        link_flits[1] = 7; // node 0 East
+        link_flits[2] = 9; // node 0 South
+        let r = SimReport {
+            makespan: 1,
+            messages_delivered: 0,
+            bytes_delivered: 0,
+            flits_delivered: 0,
+            message_latencies: vec![],
+            blocked_flit_cycles: 0,
+            events: EventCounts::default(),
+            link_flits,
+        };
+        let s = render_link_heatmap(&r, &mesh);
+        // Node 0's outgoing total is 7 + 9 = 16.
+        assert!(s.contains("[ 0]16"), "{s}");
+        assert!(s.contains("[ 3]"), "{s}");
+        assert!(s.contains("hottest link: node 0 South (9 flits)"), "{s}");
+    }
+}

@@ -1,0 +1,314 @@
+//! 2-D mesh topology and dimension-ordered routing.
+
+use serde::{Deserialize, Serialize};
+
+/// Router port directions. `Local` is the injection/ejection port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward smaller y.
+    North,
+    /// Toward larger x.
+    East,
+    /// Toward larger y.
+    South,
+    /// Toward smaller x.
+    West,
+    /// The attached core.
+    Local,
+}
+
+impl Direction {
+    /// All five port directions, in port-index order.
+    pub const ALL: [Direction; 5] =
+        [Direction::North, Direction::East, Direction::South, Direction::West, Direction::Local];
+
+    /// Port index (0..5) of this direction.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The opposite direction (`Local` is its own opposite).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::Local => Direction::Local,
+        }
+    }
+}
+
+/// A `width × height` mesh with row-major node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh2d {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh2d {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Self { width, height }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Coordinates `(x, y)` of a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node % self.width, node / self.width)
+    }
+
+    /// Node id of coordinates `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node_at(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of range");
+        y * self.width + x
+    }
+
+    /// Manhattan (hop) distance between two nodes — the paper's inter-core
+    /// "Hamming Distance" on the mesh.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The neighbour of `node` in `dir`, if it exists.
+    pub fn neighbor(&self, node: usize, dir: Direction) -> Option<usize> {
+        let (x, y) = self.coords(node);
+        match dir {
+            Direction::North if y > 0 => Some(self.node_at(x, y - 1)),
+            Direction::South if y + 1 < self.height => Some(self.node_at(x, y + 1)),
+            Direction::East if x + 1 < self.width => Some(self.node_at(x + 1, y)),
+            Direction::West if x > 0 => Some(self.node_at(x - 1, y)),
+            _ => None,
+        }
+    }
+
+    /// Dimension-ordered (XY) routing: the output direction a flit at
+    /// `here` takes toward `dst` — X is fully resolved before Y;
+    /// `Local` when `here == dst`.
+    pub fn route_xy(&self, here: usize, dst: usize) -> Direction {
+        let (hx, hy) = self.coords(here);
+        let (dx, dy) = self.coords(dst);
+        if hx < dx {
+            Direction::East
+        } else if hx > dx {
+            Direction::West
+        } else if hy < dy {
+            Direction::South
+        } else if hy > dy {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Dimension-ordered YX routing: Y is fully resolved before X (the
+    /// complementary order used by O1TURN).
+    pub fn route_yx(&self, here: usize, dst: usize) -> Direction {
+        let (hx, hy) = self.coords(here);
+        let (dx, dy) = self.coords(dst);
+        if hy < dy {
+            Direction::South
+        } else if hy > dy {
+            Direction::North
+        } else if hx < dx {
+            Direction::East
+        } else if hx > dx {
+            Direction::West
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Routes in the given dimension order (`yx = false` → XY).
+    pub fn route_ordered(&self, yx: bool, here: usize, dst: usize) -> Direction {
+        if yx {
+            self.route_yx(here, dst)
+        } else {
+            self.route_xy(here, dst)
+        }
+    }
+
+    /// The full XY path from `src` to `dst`, excluding `src`, including
+    /// `dst`.
+    pub fn path_xy(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut path = Vec::with_capacity(self.distance(src, dst));
+        let mut here = src;
+        while here != dst {
+            let dir = self.route_xy(here, dst);
+            here = self.neighbor(here, dir).expect("XY routing never leaves the mesh");
+            path.push(here);
+        }
+        path
+    }
+
+    /// The `n × n` hop-distance matrix (row-major).
+    pub fn distance_matrix(&self) -> Vec<usize> {
+        let n = self.nodes();
+        let mut m = vec![0usize; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                m[a * n + b] = self.distance(a, b);
+            }
+        }
+        m
+    }
+
+    /// Mean hop distance over all ordered pairs of distinct nodes.
+    pub fn mean_distance(&self) -> f64 {
+        let n = self.nodes();
+        if n < 2 {
+            return 0.0;
+        }
+        let total: usize = self.distance_matrix().iter().sum();
+        total as f64 / (n * (n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh2d::new(4, 4);
+        for node in 0..16 {
+            let (x, y) = m.coords(node);
+            assert_eq!(m.node_at(x, y), node);
+        }
+    }
+
+    #[test]
+    fn distance_matches_figure_6a() {
+        // Fig. 6(a): distances of the first four cores (top row of the 4x4
+        // mesh) are 0,1,2,3 / 1,0,1,2 / 2,1,0,1 / 3,2,1,0.
+        let m = Mesh2d::new(4, 4);
+        let expected = [
+            [0, 1, 2, 3],
+            [1, 0, 1, 2],
+            [2, 1, 0, 1],
+            [3, 2, 1, 0],
+        ];
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(m.distance(a, b), expected[a][b]);
+            }
+        }
+        // And a vertical + horizontal case.
+        assert_eq!(m.distance(0, 15), 6);
+        assert_eq!(m.distance(0, 4), 1);
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let m = Mesh2d::new(4, 4);
+        // From (0,0) to (2,2): must head East until x matches.
+        assert_eq!(m.route_xy(0, 10), Direction::East);
+        assert_eq!(m.route_xy(2, 10), Direction::South); // (2,0) -> South
+        assert_eq!(m.route_xy(10, 10), Direction::Local);
+    }
+
+    #[test]
+    fn path_length_equals_distance() {
+        let m = Mesh2d::new(4, 4);
+        for src in 0..16 {
+            for dst in 0..16 {
+                let path = m.path_xy(src, dst);
+                assert_eq!(path.len(), m.distance(src, dst));
+                if src != dst {
+                    assert_eq!(*path.last().unwrap(), dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let m = Mesh2d::new(2, 2);
+        assert_eq!(m.neighbor(0, Direction::North), None);
+        assert_eq!(m.neighbor(0, Direction::West), None);
+        assert_eq!(m.neighbor(0, Direction::East), Some(1));
+        assert_eq!(m.neighbor(0, Direction::South), Some(2));
+        assert_eq!(m.neighbor(3, Direction::North), Some(1));
+    }
+
+    #[test]
+    fn opposite_directions() {
+        assert_eq!(Direction::North.opposite(), Direction::South);
+        assert_eq!(Direction::East.opposite(), Direction::West);
+        assert_eq!(Direction::Local.opposite(), Direction::Local);
+    }
+
+    #[test]
+    fn yx_routing_goes_y_first() {
+        let m = Mesh2d::new(4, 4);
+        // From (0,0) to (2,2): YX heads South until y matches, then East.
+        assert_eq!(m.route_yx(0, 10), Direction::South);
+        assert_eq!(m.route_yx(8, 10), Direction::East); // (0,2) -> East
+        assert_eq!(m.route_yx(10, 10), Direction::Local);
+        assert_eq!(m.route_ordered(false, 0, 10), Direction::East);
+        assert_eq!(m.route_ordered(true, 0, 10), Direction::South);
+    }
+
+    #[test]
+    fn xy_and_yx_paths_have_equal_length() {
+        let m = Mesh2d::new(4, 4);
+        for src in 0..16 {
+            for dst in 0..16 {
+                // Walk the YX route manually.
+                let mut here = src;
+                let mut hops = 0;
+                while here != dst {
+                    let dir = m.route_yx(here, dst);
+                    here = m.neighbor(here, dir).unwrap();
+                    hops += 1;
+                }
+                assert_eq!(hops, m.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_distance_grows_with_mesh() {
+        let small = Mesh2d::new(2, 2).mean_distance();
+        let large = Mesh2d::new(4, 4).mean_distance();
+        assert!(large > small);
+        // 2x2 mesh: pairs at distance 1 (8 ordered) and 2 (4 ordered) -> 4/3.
+        assert!((small - 4.0 / 3.0).abs() < 1e-9);
+    }
+}

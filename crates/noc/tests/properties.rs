@@ -1,0 +1,103 @@
+//! Property-based tests for the NoC simulator's global invariants.
+
+use lts_noc::analytic::analyze;
+use lts_noc::traffic::{Message, TrafficTrace};
+use lts_noc::{Mesh2d, NocConfig, Simulator};
+use proptest::prelude::*;
+
+/// Strategy producing a random valid trace on a w×h mesh.
+fn trace_strategy(nodes: usize, max_msgs: usize) -> impl Strategy<Value = Vec<Message>> {
+    proptest::collection::vec(
+        (0..nodes, 0..nodes, 1u64..2000, 0u64..200).prop_map(|(s, d, bytes, t)| {
+            let dst = if d == s { (d + 1) % 16 } else { d };
+            Message::new(s, dst, bytes, t)
+        }),
+        1..max_msgs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_message_is_delivered_exactly_once(msgs in trace_strategy(16, 40)) {
+        let mut sim = Simulator::new(NocConfig::paper_16core()).unwrap();
+        let report = sim.run(&msgs).unwrap();
+        prop_assert_eq!(report.messages_delivered, msgs.len());
+        prop_assert_eq!(report.message_latencies.len(), msgs.len());
+        let total_flits: u64 = msgs
+            .iter()
+            .map(|m| sim.config().flits_for_bytes(m.bytes))
+            .sum();
+        prop_assert_eq!(report.flits_delivered, total_flits);
+    }
+
+    #[test]
+    fn buffer_reads_equal_writes(msgs in trace_strategy(16, 30)) {
+        let mut sim = Simulator::new(NocConfig::paper_16core()).unwrap();
+        let report = sim.run(&msgs).unwrap();
+        prop_assert_eq!(report.events.buffer_reads, report.events.buffer_writes);
+    }
+
+    #[test]
+    fn latency_bounded_below_by_distance(msgs in trace_strategy(16, 25)) {
+        let cfg = NocConfig::paper_16core();
+        let mesh = Mesh2d::new(4, 4);
+        let mut sim = Simulator::new(cfg).unwrap();
+        let report = sim.run(&msgs).unwrap();
+        for (i, m) in msgs.iter().enumerate() {
+            let hops = mesh.distance(m.src, m.dst) as u64;
+            let flits = cfg.flits_for_bytes(m.bytes);
+            let lower = (hops + 1) * cfg.router_stages + hops * cfg.link_cycles + (flits - 1);
+            prop_assert!(report.message_latencies[i] >= lower);
+        }
+    }
+
+    #[test]
+    fn link_traversals_equal_analytic_flit_hops(msgs in trace_strategy(16, 30)) {
+        let cfg = NocConfig::paper_16core();
+        let trace = TrafficTrace { messages: msgs.clone() };
+        let analytic = analyze(&cfg, &trace);
+        let mut sim = Simulator::new(cfg).unwrap();
+        let report = sim.run(&msgs).unwrap();
+        prop_assert_eq!(report.events.link_traversals, analytic.flit_hops);
+        prop_assert!(report.makespan >= analytic.makespan_lower_bound);
+    }
+
+    #[test]
+    fn more_bytes_never_reduce_total_work(
+        msgs in trace_strategy(16, 15), extra in 64u64..512
+    ) {
+        let cfg = NocConfig::paper_16core();
+        let mut sim = Simulator::new(cfg).unwrap();
+        let base = sim.run(&msgs).unwrap();
+        let bigger: Vec<Message> = msgs
+            .iter()
+            .map(|m| Message::new(m.src, m.dst, m.bytes + extra, m.inject_cycle))
+            .collect();
+        let big = sim.run(&bigger).unwrap();
+        prop_assert!(big.events.link_traversals >= base.events.link_traversals);
+        prop_assert!(big.flits_delivered >= base.flits_delivered);
+    }
+
+    #[test]
+    fn meshes_of_any_shape_deliver(msgs in trace_strategy(6, 15), w in 2usize..4, h in 2usize..4) {
+        let cfg = NocConfig::paper_mesh(w, h);
+        let nodes = cfg.nodes();
+        // Remap endpoints into range.
+        let msgs: Vec<Message> = msgs
+            .iter()
+            .map(|m| {
+                let s = m.src % nodes;
+                let mut d = m.dst % nodes;
+                if d == s {
+                    d = (d + 1) % nodes;
+                }
+                Message::new(s, d, m.bytes, m.inject_cycle)
+            })
+            .collect();
+        let mut sim = Simulator::new(cfg).unwrap();
+        let report = sim.run(&msgs).unwrap();
+        prop_assert_eq!(report.messages_delivered, msgs.len());
+    }
+}

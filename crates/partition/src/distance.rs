@@ -1,0 +1,119 @@
+//! Hop-distance strength masks (Fig. 6(a) of the paper).
+//!
+//! The SS_Mask scheme scales each producer→consumer weight group's
+//! sparsity strength by the NoC hop distance between the two cores, so
+//! training prunes long-distance groups first. Diagonal groups (same
+//! core) get strength 0 — "the weights on the diagonal groups will not
+//! cause any communication", so the trainer is free to keep them.
+
+use lts_nn::regularizer::StrengthMask;
+use lts_nn::NnError;
+use lts_noc::Mesh2d;
+
+/// The plain hop-distance mask: `factor(p, c) = distance(p, c)`,
+/// optionally normalized so the mean off-diagonal factor is 1 (keeps the
+/// group-Lasso λ comparable between SS and SS_Mask).
+///
+/// # Errors
+///
+/// Propagates [`NnError::BadConfig`] from mask construction (cannot happen
+/// for a valid mesh, but the signature keeps the caller honest).
+pub fn hop_mask(mesh: &Mesh2d, normalize: bool) -> Result<StrengthMask, NnError> {
+    hop_power_mask(mesh, 1.0, normalize)
+}
+
+/// Generalized distance mask: `factor(p, c) = distance(p, c)^power` for
+/// `p != c`, and `0` on the diagonal. `power = 0` penalizes every
+/// off-core group equally (distance-blind, but still traffic-aware);
+/// larger powers concentrate pruning on the longest paths. The ablation
+/// benches sweep this.
+///
+/// # Errors
+///
+/// Propagates [`NnError::BadConfig`] from mask construction.
+pub fn hop_power_mask(
+    mesh: &Mesh2d,
+    power: f32,
+    normalize: bool,
+) -> Result<StrengthMask, NnError> {
+    let n = mesh.nodes();
+    let mut factors = vec![0.0f32; n * n];
+    for p in 0..n {
+        for c in 0..n {
+            if p != c {
+                factors[p * n + c] = (mesh.distance(p, c) as f32).powf(power);
+            }
+        }
+    }
+    if normalize {
+        let off_diag: Vec<f32> = factors.iter().copied().filter(|&f| f > 0.0).collect();
+        if !off_diag.is_empty() {
+            let mean = off_diag.iter().sum::<f32>() / off_diag.len() as f32;
+            if mean > 0.0 {
+                for f in &mut factors {
+                    *f /= mean;
+                }
+            }
+        }
+    }
+    StrengthMask::from_factors(n, factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_zero_everywhere() {
+        let mesh = Mesh2d::new(4, 4);
+        let mask = hop_mask(&mesh, false).unwrap();
+        for i in 0..16 {
+            assert_eq!(mask.factor(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn factors_match_figure_6a_distances() {
+        let mesh = Mesh2d::new(4, 4);
+        let mask = hop_mask(&mesh, false).unwrap();
+        // Fig. 6(a): cores 0..4 on the top row at distances 0..3.
+        assert_eq!(mask.factor(0, 1), 1.0);
+        assert_eq!(mask.factor(0, 2), 2.0);
+        assert_eq!(mask.factor(0, 3), 3.0);
+        assert_eq!(mask.factor(3, 0), 3.0);
+        // Opposite mesh corners: 6 hops.
+        assert_eq!(mask.factor(0, 15), 6.0);
+    }
+
+    #[test]
+    fn normalization_gives_unit_mean_off_diagonal() {
+        let mesh = Mesh2d::new(4, 4);
+        let mask = hop_mask(&mesh, true).unwrap();
+        let sum: f32 = mask.factors().iter().sum();
+        let count = 16 * 15;
+        assert!((sum / count as f32 - 1.0).abs() < 1e-5);
+        // Relative ordering preserved.
+        assert!(mask.factor(0, 15) > mask.factor(0, 1));
+    }
+
+    #[test]
+    fn power_zero_is_uniform_off_diagonal() {
+        let mesh = Mesh2d::new(2, 2);
+        let mask = hop_power_mask(&mesh, 0.0, false).unwrap();
+        for p in 0..4 {
+            for c in 0..4 {
+                let expect = if p == c { 0.0 } else { 1.0 };
+                assert_eq!(mask.factor(p, c), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_power_spreads_the_factor_range() {
+        let mesh = Mesh2d::new(4, 4);
+        let linear = hop_mask(&mesh, true).unwrap();
+        let quad = hop_power_mask(&mesh, 2.0, true).unwrap();
+        let spread = |m: &StrengthMask| m.max_factor() / m.factor(0, 1);
+        assert!(spread(&quad) > spread(&linear));
+    }
+}

@@ -1,0 +1,27 @@
+//! Layer-to-core mapping, distance masks, and NoC traffic generation.
+//!
+//! This crate is the bridge between the neural network ([`lts_nn`]) and
+//! the hardware models (`lts-accel`/[`lts_noc`]): it decides which core
+//! owns which output channels/neurons of every layer, derives the
+//! producer→consumer block layouts that group-Lasso training regularizes,
+//! builds the hop-distance strength masks of the SS_Mask scheme
+//! (Fig. 6(a)), and turns a (possibly sparsified) network into the
+//! per-layer-transition message traces the NoC simulator executes.
+//!
+//! The central invariant: **input-unit ownership follows the previous
+//! layer's output partition**. [`ownership`] tracks activation ownership
+//! through pooling/activation/flatten so that both the regularizer masks
+//! and the traffic traces agree on who must send what to whom.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod distance;
+pub mod ownership;
+pub mod plan;
+pub mod traffic;
+
+pub use distance::{hop_mask, hop_power_mask};
+pub use ownership::OwnershipMap;
+pub use plan::{LayerPlan, Plan, PlanError};

@@ -1,0 +1,218 @@
+//! Activation-ownership tracking through a network.
+//!
+//! After a weight layer is partitioned, each core owns a contiguous block
+//! of its output channels (or neurons). Pooling and activations preserve
+//! that ownership; flattening expands each channel block by the spatial
+//! size. This module propagates ownership layer by layer so downstream
+//! consumers (regularizer masks and traffic generation) know the *true*
+//! producer core of every input unit.
+
+use lts_nn::descriptor::{LayerKind, LayerSpec};
+use lts_nn::grouping::even_blocks;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Who owns each unit of one activation tensor: core `i` owns
+/// `blocks[i]` (a contiguous, possibly empty range of unit indices).
+///
+/// "Units" are channels for spatial activations and values for flat ones.
+///
+/// # Examples
+///
+/// ```
+/// use lts_partition::OwnershipMap;
+///
+/// // 5 channels of 4 pixels over 2 cores: a 3/2 channel split, which
+/// // flattens to a 12/8 value split — not an even split of 20.
+/// let channels = OwnershipMap::even(5, 4, 2);
+/// let flat = channels.flattened();
+/// assert_eq!(flat.block(0), 0..12);
+/// assert_eq!(flat.block(1), 12..20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnershipMap {
+    blocks: Vec<Range<usize>>,
+    /// Values per unit (spatial size of a channel; 1 for flat activations).
+    values_per_unit: usize,
+}
+
+impl OwnershipMap {
+    /// Even ownership of `units` units across `cores` cores, each unit
+    /// carrying `values_per_unit` scalar values.
+    pub fn even(units: usize, values_per_unit: usize, cores: usize) -> Self {
+        assert!(values_per_unit > 0, "values_per_unit must be positive");
+        Self { blocks: even_blocks(units, cores), values_per_unit }
+    }
+
+    /// Ownership with explicit blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks are not a contiguous ascending partition.
+    pub fn from_blocks(blocks: Vec<Range<usize>>, values_per_unit: usize) -> Self {
+        assert!(values_per_unit > 0, "values_per_unit must be positive");
+        let mut expected = 0;
+        for b in &blocks {
+            assert_eq!(b.start, expected, "ownership blocks must be contiguous");
+            expected = b.end;
+        }
+        Self { blocks, values_per_unit }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total units.
+    pub fn units(&self) -> usize {
+        self.blocks.last().map_or(0, |b| b.end)
+    }
+
+    /// Scalar values per unit.
+    pub fn values_per_unit(&self) -> usize {
+        self.values_per_unit
+    }
+
+    /// The unit range owned by `core`.
+    pub fn block(&self, core: usize) -> Range<usize> {
+        self.blocks[core].clone()
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[Range<usize>] {
+        &self.blocks
+    }
+
+    /// The core owning unit `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn owner_of(&self, u: usize) -> usize {
+        self.blocks
+            .iter()
+            .position(|b| b.contains(&u))
+            .unwrap_or_else(|| panic!("unit {u} beyond {} units", self.units()))
+    }
+
+    /// Ownership after flattening: each unit becomes `values_per_unit`
+    /// flat units owning 1 value each.
+    pub fn flattened(&self) -> OwnershipMap {
+        let v = self.values_per_unit;
+        OwnershipMap {
+            blocks: self.blocks.iter().map(|b| b.start * v..b.end * v).collect(),
+            values_per_unit: 1,
+        }
+    }
+
+    /// Ownership after a spatial resize (pooling): same channel blocks,
+    /// new per-channel value count.
+    pub fn with_values_per_unit(&self, values_per_unit: usize) -> OwnershipMap {
+        assert!(values_per_unit > 0, "values_per_unit must be positive");
+        OwnershipMap { blocks: self.blocks.clone(), values_per_unit }
+    }
+}
+
+/// Propagates ownership through one layer: returns the ownership of the
+/// layer's *output* given the ownership of its input (`None` for the
+/// network input, which every core holds a copy of).
+pub fn propagate(
+    spec: &LayerSpec,
+    input: Option<&OwnershipMap>,
+    cores: usize,
+) -> Option<OwnershipMap> {
+    match spec.kind {
+        LayerKind::Conv { out_c, .. } => {
+            let spatial = spec.out_dims.1 * spec.out_dims.2;
+            Some(OwnershipMap::even(out_c, spatial, cores))
+        }
+        LayerKind::Linear { out_f, .. } => Some(OwnershipMap::even(out_f, 1, cores)),
+        LayerKind::Pool { .. } => input.map(|o| {
+            o.with_values_per_unit(spec.out_dims.1 * spec.out_dims.2)
+        }),
+        LayerKind::Activation => input.cloned(),
+        LayerKind::Flatten => input.map(OwnershipMap::flattened),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_nn::descriptor::SpecBuilder;
+
+    #[test]
+    fn even_ownership_covers_all_units() {
+        let o = OwnershipMap::even(10, 4, 3);
+        assert_eq!(o.units(), 10);
+        assert_eq!(o.cores(), 3);
+        assert_eq!(o.owner_of(0), 0);
+        assert_eq!(o.owner_of(9), 2);
+    }
+
+    #[test]
+    fn flatten_expands_channel_blocks() {
+        // 6 channels of 4 pixels across 2 cores: blocks [0..3), [3..6).
+        let o = OwnershipMap::even(6, 4, 2);
+        let f = o.flattened();
+        assert_eq!(f.units(), 24);
+        assert_eq!(f.block(0), 0..12);
+        assert_eq!(f.block(1), 12..24);
+        assert_eq!(f.values_per_unit(), 1);
+    }
+
+    #[test]
+    fn flatten_preserves_uneven_boundaries() {
+        // 5 channels over 2 cores: 3/2 split; flattened 12/8 — NOT an even
+        // split of 20. This is the misalignment the pipeline must honour.
+        let o = OwnershipMap::even(5, 4, 2);
+        let f = o.flattened();
+        assert_eq!(f.block(0), 0..12);
+        assert_eq!(f.block(1), 12..20);
+        assert_ne!(f.blocks(), OwnershipMap::even(20, 1, 2).blocks());
+    }
+
+    #[test]
+    fn propagation_through_a_cnn() {
+        let spec = SpecBuilder::new("n", (3, 8, 8))
+            .conv("c1", 6, 3, 1, 1, 1)
+            .relu()
+            .pool("p1", 2, 2)
+            .flatten()
+            .linear("ip", 10)
+            .build();
+        let cores = 2;
+        let mut own: Option<OwnershipMap> = None;
+        let mut history = Vec::new();
+        for l in &spec.layers {
+            own = propagate(l, own.as_ref(), cores);
+            history.push(own.clone());
+        }
+        // conv1: 6 channels x 64 px.
+        assert_eq!(history[0].as_ref().unwrap().units(), 6);
+        assert_eq!(history[0].as_ref().unwrap().values_per_unit(), 64);
+        // pool: 6 channels x 16 px.
+        assert_eq!(history[2].as_ref().unwrap().values_per_unit(), 16);
+        // flatten: 96 flat units.
+        assert_eq!(history[3].as_ref().unwrap().units(), 96);
+        // linear: 10 neurons.
+        assert_eq!(history[4].as_ref().unwrap().units(), 10);
+    }
+
+    #[test]
+    fn first_layer_has_no_input_ownership() {
+        let spec = SpecBuilder::new("n", (3, 8, 8)).conv("c1", 4, 3, 1, 1, 1).build();
+        // Input is None (image replicated everywhere); conv output is owned.
+        let out = propagate(spec.layer("c1").unwrap(), None, 4);
+        assert!(out.is_some());
+        // A pool with no ownership input stays unowned (degenerate chains).
+        let pool_spec = SpecBuilder::new("n", (3, 8, 8)).pool("p", 2, 2).build();
+        assert!(propagate(pool_spec.layer("p").unwrap(), None, 4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_blocks_rejects_gaps() {
+        OwnershipMap::from_blocks(vec![0..2, 3..4], 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! The parallelization plan: ownership, layouts and traffic for a whole
+//! network.
+
+use crate::ownership::{propagate, OwnershipMap};
+use crate::traffic::transition_messages;
+use lts_nn::descriptor::{LayerKind, LayerSpec, NetworkSpec};
+use lts_nn::grouping::{even_blocks, GroupLayout};
+use lts_noc::traffic::TrafficTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A weights entry does not match the layer's weight count.
+    WeightsMismatch {
+        /// Layer name.
+        layer: String,
+        /// Expected weight count.
+        expected: usize,
+        /// Provided weight count.
+        actual: usize,
+    },
+    /// The network/core combination is invalid.
+    BadConfig(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::WeightsMismatch { layer, expected, actual } => write!(
+                f,
+                "layer `{layer}` expects {expected} weights, got {actual}"
+            ),
+            PlanError::BadConfig(msg) => write!(f, "bad plan configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+/// Everything the system model needs about one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPlan {
+    /// The layer's geometry.
+    pub spec: LayerSpec,
+    /// Output units computed by each core.
+    pub assignments: Vec<usize>,
+    /// Producer×consumer weight block layout (weight-bearing, ungrouped
+    /// layers only — this is what the SS/SS_Mask regularizer attaches to).
+    pub layout: Option<GroupLayout>,
+    /// Messages that must be delivered before this layer can start
+    /// (empty for the first layer and all local layers).
+    pub traffic: TrafficTrace,
+}
+
+/// A full parallelization plan for a network on `cores` cores.
+///
+/// # Examples
+///
+/// ```
+/// use lts_partition::Plan;
+/// use lts_nn::descriptor::lenet_spec;
+///
+/// # fn main() -> Result<(), lts_partition::PlanError> {
+/// let plan = Plan::dense(&lenet_spec(), 16, 2)?;
+/// // conv1 reads the replicated input image: no inter-core traffic.
+/// assert!(plan.layer("conv1").unwrap().traffic.is_empty());
+/// // conv2's inputs live scattered across the 16 cores.
+/// assert!(!plan.layer("conv2").unwrap().traffic.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Number of cores.
+    pub cores: usize,
+    /// One entry per network layer, in execution order.
+    pub layers: Vec<LayerPlan>,
+}
+
+impl Plan {
+    /// Builds the plan for `spec` on `cores` cores.
+    ///
+    /// `weights` maps layer names to trained (possibly sparsified) flat
+    /// weight tensors; transitions into layers present in the map use
+    /// sparsity-aware traffic, everything else is dense. Pass an empty
+    /// map (or [`Plan::dense`]) for the traditional baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::BadConfig`] if `cores == 0`, and
+    /// [`PlanError::WeightsMismatch`] if a provided weight tensor has the
+    /// wrong length.
+    pub fn build(
+        spec: &NetworkSpec,
+        cores: usize,
+        weights: &HashMap<String, Vec<f32>>,
+        bytes_per_value: usize,
+    ) -> Result<Plan, PlanError> {
+        if cores == 0 {
+            return Err(PlanError::BadConfig("cores must be positive".into()));
+        }
+        if bytes_per_value == 0 {
+            return Err(PlanError::BadConfig("bytes_per_value must be positive".into()));
+        }
+        let mut ownership: Option<OwnershipMap> = None;
+        let mut layers = Vec::with_capacity(spec.layers.len());
+        for layer in &spec.layers {
+            let layout = Self::layout_for(layer, ownership.as_ref(), cores);
+            if let (Some(l), Some(w)) = (&layout, weights.get(&layer.name)) {
+                if l.weight_len() != w.len() {
+                    return Err(PlanError::WeightsMismatch {
+                        layer: layer.name.clone(),
+                        expected: l.weight_len(),
+                        actual: w.len(),
+                    });
+                }
+            }
+            let consumers = consumer_blocks(layer, cores);
+            let traffic = match (&ownership, layer.has_weights()) {
+                (Some(producer), true) => {
+                    let sparse = match (&layout, weights.get(&layer.name)) {
+                        (Some(l), Some(w)) => Some((l, w.as_slice())),
+                        _ => None,
+                    };
+                    transition_messages(producer, layer, &consumers, sparse, bytes_per_value, 0)
+                }
+                _ => TrafficTrace::new(),
+            };
+            let assignments = assignment_counts(layer, ownership.as_ref(), cores);
+            ownership = propagate(layer, ownership.as_ref(), cores);
+            layers.push(LayerPlan { spec: layer.clone(), assignments, layout, traffic });
+        }
+        Ok(Plan { cores, layers })
+    }
+
+    /// The traditional (dense) plan — no sparsity anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Plan::build`].
+    pub fn dense(
+        spec: &NetworkSpec,
+        cores: usize,
+        bytes_per_value: usize,
+    ) -> Result<Plan, PlanError> {
+        Self::build(spec, cores, &HashMap::new(), bytes_per_value)
+    }
+
+    /// The weight block layout of `layer` given the current input
+    /// ownership (ungrouped weight layers only).
+    fn layout_for(
+        layer: &LayerSpec,
+        ownership: Option<&OwnershipMap>,
+        cores: usize,
+    ) -> Option<GroupLayout> {
+        match layer.kind {
+            LayerKind::Conv { out_c, kernel, groups: 1, .. } => {
+                let out_blocks = even_blocks(out_c, cores);
+                let in_blocks = match ownership {
+                    Some(o) => o.blocks().to_vec(),
+                    None => even_blocks(layer.in_dims.0, cores),
+                };
+                Some(GroupLayout::with_blocks(kernel * kernel, out_blocks, in_blocks))
+            }
+            LayerKind::Linear { in_f, out_f } => {
+                let out_blocks = even_blocks(out_f, cores);
+                let in_blocks = match ownership {
+                    Some(o) => o.blocks().to_vec(),
+                    None => even_blocks(in_f, cores),
+                };
+                Some(GroupLayout::with_blocks(1, out_blocks, in_blocks))
+            }
+            _ => None,
+        }
+    }
+
+    /// Total transition traffic across the whole network, in bytes.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.traffic.total_bytes()).sum()
+    }
+
+    /// Per-layer `(name, bytes)` for layers with nonzero traffic.
+    pub fn traffic_by_layer(&self) -> Vec<(String, u64)> {
+        self.layers
+            .iter()
+            .filter(|l| !l.traffic.is_empty())
+            .map(|l| (l.spec.name.clone(), l.traffic.total_bytes()))
+            .collect()
+    }
+
+    /// The plan entry for layer `name`.
+    pub fn layer(&self, name: &str) -> Option<&LayerPlan> {
+        self.layers.iter().find(|l| l.spec.name == name)
+    }
+}
+
+/// Output-unit block per consumer core for a layer.
+fn consumer_blocks(layer: &LayerSpec, cores: usize) -> Vec<std::ops::Range<usize>> {
+    even_blocks(layer.out_dims.0, cores)
+}
+
+/// How many output units each core computes for this layer.
+fn assignment_counts(
+    layer: &LayerSpec,
+    ownership: Option<&OwnershipMap>,
+    cores: usize,
+) -> Vec<usize> {
+    match layer.kind {
+        LayerKind::Conv { out_c, .. } => even_blocks(out_c, cores).iter().map(|b| b.len()).collect(),
+        LayerKind::Linear { out_f, .. } => {
+            even_blocks(out_f, cores).iter().map(|b| b.len()).collect()
+        }
+        // Pool/activation run on the cores that own their channels.
+        LayerKind::Pool { .. } | LayerKind::Activation => match ownership {
+            Some(o) => o.blocks().iter().map(|b| b.len()).collect(),
+            None => even_blocks(layer.out_dims.0, cores).iter().map(|b| b.len()).collect(),
+        },
+        LayerKind::Flatten => vec![0; cores],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_nn::descriptor::{lenet_spec, mlp_spec, SpecBuilder};
+
+    #[test]
+    fn dense_plan_matches_analytic_volumes() {
+        let spec = lenet_spec();
+        let plan = Plan::dense(&spec, 16, 2).unwrap();
+        // conv1 reads the input image: no inter-core traffic.
+        assert!(plan.layer("conv1").unwrap().traffic.is_empty());
+        // conv2's input is conv1's pooled output: 20 ch x 12x12 x 2 B x 15.
+        let conv2 = plan.layer("conv2").unwrap();
+        assert_eq!(conv2.traffic.total_bytes(), 20 * 12 * 12 * 2 * 15);
+        // ip1 follows flatten: 50 ch x 4x4 x 2 B x 15.
+        let ip1 = plan.layer("ip1").unwrap();
+        assert_eq!(ip1.traffic.total_bytes(), 50 * 4 * 4 * 2 * 15);
+        // ip2 has only 10 output neurons on 16 cores, so 6 cores own no
+        // outputs and receive nothing: producers 0..4 own 32 of ip1's 500
+        // values, the rest own 31; cores 0..10 consume.
+        let ip2 = plan.layer("ip2").unwrap();
+        let expected = 2 * (4 * 32 * 9 + 6 * 31 * 9 + 6 * 31 * 10);
+        assert_eq!(ip2.traffic.total_bytes(), expected);
+    }
+
+    #[test]
+    fn mlp_first_layer_generates_no_traffic() {
+        let plan = Plan::dense(&mlp_spec(), 16, 2).unwrap();
+        assert!(plan.layer("ip1").unwrap().traffic.is_empty());
+        assert_eq!(plan.layer("ip2").unwrap().traffic.total_bytes(), 512 * 2 * 15);
+        // ip3 has 10 outputs on 16 cores: only the 10 owning cores receive
+        // (19 of ip2's 304 values per producer; 9 or 10 remote consumers).
+        let expected_ip3 = 2 * 19 * (10 * 9 + 6 * 10);
+        assert_eq!(plan.layer("ip3").unwrap().traffic.total_bytes(), expected_ip3);
+    }
+
+    #[test]
+    fn grouped_network_has_zero_traffic_on_grouped_layers() {
+        let spec = SpecBuilder::new("g", (3, 16, 16))
+            .conv("conv1", 16, 5, 1, 2, 1)
+            .pool("pool1", 2, 2)
+            .conv("conv2", 32, 3, 1, 1, 16)
+            .pool("pool2", 2, 2)
+            .flatten()
+            .linear("ip1", 10)
+            .build();
+        let plan = Plan::dense(&spec, 16, 2).unwrap();
+        assert!(plan.layer("conv2").unwrap().traffic.is_empty());
+        // The FC layer after the grouped conv still needs synchronization.
+        assert!(!plan.layer("ip1").unwrap().traffic.is_empty());
+    }
+
+    #[test]
+    fn sparse_weights_reduce_plan_traffic() {
+        let spec = mlp_spec();
+        // All-zero ip2 weights: transition into ip2 disappears.
+        let mut weights = HashMap::new();
+        weights.insert("ip2".to_string(), vec![0.0f32; 512 * 304]);
+        let plan = Plan::build(&spec, 16, &weights, 2).unwrap();
+        assert!(plan.layer("ip2").unwrap().traffic.is_empty());
+        // ip3 (no weights provided) stays dense (10 consuming cores).
+        assert_eq!(plan.layer("ip3").unwrap().traffic.total_bytes(), 2 * 19 * (10 * 9 + 6 * 10));
+    }
+
+    #[test]
+    fn weights_length_is_validated() {
+        let spec = mlp_spec();
+        let mut weights = HashMap::new();
+        weights.insert("ip2".to_string(), vec![0.0f32; 7]);
+        assert!(matches!(
+            Plan::build(&spec, 16, &weights, 2),
+            Err(PlanError::WeightsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn layouts_follow_ownership_through_flatten() {
+        let plan = Plan::dense(&lenet_spec(), 16, 2).unwrap();
+        let ip1 = plan.layer("ip1").unwrap();
+        let layout = ip1.layout.as_ref().unwrap();
+        // 50 channels over 16 cores: first 2 cores own 4 channels = 64
+        // flat units each, later cores own 3 channels = 48 units.
+        assert_eq!(layout.in_block(0).len(), 4 * 16);
+        assert_eq!(layout.in_block(15).len(), 3 * 16);
+        assert_eq!(layout.in_units(), 800);
+    }
+
+    #[test]
+    fn assignments_sum_to_output_units() {
+        let plan = Plan::dense(&lenet_spec(), 16, 2).unwrap();
+        for lp in &plan.layers {
+            if lp.spec.has_weights() {
+                let total: usize = lp.assignments.iter().sum();
+                assert_eq!(total, lp.spec.out_dims.0, "layer {}", lp.spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cores_is_rejected() {
+        assert!(Plan::dense(&mlp_spec(), 0, 2).is_err());
+    }
+}

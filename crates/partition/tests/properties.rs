@@ -1,0 +1,128 @@
+//! Property-based tests for ownership, masks and traffic generation.
+
+use lts_nn::descriptor::SpecBuilder;
+use lts_nn::grouping::GroupLayout;
+use lts_noc::Mesh2d;
+use lts_partition::ownership::OwnershipMap;
+use lts_partition::traffic::{dense_volume_bytes, transition_messages};
+use lts_partition::{hop_power_mask, Plan};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ownership_covers_every_unit_exactly_once(
+        units in 1usize..100, vpu in 1usize..16, cores in 1usize..17
+    ) {
+        let o = OwnershipMap::even(units, vpu, cores);
+        prop_assert_eq!(o.units(), units);
+        for u in 0..units {
+            let owner = o.owner_of(u);
+            prop_assert!(o.block(owner).contains(&u));
+        }
+        let total: usize = (0..cores).map(|c| o.block(c).len()).sum();
+        prop_assert_eq!(total, units);
+    }
+
+    #[test]
+    fn flattening_preserves_ownership_boundaries(
+        units in 1usize..40, vpu in 1usize..12, cores in 1usize..9
+    ) {
+        let o = OwnershipMap::even(units, vpu, cores);
+        let f = o.flattened();
+        prop_assert_eq!(f.units(), units * vpu);
+        // Every flat value belongs to the owner of its source unit.
+        for u in 0..units {
+            let owner = o.owner_of(u);
+            for v in 0..vpu {
+                prop_assert_eq!(f.owner_of(u * vpu + v), owner);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_masks_are_symmetric_and_zero_diagonal(
+        w in 1usize..6, h in 1usize..6, power in 0.0f32..3.0
+    ) {
+        let mesh = Mesh2d::new(w, h);
+        let mask = hop_power_mask(&mesh, power, true).unwrap();
+        let n = mesh.nodes();
+        for p in 0..n {
+            prop_assert_eq!(mask.factor(p, p), 0.0);
+            for c in 0..n {
+                prop_assert_eq!(mask.factor(p, c), mask.factor(c, p));
+                prop_assert!(mask.factor(p, c) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_traffic_is_monotone_in_the_weight_support(
+        cores in 2usize..6, seed in 0u64..1000
+    ) {
+        // Adding nonzero weights can only add traffic, never remove it.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let out_c = 8;
+        let in_c = 8;
+        let spec = SpecBuilder::new("n", (in_c, 4, 4))
+            .conv("c", out_c, 3, 1, 1, 1)
+            .build()
+            .layers[0]
+            .clone();
+        let producer = OwnershipMap::even(in_c, 16, cores);
+        let consumers = lts_nn::grouping::even_blocks(out_c, cores);
+        let layout = GroupLayout::with_blocks(
+            9,
+            consumers.clone(),
+            producer.blocks().to_vec(),
+        );
+        let mut w1 = vec![0.0f32; layout.weight_len()];
+        for v in w1.iter_mut() {
+            if rng.gen::<f32>() < 0.1 {
+                *v = 1.0;
+            }
+        }
+        // w2 = w1 plus extra support.
+        let mut w2 = w1.clone();
+        for v in w2.iter_mut() {
+            if rng.gen::<f32>() < 0.1 {
+                *v = 1.0;
+            }
+        }
+        let t1 = transition_messages(&producer, &spec, &consumers, Some((&layout, &w1)), 2, 0);
+        let t2 = transition_messages(&producer, &spec, &consumers, Some((&layout, &w2)), 2, 0);
+        prop_assert!(t2.total_bytes() >= t1.total_bytes());
+        // And both are bounded by the dense broadcast volume.
+        prop_assert!(t2.total_bytes() <= dense_volume_bytes(&spec, cores, 2));
+    }
+
+    #[test]
+    fn plan_traffic_equals_sum_of_message_bytes(cores in 1usize..33) {
+        let spec = lts_nn::descriptor::lenet_spec();
+        let plan = Plan::dense(&spec, cores, 2).unwrap();
+        let by_layer: u64 = plan.layers.iter().map(|l| l.traffic.total_bytes()).sum();
+        prop_assert_eq!(by_layer, plan.total_traffic_bytes());
+        // Every message endpoint is a valid core and never a self-send.
+        for lp in &plan.layers {
+            for m in &lp.traffic.messages {
+                prop_assert!(m.src < cores && m.dst < cores && m.src != m.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn zeroing_one_layer_removes_exactly_its_transition(cores in 2usize..17) {
+        let spec = lts_nn::descriptor::mlp_spec();
+        let dense = Plan::dense(&spec, cores, 2).unwrap();
+        let layout = dense.layer("ip2").unwrap().layout.clone().unwrap();
+        let mut weights = HashMap::new();
+        weights.insert("ip2".to_string(), vec![0.0f32; layout.weight_len()]);
+        let sparse = Plan::build(&spec, cores, &weights, 2).unwrap();
+        let expected = dense.total_traffic_bytes()
+            - dense.layer("ip2").unwrap().traffic.total_bytes();
+        prop_assert_eq!(sparse.total_traffic_bytes(), expected);
+    }
+}

@@ -1,0 +1,168 @@
+//! 16-bit fixed-point arithmetic matching the simulated accelerator cores.
+//!
+//! The paper's cores (Table II) use "16-bit fixed-point integer operation",
+//! the DianNao convention: a signed 16-bit value with an implied binary
+//! point. We default to the Q7.8 format (1 sign bit, 7 integer bits,
+//! 8 fraction bits) which covers the activation/weight ranges of the
+//! trained networks. The type exists so the evaluation pass can measure the
+//! accuracy of the *quantized* network that would actually run on the chip,
+//! and so per-value traffic is exactly 2 bytes as in Table I.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of fractional bits in the default Q7.8 format.
+pub const DEFAULT_FRAC_BITS: u32 = 8;
+
+/// A 16-bit signed fixed-point value in Q(15-F).F format.
+///
+/// # Examples
+///
+/// ```
+/// use lts_tensor::Fixed16;
+///
+/// let x = Fixed16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// let y = x.saturating_mul(Fixed16::from_f32(2.0));
+/// assert_eq!(y.to_f32(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Fixed16(i16);
+
+impl Fixed16 {
+    /// The maximum representable value.
+    pub const MAX: Fixed16 = Fixed16(i16::MAX);
+    /// The minimum representable value.
+    pub const MIN: Fixed16 = Fixed16(i16::MIN);
+    /// Zero.
+    pub const ZERO: Fixed16 = Fixed16(0);
+
+    /// Converts from `f32`, rounding to nearest and saturating at the
+    /// representable range.
+    pub fn from_f32(x: f32) -> Self {
+        let scaled = (x * (1 << DEFAULT_FRAC_BITS) as f32).round();
+        let clamped = scaled.clamp(i16::MIN as f32, i16::MAX as f32);
+        Fixed16(clamped as i16)
+    }
+
+    /// Converts back to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1 << DEFAULT_FRAC_BITS) as f32
+    }
+
+    /// The raw 16-bit representation.
+    pub fn to_bits(self) -> i16 {
+        self.0
+    }
+
+    /// Builds a value from its raw 16-bit representation.
+    pub fn from_bits(bits: i16) -> Self {
+        Fixed16(bits)
+    }
+
+    /// Saturating fixed-point addition.
+    pub fn saturating_add(self, rhs: Fixed16) -> Fixed16 {
+        Fixed16(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating fixed-point multiplication (Q7.8 × Q7.8 → Q7.8).
+    pub fn saturating_mul(self, rhs: Fixed16) -> Fixed16 {
+        let wide = (self.0 as i32) * (rhs.0 as i32);
+        let shifted = wide >> DEFAULT_FRAC_BITS;
+        Fixed16(shifted.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+
+    /// Whether the value is exactly zero (a zero value need not be sent over
+    /// the NoC — the heart of the sparsified parallelization).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The quantization step of the format (2⁻⁸ for Q7.8).
+    pub fn resolution() -> f32 {
+        1.0 / (1 << DEFAULT_FRAC_BITS) as f32
+    }
+}
+
+impl fmt::Display for Fixed16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<Fixed16> for f32 {
+    fn from(x: Fixed16) -> f32 {
+        x.to_f32()
+    }
+}
+
+/// Quantizes an `f32` slice through the Q7.8 format, returning the
+/// dequantized values (what the accelerator would compute with).
+pub fn quantize_dequantize(values: &[f32]) -> Vec<f32> {
+    values.iter().map(|&x| Fixed16::from_f32(x).to_f32()).collect()
+}
+
+/// Quantizes a whole tensor in place through the Q7.8 format.
+pub fn quantize_tensor(t: &mut crate::tensor::Tensor) {
+    for v in t.as_mut_slice() {
+        *v = Fixed16::from_f32(*v).to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representable_values_roundtrip_exactly() {
+        for x in [-1.0f32, 0.0, 0.5, 1.5, -3.25, 127.0] {
+            assert_eq!(Fixed16::from_f32(x).to_f32(), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_resolution() {
+        let step = Fixed16::resolution();
+        for i in 0..1000 {
+            let x = (i as f32) * 0.017 - 8.0;
+            let err = (Fixed16::from_f32(x).to_f32() - x).abs();
+            assert!(err <= step / 2.0 + f32::EPSILON, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn saturates_at_range_limits() {
+        assert_eq!(Fixed16::from_f32(1000.0), Fixed16::MAX);
+        assert_eq!(Fixed16::from_f32(-1000.0), Fixed16::MIN);
+        assert_eq!(Fixed16::MAX.saturating_add(Fixed16::from_f32(1.0)), Fixed16::MAX);
+    }
+
+    #[test]
+    fn multiplication_matches_float_for_small_values() {
+        let a = Fixed16::from_f32(1.25);
+        let b = Fixed16::from_f32(-2.0);
+        assert_eq!(a.saturating_mul(b).to_f32(), -2.5);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Fixed16::from_f32(0.0).is_zero());
+        // Values below half the resolution quantize to exactly zero: this is
+        // why "sparsified" activations genuinely skip NoC transmission.
+        assert!(Fixed16::from_f32(0.001).is_zero());
+        assert!(!Fixed16::from_f32(0.01).is_zero());
+    }
+
+    #[test]
+    fn quantize_dequantize_slice() {
+        let v = quantize_dequantize(&[0.1, 0.2]);
+        assert!((v[0] - 0.1).abs() < Fixed16::resolution());
+        assert!((v[1] - 0.2).abs() < Fixed16::resolution());
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let x = Fixed16::from_f32(-1.5);
+        assert_eq!(Fixed16::from_bits(x.to_bits()), x);
+    }
+}

@@ -1,0 +1,125 @@
+//! Seeded weight initializers.
+//!
+//! All experiments in this workspace are deterministic: every random draw
+//! flows from an explicit [`rand::rngs::StdRng`] seed, so tables regenerate
+//! bit-identically across runs.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministically seeded RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform initialization on `[-limit, limit]`.
+pub fn uniform(shape: Shape, limit: f32, rng: &mut StdRng) -> Tensor {
+    let len = shape.len();
+    let data = (0..len).map(|_| rng.gen_range(-limit..=limit)).collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape by construction")
+}
+
+/// Xavier/Glorot uniform initialization: `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier(shape: Shape, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, limit, rng)
+}
+
+/// He/Kaiming normal initialization: `std = sqrt(2 / fan_in)`.
+///
+/// Preferred for ReLU networks (all networks in this workspace use ReLU).
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_normal(shape: Shape, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// Normal initialization with the given mean and standard deviation.
+pub fn normal(shape: Shape, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+    let len = shape.len();
+    // Box-Muller transform keeps us off external distribution crates.
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < len {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape by construction")
+}
+
+/// A distribution adapter so callers can sample tensor entries from any
+/// `rand` distribution if needed.
+pub fn from_distribution<D: Distribution<f32>>(
+    shape: Shape,
+    dist: &D,
+    rng: &mut StdRng,
+) -> Tensor {
+    let len = shape.len();
+    let data = (0..len).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = uniform(Shape::d1(64), 1.0, &mut rng(7));
+        let b = uniform(Shape::d1(64), 1.0, &mut rng(7));
+        assert_eq!(a, b);
+        let c = uniform(Shape::d1(64), 1.0, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let t = uniform(Shape::d1(1000), 0.5, &mut rng(1));
+        assert!(t.as_slice().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fan() {
+        let small = xavier(Shape::d1(1000), 10, 10, &mut rng(2));
+        let large = xavier(Shape::d1(1000), 1000, 1000, &mut rng(2));
+        let max_small = small.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let max_large = large.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(max_large < max_small);
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_moments() {
+        let t = normal(Shape::d1(20_000), 1.0, 2.0, &mut rng(3));
+        let n = t.len() as f32;
+        let mean = t.as_slice().iter().sum::<f32>() / n;
+        let var = t.as_slice().iter().map(|&x| (x - mean).powi(2)).sum::<f32>() / n;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let t = he_normal(Shape::d1(20_000), 50, &mut rng(4));
+        let n = t.len() as f32;
+        let var = t.as_slice().iter().map(|&x| x * x).sum::<f32>() / n;
+        let expected = 2.0 / 50.0;
+        assert!((var / expected - 1.0).abs() < 0.15, "var {var} vs {expected}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense `f32` tensor math for the Learn-to-Scale reproduction.
+//!
+//! This crate is the numerical substrate under `lts-nn`: owned,
+//! contiguous, row-major tensors ([`Tensor`]), shape bookkeeping
+//! ([`Shape`]), a blocked GEMM ([`matmul`]), the `im2col` lowering used by
+//! convolution layers, seeded weight initializers, the 16-bit fixed-point
+//! format used by the simulated accelerator cores ([`fixed::Fixed16`]), and
+//! sparsity/norm statistics used by the structured-sparsification pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use lts_tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), lts_tensor::TensorError> {
+//! let a = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Tensor::ones(Shape::d2(3, 2));
+//! let c = lts_tensor::matmul::matmul(&a, &b)?;
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! assert_eq!(c.as_slice()[0], 6.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod im2col;
+pub mod init;
+pub mod matmul;
+pub mod ops;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use fixed::Fixed16;
+pub use shape::Shape;
+pub use tensor::{Tensor, TensorError};

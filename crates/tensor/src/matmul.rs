@@ -1,0 +1,222 @@
+//! Blocked single-precision matrix multiplication.
+//!
+//! Training the paper's networks spends essentially all of its time here
+//! (convolutions are lowered to GEMM via [`crate::im2col`]), so the kernel
+//! uses the classic i-k-j loop order with register accumulation over
+//! contiguous rows, which is cache-friendly without unsafe code.
+
+use crate::shape::Shape;
+use crate::tensor::{Tensor, TensorError};
+
+/// Computes the matrix product `C = A · B` for rank-2 tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank 2 and
+/// [`TensorError::MatmulDimMismatch`] if `A` has a different number of
+/// columns than `B` has rows.
+///
+/// # Examples
+///
+/// ```
+/// use lts_tensor::{matmul::matmul, Shape, Tensor};
+/// # fn main() -> Result<(), lts_tensor::TensorError> {
+/// let a = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0])?;
+/// let i = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0])?;
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    check_rank2(a)?;
+    check_rank2(b)?;
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+    }
+    let mut c = Tensor::zeros(Shape::d2(m, n));
+    matmul_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    Ok(c)
+}
+
+/// Computes `C = Aᵀ · B` without materializing the transpose.
+///
+/// `A` is `[k, m]`, `B` is `[k, n]`, result is `[m, n]`. Used for the
+/// weight-gradient step of linear layers.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or
+/// [`TensorError::MatmulDimMismatch`] under the same conditions as
+/// [`matmul`].
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    check_rank2(a)?;
+    check_rank2(b)?;
+    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+    }
+    let mut c = Tensor::zeros(Shape::d2(m, n));
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aval * bj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Computes `C = A · Bᵀ` without materializing the transpose.
+///
+/// `A` is `[m, k]`, `B` is `[n, k]`, result is `[m, n]`. Used for the
+/// input-gradient step of linear layers.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or
+/// [`TensorError::MatmulDimMismatch`] under the same conditions as
+/// [`matmul`].
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    check_rank2(a)?;
+    check_rank2(b)?;
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, k2) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+    }
+    let mut c = Tensor::zeros(Shape::d2(m, n));
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            cv[i * n + j] = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `a` is not rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor, TensorError> {
+    check_rank2(a)?;
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    let mut out = Tensor::zeros(Shape::d2(n, m));
+    let (av, ov) = (a.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        for j in 0..n {
+            ov[j * m + i] = av[i * n + j];
+        }
+    }
+    Ok(out)
+}
+
+fn check_rank2(t: &Tensor) -> Result<(), TensorError> {
+    if t.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.shape().rank() });
+    }
+    Ok(())
+}
+
+/// Raw i-k-j GEMM on flat row-major slices: `c[m,n] += a[m,k] * b[k,n]`.
+///
+/// `c` must be zero-initialized by the caller if a pure product is wanted.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aval * bj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::d2(rows, cols), v).unwrap()
+    }
+
+    #[test]
+    fn small_product_matches_hand_computation() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(2, 2, vec![1., 2., 3., 4.]);
+        let i = m(2, 2, vec![1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let a = m(2, 3, vec![0.; 6]);
+        let b = m(2, 3, vec![0.; 6]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { left_cols: 3, right_rows: 2 })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let a = Tensor::zeros(Shape::d3(1, 2, 3));
+        let b = Tensor::zeros(Shape::d2(3, 1));
+        assert!(matches!(matmul(&a, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let a = m(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 4, (0..12).map(|x| x as f32).collect());
+        let expected = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(matmul_at_b(&a, &b).unwrap(), expected);
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, (0..12).map(|x| x as f32).collect());
+        let expected = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(matmul_a_bt(&a, &b).unwrap(), expected);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+}

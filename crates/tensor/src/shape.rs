@@ -1,0 +1,219 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense, row-major tensor.
+///
+/// Up to four dimensions are used in this workspace, with the NCHW
+/// convention for feature maps: `[batch, channels, height, width]`.
+///
+/// # Examples
+///
+/// ```
+/// use lts_tensor::Shape;
+///
+/// let s = Shape::d4(1, 3, 32, 32);
+/// assert_eq!(s.len(), 3 * 32 * 32);
+/// assert_eq!(s.rank(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from an arbitrary dimension list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        Self { dims }
+    }
+
+    /// A 1-D shape.
+    pub fn d1(n: usize) -> Self {
+        Self::new(vec![n])
+    }
+
+    /// A 2-D shape (`[rows, cols]`).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Self::new(vec![rows, cols])
+    }
+
+    /// A 3-D shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Self::new(vec![a, b, c])
+    }
+
+    /// A 4-D shape (`[n, c, h, w]` for feature maps, `[out_c, in_c, kh, kw]`
+    /// for convolution kernels).
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::new(vec![n, c, h, w])
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// ```
+    /// use lts_tensor::Shape;
+    /// assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear row-major offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} != shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (i, (&ix, &d)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(ix < d, "index {ix} out of bounds for dim {i} of size {d}");
+            off += ix * strides[i];
+        }
+        off
+    }
+
+    /// Returns a new shape with the same element count collapsed to 2-D
+    /// `[dims[0], rest]`.
+    ///
+    /// Useful to view an NCHW activation batch as a matrix of flattened
+    /// rows for fully-connected layers.
+    pub fn collapse_to_2d(&self) -> Shape {
+        let rows = self.dims[0];
+        let cols = self.len() / rows.max(1);
+        Shape::d2(rows, cols)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::d4(2, 3, 4, 5).len(), 120);
+        assert_eq!(Shape::d1(7).len(), 7);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::d4(2, 3, 4, 5).strides(), vec![60, 20, 5, 1]);
+        assert_eq!(Shape::d1(9).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds() {
+        Shape::d2(2, 2).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::d2(2, 2).offset(&[0]);
+    }
+
+    #[test]
+    fn collapse_keeps_element_count() {
+        let s = Shape::d4(8, 3, 4, 4);
+        let c = s.collapse_to_2d();
+        assert_eq!(c.dims(), &[8, 48]);
+        assert_eq!(c.len(), s.len());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::d3(1, 2, 3).to_string(), "[1x2x3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_dims_rejected() {
+        Shape::new(vec![]);
+    }
+
+    #[test]
+    fn zero_sized_shape_is_empty() {
+        assert!(Shape::d2(0, 5).is_empty());
+        assert!(!Shape::d2(1, 5).is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! The owned dense tensor type and its error type.
+
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the shape's element count.
+    LengthMismatch {
+        /// Expected number of elements (from the shape).
+        expected: usize,
+        /// Actual number of elements provided.
+        actual: usize,
+    },
+    /// Two tensors that must have identical shapes do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// An operation required a specific rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A layer/op-specific invalid configuration, with a human-readable reason.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer of {actual} elements does not fit shape of {expected} elements")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::MatmulDimMismatch { left_cols, right_rows } => {
+                write!(f, "matmul inner dimensions disagree: {left_cols} vs {right_rows}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// Feature maps use the NCHW layout; convolution kernels use
+/// `[out_channels, in_channels, kh, kw]`.
+///
+/// # Examples
+///
+/// ```
+/// use lts_tensor::{Shape, Tensor};
+///
+/// let t = Tensor::zeros(Shape::d2(2, 2));
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.at(&[1, 1]), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.len();
+        Self { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: Shape) -> Self {
+        let len = shape.len();
+        Self { shape, data: vec![1.0; len] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let len = shape.len();
+        Self { shape, data: vec![value; len] }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice_1d(data: &[f32]) -> Self {
+        Self { shape: Shape::d1(data.len()), data: data.to_vec() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element reference at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Returns a copy reshaped to `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshaped(&self, shape: Shape) -> Result<Tensor, TensorError> {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Reshapes in place (no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape(&mut self, shape: Shape) -> Result<(), TensorError> {
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// The 2-D row slice `[row, ..]` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &self.data[row * cols..(row + 1) * cols]
+    }
+
+    /// A single image `[c, h, w]` copied out of an NCHW batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or `n` is out of bounds.
+    pub fn image(&self, n: usize) -> Tensor {
+        assert_eq!(self.shape.rank(), 4, "image() requires a rank-4 tensor");
+        let (c, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        let sz = c * h * w;
+        let start = n * sz;
+        Tensor {
+            shape: Shape::d3(c, h, w),
+            data: self.data[start..start + sz].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        let preview: Vec<String> =
+            self.data.iter().take(8).map(|x| format!("{x:.4}")).collect();
+        write!(f, "{}", preview.join(", "))?;
+        if self.data.len() > 8 {
+            write!(f, ", ... {} more", self.data.len() - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_values() {
+        let z = Tensor::zeros(Shape::d2(2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones(Shape::d2(2, 3));
+        assert!(o.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(Shape::d1(3), vec![1.0, 2.0]).is_err());
+        assert!(Tensor::from_vec(Shape::d1(2), vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor::zeros(Shape::d3(2, 3, 4));
+        *t.at_mut(&[1, 2, 3]) = 42.0;
+        assert_eq!(t.at(&[1, 2, 3]), 42.0);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let r = t.reshaped(Shape::d2(3, 2)).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshaped(Shape::d2(4, 2)).is_err());
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let t = Tensor::from_slice_1d(&[1.0, -2.0, 3.0]);
+        let m = t.map(|x| x.abs());
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_returns_correct_slice() {
+        let t = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn image_extracts_single_sample() {
+        let mut t = Tensor::zeros(Shape::d4(2, 1, 2, 2));
+        *t.at_mut(&[1, 0, 1, 1]) = 7.0;
+        let img = t.image(1);
+        assert_eq!(img.shape().dims(), &[1, 2, 2]);
+        assert_eq!(img.at(&[0, 1, 1]), 7.0);
+    }
+
+    #[test]
+    fn display_previews_elements() {
+        let t = Tensor::from_slice_1d(&[1.0; 10]);
+        let s = t.to_string();
+        assert!(s.contains("2 more"), "{s}");
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = TensorError::MatmulDimMismatch { left_cols: 3, right_rows: 4 };
+        assert!(e.to_string().contains("3 vs 4"));
+    }
+}

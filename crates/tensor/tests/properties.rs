@@ -1,0 +1,105 @@
+//! Property-based tests for the tensor crate.
+
+use lts_tensor::im2col::{col2im, im2col, ConvGeometry};
+use lts_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, transpose};
+use lts_tensor::{ops, stats, Fixed16, Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-8.0f32..8.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(6), b in tensor_strategy(8), c in tensor_strategy(8)
+    ) {
+        let a = Tensor::from_vec(Shape::d2(3, 2), a).unwrap();
+        let b = Tensor::from_vec(Shape::d2(2, 4), b).unwrap();
+        let c = Tensor::from_vec(Shape::d2(2, 4), c).unwrap();
+        let lhs = matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(&matmul(&a, &b).unwrap(), &matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_product_order(a in tensor_strategy(6), b in tensor_strategy(8)) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let a = Tensor::from_vec(Shape::d2(3, 2), a).unwrap();
+        let b = Tensor::from_vec(Shape::d2(2, 4), b).unwrap();
+        let lhs = transpose(&matmul(&a, &b).unwrap()).unwrap();
+        let rhs = matmul(&transpose(&b).unwrap(), &transpose(&a).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fused_transpose_products_match_explicit(a in tensor_strategy(6), b in tensor_strategy(9)) {
+        let a_t = Tensor::from_vec(Shape::d2(3, 2), a.clone()).unwrap();
+        let b_t = Tensor::from_vec(Shape::d2(3, 3), b).unwrap();
+        let fused = matmul_at_b(&a_t, &b_t).unwrap();
+        let explicit = matmul(&transpose(&a_t).unwrap(), &b_t).unwrap();
+        prop_assert_eq!(fused, explicit);
+
+        let a2 = Tensor::from_vec(Shape::d2(2, 3), a).unwrap();
+        let fused2 = matmul_a_bt(&a2, &b_t).unwrap();
+        let explicit2 = matmul(&a2, &transpose(&b_t).unwrap()).unwrap();
+        for (x, y) in fused2.as_slice().iter().zip(explicit2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fixed16_roundtrip_error_bounded(x in -100.0f32..100.0) {
+        let err = (Fixed16::from_f32(x).to_f32() - x).abs();
+        prop_assert!(err <= Fixed16::resolution() / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn fixed16_quantization_is_idempotent(x in -100.0f32..100.0) {
+        let once = Fixed16::from_f32(x).to_f32();
+        let twice = Fixed16::from_f32(once).to_f32();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn col2im_im2col_identity_on_disjoint_fields(data in tensor_strategy(36)) {
+        let img = Tensor::from_vec(Shape::d3(1, 6, 6), data).unwrap();
+        let g = ConvGeometry { in_c: 1, in_h: 6, in_w: 6, kh: 2, kw: 2, stride: 2, pad: 0 };
+        let back = col2im(&im2col(&img, &g).unwrap(), &g).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn im2col_preserves_l1_mass_without_padding(data in tensor_strategy(16)) {
+        // With stride == kernel (disjoint fields, no padding), the column
+        // matrix is a permutation of the image, so L1 norms match.
+        let img = Tensor::from_vec(Shape::d3(1, 4, 4), data).unwrap();
+        let g = ConvGeometry { in_c: 1, in_h: 4, in_w: 4, kh: 2, kw: 2, stride: 2, pad: 0 };
+        let cols = im2col(&img, &g).unwrap();
+        let a = stats::l1_norm(img.as_slice());
+        let b = stats::l1_norm(cols.as_slice());
+        prop_assert!((a - b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn axpy_matches_manual(alpha in -2.0f32..2.0, x in tensor_strategy(10), y in tensor_strategy(10)) {
+        let xt = Tensor::from_slice_1d(&x);
+        let mut yt = Tensor::from_slice_1d(&y);
+        ops::axpy(alpha, &xt, &mut yt).unwrap();
+        for i in 0..10 {
+            prop_assert!((yt.as_slice()[i] - (y[i] + alpha * x[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sparsity_bounds(data in tensor_strategy(32)) {
+        let s = stats::sparsity(&data);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+}

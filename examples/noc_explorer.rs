@@ -1,0 +1,93 @@
+//! Drive the flit-level NoC simulator directly: compare traffic patterns,
+//! watch congestion build, and sanity-check against the analytic model.
+//!
+//! `cargo run --release --example noc_explorer`
+
+use learn_to_scale::noc::analytic::analyze;
+use learn_to_scale::noc::traffic::{all_to_all, uniform_random, Message, TrafficTrace};
+use learn_to_scale::noc::{EnergyModel, NocConfig, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = NocConfig::paper_16core();
+    let mut sim = Simulator::new(config)?;
+    let energy = EnergyModel::default();
+
+    println!("Table II NoC: 4x4 mesh, 512-bit flits over 64-bit links, 3 VCs, XY routing\n");
+    println!(
+        "{:<26} {:>9} {:>10} {:>10} {:>12} {:>12}",
+        "pattern", "messages", "makespan", "mean lat", "blocked", "energy (nJ)"
+    );
+
+    let patterns: Vec<(&str, TrafficTrace)> = vec![
+        ("uniform random (light)", uniform_random(16, 4, 256, 1)),
+        ("uniform random (heavy)", uniform_random(16, 16, 1024, 2)),
+        ("all-to-all burst 1KB", all_to_all(16, 1024)),
+        ("all-to-all burst 8KB", all_to_all(16, 8192)),
+        ("hotspot to core 0", {
+            let mut t = TrafficTrace::new();
+            for src in 1..16 {
+                t.push(Message::new(src, 0, 4096, 0));
+            }
+            t
+        }),
+        ("neighbours only", {
+            let mut t = TrafficTrace::new();
+            for src in 0..16usize {
+                let dst = if src % 4 == 3 { src - 1 } else { src + 1 };
+                t.push(Message::new(src, dst, 4096, 0));
+            }
+            t
+        }),
+    ];
+
+    for (name, trace) in patterns {
+        let report = sim.run(&trace.messages)?;
+        let e = energy.report(&report, 16);
+        println!(
+            "{:<26} {:>9} {:>10} {:>10.0} {:>12} {:>12.1}",
+            name,
+            trace.len(),
+            report.makespan,
+            report.mean_latency(),
+            report.blocked_flit_cycles,
+            e.total_pj() / 1000.0
+        );
+    }
+
+    println!("\nanalytic cross-check (all-to-all 8KB):");
+    let trace = all_to_all(16, 8192);
+    let bound = analyze(&config, &trace);
+    let report = sim.run(&trace.messages)?;
+    println!(
+        "  lower bound {} cycles, simulated {} cycles ({:.2}x — the gap is congestion)",
+        bound.makespan_lower_bound,
+        report.makespan,
+        report.makespan as f64 / bound.makespan_lower_bound.max(1) as f64
+    );
+    println!(
+        "  flit-hops: analytic {} == simulated {}",
+        bound.flit_hops, report.events.link_traversals
+    );
+
+    println!("\nlink utilization under the hotspot pattern:");
+    let mut hotspot = TrafficTrace::new();
+    for src in 1..16 {
+        hotspot.push(Message::new(src, 0, 4096, 0));
+    }
+    let hotspot_report = sim.run(&hotspot.messages)?;
+    let mesh = learn_to_scale::noc::Mesh2d::new(4, 4);
+    println!(
+        "{}",
+        learn_to_scale::noc::stats::render_link_heatmap(&hotspot_report, &mesh)
+    );
+    println!(
+        "hot link carries {} flits ({:.1}x the mean loaded link)",
+        hotspot_report.max_link_flits(),
+        hotspot_report.link_imbalance()
+    );
+
+    println!("\nNote how 'neighbours only' moves the same bytes as the hotspot pattern");
+    println!("at a fraction of the makespan and blocking — locality is exactly what");
+    println!("the SS_Mask training objective buys at the weight level.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: partition a CNN over a 16-core mesh CMP and see where a
+//! single inference pass spends its time.
+//!
+//! Fast (analytic + flit simulation, no training):
+//! `cargo run --release --example quickstart`
+
+use learn_to_scale::core::SystemModel;
+use learn_to_scale::nn::descriptor::lenet_spec;
+use learn_to_scale::partition::Plan;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the network (LeNet here; see lts_nn::descriptor for
+    //    AlexNet/VGG19, or derive a spec from any trained Network).
+    let spec = lenet_spec();
+    println!("network: {} ({} weights, {} MACs/inference)", spec.name, spec.total_weights(), spec.total_macs());
+
+    // 2. Partition it the traditional way over 16 cores: every layer's
+    //    output channels spread across cores, feature maps broadcast
+    //    between layers.
+    let cores = 16;
+    let plan = Plan::dense(&spec, cores, 2)?;
+    println!("total inter-core traffic per inference: {} bytes", plan.total_traffic_bytes());
+
+    // 3. Run it through the system model: DianNao-style core timing plus
+    //    flit-level mesh-NoC simulation of every layer-transition burst.
+    let model = SystemModel::paper(cores)?;
+    let report = model.evaluate(&plan)?;
+    println!(
+        "single pass: {} cycles ({} compute + {} communication, {:.1}% comm)",
+        report.total_cycles,
+        report.compute_cycles,
+        report.comm_cycles,
+        report.comm_share() * 100.0
+    );
+    println!("\nper-layer breakdown:");
+    println!("{:<9} {:>9} {:>8} {:>10}", "layer", "compute", "comm", "traffic(B)");
+    for l in &report.layers {
+        if l.compute_cycles > 0 || l.comm_cycles > 0 {
+            println!(
+                "{:<9} {:>9} {:>8} {:>10}",
+                l.name, l.compute_cycles, l.comm_cycles, l.traffic_bytes
+            );
+        }
+    }
+
+    // 4. What if the cross-core weight blocks of the FC layers were
+    //    sparsified away (the learn-to-scale idea)? Zeroed blocks mean
+    //    feature maps that never need to be sent.
+    let mut weights = HashMap::new();
+    weights.insert("ip1".to_string(), vec![0.0f32; 800 * 500]);
+    weights.insert("ip2".to_string(), vec![0.0f32; 500 * 10]);
+    let sparse_plan = Plan::build(&spec, cores, &weights, 2)?;
+    let sparse_report = model.evaluate(&sparse_plan)?;
+    println!(
+        "\nwith the FC layers' cross-core blocks zeroed: {:.2}x speedup, {:.0}% NoC energy saved",
+        sparse_report.speedup_vs(&report),
+        sparse_report.noc_energy_reduction_vs(&report) * 100.0
+    );
+    println!("(run the `sparsified_training` example to *learn* such a structure instead)");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Learn-to-Scale — facade crate.
+//!
+//! Re-exports the whole workspace behind one name so examples,
+//! integration tests and downstream users can write
+//! `use learn_to_scale::...`. See the individual crates for the full
+//! documentation:
+//!
+//! * [`tensor`] — dense math and 16-bit fixed point ([`lts_tensor`])
+//! * [`nn`] — layers, training, group-Lasso sparsification ([`lts_nn`])
+//! * [`datasets`] — synthetic dataset generators ([`lts_datasets`])
+//! * [`accel`] — DianNao-style core timing/energy model ([`lts_accel`])
+//! * [`noc`] — flit-level mesh NoC simulator ([`lts_noc`])
+//! * [`partition`] — mapping, masks and traffic generation
+//!   ([`lts_partition`])
+//! * [`core`] — strategies, pipelines, system model, experiments
+//!   ([`lts_core`])
+//!
+//! # Examples
+//!
+//! ```
+//! use learn_to_scale::nn::descriptor::lenet_spec;
+//! use learn_to_scale::partition::Plan;
+//! use learn_to_scale::core::SystemModel;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let plan = Plan::dense(&lenet_spec(), 16, 2)?;
+//! let report = SystemModel::paper(16)?.evaluate(&plan)?;
+//! assert!(report.comm_share() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lts_accel as accel;
+pub use lts_core as core;
+pub use lts_datasets as datasets;
+pub use lts_nn as nn;
+pub use lts_noc as noc;
+pub use lts_partition as partition;
+pub use lts_tensor as tensor;

@@ -1,0 +1,94 @@
+//! Cross-validation between the independent models: flit-level NoC
+//! simulation vs the closed-form bound, fixed-point vs float inference,
+//! and the accelerator model against hand-derived cycle counts.
+
+use learn_to_scale::accel::{CoreConfig, CoreModel};
+use learn_to_scale::core::pipeline::{train_baseline, PipelineConfig};
+use learn_to_scale::datasets::presets::synth_mnist;
+use learn_to_scale::nn::descriptor::lenet_spec;
+use learn_to_scale::nn::models;
+use learn_to_scale::nn::trainer::TrainConfig;
+use learn_to_scale::noc::analytic::analyze;
+use learn_to_scale::noc::{NocConfig, Simulator};
+use learn_to_scale::partition::Plan;
+
+#[test]
+fn noc_simulation_respects_analytic_bounds_on_real_layer_traces() {
+    let plan = Plan::dense(&lenet_spec(), 16, 2).expect("plan");
+    let config = NocConfig::paper_16core();
+    let mut sim = Simulator::new(config).expect("sim");
+    for lp in &plan.layers {
+        if lp.traffic.is_empty() {
+            continue;
+        }
+        let bound = analyze(&config, &lp.traffic);
+        let report = sim.run(&lp.traffic.messages).expect("run");
+        assert!(
+            report.makespan >= bound.makespan_lower_bound,
+            "layer {}: simulated {} below bound {}",
+            lp.spec.name,
+            report.makespan,
+            bound.makespan_lower_bound
+        );
+        assert_eq!(
+            report.events.link_traversals, bound.flit_hops,
+            "layer {}: XY routing flit-hops must match analytically",
+            lp.spec.name
+        );
+        // Congestion cannot inflate a burst beyond a generous constant of
+        // its serialization bound on this small mesh.
+        assert!(
+            report.makespan <= bound.makespan_lower_bound.saturating_mul(20).max(2000),
+            "layer {}: simulated {} looks pathological vs bound {}",
+            lp.spec.name,
+            report.makespan,
+            bound.makespan_lower_bound
+        );
+    }
+}
+
+#[test]
+fn quantized_inference_matches_float_accuracy_closely() {
+    let data = synth_mnist(192, 96, 21);
+    let config = PipelineConfig {
+        train: TrainConfig { epochs: 4, batch_size: 32, lr: 0.06, ..TrainConfig::default() },
+        fine_tune_epochs: 0,
+        quantize: false,
+        ..PipelineConfig::default()
+    };
+    let outcome =
+        train_baseline(models::mlp(28 * 28, 10, 2).expect("mlp"), &data, &config).expect("train");
+    let float_acc = outcome.test_accuracy;
+    let mut quantized = outcome.network.clone();
+    quantized.quantize_weights();
+    let quant_acc = quantized
+        .evaluate(&data.test.images, &data.test.labels, 64)
+        .expect("evaluate");
+    assert!(
+        (float_acc - quant_acc).abs() < 0.05,
+        "Q7.8 quantization moved accuracy too much: {float_acc} -> {quant_acc}"
+    );
+}
+
+#[test]
+fn accel_model_matches_hand_counted_cycles_for_lenet_conv2() {
+    // LeNet conv2 on one core, full layer: 50 output channels, 20 input
+    // channels, 5x5 kernel, 8x8 output positions.
+    // Tiles: ceil(50/16)=4 out, ceil(20*25/16)=32 in, 64 positions.
+    let spec = lenet_spec();
+    let conv2 = spec.layer("conv2").expect("conv2");
+    let model = CoreModel::new(CoreConfig::diannao());
+    let cost = model.layer_cost(conv2, 50);
+    assert_eq!(cost.compute_cycles, 4 * 32 * 64);
+    // A 16-way partition gives each core 4 or 3 channels -> 1 out tile.
+    let cost_16 = model.layer_cost(conv2, 4);
+    assert_eq!(cost_16.compute_cycles, 32 * 64);
+}
+
+#[test]
+fn single_core_plan_is_communication_free_everywhere() {
+    for spec in [lenet_spec(), learn_to_scale::nn::descriptor::alexnet_spec()] {
+        let plan = Plan::dense(&spec, 1, 2).expect("plan");
+        assert_eq!(plan.total_traffic_bytes(), 0, "{}", spec.name);
+    }
+}

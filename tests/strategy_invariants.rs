@@ -1,0 +1,138 @@
+//! Cross-crate invariants of the parallelization strategies, exercised
+//! without training (fabricated weight patterns).
+
+use learn_to_scale::core::SystemModel;
+use learn_to_scale::nn::descriptor::{lenet_spec, mlp_spec};
+use learn_to_scale::nn::grouping::GroupLayout;
+use learn_to_scale::partition::Plan;
+use std::collections::HashMap;
+
+/// Weights for a layer where only groups with (producer, consumer) hop
+/// distance <= `max_hops` survive.
+fn local_only_weights(layout: &GroupLayout, mesh: &learn_to_scale::noc::Mesh2d, max_hops: usize) -> Vec<f32> {
+    let mut w = vec![0.0f32; layout.weight_len()];
+    for p in 0..layout.cores() {
+        for c in 0..layout.cores() {
+            if mesh.distance(p, c) <= max_hops {
+                layout.visit_group(p, c, |idx| w[idx] = 0.1);
+            }
+        }
+    }
+    w
+}
+
+#[test]
+fn sparser_weights_mean_monotonically_less_traffic_and_latency() {
+    let spec = mlp_spec();
+    let cores = 16;
+    let mesh = learn_to_scale::noc::Mesh2d::new(4, 4);
+    let model = SystemModel::paper(cores).expect("model");
+    let dense_plan = Plan::dense(&spec, cores, 2).expect("plan");
+    let layouts: HashMap<String, GroupLayout> = dense_plan
+        .layers
+        .iter()
+        .filter_map(|l| l.layout.clone().map(|lay| (l.spec.name.clone(), lay)))
+        .collect();
+
+    let mut last_traffic = u64::MAX;
+    let mut last_cycles = u64::MAX;
+    // Allow progressively fewer hops: 6 (everything) down to 0 (diagonal).
+    for max_hops in [6usize, 3, 1, 0] {
+        let mut weights = HashMap::new();
+        for (name, layout) in &layouts {
+            weights.insert(name.clone(), local_only_weights(layout, &mesh, max_hops));
+        }
+        let plan = Plan::build(&spec, cores, &weights, 2).expect("plan");
+        let report = model.evaluate(&plan).expect("report");
+        assert!(
+            plan.total_traffic_bytes() <= last_traffic,
+            "traffic must shrink as locality tightens (max_hops {max_hops})"
+        );
+        assert!(
+            report.total_cycles <= last_cycles,
+            "latency must not grow as traffic shrinks (max_hops {max_hops})"
+        );
+        last_traffic = plan.total_traffic_bytes();
+        last_cycles = report.total_cycles;
+    }
+    assert_eq!(last_traffic, 0, "diagonal-only weights need no NoC traffic");
+}
+
+#[test]
+fn distance_limited_weights_bound_message_distances() {
+    let spec = mlp_spec();
+    let cores = 16;
+    let mesh = learn_to_scale::noc::Mesh2d::new(4, 4);
+    let dense_plan = Plan::dense(&spec, cores, 2).expect("plan");
+    let mut weights = HashMap::new();
+    for l in &dense_plan.layers {
+        if let Some(layout) = &l.layout {
+            weights.insert(l.spec.name.clone(), local_only_weights(layout, &mesh, 2));
+        }
+    }
+    let plan = Plan::build(&spec, cores, &weights, 2).expect("plan");
+    for lp in &plan.layers {
+        for m in &lp.traffic.messages {
+            assert!(
+                mesh.distance(m.src, m.dst) <= 2,
+                "message {} -> {} exceeds the weight locality bound",
+                m.src,
+                m.dst
+            );
+        }
+    }
+}
+
+#[test]
+fn traffic_rates_are_identical_across_mesh_sizes_for_same_pattern() {
+    // The *relative* traffic reduction of zeroing everything off-diagonal
+    // is mesh-independent for a layer whose units divide evenly.
+    for cores in [4usize, 8, 16] {
+        let spec = mlp_spec();
+        let dense = Plan::dense(&spec, cores, 2).expect("plan");
+        let mut weights = HashMap::new();
+        let layout = dense.layer("ip2").and_then(|l| l.layout.clone()).expect("layout");
+        let mut w = vec![0.0f32; layout.weight_len()];
+        for d in 0..cores {
+            layout.visit_group(d, d, |idx| w[idx] = 0.5);
+        }
+        weights.insert("ip2".to_string(), w);
+        let sparse = Plan::build(&spec, cores, &weights, 2).expect("plan");
+        assert!(sparse.layer("ip2").expect("ip2").traffic.is_empty(), "{cores} cores");
+        // Other layers unchanged.
+        assert_eq!(
+            sparse.layer("ip3").expect("ip3").traffic.total_bytes(),
+            dense.layer("ip3").expect("ip3").traffic.total_bytes()
+        );
+    }
+}
+
+#[test]
+fn system_reports_are_deterministic() {
+    let spec = lenet_spec();
+    let model = SystemModel::paper(16).expect("model");
+    let plan = Plan::dense(&spec, 16, 2).expect("plan");
+    let a = model.evaluate(&plan).expect("a");
+    let b = model.evaluate(&plan).expect("b");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn more_cores_reduce_compute_but_not_communication() {
+    let spec = lenet_spec();
+    let mut last_compute = u64::MAX;
+    for cores in [1usize, 4, 16] {
+        let model = SystemModel::paper(cores).expect("model");
+        let report = model.evaluate(&Plan::dense(&spec, cores, 2).expect("plan")).expect("r");
+        assert!(
+            report.compute_cycles <= last_compute,
+            "compute should shrink with cores ({cores})"
+        );
+        last_compute = report.compute_cycles;
+        if cores == 1 {
+            assert_eq!(report.comm_cycles, 0);
+        } else {
+            assert!(report.comm_cycles > 0);
+        }
+    }
+}
