@@ -122,17 +122,12 @@ impl CoreModel {
                     out_units_assigned * (spec.out_dims.1 * spec.out_dims.2),
                 )
             }
-            LayerKind::Linear { in_f, .. } => self.dot_product_cost(
-                out_units_assigned,
-                in_f,
-                1,
-                in_f,
-                out_units_assigned,
-            ),
+            LayerKind::Linear { in_f, .. } => {
+                self.dot_product_cost(out_units_assigned, in_f, 1, in_f, out_units_assigned)
+            }
             LayerKind::Pool { kernel, .. } => {
                 // NFU-2 comparisons: Tn lanes, one window element per cycle.
-                let positions =
-                    (out_units_assigned * spec.out_dims.1 * spec.out_dims.2) as u64;
+                let positions = (out_units_assigned * spec.out_dims.1 * spec.out_dims.2) as u64;
                 let ops = positions * (kernel * kernel) as u64;
                 let cycles = ops.div_ceil(self.config.tn as u64);
                 let sram = (dims_len(spec.in_dims) * out_units_assigned / spec.in_dims.0.max(1)
@@ -317,11 +312,8 @@ mod tests {
             .linear("ip", 10)
             .build();
         let total = model().single_core_cost(&spec.layers);
-        let manual: u64 = spec
-            .layers
-            .iter()
-            .map(|l| model().layer_cost(l, l.out_dims.0).cycles)
-            .sum();
+        let manual: u64 =
+            spec.layers.iter().map(|l| model().layer_cost(l, l.out_dims.0).cycles).sum();
         assert_eq!(total.cycles, manual);
         assert!(total.energy_pj > 0.0);
     }

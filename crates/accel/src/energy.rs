@@ -19,12 +19,7 @@ pub struct ComputeEnergyModel {
 
 impl Default for ComputeEnergyModel {
     fn default() -> Self {
-        Self {
-            mac_pj: 0.6,
-            op_pj: 0.2,
-            sram_pj_per_byte: 0.08,
-            dram_pj_per_byte: 20.0,
-        }
+        Self { mac_pj: 0.6, op_pj: 0.2, sram_pj_per_byte: 0.08, dram_pj_per_byte: 20.0 }
     }
 }
 

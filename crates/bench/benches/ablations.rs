@@ -1,15 +1,16 @@
 //! Ablation studies over the design choices called out in `DESIGN.md` §5,
-//! plus Criterion timings of the evaluation paths they exercise.
+//! plus wall-clock timings of the evaluation paths they exercise.
 //!
 //! Run with `cargo bench --bench ablations`. The ablation result tables
-//! are printed once before the timing loops.
+//! are printed once before the timing loops; timings land in
+//! `BENCH_ablations.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lts_accel::{CoreConfig, CoreModel};
+use lts_bench::timing::{time, BenchReport};
 use lts_core::experiment::EffortPreset;
 use lts_core::pipeline::{plan_for, train_baseline, train_sparsified};
 use lts_core::strategy::SparsityScheme;
 use lts_core::SystemModel;
-use lts_accel::{CoreConfig, CoreModel};
 use lts_datasets::presets::synth_mnist;
 use lts_nn::models;
 use lts_nn::prune::PruneCriterion;
@@ -244,17 +245,10 @@ fn ablation_lasso_mode() {
             .expect("regularizer")
             .with_mode(mode);
         let trainer = Trainer::new(config.train).expect("trainer").with_regularizer(reg);
-        let stats = trainer
-            .train(&mut net, &data.train.images, &data.train.labels)
-            .expect("train");
+        let stats = trainer.train(&mut net, &data.train.images, &data.train.labels).expect("train");
         let w = net.layer_weight("ip2").expect("ip2");
         let zeros = lts_nn::prune::zero_group_count(&layout, w.value.as_slice());
-        println!(
-            "{:<12} {:>10}/256 {:>11.3}",
-            format!("{mode:?}"),
-            zeros,
-            stats.final_accuracy()
-        );
+        println!("{:<12} {:>10}/256 {:>11.3}", format!("{mode:?}"), zeros, stats.final_accuracy());
     }
     println!("(proximal produces exact zero groups during training; the subgradient");
     println!(" merely shrinks them and relies entirely on post-hoc thresholding)");
@@ -294,26 +288,24 @@ fn ablation_routing_policy() {
     }
 }
 
-fn bench_ablation_paths(c: &mut Criterion) {
+fn bench_ablation_paths(report: &mut BenchReport) {
     // Time the system-evaluation path the ablations lean on.
     let spec = lts_nn::descriptor::lenet_spec();
     let plan = Plan::dense(&spec, 16, 2).expect("plan");
     let model = SystemModel::paper(16).expect("model");
-    c.bench_function("ablation_system_eval_lenet", |b| {
-        b.iter(|| model.evaluate(black_box(&plan)).expect("evaluate"))
-    });
+    report.push(time("ablation_system_eval_lenet", 2, 10, || {
+        model.evaluate(&plan).expect("evaluate");
+    }));
     let config = NocConfig::paper_16core();
-    c.bench_function("ablation_analytic_model_lenet", |b| {
-        b.iter(|| {
-            plan.layers
-                .iter()
-                .map(|lp| analyze(&config, &lp.traffic).makespan_lower_bound)
-                .sum::<u64>()
-        })
-    });
+    report.push(time("ablation_analytic_model_lenet", 2, 10, || {
+        plan.layers
+            .iter()
+            .map(|lp| analyze(&config, &lp.traffic).makespan_lower_bound)
+            .sum::<u64>();
+    }));
 }
 
-fn run_ablations_then_bench(c: &mut Criterion) {
+fn main() {
     ablation_noc_fidelity();
     ablation_overlap();
     ablation_weight_residency();
@@ -322,15 +314,8 @@ fn run_ablations_then_bench(c: &mut Criterion) {
     ablation_prune_threshold();
     ablation_granularity();
     ablation_lasso_mode();
-    bench_ablation_paths(c);
+    println!("\n--- timings ---");
+    let mut report = BenchReport::new("ablations", "micro");
+    bench_ablation_paths(&mut report);
+    report.write().expect("write benchmark report");
 }
-
-criterion_group!(
-    name = ablations;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = run_ablations_then_bench
-);
-criterion_main!(ablations);

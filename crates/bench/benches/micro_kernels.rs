@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks of the hot kernels: GEMM, im2col, grouped
+//! Wall-clock micro-benchmarks of the hot kernels: GEMM, im2col, grouped
 //! convolution forward/backward, the flit-level NoC simulator, and the
 //! group-norm scan that the lasso/pruning path performs every step.
+//!
+//! Run with `cargo bench --bench micro_kernels`. The GEMM workload is
+//! swept over execution-engine worker counts to record the parallel
+//! kernel's scaling on this host; results land in
+//! `BENCH_micro_kernels.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lts_bench::timing::{time, BenchReport};
 use lts_nn::conv::Conv2d;
 use lts_nn::grouping::GroupLayout;
 use lts_nn::layer::Layer;
@@ -10,75 +15,76 @@ use lts_noc::traffic::all_to_all;
 use lts_noc::{NocConfig, Simulator};
 use lts_tensor::im2col::{im2col, ConvGeometry};
 use lts_tensor::matmul::matmul;
+use lts_tensor::par::{self, ExecConfig};
 use lts_tensor::{init, Shape, Tensor};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut rng = init::rng(1);
-    let a = init::uniform(Shape::d2(128, 128), 1.0, &mut rng);
-    let b = init::uniform(Shape::d2(128, 128), 1.0, &mut rng);
-    c.bench_function("matmul_128x128", |bench| {
-        bench.iter(|| matmul(black_box(&a), black_box(&b)).expect("benchmark matmul"))
-    });
-}
+fn main() {
+    let mut report = BenchReport::new("micro_kernels", "n/a");
+    let host = report.host_cpus;
+    println!("=== micro-kernel wall-clock benchmarks ({host} CPUs available) ===\n");
 
-fn bench_im2col(c: &mut Criterion) {
+    // GEMM thread sweep: the parallel blocked kernel at 1..N workers on
+    // identical inputs (bit-identical outputs; only wall-clock changes).
+    let mut rng = init::rng(1);
+    let a = init::uniform(Shape::d2(256, 256), 1.0, &mut rng);
+    let b = init::uniform(Shape::d2(256, 256), 1.0, &mut rng);
+    let mut sweep = vec![1usize];
+    for t in [2, 4, host] {
+        if t > 1 && !sweep.contains(&t) {
+            sweep.push(t);
+        }
+    }
+    sweep.sort_unstable();
+    for &threads in &sweep {
+        par::install(ExecConfig::new(threads));
+        report.push(time(&format!("matmul_256x256_t{threads}"), 3, 20, || {
+            matmul(&a, &b).expect("benchmark matmul");
+        }));
+    }
+    if host < 4 {
+        report.note(format!(
+            "host exposes only {host} CPU(s); thread-sweep speedups are not expected to \
+             materialize here"
+        ));
+    }
+    par::install(ExecConfig::new(host));
+
     let mut rng = init::rng(2);
     let img = init::uniform(Shape::d3(20, 12, 12), 1.0, &mut rng);
     let geom = ConvGeometry { in_c: 20, in_h: 12, in_w: 12, kh: 5, kw: 5, stride: 1, pad: 0 };
-    c.bench_function("im2col_lenet_conv2", |bench| {
-        bench.iter(|| im2col(black_box(&img), &geom).expect("benchmark im2col"))
-    });
-}
+    report.push(time("im2col_lenet_conv2", 3, 50, || {
+        im2col(&img, &geom).expect("benchmark im2col");
+    }));
 
-fn bench_conv_forward(c: &mut Criterion) {
     let mut rng = init::rng(3);
     let mut conv = Conv2d::new("c", (20, 12, 12), 50, 5, 1, 0, 1, &mut rng).expect("conv");
     let x = init::uniform(Shape::d4(8, 20, 12, 12), 1.0, &mut rng);
-    c.bench_function("conv2d_forward_lenet_conv2_b8", |bench| {
-        bench.iter(|| conv.forward(black_box(&x)).expect("benchmark forward"))
-    });
-}
+    report.push(time("conv2d_forward_lenet_conv2_b8", 3, 20, || {
+        conv.forward(&x).expect("benchmark forward");
+    }));
 
-fn bench_conv_backward(c: &mut Criterion) {
     let mut rng = init::rng(4);
     let mut conv = Conv2d::new("c", (20, 12, 12), 50, 5, 1, 0, 1, &mut rng).expect("conv");
     let x = init::uniform(Shape::d4(4, 20, 12, 12), 1.0, &mut rng);
     let y = conv.forward(&x).expect("forward");
     let grad = Tensor::ones(y.shape().clone());
-    c.bench_function("conv2d_backward_lenet_conv2_b4", |bench| {
-        bench.iter(|| {
-            conv.forward(black_box(&x)).expect("forward");
-            conv.backward(black_box(&grad)).expect("backward")
-        })
-    });
-}
+    report.push(time("conv2d_backward_lenet_conv2_b4", 3, 20, || {
+        conv.forward(&x).expect("forward");
+        conv.backward(&grad).expect("backward");
+    }));
 
-fn bench_noc_burst(c: &mut Criterion) {
     let trace = all_to_all(16, 1024);
-    c.bench_function("noc_sim_all_to_all_16c_1kb", |bench| {
-        bench.iter(|| {
-            let mut sim = Simulator::new(NocConfig::paper_16core()).expect("sim");
-            sim.run(black_box(&trace.messages)).expect("benchmark noc run")
-        })
-    });
-}
+    report.push(time("noc_sim_all_to_all_16c_1kb", 2, 10, || {
+        let mut sim = Simulator::new(NocConfig::paper_16core()).expect("sim");
+        sim.run(&trace.messages).expect("benchmark noc run");
+    }));
 
-fn bench_group_norms(c: &mut Criterion) {
     let layout = GroupLayout::new(512, 304, 1, 16);
     let mut rng = init::rng(5);
     let w = init::uniform(Shape::d1(512 * 304), 0.1, &mut rng);
-    c.bench_function("group_norm_matrix_mlp_ip2", |bench| {
-        bench.iter(|| layout.norm_matrix(black_box(w.as_slice())))
-    });
-}
+    report.push(time("group_norm_matrix_mlp_ip2", 3, 50, || {
+        layout.norm_matrix(w.as_slice());
+    }));
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_matmul, bench_im2col, bench_conv_forward, bench_conv_backward,
-        bench_noc_burst, bench_group_norms
-);
-criterion_main!(kernels);
+    report.write().expect("write benchmark report");
+}

@@ -18,10 +18,7 @@ fn main() {
     banner("Extension — inter-layer pipelining vs intra-layer split", &EffortPreset::paper());
     let model = CoreModel::new(CoreConfig::diannao());
     let noc = NocConfig::paper_16core();
-    for spec in [
-        lts_nn::descriptor::lenet_spec(),
-        lts_nn::descriptor::alexnet_spec(),
-    ] {
+    for spec in [lts_nn::descriptor::lenet_spec(), lts_nn::descriptor::alexnet_spec()] {
         println!("{} on 16 cores:", spec.name);
         // Inter-layer pipeline (the §II-B alternative).
         let mapping = balance_layers(&spec, 16, &model);

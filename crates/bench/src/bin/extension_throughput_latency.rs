@@ -23,10 +23,8 @@ fn main() {
                 r.mode, r.latency_cycles, r.throughput_per_mcycle
             );
         }
-        let latency_gain =
-            rows[0].latency_cycles as f64 / rows[1].latency_cycles as f64;
-        let throughput_cost =
-            rows[0].throughput_per_mcycle / rows[1].throughput_per_mcycle;
+        let latency_gain = rows[0].latency_cycles as f64 / rows[1].latency_cycles as f64;
+        let throughput_cost = rows[0].throughput_per_mcycle / rows[1].throughput_per_mcycle;
         println!(
             "  -> model parallelism answers {latency_gain:.1}x sooner at {throughput_cost:.1}x lower peak throughput\n"
         );

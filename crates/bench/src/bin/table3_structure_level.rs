@@ -16,7 +16,9 @@ fn main() {
     let rows = table3_rows(&preset).expect("table 3 experiment");
     println!("{}", render_table3(&rows));
     println!();
-    println!("Paper: Parallel#1 acc 0.726 1x | Parallel#2 acc 0.698 4.9x | Parallel#3 acc 0.742 4.6x");
+    println!(
+        "Paper: Parallel#1 acc 0.726 1x | Parallel#2 acc 0.698 4.9x | Parallel#3 acc 0.742 4.6x"
+    );
     println!("Paper Fig. 7: comm energy reduction 91% (#2), 88% (#3)");
     println!();
     println!("Fig. 7 series (per-variant, vs Parallel#1):");

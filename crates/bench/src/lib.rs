@@ -33,6 +33,121 @@ pub fn banner(what: &str, preset: &EffortPreset) {
     );
 }
 
+pub mod timing {
+    //! Minimal wall-clock benchmark harness.
+    //!
+    //! The bench binaries time closures with explicit warmup/measure
+    //! iteration counts, print a human-readable table, and write a
+    //! `BENCH_<name>.json` report so runs are comparable across machines.
+    //! Reports always record the host's available parallelism and the
+    //! engine's worker count, because kernel timings are meaningless
+    //! without them.
+
+    use serde::Serialize;
+    use std::time::Instant;
+
+    /// Timing of one benchmarked workload.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct BenchRecord {
+        /// Workload label.
+        pub name: String,
+        /// Execution-engine worker count the workload ran with.
+        pub threads: usize,
+        /// Measured iterations (after warmup).
+        pub iters: usize,
+        /// Mean wall-clock per iteration, milliseconds.
+        pub mean_ms: f64,
+        /// Fastest iteration, milliseconds.
+        pub min_ms: f64,
+        /// Slowest iteration, milliseconds.
+        pub max_ms: f64,
+    }
+
+    /// Times `f` for `iters` iterations after `warmup` untimed ones.
+    pub fn time(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) -> BenchRecord {
+        for _ in 0..warmup {
+            f();
+        }
+        let iters = iters.max(1);
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            f();
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let sum: f64 = samples.iter().sum();
+        BenchRecord {
+            name: name.to_string(),
+            threads: lts_tensor::par::current().threads(),
+            iters,
+            mean_ms: sum / iters as f64,
+            min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ms: samples.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    /// A full benchmark report: host facts plus one record per workload.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct BenchReport {
+        /// Benchmark binary name.
+        pub bench: String,
+        /// Effort preset label (`quick`/`paper`).
+        pub effort: String,
+        /// The host's available hardware parallelism.
+        pub host_cpus: usize,
+        /// Free-form caveats (e.g. "host has fewer cores than the sweep").
+        pub notes: Vec<String>,
+        /// One entry per timed workload.
+        pub records: Vec<BenchRecord>,
+    }
+
+    impl BenchReport {
+        /// Empty report for the named benchmark.
+        pub fn new(bench: &str, effort: &str) -> Self {
+            Self {
+                bench: bench.to_string(),
+                effort: effort.to_string(),
+                host_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+                notes: Vec::new(),
+                records: Vec::new(),
+            }
+        }
+
+        /// Adds a record and echoes it to stdout.
+        pub fn push(&mut self, record: BenchRecord) {
+            println!(
+                "{:<44} {:>2} thr  {:>10.3} ms/iter  (min {:.3}, max {:.3}, {} iters)",
+                record.name,
+                record.threads,
+                record.mean_ms,
+                record.min_ms,
+                record.max_ms,
+                record.iters
+            );
+            self.records.push(record);
+        }
+
+        /// Records a caveat that readers of the JSON need.
+        pub fn note(&mut self, note: impl Into<String>) {
+            let note = note.into();
+            println!("note: {note}");
+            self.notes.push(note);
+        }
+
+        /// Writes `BENCH_<bench>.json` into `LTS_BENCH_DIR` (default: the
+        /// current directory) and reports the path.
+        pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+            let dir = std::env::var("LTS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.bench));
+            let json = serde_json::to_string_pretty(self)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            std::fs::write(&path, json + "\n")?;
+            println!("\nwrote {}", path.display());
+            Ok(path)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +158,23 @@ mod tests {
         if std::env::var("LTS_EFFORT").is_err() {
             assert_eq!(effort_from_env(), EffortPreset::paper());
         }
+    }
+
+    #[test]
+    fn timing_harness_measures_and_serializes() {
+        let mut report = timing::BenchReport::new("selftest", "quick");
+        let mut n = 0u64;
+        let record = timing::time("spin", 1, 3, || {
+            for i in 0..10_000u64 {
+                n = n.wrapping_add(i);
+            }
+        });
+        assert_eq!(record.iters, 3);
+        assert!(record.min_ms <= record.mean_ms && record.mean_ms <= record.max_ms);
+        report.push(record);
+        report.note("self-test");
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"bench\":\"selftest\""), "{json}");
+        assert!(json.contains("\"spin\""), "{json}");
     }
 }

@@ -1,0 +1,409 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal serialization framework with the same call-site surface as
+//! serde: `use serde::{Serialize, Deserialize}` + `#[derive(Serialize,
+//! Deserialize)]`. Instead of serde's visitor-based data model, values
+//! serialize into an owned [`Value`] tree which `serde_json` (the sibling
+//! stand-in) prints and parses. Field order is preserved, so JSON output
+//! is deterministic.
+//!
+//! Supported shapes — exactly what the workspace derives:
+//! named-field structs, tuple structs (newtypes serialize transparently),
+//! and enums with unit / tuple / struct variants (externally tagged, like
+//! serde's default).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An owned serialization tree: the stand-in's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// "expected X while deserializing Y" constructor.
+    pub fn expected(what: &str, ctx: &str) -> Self {
+        Error(format!("expected {what} while deserializing {ctx}"))
+    }
+
+    /// Unknown-enum-variant constructor.
+    pub fn unknown_variant(variant: &str, ctx: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for {ctx}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the node's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent from the input map.
+    ///
+    /// Defaults to an error; `Option<T>` overrides it to yield `None`, so
+    /// snapshots written before a field existed still load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless the type tolerates absence.
+    fn missing_field(ctx: &str, field: &str) -> Result<Self, Error> {
+        Err(Error(format!("missing field `{field}` while deserializing {ctx}")))
+    }
+}
+
+/// Looks up `key` in a derived struct's map and deserializes it
+/// (used by generated code; not part of the public serde API).
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error, or
+/// [`Deserialize::missing_field`] when absent.
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v),
+        None => T::missing_field(ctx, key),
+    }
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for i64")))?,
+                    _ => return Err(Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    // Non-finite floats serialize as null (serde_json's
+                    // convention); accept them back as NaN.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+
+    fn missing_field(_ctx: &str, _field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for core::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("end".to_string(), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for core::ops::Range<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::expected("map", "Range"))?;
+        Ok(field(m, "start", "Range")?..field(m, "end", "Range")?)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items.try_into().map_err(|_| Error(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::expected("sequence", "tuple"))?;
+                let expect = [$($idx),+].len();
+                if seq.len() != expect {
+                    return Err(Error(format!(
+                        "expected tuple of length {expect}, got {}", seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic regardless of hasher state.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Map(keys.into_iter().map(|k| (k.clone(), self[k].to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1usize, -2i64, 0.5f64);
+        assert_eq!(<(usize, i64, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let a = [4usize, 5, 6];
+        assert_eq!(<[usize; 3]>::from_value(&a.to_value()).unwrap(), a);
+        let o: Option<usize> = None;
+        assert_eq!(Option::<usize>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_option_field_is_none() {
+        let got: Option<usize> = field(&[], "absent", "Test").unwrap();
+        assert_eq!(got, None);
+        assert!(field::<usize>(&[], "absent", "Test").is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<usize>::from_value(&Value::U64(1)).is_err());
+        assert!(<[usize; 2]>::from_value(&vec![1usize].to_value()).is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! Derive macros for the offline in-repo `serde` stand-in.
+//!
+//! Parses `struct`/`enum` definitions directly from the token stream (no
+//! `syn` available offline) and emits `serde::Serialize` /
+//! `serde::Deserialize` impls against the stand-in's [`Value`] tree model.
+//!
+//! Supported shapes — the ones this workspace uses:
+//! - structs with named fields,
+//! - tuple structs (single-field newtypes serialize transparently,
+//!   wider ones as sequences),
+//! - enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Generic type parameters and `#[serde(...)]` attributes are not
+//! supported; deriving on such an item is a compile error with a clear
+//! message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed field list of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Parsed derive input.
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => serialize_struct_body(name, fields),
+        Input::Enum { name, variants } => serialize_enum_body(name, variants),
+    };
+    let name = input_name(&parsed);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => deserialize_struct_body(name, fields),
+        Input::Enum { name, variants } => deserialize_enum_body(name, variants),
+    };
+    let name = input_name(&parsed);
+    // Fully qualified Result: derives must work inside crates that shadow
+    // `Result` with a single-parameter alias.
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn input_name(input: &Input) -> &str {
+    match input {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (offline stand-in): generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, got {other:?}"),
+            };
+            Input::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1; // [...]
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)` / `pub(in ...)` carry a parenthesized group.
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Extracts field names from `a: TyA, b: TyB, ...`, skipping types.
+/// Tracks `<...>` nesting so commas inside generics don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts top-level comma-separated entries of a tuple field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --- codegen: Serialize ----------------------------------------------------
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        // Newtype structs serialize transparently, like serde.
+        Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => format!("serde::Value::Str(\"{name}\".to_string())"),
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(vname, fields)| match fields {
+            Fields::Unit => {
+                format!("{name}::{vname} => serde::Value::Str(\"{vname}\".to_string())")
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(f0) => serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                 serde::Serialize::to_value(f0))])"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> =
+                    binds.iter().map(|b| format!("serde::Serialize::to_value({b})")).collect();
+                format!(
+                    "{name}::{vname}({}) => serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                     serde::Value::Seq(vec![{}]))])",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let entries: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                     serde::Value::Map(vec![{}]))])",
+                    fnames.join(", "),
+                    entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+// --- codegen: Deserialize --------------------------------------------------
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: serde::field(m, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?")).collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+                 if seq.len() != {n} {{\n\
+                     return Err(serde::Error::expected(\"sequence of length {n}\", \"{name}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!(
+            "match v {{\n\
+                 serde::Value::Str(s) if s == \"{name}\" => Ok({name}),\n\
+                 _ => Err(serde::Error::expected(\"\\\"{name}\\\"\", \"{name}\")),\n\
+             }}"
+        ),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                unit_arms.push(format!("\"{vname}\" => Ok({name}::{vname})"));
+            }
+            Fields::Tuple(1) => tagged_arms.push(format!(
+                "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(inner)?))"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let seq = inner.as_seq().ok_or_else(|| \
+                             serde::Error::expected(\"sequence\", \"{name}::{vname}\"))?;\n\
+                         if seq.len() != {n} {{\n\
+                             return Err(serde::Error::expected(\
+                                 \"sequence of length {n}\", \"{name}::{vname}\"));\n\
+                         }}\n\
+                         Ok({name}::{vname}({}))\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Named(fnames) => {
+                let inits: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("{f}: serde::field(fm, \"{f}\", \"{name}::{vname}\")?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let fm = inner.as_map().ok_or_else(|| \
+                             serde::Error::expected(\"map\", \"{name}::{vname}\"))?;\n\
+                         Ok({name}::{vname} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    unit_arms.push(format!("other => Err(serde::Error::unknown_variant(other, \"{name}\"))"));
+    tagged_arms.push(format!("other => Err(serde::Error::unknown_variant(other, \"{name}\"))"));
+    format!(
+        "match v {{\n\
+             serde::Value::Str(s) => match s.as_str() {{ {} }},\n\
+             serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 match tag.as_str() {{ {} }}\n\
+             }}\n\
+             _ => Err(serde::Error::expected(\"externally tagged variant\", \"{name}\")),\n\
+         }}",
+        unit_arms.join(",\n"),
+        tagged_arms.join(",\n")
+    )
+}

@@ -16,6 +16,7 @@ use lts_nn::prune::PruneCriterion;
 use lts_nn::trainer::TrainConfig;
 use lts_nn::Network;
 use lts_partition::comm::{dense_volumes, VolumeRow};
+use lts_tensor::par;
 use serde::{Deserialize, Serialize};
 
 /// How much work the experiment runners do — `quick` for tests,
@@ -119,9 +120,8 @@ pub fn table1_rows(cores: usize) -> Result<Vec<VolumeRow>> {
         lts_nn::descriptor::alexnet_spec(),
         lts_nn::descriptor::vgg19_spec(),
     ];
-    specs
-        .iter()
-        .map(|s| dense_volumes(s, cores).map_err(CoreError::from))
+    par::par_map(&specs, |_, s| dense_volumes(s, cores).map_err(CoreError::from))
+        .into_iter()
         .collect()
 }
 
@@ -290,38 +290,18 @@ pub fn sparsified_experiment(
     }];
 
     for scheme in [SparsityScheme::Ss, SparsityScheme::mask()] {
-        // Train the whole λ grid in parallel; every run is independent
-        // and deterministic.
-        let candidates = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = params
-                .lambda_grid
-                .iter()
-                .map(|&lambda| {
-                    let model = model.clone();
-                    let build = &build;
-                    let prune = params.prune;
-                    s.spawn(move |_| -> Result<(f32, SparsifiedOutcome, SystemReport)> {
-                        let outcome = train_sparsified(
-                            build(seed)?,
-                            data,
-                            &config,
-                            cores,
-                            scheme,
-                            lambda,
-                            prune,
-                        )?;
-                        let plan = plan_for(&outcome.network, cores, true, true)?;
-                        let report = model.evaluate(&plan)?;
-                        Ok((lambda, outcome, report))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("lambda-grid worker panicked"))
-                .collect::<Result<Vec<_>>>()
+        // Train the whole λ grid on the execution engine; every run is
+        // independent and deterministic, and par_map returns results in
+        // grid order regardless of scheduling.
+        let candidates = par::par_map(&params.lambda_grid, |_, &lambda| {
+            let outcome =
+                train_sparsified(build(seed)?, data, &config, cores, scheme, lambda, params.prune)?;
+            let plan = plan_for(&outcome.network, cores, true, true)?;
+            let report = model.evaluate(&plan)?;
+            Ok::<(f32, SparsifiedOutcome, SystemReport), CoreError>((lambda, outcome, report))
         })
-        .expect("lambda-grid scope panicked")?;
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
 
         // Paper methodology: lowest traffic subject to accuracy staying
         // within tolerance of the baseline; if nothing qualifies, the most
@@ -467,22 +447,25 @@ pub struct ScaleRow {
 ///
 /// Propagates training/plan/simulation errors.
 pub fn table5_rows(preset: &EffortPreset) -> Result<Vec<ScaleRow>> {
-    let mut rows = Vec::new();
-    for cores in [4usize, 8, 16, 32] {
+    // Each core count is an independent train+simulate run; fan them out
+    // on the engine and collect in fixed core-count order.
+    let core_counts = [4usize, 8, 16, 32];
+    par::par_map(&core_counts, |_, &cores| {
         let pair = structure_rows_for_cores(preset, cores, false)?;
         let p3 = pair
             .iter()
             .find(|r| r.name == "Parallel#3")
             .expect("structure rows always include Parallel#3");
-        rows.push(ScaleRow {
+        Ok(ScaleRow {
             cores,
             accuracy: p3.accuracy,
             speedup: p3.speedup,
             comm_energy_reduction: p3.comm_energy_reduction,
             comm_speedup: p3.comm_speedup,
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -520,11 +503,8 @@ pub fn combined_strategy_rows(preset: &EffortPreset) -> Result<Vec<CombinedRow>>
     let model = SystemModel::paper(cores)?;
 
     // Traditional baseline.
-    let dense = train_baseline(
-        models::convnet_variant([64, 128, 256], 1, preset.seed)?,
-        &data,
-        &config,
-    )?;
+    let dense =
+        train_baseline(models::convnet_variant([64, 128, 256], 1, preset.seed)?, &data, &config)?;
     let dense_report = model.evaluate(&plan_for(&dense.network, cores, false, true)?)?;
     let mut rows = vec![CombinedRow {
         scheme: "Traditional".into(),

@@ -72,11 +72,8 @@ impl PipelineReport {
 /// Panics if `cores == 0`.
 pub fn balance_layers(spec: &NetworkSpec, cores: usize, model: &CoreModel) -> PipelineMapping {
     assert!(cores > 0, "cores must be positive");
-    let costs: Vec<u64> = spec
-        .layers
-        .iter()
-        .map(|l| model.layer_cost(l, l.out_dims.0).cycles)
-        .collect();
+    let costs: Vec<u64> =
+        spec.layers.iter().map(|l| model.layer_cost(l, l.out_dims.0).cycles).collect();
     let total: u64 = costs.iter().sum();
     let ideal = total as f64 / cores as f64;
     let mut stages: Vec<Vec<usize>> = vec![Vec::new(); cores];
@@ -129,13 +126,10 @@ pub fn evaluate_pipeline(
     // Inter-stage traffic: the activation leaving the last layer of each
     // non-final, non-empty stage.
     let mut inter_stage_bytes = Vec::new();
-    let active: Vec<usize> = (0..mapping.stages.len())
-        .filter(|&s| !mapping.stages[s].is_empty())
-        .collect();
+    let active: Vec<usize> =
+        (0..mapping.stages.len()).filter(|&s| !mapping.stages[s].is_empty()).collect();
     for window in active.windows(2) {
-        let last_layer = *mapping.stages[window[0]]
-            .last()
-            .expect("active stage is non-empty");
+        let last_layer = *mapping.stages[window[0]].last().expect("active stage is non-empty");
         inter_stage_bytes.push(spec.layers[last_layer].output_bytes());
     }
     // One-hop transfer time per boundary: flit serialization over the
@@ -213,10 +207,7 @@ mod tests {
             report.imbalance
         );
         // Throughput is gated by the bottleneck, not the mean.
-        assert_eq!(
-            report.bottleneck_cycles,
-            *report.stage_cycles.iter().max().unwrap()
-        );
+        assert_eq!(report.bottleneck_cycles, *report.stage_cycles.iter().max().unwrap());
     }
 
     #[test]
@@ -227,7 +218,10 @@ mod tests {
             evaluate_pipeline(&spec, &mapping, &model(), &NocConfig::paper_16core()).unwrap();
         let compute: u64 = report.stage_cycles.iter().sum();
         assert!(report.latency_cycles >= compute);
-        assert_eq!(report.inter_stage_bytes.len(), report.stage_cycles.iter().filter(|&&c| c > 0).count() - 1);
+        assert_eq!(
+            report.inter_stage_bytes.len(),
+            report.stage_cycles.iter().filter(|&&c| c > 0).count() - 1
+        );
     }
 
     #[test]
@@ -254,9 +248,7 @@ mod tests {
             let per = spec.layers.len().div_ceil(cores);
             PipelineMapping {
                 stages: (0..cores)
-                    .map(|s| {
-                        (s * per..((s + 1) * per).min(spec.layers.len())).collect::<Vec<_>>()
-                    })
+                    .map(|s| (s * per..((s + 1) * per).min(spec.layers.len())).collect::<Vec<_>>())
                     .collect(),
             }
         };

@@ -21,6 +21,7 @@ use lts_nn::trainer::{parallel_accuracy, TrainConfig, TrainStats, Trainer};
 use lts_nn::Network;
 use lts_noc::{Mesh2d, NocConfig};
 use lts_partition::{hop_power_mask, Plan};
+use lts_tensor::{par, ExecConfig};
 use std::collections::HashMap;
 
 /// Shared pipeline knobs.
@@ -38,6 +39,11 @@ pub struct PipelineConfig {
     pub eval_threads: usize,
     /// Quantize weights to Q7.8 before evaluating (what the chip runs).
     pub quantize: bool,
+    /// Execution-engine worker count for the whole pipeline (kernels,
+    /// data-parallel training, evaluation). Installed process-wide at
+    /// every pipeline entry point; results are bit-identical for any
+    /// value.
+    pub exec: ExecConfig,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +55,7 @@ impl Default for PipelineConfig {
             eval_batch: 64,
             eval_threads: 4,
             quantize: true,
+            exec: ExecConfig::from_env(),
         }
     }
 }
@@ -104,6 +111,7 @@ pub fn train_baseline(
     data: &TrainTest,
     config: &PipelineConfig,
 ) -> Result<TrainedOutcome> {
+    par::install(config.exec);
     let trainer = Trainer::new(config.train)?;
     let train_stats = trainer.train(&mut network, &data.train.images, &data.train.labels)?;
     let test_accuracy = evaluate(&network, data, config)?;
@@ -155,6 +163,7 @@ pub fn train_sparsified(
     lambda: f32,
     prune: PruneCriterion,
 ) -> Result<SparsifiedOutcome> {
+    par::install(config.exec);
     let spec = network.spec();
     let dense_plan = Plan::dense(&spec, cores, 2)?;
     // Regularize exactly the layers whose input synchronization crosses
@@ -228,6 +237,7 @@ pub fn strength_mask(cores: usize, scheme: SparsityScheme) -> Result<StrengthMas
 ///
 /// Propagates forward-pass errors.
 pub fn evaluate(network: &Network, data: &TrainTest, config: &PipelineConfig) -> Result<f32> {
+    par::install(config.exec);
     let mut deployed = network.clone();
     if config.quantize {
         deployed.quantize_weights();
@@ -253,9 +263,7 @@ pub fn weights_map(network: &Network, quantize: bool) -> HashMap<String, Vec<f32
         .weight_layer_names()
         .into_iter()
         .filter_map(|name| {
-            deployed
-                .layer_weight(&name)
-                .map(|p| (name.clone(), p.value.as_slice().to_vec()))
+            deployed.layer_weight(&name).map(|p| (name.clone(), p.value.as_slice().to_vec()))
         })
         .collect()
 }

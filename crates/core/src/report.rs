@@ -123,10 +123,7 @@ pub fn render_table5(rows: &[ScaleRow]) -> String {
             ]
         })
         .collect();
-    render_table(
-        &["Cores", "n", "Accu.", "Speedup", "Comm speedup", "Comm energy red."],
-        &data,
-    )
+    render_table(&["Cores", "n", "Accu.", "Speedup", "Comm speedup", "Comm energy red."], &data)
 }
 
 /// Fig. 6(b)-style rendering: `#` for surviving groups, `.` for pruned,

@@ -275,11 +275,7 @@ mod tests {
         let spec = lenet_spec();
         let plan = Plan::dense(&spec, 16, 2).unwrap();
         let barrier = SystemModel::paper(16).unwrap().evaluate(&plan).unwrap();
-        let overlapped = SystemModel::paper(16)
-            .unwrap()
-            .with_overlap(1.0)
-            .evaluate(&plan)
-            .unwrap();
+        let overlapped = SystemModel::paper(16).unwrap().with_overlap(1.0).evaluate(&plan).unwrap();
         assert_eq!(overlapped.comm_cycles, 0);
         assert!(overlapped.total_cycles < barrier.total_cycles);
         // Energy is unaffected by overlap.

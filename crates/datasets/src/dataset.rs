@@ -52,11 +52,9 @@ impl Dataset {
         let n = n.min(self.len());
         let (c, h, w) = self.image_dims();
         let sample = c * h * w;
-        let images = Tensor::from_vec(
-            Shape::d4(n, c, h, w),
-            self.images.as_slice()[..n * sample].to_vec(),
-        )
-        .expect("slice length matches shape by construction");
+        let images =
+            Tensor::from_vec(Shape::d4(n, c, h, w), self.images.as_slice()[..n * sample].to_vec())
+                .expect("slice length matches shape by construction");
         Dataset::new(images, self.labels[..n].to_vec())
     }
 
@@ -69,11 +67,9 @@ impl Dataset {
         assert!(k <= self.len(), "split point {k} beyond {} samples", self.len());
         let (c, h, w) = self.image_dims();
         let sample = c * h * w;
-        let head = Tensor::from_vec(
-            Shape::d4(k, c, h, w),
-            self.images.as_slice()[..k * sample].to_vec(),
-        )
-        .expect("sized by construction");
+        let head =
+            Tensor::from_vec(Shape::d4(k, c, h, w), self.images.as_slice()[..k * sample].to_vec())
+                .expect("sized by construction");
         let tail = Tensor::from_vec(
             Shape::d4(self.len() - k, c, h, w),
             self.images.as_slice()[k * sample..].to_vec(),

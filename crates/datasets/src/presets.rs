@@ -26,11 +26,8 @@ pub fn synth_mnist(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
 /// (noisy enough that over-pruning costs accuracy, so the SS/SS_Mask
 /// accuracy constraint binds as it does on the real dataset).
 pub fn synth_cifar10(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
-    let config = SynthConfig {
-        noise_sigma: 2.0,
-        translate_px: 3,
-        ..SynthConfig::easy((3, 32, 32), 10)
-    };
+    let config =
+        SynthConfig { noise_sigma: 2.0, translate_px: 3, ..SynthConfig::easy((3, 32, 32), 10) };
     build(config, n_train, n_test, seed)
 }
 
@@ -47,10 +44,7 @@ pub fn synth_imagenet10(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
 
 /// ImageNet stand-in for the CaffeNet rows (3×32×32, hard).
 pub fn synth_imagenet_small(n_train: usize, n_test: usize, seed: u64) -> TrainTest {
-    let config = SynthConfig {
-        noise_sigma: 2.2,
-        ..SynthConfig::hard((3, 32, 32), 10)
-    };
+    let config = SynthConfig { noise_sigma: 2.2, ..SynthConfig::hard((3, 32, 32), 10) };
     build(config, n_train, n_test, seed)
 }
 

@@ -37,13 +37,27 @@ impl SynthConfig {
     /// in the high-90s, like MNIST — high enough to be "solved", noisy
     /// enough that over-pruning costs accuracy).
     pub fn easy(dims: (usize, usize, usize), classes: usize) -> Self {
-        Self { dims, classes, noise_sigma: 1.0, gain_jitter: 0.25, translate_px: 2, smooth_passes: 2 }
+        Self {
+            dims,
+            classes,
+            noise_sigma: 1.0,
+            gain_jitter: 0.25,
+            translate_px: 2,
+            smooth_passes: 2,
+        }
     }
 
     /// A hard, ImageNet-like task on the given dims (baselines around
     /// 50–80 %, like the paper's ConvNet/CaffeNet rows).
     pub fn hard(dims: (usize, usize, usize), classes: usize) -> Self {
-        Self { dims, classes, noise_sigma: 1.9, gain_jitter: 0.5, translate_px: 3, smooth_passes: 1 }
+        Self {
+            dims,
+            classes,
+            noise_sigma: 1.9,
+            gain_jitter: 0.5,
+            translate_px: 3,
+            smooth_passes: 1,
+        }
     }
 }
 
@@ -121,11 +135,7 @@ impl SynthGenerator {
         let (c, h, w) = self.config.dims;
         let gain = 1.0 + rng.gen_range(-self.config.gain_jitter..=self.config.gain_jitter);
         let t = self.config.translate_px as isize;
-        let (dy, dx) = if t > 0 {
-            (rng.gen_range(-t..=t), rng.gen_range(-t..=t))
-        } else {
-            (0, 0)
-        };
+        let (dy, dx) = if t > 0 { (rng.gen_range(-t..=t), rng.gen_range(-t..=t)) } else { (0, 0) };
         let template = &self.templates[class];
         let mut out = Tensor::zeros(Shape::d3(c, h, w));
         {
@@ -147,8 +157,7 @@ impl SynthGenerator {
             }
         }
         if self.config.noise_sigma > 0.0 {
-            let noise =
-                init::normal(Shape::d3(c, h, w), 0.0, self.config.noise_sigma, rng);
+            let noise = init::normal(Shape::d3(c, h, w), 0.0, self.config.noise_sigma, rng);
             lts_tensor::ops::axpy(1.0, &noise, &mut out).expect("same shape by construction");
         }
         // Per-sample standardization (zero mean, unit RMS) — the usual
@@ -260,12 +269,7 @@ mod tests {
         // centering).
         let t = g.template(2);
         let t_mean = lts_tensor::stats::mean(t.as_slice());
-        let dot: f32 = s
-            .as_slice()
-            .iter()
-            .zip(t.as_slice())
-            .map(|(&a, &b)| a * (b - t_mean))
-            .sum();
+        let dot: f32 = s.as_slice().iter().zip(t.as_slice()).map(|(&a, &b)| a * (b - t_mean)).sum();
         let norm = lts_tensor::stats::l2_norm(s.as_slice())
             * lts_tensor::stats::l2_norm(
                 &t.as_slice().iter().map(|&v| v - t_mean).collect::<Vec<_>>(),

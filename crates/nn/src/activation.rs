@@ -69,12 +69,8 @@ impl Layer for Relu {
                 ),
             });
         }
-        let data = grad_out
-            .as_slice()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Ok(Tensor::from_vec(grad_out.shape().clone(), data)?)
     }
 

@@ -10,15 +10,18 @@ use crate::descriptor::{Dims, LayerKind, LayerSpec};
 use crate::layer::Layer;
 use crate::param::Param;
 use crate::{NnError, Result};
-use lts_tensor::im2col::{col2im, im2col, ConvGeometry};
-use lts_tensor::matmul::{matmul_a_bt, matmul_at_b};
-use lts_tensor::{init, Shape, Tensor};
+use lts_tensor::im2col::{col2im_into, im2col_into, ConvGeometry};
+use lts_tensor::matmul::{matmul_a_bt_into, matmul_at_b_into, matmul_into};
+use lts_tensor::{init, Shape, Tensor, Workspace};
 use rand::rngs::StdRng;
 
 /// A grouped 2-D convolution layer.
 ///
 /// Weights are stored `[out_c, in_c/groups, kh, kw]`; inputs and outputs
-/// are NCHW batches.
+/// are NCHW batches. Because both tensors are row-major, the weights and
+/// input channels of one group are *contiguous* — the per-group GEMMs below
+/// operate directly on slices of the stored tensors, with scratch
+/// intermediates drawn from a per-layer [`Workspace`].
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     name: String,
@@ -31,6 +34,7 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    scratch: Workspace,
 }
 
 impl Conv2d {
@@ -76,13 +80,10 @@ impl Conv2d {
             stride,
             pad,
             groups,
-            weight: Param::new(init::he_normal(
-                Shape::d4(out_c, icg, kernel, kernel),
-                fan_in,
-                rng,
-            )),
+            weight: Param::new(init::he_normal(Shape::d4(out_c, icg, kernel, kernel), fan_in, rng)),
             bias: Param::zeros(Shape::d1(out_c)),
             cached_input: None,
+            scratch: Workspace::new(),
         })
     }
 
@@ -110,27 +111,23 @@ impl Conv2d {
         }
     }
 
-    /// Copies group `g`'s channels out of one image `[in_c, h, w]`.
-    fn group_input(&self, image: &Tensor, g: usize) -> Tensor {
+    /// Group `g`'s input channels of sample `n`, as a contiguous slice of
+    /// the flat NCHW batch (`[icg, h, w]` row-major).
+    fn group_input_slice<'a>(&self, batch: &'a [f32], n: usize, g: usize) -> &'a [f32] {
         let (in_c, h, w) = self.in_dims;
         let icg = in_c / self.groups;
-        let src = image.as_slice();
-        let start = g * icg * h * w;
-        Tensor::from_vec(Shape::d3(icg, h, w), src[start..start + icg * h * w].to_vec())
-            .expect("group slice sized by construction")
+        let start = (n * in_c + g * icg) * h * w;
+        &batch[start..start + icg * h * w]
     }
 
-    /// The `[ocg, icg*k*k]` weight matrix of group `g`.
-    fn group_weight_matrix(&self, g: usize) -> Tensor {
+    /// Group `g`'s `[ocg, icg*k*k]` weight matrix, as a contiguous slice of
+    /// the stored `[out_c, icg, k, k]` weight tensor.
+    fn group_weight_slice<'a>(&self, weight: &'a [f32], g: usize) -> &'a [f32] {
         let icg = self.in_dims.0 / self.groups;
         let ocg = self.out_c / self.groups;
         let row = icg * self.kernel * self.kernel;
         let start = g * ocg * row;
-        Tensor::from_vec(
-            Shape::d2(ocg, row),
-            self.weight.value.as_slice()[start..start + ocg * row].to_vec(),
-        )
-        .expect("group weight slice sized by construction")
+        &weight[start..start + ocg * row]
     }
 
     fn check_input(&self, input: &Tensor) -> Result<()> {
@@ -176,27 +173,34 @@ impl Layer for Conv2d {
         let geom = self.group_geometry();
         let ocg = out_c / self.groups;
         let positions = oh * ow;
+        let row = geom.col_rows();
         let mut out = Tensor::zeros(Shape::d4(batch, out_c, oh, ow));
-        for n in 0..batch {
-            let image = input.image(n);
-            for g in 0..self.groups {
-                let cols = im2col(&self.group_input(&image, g), &geom)?;
-                let wmat = self.group_weight_matrix(g);
-                // [ocg, R] x [R, P] -> [ocg, P]
-                let res = lts_tensor::matmul::matmul(&wmat, &cols)?;
-                let dst = out.as_mut_slice();
-                let res_s = res.as_slice();
-                let bias = self.bias.value.as_slice();
-                for oc in 0..ocg {
-                    let abs_oc = g * ocg + oc;
-                    let base = ((n * out_c) + abs_oc) * positions;
-                    let b = bias[abs_oc];
-                    for p in 0..positions {
-                        dst[base + p] = res_s[oc * positions + p] + b;
+        let mut cols = self.scratch.take(row * positions);
+        let mut prod = self.scratch.take(ocg * positions);
+        {
+            let src = input.as_slice();
+            let wslice = self.weight.value.as_slice();
+            let bias = self.bias.value.as_slice();
+            let dst = out.as_mut_slice();
+            for n in 0..batch {
+                for g in 0..self.groups {
+                    im2col_into(self.group_input_slice(src, n, g), &geom, &mut cols);
+                    // [ocg, R] x [R, P] -> [ocg, P]
+                    let wmat = self.group_weight_slice(wslice, g);
+                    matmul_into(wmat, &cols, &mut prod, ocg, row, positions);
+                    for oc in 0..ocg {
+                        let abs_oc = g * ocg + oc;
+                        let base = ((n * out_c) + abs_oc) * positions;
+                        let b = bias[abs_oc];
+                        for p in 0..positions {
+                            dst[base + p] = prod[oc * positions + p] + b;
+                        }
                     }
                 }
             }
         }
+        self.scratch.give(prod);
+        self.scratch.give(cols);
         self.cached_input = Some(input.clone());
         Ok(out)
     }
@@ -222,54 +226,58 @@ impl Layer for Conv2d {
         let ocg = out_c / self.groups;
         let positions = oh * ow;
         let row = icg * self.kernel * self.kernel;
+        let group_image = icg * in_h * in_w;
         let mut grad_in = Tensor::zeros(input.shape().clone());
-        for n in 0..batch {
-            let image = input.image(n);
+        let mut cols = self.scratch.take(row * positions);
+        let mut gmat = self.scratch.take(ocg * positions);
+        let mut dw = self.scratch.take(ocg * row);
+        let mut dcols = self.scratch.take(row * positions);
+        {
+            let src = input.as_slice();
             let go = grad_out.as_slice();
-            for g in 0..self.groups {
-                let cols = im2col(&self.group_input(&image, g), &geom)?;
-                // Gather this group's output gradient [ocg, P].
-                let mut gmat = Tensor::zeros(Shape::d2(ocg, positions));
-                {
-                    let gm = gmat.as_mut_slice();
+            let wslice = self.weight.value.as_slice();
+            let gi = grad_in.as_mut_slice();
+            for n in 0..batch {
+                for g in 0..self.groups {
+                    im2col_into(self.group_input_slice(src, n, g), &geom, &mut cols);
+                    // Gather this group's output gradient [ocg, P].
                     for oc in 0..ocg {
                         let abs_oc = g * ocg + oc;
                         let base = ((n * out_c) + abs_oc) * positions;
-                        gm[oc * positions..(oc + 1) * positions]
+                        gmat[oc * positions..(oc + 1) * positions]
                             .copy_from_slice(&go[base..base + positions]);
                     }
-                }
-                // dW_g = G · colsᵀ  -> [ocg, R]
-                let dw = matmul_a_bt(&gmat, &cols)?;
-                {
-                    let wg = self.weight.grad.as_mut_slice();
-                    let start = g * ocg * row;
-                    for (i, &v) in dw.as_slice().iter().enumerate() {
-                        wg[start + i] += v;
+                    // dW_g = G · colsᵀ  -> [ocg, R]
+                    matmul_a_bt_into(&gmat, &cols, &mut dw, ocg, positions, row);
+                    {
+                        let wg = self.weight.grad.as_mut_slice();
+                        let start = g * ocg * row;
+                        for (i, &v) in dw.iter().enumerate() {
+                            wg[start + i] += v;
+                        }
                     }
-                }
-                // db
-                {
-                    let bg = self.bias.grad.as_mut_slice();
-                    let gm = gmat.as_slice();
-                    for oc in 0..ocg {
-                        let abs_oc = g * ocg + oc;
-                        bg[abs_oc] += gm[oc * positions..(oc + 1) * positions].iter().sum::<f32>();
+                    // db
+                    {
+                        let bg = self.bias.grad.as_mut_slice();
+                        for oc in 0..ocg {
+                            let abs_oc = g * ocg + oc;
+                            bg[abs_oc] +=
+                                gmat[oc * positions..(oc + 1) * positions].iter().sum::<f32>();
+                        }
                     }
-                }
-                // dCols = Wᵀ · G -> [R, P], then col2im.
-                let wmat = self.group_weight_matrix(g);
-                let dcols = matmul_at_b(&wmat, &gmat)?;
-                let dimg = col2im(&dcols, &geom)?;
-                {
-                    let gi = grad_in.as_mut_slice();
+                    // dCols = Wᵀ · G -> [R, P], accumulated back through
+                    // col2im straight into this group's slice of grad_in.
+                    let wmat = self.group_weight_slice(wslice, g);
+                    matmul_at_b_into(wmat, &gmat, &mut dcols, row, ocg, positions);
                     let base = ((n * in_c) + g * icg) * in_h * in_w;
-                    for (i, &v) in dimg.as_slice().iter().enumerate() {
-                        gi[base + i] += v;
-                    }
+                    col2im_into(&dcols, &geom, &mut gi[base..base + group_image]);
                 }
             }
         }
+        self.scratch.give(dcols);
+        self.scratch.give(dw);
+        self.scratch.give(gmat);
+        self.scratch.give(cols);
         self.cached_input = Some(input);
         Ok(grad_in)
     }
@@ -310,7 +318,8 @@ mod tests {
         let mut rng = init::rng(0);
         let mut c = Conv2d::new("id", (1, 3, 3), 1, 1, 1, 0, 1, &mut rng).unwrap();
         c.weight.value.fill(1.0);
-        let x = Tensor::from_vec(Shape::d4(1, 1, 3, 3), (0..9).map(|v| v as f32).collect()).unwrap();
+        let x =
+            Tensor::from_vec(Shape::d4(1, 1, 3, 3), (0..9).map(|v| v as f32).collect()).unwrap();
         let y = c.forward(&x).unwrap();
         assert_eq!(y.as_slice(), x.as_slice());
     }
@@ -440,7 +449,8 @@ mod tests {
         let mut rng = init::rng(0);
         assert!(Conv2d::new("bad", (3, 8, 8), 4, 3, 1, 1, 2, &mut rng).is_err()); // 3 % 2 != 0
         assert!(Conv2d::new("bad", (2, 2, 2), 2, 5, 1, 0, 1, &mut rng).is_err()); // kernel too big
-        assert!(Conv2d::new("bad", (2, 8, 8), 2, 3, 0, 1, 1, &mut rng).is_err()); // stride 0
+        assert!(Conv2d::new("bad", (2, 8, 8), 2, 3, 0, 1, 1, &mut rng).is_err());
+        // stride 0
     }
 
     #[test]

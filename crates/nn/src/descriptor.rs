@@ -141,11 +141,7 @@ impl NetworkSpec {
 
     /// Names of the weight-bearing layers, in order.
     pub fn weight_layer_names(&self) -> Vec<&str> {
-        self.layers
-            .iter()
-            .filter(|l| l.has_weights())
-            .map(|l| l.name.as_str())
-            .collect()
+        self.layers.iter().filter(|l| l.has_weights()).map(|l| l.name.as_str()).collect()
     }
 
     /// The spec of the layer called `name`, if present.
@@ -361,21 +357,20 @@ pub fn alexnet_spec() -> NetworkSpec {
 /// footnote: each stage keeps its sub-layers.
 pub fn vgg19_spec() -> NetworkSpec {
     let mut b = SpecBuilder::new("VGG19", (3, 224, 224));
-    let stages: [(usize, usize, &str); 5] =
-        [(64, 2, "conv1"), (128, 2, "conv2"), (256, 4, "conv3"), (512, 4, "conv4"), (512, 4, "conv5")];
+    let stages: [(usize, usize, &str); 5] = [
+        (64, 2, "conv1"),
+        (128, 2, "conv2"),
+        (256, 4, "conv3"),
+        (512, 4, "conv4"),
+        (512, 4, "conv5"),
+    ];
     for (ch, reps, base) in stages {
         for r in 1..=reps {
             b = b.conv(&format!("{base}_{r}"), ch, 3, 1, 1, 1).relu();
         }
         b = b.pool(&format!("pool{}", &base[4..]), 2, 2);
     }
-    b.flatten()
-        .linear("ip1", 4096)
-        .relu()
-        .linear("ip2", 4096)
-        .relu()
-        .linear("ip3", 1000)
-        .build()
+    b.flatten().linear("ip1", 4096).relu().linear("ip2", 4096).relu().linear("ip3", 1000).build()
 }
 
 /// Full-size Caffe LeNet (MNIST) — analytic descriptor.
@@ -462,16 +457,8 @@ mod tests {
     #[test]
     fn vgg19_has_sixteen_conv_and_three_fc() {
         let spec = vgg19_spec();
-        let convs = spec
-            .layers
-            .iter()
-            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
-            .count();
-        let fcs = spec
-            .layers
-            .iter()
-            .filter(|l| matches!(l.kind, LayerKind::Linear { .. }))
-            .count();
+        let convs = spec.layers.iter().filter(|l| matches!(l.kind, LayerKind::Conv { .. })).count();
+        let fcs = spec.layers.iter().filter(|l| matches!(l.kind, LayerKind::Linear { .. })).count();
         assert_eq!(convs, 16);
         assert_eq!(fcs, 3);
         assert_eq!(spec.layer("conv2_1").unwrap().in_dims, (64, 112, 112));

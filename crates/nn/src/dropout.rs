@@ -77,12 +77,7 @@ impl Layer for Dropout {
         let mask: Vec<f32> = (0..input.len())
             .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
             .collect();
-        let data = input
-            .as_slice()
-            .iter()
-            .zip(&mask)
-            .map(|(&x, &m)| x * m)
-            .collect();
+        let data = input.as_slice().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
         self.mask = Some(mask);
         Ok(Tensor::from_vec(input.shape().clone(), data)?)
     }
@@ -101,12 +96,7 @@ impl Layer for Dropout {
                         ),
                     });
                 }
-                let data = grad_out
-                    .as_slice()
-                    .iter()
-                    .zip(mask)
-                    .map(|(&g, &m)| g * m)
-                    .collect();
+                let data = grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| g * m).collect();
                 Ok(Tensor::from_vec(grad_out.shape().clone(), data)?)
             }
         }

@@ -175,10 +175,7 @@ impl GroupLayout {
     /// Panics if `i >= in_units`.
     pub fn producer_of(&self, i: usize) -> usize {
         assert!(i < self.in_units, "input unit {i} out of range");
-        self.in_blocks
-            .iter()
-            .position(|r| r.contains(&i))
-            .expect("blocks cover all units")
+        self.in_blocks.iter().position(|r| r.contains(&i)).expect("blocks cover all units")
     }
 
     /// The consumer core that owns output unit `o`.
@@ -188,10 +185,7 @@ impl GroupLayout {
     /// Panics if `o >= out_units`.
     pub fn consumer_of(&self, o: usize) -> usize {
         assert!(o < self.out_units, "output unit {o} out of range");
-        self.out_blocks
-            .iter()
-            .position(|r| r.contains(&o))
-            .expect("blocks cover all units")
+        self.out_blocks.iter().position(|r| r.contains(&o)).expect("blocks cover all units")
     }
 
     /// Visits the flat weight index of every entry in group `(p, c)`.
@@ -328,9 +322,9 @@ mod tests {
     #[test]
     fn in_unit_used_by_detects_nonzero_columns() {
         let l = GroupLayout::new(2, 2, 2, 2);
-        // taps = 2; weight (o=1, i=0, t=1) nonzero.
+        // taps = 2; weight (o=1, i=0, t=1) nonzero: index (o*in + i)*taps + t.
         let mut w = vec![0.0; 8];
-        w[(1 * 2 + 0) * 2 + 1] = 0.7;
+        w[2 * 2 + 1] = 0.7;
         assert!(l.in_unit_used_by(0, 1, &w)); // consumer core 1 owns o=1
         assert!(!l.in_unit_used_by(0, 0, &w));
         assert!(!l.in_unit_used_by(1, 1, &w));

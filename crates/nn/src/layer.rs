@@ -9,9 +9,10 @@ use lts_tensor::Tensor;
 ///
 /// Layers are stateful: `forward` caches whatever `backward` needs, and
 /// `backward` must be called with the gradient of the loss w.r.t. the
-/// layer's most recent output. Layers are `Send` so evaluation can be
-/// parallelized across cloned networks.
-pub trait Layer: Send {
+/// layer's most recent output. Layers are `Send + Sync` so networks can be
+/// cloned into worker replicas and shared (behind locks) with the
+/// execution engine's threads.
+pub trait Layer: Send + Sync {
     /// The layer's unique name within its network.
     fn name(&self) -> &str;
 

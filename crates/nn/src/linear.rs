@@ -4,8 +4,8 @@ use crate::descriptor::{LayerKind, LayerSpec};
 use crate::layer::Layer;
 use crate::param::Param;
 use crate::{NnError, Result};
-use lts_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
-use lts_tensor::{init, Shape, Tensor};
+use lts_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b_into};
+use lts_tensor::{init, Shape, Tensor, Workspace};
 use rand::rngs::StdRng;
 
 /// A fully-connected layer `y = W·x + b` with weight `[out_f, in_f]`.
@@ -22,6 +22,7 @@ pub struct Linear {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    scratch: Workspace,
 }
 
 impl Linear {
@@ -43,6 +44,7 @@ impl Linear {
             weight: Param::new(init::he_normal(Shape::d2(out_f, in_f), in_f, rng)),
             bias: Param::zeros(Shape::d1(out_f)),
             cached_input: None,
+            scratch: Workspace::new(),
         })
     }
 
@@ -75,11 +77,7 @@ impl Layer for Linear {
         if input.shape().rank() != 2 || input.shape().dim(1) != self.in_f {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
-                reason: format!(
-                    "expected [batch, {}], got {}",
-                    self.in_f,
-                    input.shape()
-                ),
+                reason: format!("expected [batch, {}], got {}", self.in_f, input.shape()),
             });
         }
         // Y[b, o] = Σ_i X[b, i] * W[o, i] + bias[o]
@@ -104,12 +102,29 @@ impl Layer for Linear {
         if grad_out.shape().rank() != 2 || grad_out.shape().dim(1) != self.out_f {
             return Err(NnError::BadInput {
                 layer: self.name.clone(),
-                reason: format!("expected gradient [batch, {}], got {}", self.out_f, grad_out.shape()),
+                reason: format!(
+                    "expected gradient [batch, {}], got {}",
+                    self.out_f,
+                    grad_out.shape()
+                ),
             });
         }
-        // dW[o, i] += Σ_b dY[b, o] * X[b, i]  == dYᵀ · X
-        let dw = matmul_at_b(grad_out, input)?;
-        lts_tensor::ops::axpy(1.0, &dw, &mut self.weight.grad)?;
+        // dW[o, i] += Σ_b dY[b, o] * X[b, i]  == dYᵀ · X, computed into a
+        // pooled scratch buffer and accumulated in place.
+        let batch_rows = grad_out.shape().dim(0);
+        let mut dw = self.scratch.take(self.out_f * self.in_f);
+        matmul_at_b_into(
+            grad_out.as_slice(),
+            input.as_slice(),
+            &mut dw,
+            self.out_f,
+            batch_rows,
+            self.in_f,
+        );
+        for (gw, &v) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+            *gw += v;
+        }
+        self.scratch.give(dw);
         // db[o] += Σ_b dY[b, o]
         let batch = grad_out.shape().dim(0);
         let g = grad_out.as_slice();

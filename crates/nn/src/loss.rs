@@ -127,8 +127,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits =
-            Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let logits = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         let out = softmax_cross_entropy(&logits, &[0, 0]).unwrap();
         assert_eq!(out.correct, 1);
     }

@@ -89,10 +89,7 @@ pub fn convnet(classes: usize, seed: u64) -> Result<Network> {
 /// by `groups`.
 pub fn convnet_variant(kernels: [usize; 3], groups: usize, seed: u64) -> Result<Network> {
     let mut rng = init::rng(seed);
-    let name = format!(
-        "ConvNet-{}-{}-{}-n{}",
-        kernels[0], kernels[1], kernels[2], groups
-    );
+    let name = format!("ConvNet-{}-{}-{}-n{}", kernels[0], kernels[1], kernels[2], groups);
     NetworkBuilder::new(&name, IMAGENET10_DIMS)
         .conv("conv1", kernels[0], 5, 1, 2, 1)
         .relu()
@@ -196,9 +193,6 @@ mod tests {
     fn models_are_deterministic_by_seed() {
         let a = mlp(64, 10, 7).unwrap();
         let b = mlp(64, 10, 7).unwrap();
-        assert_eq!(
-            a.layer_weight("ip1").unwrap().value,
-            b.layer_weight("ip1").unwrap().value
-        );
+        assert_eq!(a.layer_weight("ip1").unwrap().value, b.layer_weight("ip1").unwrap().value);
     }
 }

@@ -86,11 +86,7 @@ pub struct Network {
 
 impl Clone for Network {
     fn clone(&self) -> Self {
-        Self {
-            name: self.name.clone(),
-            input: self.input,
-            layers: self.layers.clone(),
-        }
+        Self { name: self.name.clone(), input: self.input, layers: self.layers.clone() }
     }
 }
 
@@ -161,6 +157,11 @@ impl Network {
     }
 
     /// All trainable parameters, in layer order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// All trainable parameters, mutably, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
@@ -192,10 +193,7 @@ impl Network {
 
     /// Mutable access to the weight parameter of the layer called `name`.
     pub fn layer_weight_mut(&mut self, name: &str) -> Option<&mut Param> {
-        self.layers
-            .iter_mut()
-            .find(|l| l.name() == name)
-            .and_then(|l| l.weight_mut())
+        self.layers.iter_mut().find(|l| l.name() == name).and_then(|l| l.weight_mut())
     }
 
     /// The weight parameter of the layer called `name`.
@@ -205,11 +203,7 @@ impl Network {
 
     /// Names of the weight-bearing layers, in order.
     pub fn weight_layer_names(&self) -> Vec<String> {
-        self.layers
-            .iter()
-            .filter(|l| l.weight().is_some())
-            .map(|l| l.name().to_string())
-            .collect()
+        self.layers.iter().filter(|l| l.weight().is_some()).map(|l| l.name().to_string()).collect()
     }
 
     /// Quantizes every parameter through the accelerator's 16-bit
@@ -269,15 +263,10 @@ impl Network {
             let n = end - start;
             let mut dims = inputs.shape().dims().to_vec();
             dims[0] = n;
-            let slice =
-                inputs.as_slice()[start * sample_len..end * sample_len].to_vec();
+            let slice = inputs.as_slice()[start * sample_len..end * sample_len].to_vec();
             let batch = Tensor::from_vec(Shape::new(dims), slice)?;
             let preds = self.predict(&batch)?;
-            correct += preds
-                .iter()
-                .zip(&labels[start..end])
-                .filter(|(p, l)| p == l)
-                .count();
+            correct += preds.iter().zip(&labels[start..end]).filter(|(p, l)| p == l).count();
             start = end;
         }
         Ok(correct as f32 / total as f32)
@@ -296,13 +285,44 @@ pub struct NetworkBuilder {
 
 #[derive(Debug, Clone)]
 enum BuilderOp {
-    Conv { name: String, out_c: usize, kernel: usize, stride: usize, pad: usize, groups: usize, in_dims: Dims },
-    Pool { name: String, kernel: usize, stride: usize, in_dims: Dims },
-    AvgPool { name: String, kernel: usize, stride: usize, in_dims: Dims },
-    Relu { name: String, dims: Dims },
-    Dropout { name: String, p: f32, dims: Dims },
-    Flatten { in_dims: Dims },
-    Linear { name: String, in_f: usize, out_f: usize },
+    Conv {
+        name: String,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        in_dims: Dims,
+    },
+    Pool {
+        name: String,
+        kernel: usize,
+        stride: usize,
+        in_dims: Dims,
+    },
+    AvgPool {
+        name: String,
+        kernel: usize,
+        stride: usize,
+        in_dims: Dims,
+    },
+    Relu {
+        name: String,
+        dims: Dims,
+    },
+    Dropout {
+        name: String,
+        p: f32,
+        dims: Dims,
+    },
+    Flatten {
+        in_dims: Dims,
+    },
+    Linear {
+        name: String,
+        in_f: usize,
+        out_f: usize,
+    },
 }
 
 impl NetworkBuilder {
@@ -365,10 +385,8 @@ impl NetworkBuilder {
     /// Appends a ReLU.
     pub fn relu(mut self) -> Self {
         self.auto_relu += 1;
-        self.ops.push(BuilderOp::Relu {
-            name: format!("relu{}", self.auto_relu),
-            dims: self.current,
-        });
+        self.ops
+            .push(BuilderOp::Relu { name: format!("relu{}", self.auto_relu), dims: self.current });
         self
     }
 
@@ -472,10 +490,8 @@ mod tests {
         let x = init::uniform(Shape::d4(2, 1, 6, 6), 1.0, &mut init::rng(0));
         let y = net.forward(&x).unwrap();
         net.backward(&Tensor::ones(y.shape().clone())).unwrap();
-        let grads_nonzero = net
-            .params_mut()
-            .iter()
-            .any(|p| p.grad.as_slice().iter().any(|&g| g != 0.0));
+        let grads_nonzero =
+            net.params_mut().iter().any(|p| p.grad.as_slice().iter().any(|&g| g != 0.0));
         assert!(grads_nonzero);
     }
 

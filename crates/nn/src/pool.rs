@@ -1,7 +1,7 @@
 //! Max-pooling layer (ceil mode, matching Caffe).
 
-use crate::descriptor::{Dims, LayerKind, LayerSpec};
 use crate::descriptor::pool_out;
+use crate::descriptor::{Dims, LayerKind, LayerSpec};
 use crate::layer::Layer;
 use crate::{NnError, Result};
 use lts_tensor::{Shape, Tensor};
@@ -301,11 +301,8 @@ mod tests {
     #[test]
     fn avg_pool_computes_window_means() {
         let mut p = AvgPool2d::new("a", (1, 4, 4), 2, 2).unwrap();
-        let x = Tensor::from_vec(
-            Shape::d4(1, 1, 4, 4),
-            (0..16).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(Shape::d4(1, 1, 4, 4), (0..16).map(|v| v as f32).collect()).unwrap();
         let y = p.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
     }
@@ -353,11 +350,8 @@ mod tests {
     #[test]
     fn forward_takes_window_maximum() {
         let mut p = MaxPool2d::new("p", (1, 4, 4), 2, 2).unwrap();
-        let x = Tensor::from_vec(
-            Shape::d4(1, 1, 4, 4),
-            (0..16).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(Shape::d4(1, 1, 4, 4), (0..16).map(|v| v as f32).collect()).unwrap();
         let y = p.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[5., 7., 13., 15.]);
     }
@@ -395,11 +389,8 @@ mod tests {
     #[test]
     fn pool_is_per_channel() {
         let mut p = MaxPool2d::new("p", (2, 2, 2), 2, 2).unwrap();
-        let x = Tensor::from_vec(
-            Shape::d4(1, 2, 2, 2),
-            vec![1., 2., 3., 4., 10., 20., 30., 40.],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::d4(1, 2, 2, 2), vec![1., 2., 3., 4., 10., 20., 30., 40.])
+            .unwrap();
         let y = p.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[4., 40.]);
     }

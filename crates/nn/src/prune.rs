@@ -30,12 +30,12 @@ pub enum PruneCriterion {
 impl PruneCriterion {
     fn validate(&self) -> Result<()> {
         match *self {
-            PruneCriterion::RmsBelow(t) if !t.is_finite() || t < 0.0 => Err(NnError::BadConfig(
-                format!("rms threshold must be finite and >= 0, got {t}"),
-            )),
-            PruneCriterion::SmallestFraction(f) if !(0.0..=1.0).contains(&f) => Err(
-                NnError::BadConfig(format!("fraction must be in [0, 1], got {f}")),
-            ),
+            PruneCriterion::RmsBelow(t) if !t.is_finite() || t < 0.0 => {
+                Err(NnError::BadConfig(format!("rms threshold must be finite and >= 0, got {t}")))
+            }
+            PruneCriterion::SmallestFraction(f) if !(0.0..=1.0).contains(&f) => {
+                Err(NnError::BadConfig(format!("fraction must be in [0, 1], got {f}")))
+            }
             PruneCriterion::RmsBelowRelative(r) if !r.is_finite() || r < 0.0 => Err(
                 NnError::BadConfig(format!("relative threshold must be finite and >= 0, got {r}")),
             ),
@@ -149,11 +149,7 @@ pub fn prune_groups(
     }
     let weights_frozen = indices.len();
     param.freeze_indices(&indices);
-    Ok(PruneReport {
-        groups_pruned: to_prune.len(),
-        groups_total: groups.len(),
-        weights_frozen,
-    })
+    Ok(PruneReport { groups_pruned: to_prune.len(), groups_total: groups.len(), weights_frozen })
 }
 
 /// Counts groups of `weights` that are entirely zero (the quantity the
@@ -196,8 +192,7 @@ mod tests {
     fn fraction_criterion_prunes_exactly_the_smallest() {
         let layout = GroupLayout::new(2, 2, 1, 2);
         let mut p = param(vec![0.5, 0.1, 0.9, 0.3]);
-        let report =
-            prune_groups(&mut p, &layout, PruneCriterion::SmallestFraction(0.5)).unwrap();
+        let report = prune_groups(&mut p, &layout, PruneCriterion::SmallestFraction(0.5)).unwrap();
         assert_eq!(report.groups_pruned, 2);
         // The two smallest magnitudes (0.1, 0.3) are zeroed.
         assert_eq!(p.value.as_slice(), &[0.5, 0.0, 0.9, 0.0]);
@@ -252,8 +247,7 @@ mod tests {
     fn fraction_one_prunes_everything() {
         let layout = GroupLayout::new(2, 2, 1, 2);
         let mut p = param(vec![1.0, 2.0, 3.0, 4.0]);
-        let report =
-            prune_groups(&mut p, &layout, PruneCriterion::SmallestFraction(1.0)).unwrap();
+        let report = prune_groups(&mut p, &layout, PruneCriterion::SmallestFraction(1.0)).unwrap();
         assert_eq!(report.groups_pruned, 4);
         assert!(p.value.as_slice().iter().all(|&w| w == 0.0));
         assert_eq!(report.pruned_ratio(), 1.0);

@@ -151,7 +151,9 @@ impl GroupLasso {
             )));
         }
         if !lambda.is_finite() || lambda < 0.0 {
-            return Err(NnError::BadConfig(format!("lambda must be finite and >= 0, got {lambda}")));
+            return Err(NnError::BadConfig(format!(
+                "lambda must be finite and >= 0, got {lambda}"
+            )));
         }
         Ok(Self { layer: layer.to_string(), layout, lambda, mask, mode: LassoMode::default() })
     }
@@ -197,11 +199,8 @@ impl GroupLasso {
                     }
                     let threshold = step_size * self.lambda * f;
                     let norm = self.layout.group_norm(p, c, w);
-                    scales[p * cores + c] = if norm <= threshold + NORM_EPS {
-                        0.0
-                    } else {
-                        1.0 - threshold / norm
-                    };
+                    scales[p * cores + c] =
+                        if norm <= threshold + NORM_EPS { 0.0 } else { 1.0 - threshold / norm };
                 }
             }
         }

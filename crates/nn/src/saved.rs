@@ -70,10 +70,7 @@ impl SavedNetwork {
                 let frozen_weight_indices = weight
                     .frozen_mask()
                     .map(|mask| {
-                        mask.iter()
-                            .enumerate()
-                            .filter_map(|(i, &f)| f.then_some(i))
-                            .collect()
+                        mask.iter().enumerate().filter_map(|(i, &f)| f.then_some(i)).collect()
                     })
                     .unwrap_or_default();
                 Some(SavedParams {
@@ -175,8 +172,7 @@ mod tests {
         let mut net = models::lenet(10, 4).unwrap();
         let x = init::uniform(Shape::d4(2, 1, 28, 28), 1.0, &mut init::rng(1));
         let y1 = net.forward(&x).unwrap();
-        let mut restored =
-            SavedNetwork::from_network(&net).into_network().unwrap();
+        let mut restored = SavedNetwork::from_network(&net).into_network().unwrap();
         let y2 = restored.forward(&x).unwrap();
         assert_eq!(y1, y2);
     }
@@ -227,9 +223,6 @@ mod tests {
         assert_eq!(y1, y2);
         // The spec marks the pool as average.
         let spec = restored.spec();
-        assert!(matches!(
-            spec.layer("ap").unwrap().kind,
-            LayerKind::Pool { average: true, .. }
-        ));
+        assert!(matches!(spec.layer("ap").unwrap().kind, LayerKind::Pool { average: true, .. }));
     }
 }

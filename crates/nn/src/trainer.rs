@@ -5,10 +5,20 @@ use crate::network::Network;
 use crate::optim::Sgd;
 use crate::regularizer::GroupLasso;
 use crate::{NnError, Result};
-use lts_tensor::{Shape, Tensor};
+use lts_tensor::{par, Shape, Tensor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Number of gradient shards each mini-batch is split into.
+///
+/// The decomposition is fixed regardless of the worker count configured in
+/// [`par`], so training results are bit-identical for any `LTS_THREADS`:
+/// shard boundaries, per-shard accumulation order, and the shard-ascending
+/// gradient reduction never change — threads only decide *when* a shard
+/// runs.
+const TRAIN_SHARDS: usize = 8;
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -184,25 +194,26 @@ impl Trainer {
         let mut stats = TrainStats { epochs: Vec::with_capacity(self.config.epochs) };
 
         net.set_training(true);
+        // Worker replicas for data-parallel batches, indexed by shard.
+        // Created lazily on the first multi-shard batch and kept across
+        // batches so their buffers (layer workspaces, cached activations)
+        // are reused instead of re-allocated.
+        let mut workers: Vec<Mutex<Network>> = Vec::new();
         for epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             let mut epoch_correct = 0usize;
             let mut batches = 0usize;
             for chunk in order.chunks(self.config.batch_size) {
-                let (batch, batch_labels) =
-                    gather_batch(inputs, labels, chunk, sample_len)?;
-                net.zero_grads();
-                let logits = net.forward(&batch)?;
-                let out = softmax_cross_entropy(&logits, &batch_labels)?;
-                net.backward(&out.grad)?;
+                let (loss, correct) =
+                    self.train_batch(net, &mut workers, inputs, labels, chunk, sample_len)?;
                 self.apply_subgradient_regularizers(net)?;
                 let mut params = net.params_mut();
                 clip_global_grad_norm(&mut params, self.config.clip_grad_norm);
                 opt.step(&mut params);
                 self.apply_proximal_regularizers(net, opt.lr)?;
-                epoch_loss += out.loss as f64;
-                epoch_correct += out.correct;
+                epoch_loss += loss as f64;
+                epoch_correct += correct;
                 batches += 1;
             }
             let penalty = self.total_penalty(net)?;
@@ -216,6 +227,77 @@ impl Trainer {
         }
         net.set_training(false);
         Ok(stats)
+    }
+
+    /// Runs forward + backward for one mini-batch, leaving the mean-batch
+    /// gradient in `net`'s parameter grads. Returns `(mean loss, correct)`.
+    ///
+    /// Batches with more than one sample are split into [`TRAIN_SHARDS`]
+    /// fixed shards that run data-parallel on persistent worker replicas of
+    /// the network; shard gradients are reduced onto the master in
+    /// ascending shard order with fixed weights, so the result does not
+    /// depend on the engine's worker count.
+    fn train_batch(
+        &self,
+        net: &mut Network,
+        workers: &mut Vec<Mutex<Network>>,
+        inputs: &Tensor,
+        labels: &[usize],
+        chunk: &[usize],
+        sample_len: usize,
+    ) -> Result<(f32, usize)> {
+        let batch_len = chunk.len();
+        let nshards = TRAIN_SHARDS.min(batch_len);
+        if nshards <= 1 {
+            // Degenerate batch: run directly on the master network.
+            let (batch, batch_labels) = gather_batch(inputs, labels, chunk, sample_len)?;
+            net.zero_grads();
+            let logits = net.forward(&batch)?;
+            let out = softmax_cross_entropy(&logits, &batch_labels)?;
+            net.backward(&out.grad)?;
+            return Ok((out.loss, out.correct));
+        }
+        while workers.len() < nshards {
+            workers.push(Mutex::new(net.clone()));
+        }
+        // Sync replica weights with the master in place (no allocation).
+        for worker in workers[..nshards].iter_mut() {
+            let replica = worker.get_mut().expect("worker lock poisoned");
+            for (wp, mp) in replica.params_mut().into_iter().zip(net.params()) {
+                wp.value.as_mut_slice().copy_from_slice(mp.value.as_slice());
+            }
+        }
+        let ranges = par::stripe_ranges(batch_len, nshards);
+        let shard_pool = &workers[..nshards];
+        let results = par::par_map(&ranges, |s, range| -> Result<(f32, usize, usize)> {
+            let mut replica = shard_pool[s].lock().expect("worker lock poisoned");
+            let idx = &chunk[range.start..range.end];
+            let (batch, batch_labels) = gather_batch(inputs, labels, idx, sample_len)?;
+            replica.zero_grads();
+            let logits = replica.forward(&batch)?;
+            let out = softmax_cross_entropy(&logits, &batch_labels)?;
+            replica.backward(&out.grad)?;
+            Ok((out.loss, out.correct, idx.len()))
+        });
+        // Fixed-order weighted reduction: shard s contributes
+        // `shard_len / batch_len` of the batch-mean gradient and loss.
+        net.zero_grads();
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        let mut mparams = net.params_mut();
+        for (s, result) in results.into_iter().enumerate() {
+            let (shard_loss, shard_correct, shard_len) = result?;
+            let factor = shard_len as f32 / batch_len as f32;
+            loss += factor * shard_loss;
+            correct += shard_correct;
+            let replica = workers[s].get_mut().expect("worker lock poisoned");
+            for (mp, wp) in mparams.iter_mut().zip(replica.params()) {
+                for (gm, &gw) in mp.grad.as_mut_slice().iter_mut().zip(wp.grad.as_slice()) {
+                    *gm += factor * gw;
+                }
+            }
+        }
+        Ok((loss, correct))
     }
 
     /// Sum of all regularizer penalties at the network's current weights.
@@ -304,8 +386,14 @@ fn gather_batch(
     Ok((Tensor::from_vec(Shape::new(dims), data)?, batch_labels))
 }
 
-/// Evaluates classification accuracy in parallel across `threads` worker
-/// threads, each running its own clone of the network.
+/// Evaluates classification accuracy data-parallel on the execution
+/// engine, splitting the dataset into `threads` contiguous sample chunks
+/// that each run on their own clone of the network.
+///
+/// The result is partition-independent: each chunk contributes an integer
+/// correct-count and per-sample forward passes do not depend on batchmates,
+/// so any `threads` value (and any engine worker count) yields the same
+/// accuracy.
 ///
 /// # Errors
 ///
@@ -329,33 +417,22 @@ pub fn parallel_accuracy(
     }
     let threads = threads.clamp(1, total);
     let sample_len = inputs.len() / total;
-    let chunk = total.div_ceil(threads);
-    let results = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(total);
-            if start >= end {
-                break;
-            }
-            let mut local = net.clone();
-            let in_slice = &inputs.as_slice()[start * sample_len..end * sample_len];
-            let label_slice = &labels[start..end];
-            let mut dims = inputs.shape().dims().to_vec();
-            dims[0] = end - start;
-            handles.push(s.spawn(move |_| -> Result<usize> {
-                let local_inputs = Tensor::from_vec(Shape::new(dims), in_slice.to_vec())?;
-                let acc = local.evaluate(&local_inputs, label_slice, batch_size)?;
-                Ok((acc * label_slice.len() as f32).round() as usize)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect::<Result<Vec<usize>>>()
-    })
-    .expect("evaluation scope panicked")?;
-    Ok(results.iter().sum::<usize>() as f32 / total as f32)
+    let ranges = par::stripe_ranges(total, threads);
+    let counts = par::par_map(&ranges, |_, range| -> Result<usize> {
+        let mut local = net.clone();
+        let mut dims = inputs.shape().dims().to_vec();
+        dims[0] = range.len();
+        let in_slice = &inputs.as_slice()[range.start * sample_len..range.end * sample_len];
+        let label_slice = &labels[range.start..range.end];
+        let local_inputs = Tensor::from_vec(Shape::new(dims), in_slice.to_vec())?;
+        let acc = local.evaluate(&local_inputs, label_slice, batch_size)?;
+        Ok((acc * label_slice.len() as f32).round() as usize)
+    });
+    let mut correct = 0usize;
+    for count in counts {
+        correct += count?;
+    }
+    Ok(correct as f32 / total as f32)
 }
 
 #[cfg(test)]
@@ -415,10 +492,7 @@ mod tests {
         let sa = Trainer::new(cfg).unwrap().train(&mut a, &x, &y).unwrap();
         let sb = Trainer::new(cfg).unwrap().train(&mut b, &x, &y).unwrap();
         assert_eq!(sa, sb);
-        assert_eq!(
-            a.layer_weight("ip1").unwrap().value,
-            b.layer_weight("ip1").unwrap().value
-        );
+        assert_eq!(a.layer_weight("ip1").unwrap().value, b.layer_weight("ip1").unwrap().value);
     }
 
     #[test]
@@ -470,13 +544,9 @@ mod tests {
     fn regularizer_on_unknown_layer_is_rejected() {
         let (x, y) = toy_data(16, 7);
         let mut net = toy_net(8);
-        let reg = GroupLasso::new(
-            "nope",
-            GroupLayout::new(16, 8, 1, 4),
-            0.01,
-            StrengthMask::uniform(4),
-        )
-        .unwrap();
+        let reg =
+            GroupLasso::new("nope", GroupLayout::new(16, 8, 1, 4), 0.01, StrengthMask::uniform(4))
+                .unwrap();
         let trainer = Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() })
             .unwrap()
             .with_regularizer(reg);
@@ -487,8 +557,7 @@ mod tests {
     fn empty_dataset_trains_to_nothing_without_panicking() {
         let mut net = toy_net(20);
         let x = Tensor::zeros(Shape::d2(0, 8));
-        let trainer =
-            Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).unwrap();
+        let trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).unwrap();
         let stats = trainer.train(&mut net, &x, &[]).unwrap();
         assert_eq!(stats.epochs.len(), 2);
         assert_eq!(stats.final_accuracy(), 0.0);
@@ -499,8 +568,7 @@ mod tests {
     fn single_sample_dataset_trains() {
         let (x, y) = toy_data(1, 30);
         let mut net = toy_net(31);
-        let trainer =
-            Trainer::new(TrainConfig { epochs: 3, ..TrainConfig::default() }).unwrap();
+        let trainer = Trainer::new(TrainConfig { epochs: 3, ..TrainConfig::default() }).unwrap();
         let stats = trainer.train(&mut net, &x, &y).unwrap();
         assert!(stats.final_loss().is_finite());
     }

@@ -68,9 +68,8 @@ pub fn analyze(config: &NocConfig, trace: &TrafficTrace) -> AnalyticReport {
         // injection lanes.
         let ser = config.serialization_cycles();
         let channels = config.physical_channels as u64;
-        let first_flit = (ser - 1)
-            + (hops + 1) * config.router_stages
-            + hops * (config.link_cycles + ser - 1);
+        let first_flit =
+            (ser - 1) + (hops + 1) * config.router_stages + hops * (config.link_cycles + ser - 1);
         let last_flit_start = ser * ((flits - 1) / channels);
         let pipeline = first_flit + last_flit_start;
         worst_message = worst_message.max(m.inject_cycle + pipeline);

@@ -204,12 +204,7 @@ impl Simulator {
             }
         }
 
-        let makespan = self
-            .messages
-            .iter()
-            .filter_map(|m| m.completed_at)
-            .max()
-            .unwrap_or(0);
+        let makespan = self.messages.iter().filter_map(|m| m.completed_at).max().unwrap_or(0);
         Ok(SimReport {
             makespan,
             messages_delivered: delivered,
@@ -230,7 +225,11 @@ impl Simulator {
         let nodes = self.config.nodes();
         self.routers = (0..nodes)
             .map(|_| {
-                Router::new(self.config.vcs, self.config.vc_buffer_flits, self.config.physical_channels)
+                Router::new(
+                    self.config.vcs,
+                    self.config.vc_buffer_flits,
+                    self.config.physical_channels,
+                )
             })
             .collect();
         self.sources = (0..nodes)
@@ -252,10 +251,8 @@ impl Simulator {
         let mut injected = false;
         let ser = self.config.serialization_cycles();
         // A free core→router lane is needed for every flit.
-        while let Some(lane) = self.sources[node]
-            .lanes
-            .iter()
-            .position(|&busy_until| busy_until <= self.cycle)
+        while let Some(lane) =
+            self.sources[node].lanes.iter().position(|&busy_until| busy_until <= self.cycle)
         {
             // Open the next packet if none is streaming.
             if self.sources[node].open.is_none() {
@@ -266,23 +263,16 @@ impl Simulator {
                 if !ready {
                     break;
                 }
-                let yx = self.sources[node]
-                    .pending
-                    .front()
-                    .map(|p| p.desc.yx)
-                    .expect("checked above");
+                let yx =
+                    self.sources[node].pending.front().map(|p| p.desc.yx).expect("checked above");
                 let vc = self
                     .config
                     .vc_class(yx)
                     .find(|&v| self.routers[node].inputs[LOCAL][v].accepts_new_packet());
                 let Some(vc) = vc else { break };
                 let p = self.sources[node].pending.pop_front().expect("checked above");
-                self.sources[node].open = Some(OpenPacket {
-                    desc: p.desc,
-                    message_index: p.message_index,
-                    sent: 0,
-                    vc,
-                });
+                self.sources[node].open =
+                    Some(OpenPacket { desc: p.desc, message_index: p.message_index, sent: 0, vc });
             }
             let Some(open) = self.sources[node].open.clone() else { break };
             let queue_len = self.routers[node].inputs[LOCAL][open.vc].queue.len();
@@ -326,10 +316,7 @@ impl Simulator {
         for ip in 0..PORTS {
             for vc in 0..vcs {
                 // Lazily compute the route when a head flit reaches the front.
-                let front = self.routers[node].inputs[ip][vc]
-                    .queue
-                    .front()
-                    .copied();
+                let front = self.routers[node].inputs[ip][vc].queue.front().copied();
                 let Some(tf) = front else { continue };
                 if tf.ready_at > self.cycle {
                     continue;
@@ -413,8 +400,7 @@ impl Simulator {
     /// Returns 1 if this completed a message.
     fn traverse(&mut self, node: usize, op: usize, ip: usize, vc: usize) -> usize {
         let ser = self.config.serialization_cycles();
-        let lane = self
-            .routers[node]
+        let lane = self.routers[node]
             .free_lane(op, self.cycle)
             .expect("winner count bounded by free lanes");
         self.routers[node].lanes[op][lane] = self.cycle + ser;
@@ -428,10 +414,8 @@ impl Simulator {
         // the source checks buffer space directly).
         if ip != LOCAL {
             let ip_dir = Direction::ALL[ip];
-            let upstream = self
-                .mesh
-                .neighbor(node, ip_dir)
-                .expect("mesh input port implies a neighbor");
+            let upstream =
+                self.mesh.neighbor(node, ip_dir).expect("mesh input port implies a neighbor");
             let up_out = ip_dir.opposite().index();
             self.routers[upstream].outputs[up_out][vc].credits += 1;
         }
@@ -459,19 +443,14 @@ impl Simulator {
             self.routers[node].outputs[op][v].holder = None;
         }
         let op_dir = Direction::ALL[op];
-        let downstream = self
-            .mesh
-            .neighbor(node, op_dir)
-            .expect("XY routing never routes off the mesh");
+        let downstream =
+            self.mesh.neighbor(node, op_dir).expect("XY routing never routes off the mesh");
         let in_port = op_dir.opposite().index();
         self.routers[downstream].inputs[in_port][v].queue.push_back(TimedFlit {
             flit: tf.flit,
             // Last phit lands after `ser` cycles on the link, then the
             // downstream pipeline processes the flit.
-            ready_at: self.cycle
-                + (ser - 1)
-                + self.config.link_cycles
-                + self.config.router_stages,
+            ready_at: self.cycle + (ser - 1) + self.config.link_cycles + self.config.router_stages,
         });
         self.events.link_traversals += 1;
         self.events.buffer_writes += 1;
@@ -580,10 +559,7 @@ mod tests {
     #[test]
     fn self_message_and_bad_nodes_are_rejected() {
         let mut s = sim();
-        assert!(matches!(
-            s.run(&[Message::new(3, 3, 8, 0)]),
-            Err(NocError::BadNode { .. })
-        ));
+        assert!(matches!(s.run(&[Message::new(3, 3, 8, 0)]), Err(NocError::BadNode { .. })));
         assert!(s.run(&[Message::new(0, 99, 8, 0)]).is_err());
         assert!(s.run(&[Message::new(99, 0, 8, 0)]).is_err());
     }
@@ -605,11 +581,8 @@ mod tests {
         // read exactly once per write.
         assert_eq!(r.events.buffer_reads, r.events.buffer_writes);
         // Ejections equal total flits of all messages.
-        let expect_flits: u64 = trace
-            .messages
-            .iter()
-            .map(|m| s.config().flits_for_bytes(m.bytes))
-            .sum();
+        let expect_flits: u64 =
+            trace.messages.iter().map(|m| s.config().flits_for_bytes(m.bytes)).sum();
         assert_eq!(r.flits_delivered, expect_flits);
         // Link traversals are reads minus ejections.
         assert_eq!(r.events.link_traversals, r.events.buffer_reads - r.flits_delivered);
@@ -648,10 +621,7 @@ mod tests {
         config.max_cycles = 10;
         let mut s = Simulator::new(config).unwrap();
         let big = all_to_all(16, 1 << 16);
-        assert!(matches!(
-            s.run(&big.messages),
-            Err(NocError::CycleLimitExceeded { .. })
-        ));
+        assert!(matches!(s.run(&big.messages), Err(NocError::CycleLimitExceeded { .. })));
     }
 
     #[test]

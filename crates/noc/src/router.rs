@@ -74,14 +74,10 @@ impl Router {
     /// credits each and `physical_channels` lanes per output port.
     pub fn new(vcs: usize, buffer_flits: usize, physical_channels: usize) -> Self {
         Self {
-            inputs: (0..PORTS)
-                .map(|_| (0..vcs).map(|_| InputVc::default()).collect())
-                .collect(),
+            inputs: (0..PORTS).map(|_| (0..vcs).map(|_| InputVc::default()).collect()).collect(),
             outputs: (0..PORTS)
                 .map(|_| {
-                    (0..vcs)
-                        .map(|_| OutputVc { holder: None, credits: buffer_flits })
-                        .collect()
+                    (0..vcs).map(|_| OutputVc { holder: None, credits: buffer_flits }).collect()
                 })
                 .collect(),
             lanes: (0..PORTS).map(|_| vec![0u64; physical_channels]).collect(),
@@ -101,11 +97,7 @@ impl Router {
 
     /// Total flits currently buffered in this router's input queues.
     pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|port| port.iter())
-            .map(|vc| vc.queue.len())
-            .sum()
+        self.inputs.iter().flat_map(|port| port.iter()).map(|vc| vc.queue.len()).sum()
     }
 
     /// Earliest `ready_at` among buffered flits, if any.

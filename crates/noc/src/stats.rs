@@ -91,20 +91,14 @@ pub fn render_link_heatmap(report: &SimReport, mesh: &crate::topology::Mesh2d) -
     for y in 0..mesh.height() {
         for x in 0..mesh.width() {
             let node = mesh.node_at(x, y);
-            let total: u64 = (0..4)
-                .map(|d| report.link_flits.get(node * 4 + d).copied().unwrap_or(0))
-                .sum();
+            let total: u64 =
+                (0..4).map(|d| report.link_flits.get(node * 4 + d).copied().unwrap_or(0)).sum();
             out.push_str(&format!("[{node:>2}]{total:<8}"));
         }
         out.push('\n');
     }
     // Name the hottest directed link.
-    if let Some((idx, &max)) = report
-        .link_flits
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &f)| f)
-    {
+    if let Some((idx, &max)) = report.link_flits.iter().enumerate().max_by_key(|&(_, &f)| f) {
         if max > 0 {
             let node = idx / 4;
             let dir = Direction::ALL[idx % 4];

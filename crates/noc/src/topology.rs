@@ -218,15 +218,10 @@ mod tests {
         // Fig. 6(a): distances of the first four cores (top row of the 4x4
         // mesh) are 0,1,2,3 / 1,0,1,2 / 2,1,0,1 / 3,2,1,0.
         let m = Mesh2d::new(4, 4);
-        let expected = [
-            [0, 1, 2, 3],
-            [1, 0, 1, 2],
-            [2, 1, 0, 1],
-            [3, 2, 1, 0],
-        ];
-        for a in 0..4 {
-            for b in 0..4 {
-                assert_eq!(m.distance(a, b), expected[a][b]);
+        let expected = [[0, 1, 2, 3], [1, 0, 1, 2], [2, 1, 0, 1], [3, 2, 1, 0]];
+        for (a, row) in expected.iter().enumerate() {
+            for (b, &want) in row.iter().enumerate() {
+                assert_eq!(m.distance(a, b), want);
             }
         }
         // And a vertical + horizontal case.

@@ -49,10 +49,7 @@ impl TrafficTrace {
     /// Total byte·hop product under a distance function (the analytic
     /// communication-cost integrand the SS_Mask training minimizes).
     pub fn byte_hops(&self, distance: impl Fn(usize, usize) -> usize) -> u64 {
-        self.messages
-            .iter()
-            .map(|m| m.bytes * distance(m.src, m.dst) as u64)
-            .sum()
+        self.messages.iter().map(|m| m.bytes * distance(m.src, m.dst) as u64).sum()
     }
 
     /// Number of messages.

@@ -31,11 +31,7 @@ pub fn hop_mask(mesh: &Mesh2d, normalize: bool) -> Result<StrengthMask, NnError>
 /// # Errors
 ///
 /// Propagates [`NnError::BadConfig`] from mask construction.
-pub fn hop_power_mask(
-    mesh: &Mesh2d,
-    power: f32,
-    normalize: bool,
-) -> Result<StrengthMask, NnError> {
+pub fn hop_power_mask(mesh: &Mesh2d, power: f32, normalize: bool) -> Result<StrengthMask, NnError> {
     let n = mesh.nodes();
     let mut factors = vec![0.0f32; n * n];
     for p in 0..n {

@@ -128,9 +128,9 @@ pub fn propagate(
             Some(OwnershipMap::even(out_c, spatial, cores))
         }
         LayerKind::Linear { out_f, .. } => Some(OwnershipMap::even(out_f, 1, cores)),
-        LayerKind::Pool { .. } => input.map(|o| {
-            o.with_values_per_unit(spec.out_dims.1 * spec.out_dims.2)
-        }),
+        LayerKind::Pool { .. } => {
+            input.map(|o| o.with_values_per_unit(spec.out_dims.1 * spec.out_dims.2))
+        }
         LayerKind::Activation => input.cloned(),
         LayerKind::Flatten => input.map(OwnershipMap::flattened),
     }

@@ -30,10 +30,9 @@ pub enum PlanError {
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::WeightsMismatch { layer, expected, actual } => write!(
-                f,
-                "layer `{layer}` expects {expected} weights, got {actual}"
-            ),
+            PlanError::WeightsMismatch { layer, expected, actual } => {
+                write!(f, "layer `{layer}` expects {expected} weights, got {actual}")
+            }
             PlanError::BadConfig(msg) => write!(f, "bad plan configuration: {msg}"),
         }
     }
@@ -210,7 +209,9 @@ fn assignment_counts(
     cores: usize,
 ) -> Vec<usize> {
     match layer.kind {
-        LayerKind::Conv { out_c, .. } => even_blocks(out_c, cores).iter().map(|b| b.len()).collect(),
+        LayerKind::Conv { out_c, .. } => {
+            even_blocks(out_c, cores).iter().map(|b| b.len()).collect()
+        }
         LayerKind::Linear { out_f, .. } => {
             even_blocks(out_f, cores).iter().map(|b| b.len()).collect()
         }

@@ -166,11 +166,7 @@ mod tests {
     use lts_nn::grouping::even_blocks;
 
     fn conv_spec(out_c: usize, groups: usize) -> LayerSpec {
-        SpecBuilder::new("n", (8, 4, 4))
-            .conv("c", out_c, 3, 1, 1, groups)
-            .build()
-            .layers[0]
-            .clone()
+        SpecBuilder::new("n", (8, 4, 4)).conv("c", out_c, 3, 1, 1, groups).build().layers[0].clone()
     }
 
     #[test]
@@ -220,8 +216,7 @@ mod tests {
         // All weights zero except group (producer 1 -> consumer 0).
         let mut w = vec![0.0f32; layout.weight_len()];
         layout.visit_group(1, 0, |idx| w[idx] = 0.5);
-        let trace =
-            transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
+        let trace = transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.messages[0].src, 1);
         assert_eq!(trace.messages[0].dst, 0);
@@ -239,8 +234,7 @@ mod tests {
         // Consumer core 3 (out channels 6..8) uses only input channel 2
         // (owned by producer 1): set one tap of weight (o=6, i=2).
         w[(6 * 8 + 2) * 9 + 4] = 1.0;
-        let trace =
-            transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
+        let trace = transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.messages[0].bytes, 16 * 2); // a single channel
     }
@@ -251,16 +245,11 @@ mod tests {
         let producer = OwnershipMap::even(5, 4, 2).flattened();
         let spec = SpecBuilder::new("n", (20, 1, 1)).linear("ip", 6).build().layers[0].clone();
         let consumers = even_blocks(6, 2);
-        let layout = GroupLayout::with_blocks(
-            1,
-            consumers.clone(),
-            producer.blocks().to_vec(),
-        );
+        let layout = GroupLayout::with_blocks(1, consumers.clone(), producer.blocks().to_vec());
         // Only consumer core 1 uses inputs, and only input 0 (owned by 0).
         let mut w = vec![0.0f32; layout.weight_len()];
         w[3 * 20] = 1.0; // weight (o=3, i=0); o=3 owned by core 1
-        let trace =
-            transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
+        let trace = transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.messages[0].src, 0);
         assert_eq!(trace.messages[0].dst, 1);
@@ -275,8 +264,7 @@ mod tests {
         let layout = GroupLayout::new(8, 8, 9, 4);
         let w = vec![1.0f32; layout.weight_len()];
         let dense = transition_messages(&producer, &spec, &consumers, None, 2, 0);
-        let sparse =
-            transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
+        let sparse = transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0);
         assert_eq!(dense.total_bytes(), sparse.total_bytes());
     }
 
@@ -290,9 +278,8 @@ mod tests {
         // the producer's whole 2-channel block.
         let mut w = vec![0.0f32; layout.weight_len()];
         w[(6 * 8 + 2) * 9] = 1.0; // (o=6 ∈ core 3, i=2 ∈ core 1)
-        let per_unit =
-            transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0)
-                .total_bytes();
+        let per_unit = transition_messages(&producer, &spec, &consumers, Some((&layout, &w)), 2, 0)
+            .total_bytes();
         let per_group = group_level_volume_bytes(&producer, &layout, &w, 2);
         assert_eq!(per_unit, 16 * 2);
         assert_eq!(per_group, 2 * 16 * 2);

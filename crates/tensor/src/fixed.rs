@@ -26,7 +26,9 @@ pub const DEFAULT_FRAC_BITS: u32 = 8;
 /// let y = x.saturating_mul(Fixed16::from_f32(2.0));
 /// assert_eq!(y.to_f32(), 3.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Fixed16(i16);
 
 impl Fixed16 {

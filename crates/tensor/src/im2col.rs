@@ -83,12 +83,27 @@ pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
             right: Shape::d3(geom.in_c, geom.in_h, geom.in_w),
         });
     }
+    let mut out = Tensor::zeros(Shape::d2(geom.col_rows(), geom.col_cols()));
+    im2col_into(image.as_slice(), geom, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Unrolls one image (flat `[in_c * in_h * in_w]` slice) into a caller-owned
+/// column buffer of `col_rows() * col_cols()` elements, overwriting it.
+///
+/// This is the allocation-free core of [`im2col`]: layers that run every
+/// batch hand in a scratch buffer from a
+/// [`Workspace`](crate::workspace::Workspace) instead of allocating a fresh
+/// column matrix per call.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` disagree with the geometry's element counts.
+pub fn im2col_into(src: &[f32], geom: &ConvGeometry, dst: &mut [f32]) {
+    assert_eq!(src.len(), geom.in_c * geom.in_h * geom.in_w, "input size mismatch");
+    assert_eq!(dst.len(), geom.col_rows() * geom.col_cols(), "column buffer size mismatch");
     let (oh, ow) = (geom.out_h(), geom.out_w());
-    let rows = geom.col_rows();
     let cols = oh * ow;
-    let mut out = Tensor::zeros(Shape::d2(rows, cols));
-    let src = image.as_slice();
-    let dst = out.as_mut_slice();
     let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
     for c in 0..geom.in_c {
         for ky in 0..geom.kh {
@@ -109,7 +124,6 @@ pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
             }
         }
     }
-    Ok(out)
 }
 
 /// Accumulates a column matrix back into a `[in_c, in_h, in_w]` image
@@ -122,14 +136,30 @@ pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
 /// Returns [`TensorError::ShapeMismatch`] if `cols` has the wrong shape for
 /// `geom`.
 pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
-    let (oh, ow) = (geom.out_h(), geom.out_w());
-    let expect = Shape::d2(geom.col_rows(), oh * ow);
+    let expect = Shape::d2(geom.col_rows(), geom.col_cols());
     if cols.shape() != &expect {
         return Err(TensorError::ShapeMismatch { left: cols.shape().clone(), right: expect });
     }
     let mut image = Tensor::zeros(Shape::d3(geom.in_c, geom.in_h, geom.in_w));
-    let src = cols.as_slice();
-    let dst = image.as_mut_slice();
+    col2im_into(cols.as_slice(), geom, image.as_mut_slice());
+    Ok(image)
+}
+
+/// Accumulates a flat column matrix into a caller-owned flat
+/// `[in_c * in_h * in_w]` image buffer (the allocation-free core of
+/// [`col2im`]).
+///
+/// Contributions are *added* to `dst`, so backward passes can accumulate
+/// straight into a gradient slice; pass a zeroed buffer for the pure
+/// adjoint.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` disagree with the geometry's element counts.
+pub fn col2im_into(src: &[f32], geom: &ConvGeometry, dst: &mut [f32]) {
+    assert_eq!(src.len(), geom.col_rows() * geom.col_cols(), "column buffer size mismatch");
+    assert_eq!(dst.len(), geom.in_c * geom.in_h * geom.in_w, "image size mismatch");
+    let (oh, ow) = (geom.out_h(), geom.out_w());
     let ncols = oh * ow;
     let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
     for c in 0..geom.in_c {
@@ -153,7 +183,6 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError>
             }
         }
     }
-    Ok(image)
 }
 
 #[cfg(test)]
@@ -176,11 +205,7 @@ mod tests {
     #[test]
     fn im2col_unrolls_receptive_fields() {
         // 3x3 image 0..9, 2x2 kernel, stride 1 -> 4 columns of 4 rows.
-        let img = Tensor::from_vec(
-            Shape::d3(1, 3, 3),
-            (0..9).map(|x| x as f32).collect(),
-        )
-        .unwrap();
+        let img = Tensor::from_vec(Shape::d3(1, 3, 3), (0..9).map(|x| x as f32).collect()).unwrap();
         let cols = im2col(&img, &geom_3x3_k2()).unwrap();
         assert_eq!(cols.shape().dims(), &[4, 4]);
         // First column = top-left receptive field [0,1,3,4].
@@ -208,11 +233,8 @@ mod tests {
     #[test]
     fn col2im_is_adjoint_of_im2col_for_disjoint_fields() {
         // Stride = kernel size means fields do not overlap: col2im(im2col(x)) == x.
-        let img = Tensor::from_vec(
-            Shape::d3(1, 4, 4),
-            (0..16).map(|x| x as f32).collect(),
-        )
-        .unwrap();
+        let img =
+            Tensor::from_vec(Shape::d3(1, 4, 4), (0..16).map(|x| x as f32).collect()).unwrap();
         let g = ConvGeometry { in_c: 1, in_h: 4, in_w: 4, kh: 2, kw: 2, stride: 2, pad: 0 };
         let back = col2im(&im2col(&img, &g).unwrap(), &g).unwrap();
         assert_eq!(back, img);

@@ -66,11 +66,7 @@ pub fn normal(shape: Shape, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
 
 /// A distribution adapter so callers can sample tensor entries from any
 /// `rand` distribution if needed.
-pub fn from_distribution<D: Distribution<f32>>(
-    shape: Shape,
-    dist: &D,
-    rng: &mut StdRng,
-) -> Tensor {
+pub fn from_distribution<D: Distribution<f32>>(shape: Shape, dist: &D, rng: &mut StdRng) -> Tensor {
     let len = shape.len();
     let data = (0..len).map(|_| dist.sample(rng)).collect();
     Tensor::from_vec(shape, data).expect("generated buffer matches shape by construction")

@@ -2,10 +2,17 @@
 //!
 //! This crate is the numerical substrate under `lts-nn`: owned,
 //! contiguous, row-major tensors ([`Tensor`]), shape bookkeeping
-//! ([`Shape`]), a blocked GEMM ([`matmul`]), the `im2col` lowering used by
-//! convolution layers, seeded weight initializers, the 16-bit fixed-point
-//! format used by the simulated accelerator cores ([`fixed::Fixed16`]), and
-//! sparsity/norm statistics used by the structured-sparsification pipeline.
+//! ([`Shape`]), a blocked row-parallel GEMM ([`matmul`]), the `im2col`
+//! lowering used by convolution layers, seeded weight initializers, the
+//! 16-bit fixed-point format used by the simulated accelerator cores
+//! ([`fixed::Fixed16`]), and sparsity/norm statistics used by the
+//! structured-sparsification pipeline.
+//!
+//! It also hosts the deterministic parallel execution engine ([`par`],
+//! configured by [`ExecConfig`] or the `LTS_THREADS` environment variable)
+//! and the reusable scratch arena ([`Workspace`]) that the layer kernels
+//! draw their temporaries from. Everything built on the engine is
+//! bit-reproducible: results are identical for any worker count.
 //!
 //! # Examples
 //!
@@ -30,10 +37,14 @@ pub mod im2col;
 pub mod init;
 pub mod matmul;
 pub mod ops;
+pub mod par;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
+pub mod workspace;
 
 pub use fixed::Fixed16;
+pub use par::ExecConfig;
 pub use shape::Shape;
 pub use tensor::{Tensor, TensorError};
+pub use workspace::Workspace;

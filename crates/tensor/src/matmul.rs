@@ -1,12 +1,29 @@
-//! Blocked single-precision matrix multiplication.
+//! Blocked, row-parallel single-precision matrix multiplication.
 //!
 //! Training the paper's networks spends essentially all of its time here
-//! (convolutions are lowered to GEMM via [`crate::im2col`]), so the kernel
-//! uses the classic i-k-j loop order with register accumulation over
-//! contiguous rows, which is cache-friendly without unsafe code.
+//! (convolutions are lowered to GEMM via [`crate::im2col`]), so the kernels
+//! use the cache-friendly i-k-j loop order with panel blocking over the
+//! shared dimension, and partition output rows across the execution engine
+//! ([`crate::par`]).
+//!
+//! # Determinism
+//!
+//! Every kernel accumulates each output element's terms in ascending order
+//! of the shared dimension, and row partitioning never splits an element's
+//! accumulation. Results are therefore bit-identical for any worker count,
+//! including 1 — the parallel kernels are drop-in replacements for their
+//! serial ancestors.
 
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::{Tensor, TensorError};
+
+/// Rows of the shared-dimension panel kept hot in cache per pass.
+const PANEL: usize = 64;
+
+/// Multiply-adds below which a product runs inline: for tiny operands the
+/// cost of spawning scoped workers exceeds the whole product.
+const PAR_THRESHOLD: usize = 32 * 1024;
 
 /// Computes the matrix product `C = A · B` for rank-2 tensors.
 ///
@@ -28,13 +45,7 @@ use crate::tensor::{Tensor, TensorError};
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    check_rank2(a)?;
-    check_rank2(b)?;
-    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
-    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
-    }
+    let (m, k, n) = check_product_dims(a, b, false, false)?;
     let mut c = Tensor::zeros(Shape::d2(m, n));
     matmul_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
     Ok(c)
@@ -51,28 +62,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// [`TensorError::MatmulDimMismatch`] under the same conditions as
 /// [`matmul`].
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    check_rank2(a)?;
-    check_rank2(b)?;
-    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
-    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
-    }
+    let (m, k, n) = check_product_dims(a, b, true, false)?;
     let mut c = Tensor::zeros(Shape::d2(m, n));
-    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let crow = &mut cv[i * n..(i + 1) * n];
-            for (cj, &bj) in crow.iter_mut().zip(brow) {
-                *cj += aval * bj;
-            }
-        }
-    }
+    matmul_at_b_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
     Ok(c)
 }
 
@@ -87,26 +79,9 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// [`TensorError::MatmulDimMismatch`] under the same conditions as
 /// [`matmul`].
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    check_rank2(a)?;
-    check_rank2(b)?;
-    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
-    let (n, k2) = (b.shape().dim(0), b.shape().dim(1));
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
-    }
+    let (m, k, n) = check_product_dims(a, b, false, true)?;
     let mut c = Tensor::zeros(Shape::d2(m, n));
-    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            cv[i * n + j] = acc;
-        }
-    }
+    matmul_a_bt_into(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
     Ok(c)
 }
 
@@ -135,25 +110,146 @@ fn check_rank2(t: &Tensor) -> Result<(), TensorError> {
     Ok(())
 }
 
-/// Raw i-k-j GEMM on flat row-major slices: `c[m,n] += a[m,k] * b[k,n]`.
+/// Validates a product's operand shapes and returns `(m, k, n)`.
+fn check_product_dims(
+    a: &Tensor,
+    b: &Tensor,
+    transpose_a: bool,
+    transpose_b: bool,
+) -> Result<(usize, usize, usize), TensorError> {
+    check_rank2(a)?;
+    check_rank2(b)?;
+    let (m, k) = if transpose_a {
+        (a.shape().dim(1), a.shape().dim(0))
+    } else {
+        (a.shape().dim(0), a.shape().dim(1))
+    };
+    let (k2, n) = if transpose_b {
+        (b.shape().dim(1), b.shape().dim(0))
+    } else {
+        (b.shape().dim(0), b.shape().dim(1))
+    };
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch { left_cols: k, right_rows: k2 });
+    }
+    Ok((m, k, n))
+}
+
+/// Flat-slice GEMM `C = A · B` with `A: [m, k]`, `B: [k, n]`, `C: [m, n]`,
+/// all row-major. Overwrites `C`. Output rows are partitioned across the
+/// execution engine; see the module docs for the determinism contract.
 ///
-/// `c` must be zero-initialized by the caller if a pure product is wanted.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// # Panics
+///
+/// Panics (in debug builds) if the slice lengths disagree with the
+/// dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (cj, &bj) in crow.iter_mut().zip(brow) {
-                *cj += aval * bj;
+    if n == 0 {
+        return;
+    }
+    let kernel = |first_row: usize, stripe: &mut [f32]| {
+        stripe.fill(0.0);
+        let rows = stripe.len() / n;
+        // Panel over the shared dimension: the PANEL×n block of B stays hot
+        // across every row of the stripe. Accumulation order per element is
+        // still p ascending, so blocking does not perturb results.
+        for p0 in (0..k).step_by(PANEL) {
+            let p1 = (p0 + PANEL).min(k);
+            for r in 0..rows {
+                let arow = &a[(first_row + r) * k..(first_row + r) * k + k];
+                let crow = &mut stripe[r * n..(r + 1) * n];
+                for (p, &aval) in arow[p0..p1].iter().enumerate().map(|(o, v)| (p0 + o, v)) {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cj, &bj) in crow.iter_mut().zip(brow) {
+                        *cj += aval * bj;
+                    }
+                }
             }
         }
+    };
+    if m * k * n < PAR_THRESHOLD {
+        kernel(0, c);
+    } else {
+        par::par_row_stripes(c, n, kernel);
+    }
+}
+
+/// Flat-slice `C = Aᵀ · B` with `A: [k, m]`, `B: [k, n]`, `C: [m, n]`.
+/// Overwrites `C`. Same determinism contract as [`matmul_into`].
+pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    let kernel = |first_row: usize, stripe: &mut [f32]| {
+        stripe.fill(0.0);
+        let rows = stripe.len() / n;
+        for p0 in (0..k).step_by(PANEL) {
+            let p1 = (p0 + PANEL).min(k);
+            for r in 0..rows {
+                let i = first_row + r;
+                let crow = &mut stripe[r * n..(r + 1) * n];
+                for p in p0..p1 {
+                    let aval = a[p * m + i];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cj, &bj) in crow.iter_mut().zip(brow) {
+                        *cj += aval * bj;
+                    }
+                }
+            }
+        }
+    };
+    if m * k * n < PAR_THRESHOLD {
+        kernel(0, c);
+    } else {
+        par::par_row_stripes(c, n, kernel);
+    }
+}
+
+/// Flat-slice `C = A · Bᵀ` with `A: [m, k]`, `B: [n, k]`, `C: [m, n]`.
+/// Overwrites `C`. Same determinism contract as [`matmul_into`].
+pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    let kernel = |first_row: usize, stripe: &mut [f32]| {
+        let rows = stripe.len() / n;
+        // Panel over B's rows (output columns): each j-panel of B is reused
+        // across every row of the stripe. Dots are independent per element.
+        for j0 in (0..n).step_by(PANEL) {
+            let j1 = (j0 + PANEL).min(n);
+            for r in 0..rows {
+                let arow = &a[(first_row + r) * k..(first_row + r) * k + k];
+                let crow = &mut stripe[r * n..(r + 1) * n];
+                for j in j0..j1 {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    crow[j] = acc;
+                }
+            }
+        }
+    };
+    if m * k * n < PAR_THRESHOLD {
+        kernel(0, c);
+    } else {
+        par::par_row_stripes(c, n, kernel);
     }
 }
 
@@ -218,5 +314,30 @@ mod tests {
     fn transpose_involution() {
         let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+
+    /// Reference triple loop in the naive j-inner order.
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_beyond_panel_size() {
+        // Exercise shapes that straddle the panel boundary.
+        for (mm, kk, nn) in [(3, PANEL + 7, 5), (17, 2 * PANEL, PANEL + 1), (1, 1, 1)] {
+            let a: Vec<f32> = (0..mm * kk).map(|x| ((x * 37 % 23) as f32) - 11.0).collect();
+            let b: Vec<f32> = (0..kk * nn).map(|x| ((x * 17 % 19) as f32) - 9.0).collect();
+            let mut c = vec![1.0f32; mm * nn];
+            matmul_into(&a, &b, &mut c, mm, kk, nn);
+            assert_eq!(c, naive(&a, &b, mm, kk, nn), "{mm}x{kk}x{nn}");
+        }
     }
 }

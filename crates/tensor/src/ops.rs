@@ -23,12 +23,7 @@ fn check_same_shape(a: &Tensor, b: &Tensor) -> Result<(), TensorError> {
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     check_same_shape(a, b)?;
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| x + y)
-        .collect();
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x + y).collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 
@@ -39,12 +34,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     check_same_shape(a, b)?;
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| x - y)
-        .collect();
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x - y).collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 
@@ -55,12 +45,7 @@ pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
 pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     check_same_shape(a, b)?;
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| x * y)
-        .collect();
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x * y).collect();
     Tensor::from_vec(a.shape().clone(), data)
 }
 
@@ -91,11 +76,7 @@ pub fn scale(alpha: f32, x: &mut Tensor) {
 /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
 pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32, TensorError> {
     check_same_shape(a, b)?;
-    Ok(a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| x * y)
-        .sum())
+    Ok(a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x * y).sum())
 }
 
 /// Sum of all elements.

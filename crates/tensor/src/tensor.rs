@@ -194,10 +194,7 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every element in place.
@@ -233,18 +230,14 @@ impl Tensor {
         let (c, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
         let sz = c * h * w;
         let start = n * sz;
-        Tensor {
-            shape: Shape::d3(c, h, w),
-            data: self.data[start..start + sz].to_vec(),
-        }
+        Tensor { shape: Shape::d3(c, h, w), data: self.data[start..start + sz].to_vec() }
     }
 }
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} [", self.shape)?;
-        let preview: Vec<String> =
-            self.data.iter().take(8).map(|x| format!("{x:.4}")).collect();
+        let preview: Vec<String> = self.data.iter().take(8).map(|x| format!("{x:.4}")).collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 8 {
             write!(f, ", ... {} more", self.data.len() - 8)?;

@@ -1,0 +1,50 @@
+//! Bit-reproducibility contract of the execution engine: every parallel
+//! kernel must produce byte-identical results for any worker count.
+//!
+//! These checks live in their own integration-test binary so the
+//! process-wide [`lts_tensor::par::install`] calls cannot race other test
+//! files; the sweep itself runs inside a single `#[test]` so the installs
+//! are strictly sequential.
+
+use lts_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use lts_tensor::par::{self, ExecConfig};
+use lts_tensor::{init, Shape};
+
+#[test]
+fn kernels_bit_identical_across_worker_counts() {
+    let mut rng = init::rng(7);
+    // Dimensions cross the parallel threshold and straddle panel
+    // boundaries, so both the striping and the blocking paths engage.
+    let a = init::uniform(Shape::d2(70, 130), 1.0, &mut rng);
+    let b = init::uniform(Shape::d2(130, 65), 1.0, &mut rng);
+    let bt = init::uniform(Shape::d2(65, 130), 1.0, &mut rng);
+    let atb_rhs = init::uniform(Shape::d2(70, 65), 1.0, &mut rng);
+
+    par::install(ExecConfig::serial());
+    let c_ref = matmul(&a, &b).unwrap();
+    let at_ref = matmul_at_b(&a, &atb_rhs).unwrap();
+    let abt_ref = matmul_a_bt(&a, &bt).unwrap();
+    let items: Vec<usize> = (0..97).collect();
+    let map_ref = par::par_map(&items, |i, &x| (x * 31 + i) as f32);
+
+    for threads in [2usize, 3, 4, 8] {
+        par::install(ExecConfig::new(threads));
+        assert_eq!(matmul(&a, &b).unwrap(), c_ref, "matmul differs at {threads} workers");
+        assert_eq!(
+            matmul_at_b(&a, &atb_rhs).unwrap(),
+            at_ref,
+            "matmul_at_b differs at {threads} workers"
+        );
+        assert_eq!(
+            matmul_a_bt(&a, &bt).unwrap(),
+            abt_ref,
+            "matmul_a_bt differs at {threads} workers"
+        );
+        assert_eq!(
+            par::par_map(&items, |i, &x| (x * 31 + i) as f32),
+            map_ref,
+            "par_map differs at {threads} workers"
+        );
+    }
+    par::install(ExecConfig::serial());
+}

@@ -102,4 +102,30 @@ proptest! {
         let s = stats::sparsity(&data);
         prop_assert!((0.0..=1.0).contains(&s));
     }
+
+    #[test]
+    fn blocked_matmul_matches_naive_triple_loop(
+        m in 1usize..6, k in 1usize..140, n in 1usize..6, pool in tensor_strategy(6 * 140 * 2)
+    ) {
+        // The shared dimension sweeps across the cache-panel boundary; the
+        // blocked kernel accumulates each element in the same p-ascending
+        // order as the naive loop, so results must be bitwise equal.
+        let a = Tensor::from_vec(Shape::d2(m, k), pool[..m * k].to_vec()).unwrap();
+        let b = Tensor::from_vec(
+            Shape::d2(k, n),
+            pool[6 * 140..6 * 140 + k * n].to_vec(),
+        )
+        .unwrap();
+        let c = matmul(&a, &b).unwrap();
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += av[i * k + p] * bv[p * n + j];
+                }
+                prop_assert_eq!(c.as_slice()[i * n + j], acc, "({}, {})", i, j);
+            }
+        }
+    }
 }

@@ -76,10 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let hotspot_report = sim.run(&hotspot.messages)?;
     let mesh = learn_to_scale::noc::Mesh2d::new(4, 4);
-    println!(
-        "{}",
-        learn_to_scale::noc::stats::render_link_heatmap(&hotspot_report, &mesh)
-    );
+    println!("{}", learn_to_scale::noc::stats::render_link_heatmap(&hotspot_report, &mesh));
     println!(
         "hot link carries {} flits ({:.1}x the mean loaded link)",
         hotspot_report.max_link_flits(),

@@ -13,7 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the network (LeNet here; see lts_nn::descriptor for
     //    AlexNet/VGG19, or derive a spec from any trained Network).
     let spec = lenet_spec();
-    println!("network: {} ({} weights, {} MACs/inference)", spec.name, spec.total_weights(), spec.total_macs());
+    println!(
+        "network: {} ({} weights, {} MACs/inference)",
+        spec.name,
+        spec.total_weights(),
+        spec.total_macs()
+    );
 
     // 2. Partition it the traditional way over 16 cores: every layer's
     //    output channels spread across cores, feature maps broadcast

@@ -5,9 +5,7 @@
 //! `cargo run --release --example sparsified_training`
 
 use learn_to_scale::core::experiment::GroupMatrix;
-use learn_to_scale::core::pipeline::{
-    plan_for, train_baseline, train_sparsified, PipelineConfig,
-};
+use learn_to_scale::core::pipeline::{plan_for, train_baseline, train_sparsified, PipelineConfig};
 use learn_to_scale::core::report::render_group_matrix;
 use learn_to_scale::core::strategy::SparsityScheme;
 use learn_to_scale::core::SystemModel;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge.
+#
+# Usage: scripts/check.sh
+#
+# The workspace builds fully offline — all third-party dependencies are
+# vendored as API-compatible stand-ins under crates/compat/ — so every
+# step runs with --offline and needs no registry access.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "All checks passed."

@@ -101,8 +101,7 @@ fn structure_level_variant_beats_traditional_in_the_system_model() {
     let dense = models::convnet_variant([64, 128, 256], 1, 0).expect("dense").spec();
     let grouped = models::convnet_variant([64, 128, 256], 16, 0).expect("grouped").spec();
     let model = SystemModel::paper(16).expect("model");
-    let dense_report =
-        model.evaluate(&Plan::dense(&dense, 16, 2).expect("plan")).expect("report");
+    let dense_report = model.evaluate(&Plan::dense(&dense, 16, 2).expect("plan")).expect("report");
     let grouped_report =
         model.evaluate(&Plan::dense(&grouped, 16, 2).expect("plan")).expect("report");
     let speedup = grouped_report.speedup_vs(&dense_report);

@@ -31,7 +31,8 @@ fn saved_sparsified_network_reproduces_plan_and_predictions() {
 
     // Round-trip through JSON.
     let json = SavedNetwork::from_network(&outcome.network).to_json().expect("serialize");
-    let mut restored = SavedNetwork::from_json(&json).expect("parse").into_network().expect("rebuild");
+    let mut restored =
+        SavedNetwork::from_json(&json).expect("parse").into_network().expect("rebuild");
 
     // Identical predictions on the test set.
     let mut original = outcome.network.clone();

@@ -61,9 +61,7 @@ fn quantized_inference_matches_float_accuracy_closely() {
     let float_acc = outcome.test_accuracy;
     let mut quantized = outcome.network.clone();
     quantized.quantize_weights();
-    let quant_acc = quantized
-        .evaluate(&data.test.images, &data.test.labels, 64)
-        .expect("evaluate");
+    let quant_acc = quantized.evaluate(&data.test.images, &data.test.labels, 64).expect("evaluate");
     assert!(
         (float_acc - quant_acc).abs() < 0.05,
         "Q7.8 quantization moved accuracy too much: {float_acc} -> {quant_acc}"

@@ -9,7 +9,11 @@ use std::collections::HashMap;
 
 /// Weights for a layer where only groups with (producer, consumer) hop
 /// distance <= `max_hops` survive.
-fn local_only_weights(layout: &GroupLayout, mesh: &learn_to_scale::noc::Mesh2d, max_hops: usize) -> Vec<f32> {
+fn local_only_weights(
+    layout: &GroupLayout,
+    mesh: &learn_to_scale::noc::Mesh2d,
+    max_hops: usize,
+) -> Vec<f32> {
     let mut w = vec![0.0f32; layout.weight_len()];
     for p in 0..layout.cores() {
         for c in 0..layout.cores() {
