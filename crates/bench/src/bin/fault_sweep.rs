@@ -1,0 +1,60 @@
+//! Regenerates the **fault-injection degradation sweep** (robustness
+//! extension): fault rate × core failures over the three
+//! parallelization strategies, on the paper's 16-core mesh.
+//!
+//! No training is involved, so the sweep is cheap at either effort
+//! level; `LTS_EFFORT=quick` trims the grid. Writes
+//! `BENCH_fault_sweep.json` into `LTS_BENCH_DIR` (default: the current
+//! directory). Run:
+//! `cargo run --release -p lts-bench --bin fault_sweep`
+//!
+//! Results are bit-reproducible at any `LTS_THREADS`: fault schedules
+//! are stateless hash draws and the NoC simulator is single-threaded.
+
+use lts_core::degradation::{fault_sweep, FaultSweepConfig, FaultSweepRow};
+use lts_core::report::render_fault_sweep;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepArtifact {
+    bench: String,
+    effort: String,
+    threads: usize,
+    config: FaultSweepConfig,
+    rows: Vec<FaultSweepRow>,
+}
+
+fn main() {
+    let effort = std::env::var("LTS_EFFORT").unwrap_or_else(|_| "paper".into());
+    let config = match effort.as_str() {
+        "quick" => FaultSweepConfig::quick(),
+        "paper" => FaultSweepConfig::default(),
+        other => panic!("LTS_EFFORT must be `quick` or `paper`, got `{other}`"),
+    };
+    println!("=== Learn-to-Scale reproduction: fault-injection degradation sweep ===");
+    println!(
+        "(effort: {effort}, {} cores, drop rates {:?}, dead-core sets {:?}, seed {})\n",
+        config.cores, config.fault_rates, config.dead_core_sets, config.seed
+    );
+
+    let rows = fault_sweep(&config).expect("fault sweep");
+    println!("{}", render_fault_sweep(&rows));
+    println!();
+    println!("Latency/energy are relative to the same strategy on the fault-free chip.");
+    println!("`Lost out.` is the accuracy proxy: output channels that died with their core");
+    println!("(nonzero only for the grouped structure-level plan — its channel groups");
+    println!("pin weights and activations to one core; dense plans re-shard losslessly).");
+
+    let artifact = SweepArtifact {
+        bench: "fault_sweep".into(),
+        effort,
+        threads: lts_tensor::par::current().threads(),
+        config,
+        rows,
+    };
+    let dir = std::env::var("LTS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_fault_sweep.json");
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize sweep");
+    std::fs::write(&path, json + "\n").expect("write sweep artifact");
+    println!("\nwrote {}", path.display());
+}

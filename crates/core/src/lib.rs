@@ -15,6 +15,8 @@
 //!   schedule;
 //! * [`experiment`] — one runner per table/figure of the evaluation
 //!   section (Tables I, III–VI; Figs. 6–8; the §III motivation claim);
+//! * [`degradation`] — the fail-operational extension: fault rate ×
+//!   core-failure sweeps over all three strategies on a faulty mesh;
 //! * [`report`] — ASCII rendering of tables and weight-group matrices.
 //!
 //! # Examples
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod error;
 pub mod experiment;
 pub mod interlayer;
@@ -41,6 +44,7 @@ pub mod report;
 pub mod strategy;
 pub mod system;
 
+pub use degradation::{fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use error::CoreError;
 pub use strategy::{SparsityScheme, Strategy};
 pub use system::{SystemModel, SystemReport};

@@ -7,10 +7,10 @@
 //! NoC simulator; then every core computes its partition, and the slowest
 //! core gates the transition to the next layer.
 
-use crate::Result;
+use crate::{CoreError, Result};
 use lts_accel::{CoreConfig, CoreModel};
-use lts_noc::{EnergyModel, NocConfig, Simulator};
-use lts_partition::Plan;
+use lts_noc::{EnergyModel, FaultModel, FaultStats, NocConfig, Simulator};
+use lts_partition::{DegradedPlan, LayerPlan, Plan};
 use serde::{Deserialize, Serialize};
 
 /// Per-layer latency/energy breakdown.
@@ -47,6 +47,9 @@ pub struct SystemReport {
     pub compute_energy_pj: f64,
     /// Total NoC energy (pJ).
     pub noc_energy_pj: f64,
+    /// Fault and retransmission counters accumulated over every
+    /// layer-transition simulation (all-zero on a fault-free run).
+    pub faults: FaultStats,
     /// Per-layer details.
     pub layers: Vec<LayerBreakdown>,
 }
@@ -118,6 +121,8 @@ pub struct SystemModel {
     /// previous layer's compute (0 = strict barrier, the paper's model;
     /// the `ablation_overlap` bench sweeps this).
     overlap: f64,
+    /// Injected NoC fault model ([`FaultModel::none`] = healthy mesh).
+    fault: FaultModel,
 }
 
 impl SystemModel {
@@ -133,12 +138,13 @@ impl SystemModel {
             noc_config,
             noc_energy: EnergyModel::default(),
             overlap: 0.0,
+            fault: FaultModel::none(),
         })
     }
 
     /// Builds from explicit parts.
     pub fn new(core_model: CoreModel, noc_config: NocConfig, noc_energy: EnergyModel) -> Self {
-        Self { core_model, noc_config, noc_energy, overlap: 0.0 }
+        Self { core_model, noc_config, noc_energy, overlap: 0.0, fault: FaultModel::none() }
     }
 
     /// Sets the compute/communication overlap factor in `[0, 1]`.
@@ -152,9 +158,23 @@ impl SystemModel {
         self
     }
 
+    /// Injects a NoC fault model: all subsequent evaluations simulate
+    /// layer transitions on the faulty mesh (dead routers/links are
+    /// routed around, transient flit faults trigger NIC retransmission).
+    /// [`FaultModel::none`] restores the healthy mesh.
+    pub fn with_fault_model(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// The NoC configuration in use.
     pub fn noc_config(&self) -> &NocConfig {
         &self.noc_config
+    }
+
+    /// The injected fault model.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.fault
     }
 
     /// Number of cores.
@@ -169,20 +189,61 @@ impl SystemModel {
     /// Propagates NoC simulation errors (cycle-limit means deadlock or a
     /// pathological trace).
     pub fn evaluate(&self, plan: &Plan) -> Result<SystemReport> {
-        let mut sim = Simulator::new(self.noc_config)?;
-        let mut layers = Vec::with_capacity(plan.layers.len());
+        self.evaluate_layers(&plan.layers, None)
+    }
+
+    /// Evaluates a fail-operational [`DegradedPlan`] end to end: each
+    /// transition's messages are remapped from logical survivor ids to
+    /// physical node ids before simulation, and compute runs only on the
+    /// surviving cores.
+    ///
+    /// The injected fault model (see [`SystemModel::with_fault_model`])
+    /// should normally mark the plan's dead cores as dead routers so the
+    /// NoC detours around them.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadConfig`] when the plan references a physical core
+    /// outside this chip; otherwise as [`SystemModel::evaluate`].
+    pub fn evaluate_degraded(&self, degraded: &DegradedPlan) -> Result<SystemReport> {
+        if let Some(&max) = degraded.core_map.iter().max() {
+            if max >= self.cores() {
+                return Err(CoreError::BadConfig(format!(
+                    "degraded plan references physical core {max} on a {}-core chip",
+                    self.cores()
+                )));
+            }
+        }
+        self.evaluate_layers(&degraded.plan.layers, Some(degraded))
+    }
+
+    fn evaluate_layers(
+        &self,
+        plan_layers: &[LayerPlan],
+        degraded: Option<&DegradedPlan>,
+    ) -> Result<SystemReport> {
+        let mut sim = Simulator::with_faults(self.noc_config, self.fault.clone())?;
+        let mut layers = Vec::with_capacity(plan_layers.len());
         let mut total_cycles = 0u64;
         let mut compute_total = 0u64;
         let mut comm_total = 0u64;
         let mut traffic_total = 0u64;
         let mut compute_energy = 0.0f64;
         let mut noc_energy = 0.0f64;
-        for lp in &plan.layers {
-            // Communication phase (barrier before the layer runs).
-            let (comm_cycles, layer_noc_energy, blocked) = if lp.traffic.is_empty() {
+        let mut faults = FaultStats::default();
+        for lp in plan_layers {
+            // Communication phase (barrier before the layer runs); on a
+            // degraded plan the trace is remapped to physical node ids.
+            let remapped = degraded.map(|d| d.physical_messages(lp));
+            let messages = match &remapped {
+                Some(trace) => &trace.messages,
+                None => &lp.traffic.messages,
+            };
+            let (comm_cycles, layer_noc_energy, blocked) = if messages.is_empty() {
                 (0, 0.0, 0)
             } else {
-                let report = sim.run(&lp.traffic.messages)?;
+                let report = sim.run(messages)?;
+                faults.merge(&report.faults);
                 let energy = self.noc_energy.report(&report, self.cores()).total_pj();
                 (report.makespan, energy, report.blocked_flit_cycles)
             };
@@ -218,6 +279,7 @@ impl SystemModel {
             traffic_bytes: traffic_total,
             compute_energy_pj: compute_energy,
             noc_energy_pj: noc_energy,
+            faults,
             layers,
         })
     }
@@ -299,5 +361,65 @@ mod tests {
         assert_eq!(a.speedup_vs(&a), 1.0);
         assert_eq!(a.traffic_rate_vs(&a), 1.0);
         assert_eq!(a.noc_energy_reduction_vs(&a), 0.0);
+    }
+
+    #[test]
+    fn none_fault_model_changes_nothing() {
+        let spec = lenet_spec();
+        let plan = Plan::dense(&spec, 16, 2).unwrap();
+        let plain = SystemModel::paper(16).unwrap().evaluate(&plan).unwrap();
+        let faulty = SystemModel::paper(16)
+            .unwrap()
+            .with_fault_model(lts_noc::FaultModel::none())
+            .evaluate(&plan)
+            .unwrap();
+        assert_eq!(plain, faulty);
+        assert!(!plain.faults.any());
+    }
+
+    #[test]
+    fn degraded_plan_with_no_deaths_matches_evaluate() {
+        let spec = lenet_spec();
+        let model = SystemModel::paper(16).unwrap();
+        let healthy = model.evaluate(&Plan::dense(&spec, 16, 2).unwrap()).unwrap();
+        let degraded =
+            lts_partition::replan(&spec, 16, &[], &std::collections::HashMap::new(), 2).unwrap();
+        assert_eq!(model.evaluate_degraded(&degraded).unwrap(), healthy);
+    }
+
+    #[test]
+    fn dead_cores_are_survivable_with_rerouting() {
+        let spec = lenet_spec();
+        let dead = [5usize, 10];
+        let degraded =
+            lts_partition::replan(&spec, 16, &dead, &std::collections::HashMap::new(), 2).unwrap();
+        let fault = dead.iter().fold(lts_noc::FaultModel::none(), |f, &d| f.kill_router(d));
+        let model = SystemModel::paper(16).unwrap().with_fault_model(fault);
+        let report = model.evaluate_degraded(&degraded).unwrap();
+        assert!(report.total_cycles > 0);
+        assert!(report.comm_cycles > 0, "14 survivors still synchronize");
+    }
+
+    #[test]
+    fn transient_faults_slow_the_system_down() {
+        let spec = lenet_spec();
+        let plan = Plan::dense(&spec, 16, 2).unwrap();
+        let clean = SystemModel::paper(16).unwrap().evaluate(&plan).unwrap();
+        let fault = lts_noc::FaultModel::none().with_seed(17).drop_rate(0.02);
+        let faulty =
+            SystemModel::paper(16).unwrap().with_fault_model(fault).evaluate(&plan).unwrap();
+        assert!(faulty.faults.flits_dropped > 0, "a 2% drop rate must fire");
+        assert!(faulty.faults.packets_retransmitted > 0);
+        assert!(faulty.comm_cycles > clean.comm_cycles, "retransmissions cost time");
+        assert_eq!(faulty.compute_cycles, clean.compute_cycles, "compute is unaffected");
+    }
+
+    #[test]
+    fn oversized_degraded_plans_are_rejected() {
+        let spec = lenet_spec();
+        let degraded =
+            lts_partition::replan(&spec, 32, &[1], &std::collections::HashMap::new(), 2).unwrap();
+        let model = SystemModel::paper(16).unwrap();
+        assert!(matches!(model.evaluate_degraded(&degraded), Err(crate::CoreError::BadConfig(_))));
     }
 }

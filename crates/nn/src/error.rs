@@ -23,6 +23,10 @@ pub enum NnError {
         /// Name of the offending layer.
         layer: String,
     },
+    /// A network snapshot could not be captured or serialized.
+    SaveFailed(String),
+    /// A persisted snapshot failed parsing or validation.
+    MalformedSnapshot(String),
 }
 
 impl fmt::Display for NnError {
@@ -36,6 +40,8 @@ impl fmt::Display for NnError {
             NnError::BackwardBeforeForward { layer } => {
                 write!(f, "layer `{layer}`: backward called before forward")
             }
+            NnError::SaveFailed(msg) => write!(f, "could not save network: {msg}"),
+            NnError::MalformedSnapshot(msg) => write!(f, "malformed network snapshot: {msg}"),
         }
     }
 }
@@ -70,6 +76,14 @@ mod tests {
         let te = TensorError::InvalidArgument("x".into());
         let ne: NnError = te.clone().into();
         assert_eq!(ne, NnError::Tensor(te));
+    }
+
+    #[test]
+    fn snapshot_errors_render_their_context() {
+        assert!(NnError::SaveFailed("no params".into()).to_string().contains("no params"));
+        let e = NnError::MalformedSnapshot("truncated".into());
+        assert!(e.to_string().contains("malformed network snapshot"));
+        assert!(e.to_string().contains("truncated"));
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //!
 //! # fn main() -> Result<(), lts_nn::NnError> {
 //! let net = models::mlp(16, 4, 3)?;
-//! let saved = SavedNetwork::from_network(&net);
-//! let json = saved.to_json().expect("serializable");
-//! let restored = SavedNetwork::from_json(&json).expect("parsable").into_network()?;
+//! let saved = SavedNetwork::from_network(&net)?;
+//! let json = saved.to_json()?;
+//! let restored = SavedNetwork::from_json(&json)?.into_network()?;
 //! assert_eq!(
 //!     restored.layer_weight("ip1").unwrap().value,
 //!     net.layer_weight("ip1").unwrap().value
@@ -56,41 +56,86 @@ pub struct SavedNetwork {
 
 impl SavedNetwork {
     /// Captures a network's structure and parameters.
-    pub fn from_network(net: &Network) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SaveFailed`] when a weight-bearing layer of the
+    /// spec cannot be captured (missing from the network, or missing its
+    /// weight/bias parameters) — a silently incomplete snapshot would
+    /// deploy a wrong model.
+    pub fn from_network(net: &Network) -> Result<Self> {
         let spec = net.spec();
-        let params = spec
-            .layers
-            .iter()
-            .filter(|l| l.has_weights())
-            .filter_map(|l| {
-                let layer = net.layer(&l.name)?;
-                let ps = layer.params();
-                let weight = ps.first()?;
-                let bias = ps.get(1)?;
-                let frozen_weight_indices = weight
-                    .frozen_mask()
-                    .map(|mask| {
-                        mask.iter().enumerate().filter_map(|(i, &f)| f.then_some(i)).collect()
-                    })
-                    .unwrap_or_default();
-                Some(SavedParams {
-                    layer: l.name.clone(),
-                    weight: weight.value.clone(),
-                    bias: bias.value.clone(),
-                    frozen_weight_indices,
-                })
-            })
-            .collect();
-        Self { spec, params }
+        let mut params = Vec::new();
+        for l in spec.layers.iter().filter(|l| l.has_weights()) {
+            let layer = net.layer(&l.name).ok_or_else(|| {
+                NnError::SaveFailed(format!("weight-bearing layer `{}` not in the network", l.name))
+            })?;
+            let ps = layer.params();
+            let (weight, bias) = match (ps.first(), ps.get(1)) {
+                (Some(w), Some(b)) => (w, b),
+                _ => {
+                    return Err(NnError::SaveFailed(format!(
+                        "layer `{}` exposes {} parameters, expected weight and bias",
+                        l.name,
+                        ps.len()
+                    )))
+                }
+            };
+            let frozen_weight_indices = weight
+                .frozen_mask()
+                .map(|mask| mask.iter().enumerate().filter_map(|(i, &f)| f.then_some(i)).collect())
+                .unwrap_or_default();
+            params.push(SavedParams {
+                layer: l.name.clone(),
+                weight: weight.value.clone(),
+                bias: bias.value.clone(),
+                frozen_weight_indices,
+            });
+        }
+        Ok(Self { spec, params })
+    }
+
+    /// Checks the snapshot's internal consistency: every weight-bearing
+    /// spec layer has exactly one parameter entry (no missing, duplicate
+    /// or unknown entries), entries follow spec order, and frozen indices
+    /// address real weight entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedSnapshot`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<()> {
+        let expected: Vec<&str> =
+            self.spec.layers.iter().filter(|l| l.has_weights()).map(|l| l.name.as_str()).collect();
+        let got: Vec<&str> = self.params.iter().map(|p| p.layer.as_str()).collect();
+        if expected != got {
+            return Err(NnError::MalformedSnapshot(format!(
+                "parameter entries {got:?} do not match the spec's weight-bearing layers \
+                 {expected:?}"
+            )));
+        }
+        for p in &self.params {
+            let len = p.weight.len();
+            if let Some(&bad) = p.frozen_weight_indices.iter().find(|&&i| i >= len) {
+                return Err(NnError::MalformedSnapshot(format!(
+                    "layer `{}` freezes weight index {bad}, but the weight tensor has only {len} \
+                     entries",
+                    p.layer
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Rebuilds a runnable network (fresh momentum/grad state).
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::BadConfig`] if the snapshot is internally
-    /// inconsistent (missing parameters, shape mismatches).
+    /// Returns [`NnError::MalformedSnapshot`] if the snapshot fails
+    /// [`SavedNetwork::validate`], and [`NnError::BadConfig`] if the
+    /// rebuilt layers disagree with the persisted parameter shapes.
     pub fn into_network(self) -> Result<Network> {
+        self.validate()?;
         let mut builder = NetworkBuilder::new(&self.spec.name, self.spec.input);
         for layer in &self.spec.layers {
             builder = match layer.kind {
@@ -143,19 +188,24 @@ impl SavedNetwork {
     ///
     /// # Errors
     ///
-    /// Returns a serde error message if serialization fails (cannot happen
-    /// for well-formed snapshots).
-    pub fn to_json(&self) -> std::result::Result<String, String> {
-        serde_json::to_string(self).map_err(|e| e.to_string())
+    /// Returns [`NnError::SaveFailed`] if serialization fails (cannot
+    /// happen for well-formed snapshots).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| NnError::SaveFailed(e.to_string()))
     }
 
-    /// Deserializes from a JSON string.
+    /// Deserializes and validates a snapshot from a JSON string.
     ///
     /// # Errors
     ///
-    /// Returns the parse error message for malformed input.
-    pub fn from_json(json: &str) -> std::result::Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    /// Returns [`NnError::MalformedSnapshot`] for unparsable input and
+    /// for snapshots that parse but fail [`SavedNetwork::validate`]
+    /// (e.g. truncated parameter lists or out-of-range freeze indices).
+    pub fn from_json(json: &str) -> Result<Self> {
+        let saved: Self =
+            serde_json::from_str(json).map_err(|e| NnError::MalformedSnapshot(e.to_string()))?;
+        saved.validate()?;
+        Ok(saved)
     }
 }
 
@@ -172,7 +222,7 @@ mod tests {
         let mut net = models::lenet(10, 4).unwrap();
         let x = init::uniform(Shape::d4(2, 1, 28, 28), 1.0, &mut init::rng(1));
         let y1 = net.forward(&x).unwrap();
-        let mut restored = SavedNetwork::from_network(&net).into_network().unwrap();
+        let mut restored = SavedNetwork::from_network(&net).unwrap().into_network().unwrap();
         let y2 = restored.forward(&x).unwrap();
         assert_eq!(y1, y2);
     }
@@ -185,7 +235,7 @@ mod tests {
         prune_groups(param, &layout, PruneCriterion::SmallestFraction(0.5)).unwrap();
         let frozen_before = net.layer_weight("ip2").unwrap().frozen_count();
         assert!(frozen_before > 0);
-        let restored = SavedNetwork::from_network(&net).into_network().unwrap();
+        let restored = SavedNetwork::from_network(&net).unwrap().into_network().unwrap();
         assert_eq!(restored.layer_weight("ip2").unwrap().frozen_count(), frozen_before);
         // Frozen entries are still exactly zero.
         let w = restored.layer_weight("ip2").unwrap();
@@ -199,11 +249,60 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let net = models::mlp(16, 4, 9).unwrap();
-        let saved = SavedNetwork::from_network(&net);
+        let saved = SavedNetwork::from_network(&net).unwrap();
         let json = saved.to_json().unwrap();
         let parsed = SavedNetwork::from_json(&json).unwrap();
         assert_eq!(saved, parsed);
-        assert!(SavedNetwork::from_json("{bad json").is_err());
+        assert!(matches!(SavedNetwork::from_json("{bad json"), Err(NnError::MalformedSnapshot(_))));
+    }
+
+    #[test]
+    fn truncated_json_is_a_malformed_snapshot() {
+        let net = models::mlp(16, 4, 9).unwrap();
+        let json = SavedNetwork::from_network(&net).unwrap().to_json().unwrap();
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(SavedNetwork::from_json(truncated), Err(NnError::MalformedSnapshot(_))));
+    }
+
+    #[test]
+    fn missing_and_unknown_param_entries_fail_validation() {
+        let net = models::mlp(16, 4, 9).unwrap();
+        let saved = SavedNetwork::from_network(&net).unwrap();
+        // Dropping a layer's parameters must be caught...
+        let mut missing = saved.clone();
+        missing.params.remove(0);
+        assert!(matches!(missing.validate(), Err(NnError::MalformedSnapshot(_))));
+        assert!(missing.into_network().is_err());
+        // ...as must a duplicated entry...
+        let mut duplicated = saved.clone();
+        let extra = duplicated.params[0].clone();
+        duplicated.params.push(extra);
+        assert!(matches!(duplicated.validate(), Err(NnError::MalformedSnapshot(_))));
+        // ...and an entry for a layer the spec does not know.
+        let mut unknown = saved;
+        unknown.params[0].layer = "phantom".into();
+        assert!(matches!(unknown.validate(), Err(NnError::MalformedSnapshot(_))));
+    }
+
+    #[test]
+    fn out_of_range_freeze_indices_fail_validation() {
+        let net = models::mlp(16, 4, 9).unwrap();
+        let mut saved = SavedNetwork::from_network(&net).unwrap();
+        let len = saved.params[0].weight.len();
+        saved.params[0].frozen_weight_indices.push(len);
+        let err = saved.validate().unwrap_err();
+        assert!(matches!(err, NnError::MalformedSnapshot(_)));
+        assert!(err.to_string().contains("freezes weight index"), "{err}");
+        // And the same snapshot round-tripped through JSON is rejected
+        // at parse time, before any network is built.
+        let mut net2 = models::mlp(16, 4, 9).unwrap();
+        let mut saved2 = SavedNetwork::from_network(&net2).unwrap();
+        saved2.params[0].frozen_weight_indices.push(usize::MAX);
+        let json = saved2.to_json().unwrap();
+        assert!(matches!(SavedNetwork::from_json(&json), Err(NnError::MalformedSnapshot(_))));
+        // The original network is untouched and still runs.
+        let x = init::uniform(Shape::d2(1, 16), 1.0, &mut init::rng(2));
+        assert!(net2.forward(&x).is_ok());
     }
 
     #[test]
@@ -218,7 +317,7 @@ mod tests {
             .unwrap();
         let x = init::uniform(Shape::d4(1, 1, 8, 8), 1.0, &mut init::rng(5));
         let y1 = net.forward(&x).unwrap();
-        let mut restored = SavedNetwork::from_network(&net).into_network().unwrap();
+        let mut restored = SavedNetwork::from_network(&net).unwrap().into_network().unwrap();
         let y2 = restored.forward(&x).unwrap();
         assert_eq!(y1, y2);
         // The spec marks the pool as average.

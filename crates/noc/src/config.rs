@@ -31,12 +31,21 @@ pub enum NocError {
         nodes: usize,
     },
     /// The simulation exceeded its cycle budget — almost always a
-    /// deadlock or an unreasonably small budget.
+    /// deadlock, a fault configuration too hostile to ever deliver, or an
+    /// unreasonably small budget.
     CycleLimitExceeded {
         /// The configured cycle cap.
         limit: u64,
         /// Messages still undelivered when the cap hit.
         undelivered: usize,
+    },
+    /// Permanent faults leave no surviving path between two endpoints
+    /// (or an endpoint router is itself dead).
+    Unreachable {
+        /// Source node of the rejected message.
+        src: usize,
+        /// Destination node of the rejected message.
+        dst: usize,
     },
 }
 
@@ -51,6 +60,9 @@ impl fmt::Display for NocError {
                 f,
                 "simulation exceeded {limit} cycles with {undelivered} messages undelivered"
             ),
+            NocError::Unreachable { src, dst } => {
+                write!(f, "no surviving route from node {src} to node {dst} under the fault model")
+            }
         }
     }
 }

@@ -1,0 +1,405 @@
+//! Fault injection: permanent topology failures and transient flit faults.
+//!
+//! The model is *seeded and stateless*: every transient fault decision is
+//! a pure hash of `(seed, packet, attempt, flit, link)`, so the injected
+//! fault schedule is a function of the configuration alone — independent
+//! of simulation event order, worker count, or how many times a cycle is
+//! re-examined. Two runs with the same seed and traffic see byte-identical
+//! faults; [`FaultModel::none`] is the identity and leaves the simulator's
+//! fault-free path untouched.
+//!
+//! Permanent faults (dead routers, dead links) reshape the topology: the
+//! simulator builds per-destination minimal detour routes over the
+//! surviving graph (see [`plan_routes`]) and rejects traffic whose
+//! endpoints become unreachable with [`NocError::Unreachable`]. Transient
+//! faults (per-link flit drops and corruptions) *poison* the affected flit
+//! rather than removing it — the flit keeps flowing so wormhole and
+//! credit invariants hold — and the destination NIC discards the poisoned
+//! packet on arrival, forcing a timeout-driven retransmission at the
+//! source (bounded exponential backoff). The configured `max_cycles`
+//! watchdog therefore bounds every faulty run: it either delivers or
+//! returns a typed error.
+
+use crate::config::{NocConfig, NocError};
+use crate::packet::PacketId;
+use crate::topology::{Direction, Mesh2d};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Retransmission-protocol knobs (NIC-level, per packet).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetransmitConfig {
+    /// Cycles from the moment a packet finishes injecting until its first
+    /// retransmission fires, unless an acknowledgement arrives earlier.
+    /// `0` derives a generous default from the [`NocConfig`] (several
+    /// uncongested round trips).
+    pub base_timeout: u64,
+    /// Exponential backoff cap: attempt `k` waits
+    /// `base_timeout << min(k, backoff_cap)` cycles.
+    pub backoff_cap: u32,
+    /// Extra cycles added to the modelled acknowledgement latency
+    /// (processing overhead at both NICs).
+    pub ack_overhead: u64,
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        Self { base_timeout: 0, backoff_cap: 6, ack_overhead: 4 }
+    }
+}
+
+/// A seeded, deterministic fault configuration for one simulation.
+///
+/// # Examples
+///
+/// ```
+/// use lts_noc::FaultModel;
+///
+/// let fault = FaultModel::none().with_seed(7).drop_rate(0.01).kill_router(5);
+/// assert!(fault.has_permanent() && fault.has_transient());
+/// assert!(FaultModel::none().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Seed for all transient-fault draws.
+    pub seed: u64,
+    /// Routers that are permanently dead: they can neither inject, eject,
+    /// nor forward traffic.
+    pub dead_routers: Vec<usize>,
+    /// Permanently dead links, named as `(node, direction)`. A dead link
+    /// is dead in both directions regardless of which endpoint names it.
+    pub dead_links: Vec<(usize, Direction)>,
+    /// Per-link probability that a flit is silently dropped (modelled as
+    /// poisoning: the packet arrives but fails its integrity check).
+    pub flit_drop_prob: f64,
+    /// Per-link probability that a flit is corrupted in transit.
+    pub flit_corrupt_prob: f64,
+    /// Retransmission protocol parameters.
+    pub retransmit: RetransmitConfig,
+}
+
+impl FaultModel {
+    /// The fault-free model: no dead hardware, zero fault probabilities.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            dead_routers: Vec::new(),
+            dead_links: Vec::new(),
+            flit_drop_prob: 0.0,
+            flit_corrupt_prob: 0.0,
+            retransmit: RetransmitConfig::default(),
+        }
+    }
+
+    /// Sets the fault seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Marks a router as permanently dead.
+    #[must_use]
+    pub fn kill_router(mut self, node: usize) -> Self {
+        self.dead_routers.push(node);
+        self
+    }
+
+    /// Marks a link as permanently dead (both directions).
+    #[must_use]
+    pub fn kill_link(mut self, node: usize, dir: Direction) -> Self {
+        self.dead_links.push((node, dir));
+        self
+    }
+
+    /// Sets the per-link flit drop probability.
+    #[must_use]
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        self.flit_drop_prob = p;
+        self
+    }
+
+    /// Sets the per-link flit corruption probability.
+    #[must_use]
+    pub fn corrupt_rate(mut self, p: f64) -> Self {
+        self.flit_corrupt_prob = p;
+        self
+    }
+
+    /// Whether this model injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        !self.has_permanent() && !self.has_transient()
+    }
+
+    /// Whether any permanent (topology) faults are configured.
+    pub fn has_permanent(&self) -> bool {
+        !self.dead_routers.is_empty() || !self.dead_links.is_empty()
+    }
+
+    /// Whether any transient (per-flit) faults are configured.
+    pub fn has_transient(&self) -> bool {
+        self.flit_drop_prob > 0.0 || self.flit_corrupt_prob > 0.0
+    }
+
+    /// Whether `node`'s router is permanently dead.
+    pub fn router_dead(&self, node: usize) -> bool {
+        self.dead_routers.contains(&node)
+    }
+
+    /// Whether the link leaving `node` toward `dir` was *named* dead from
+    /// this side. Topology code treats links as bidirectionally dead; see
+    /// [`edge_dead`].
+    pub fn link_dead(&self, node: usize, dir: Direction) -> bool {
+        self.dead_links.contains(&(node, dir))
+    }
+
+    /// Validates the model against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] for probabilities outside `[0, 1]`
+    /// (or NaN), out-of-range dead hardware, or a degenerate backoff.
+    pub fn validate(&self, config: &NocConfig) -> Result<(), NocError> {
+        let nodes = config.nodes();
+        for (name, p) in
+            [("flit_drop_prob", self.flit_drop_prob), ("flit_corrupt_prob", self.flit_corrupt_prob)]
+        {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(NocError::BadConfig(format!("{name} must be in [0, 1], got {p}")));
+            }
+        }
+        for &r in &self.dead_routers {
+            if r >= nodes {
+                return Err(NocError::BadConfig(format!(
+                    "dead router {r} out of range for {nodes} nodes"
+                )));
+            }
+        }
+        for &(n, d) in &self.dead_links {
+            if n >= nodes {
+                return Err(NocError::BadConfig(format!(
+                    "dead link at node {n} out of range for {nodes} nodes"
+                )));
+            }
+            if d == Direction::Local {
+                return Err(NocError::BadConfig(
+                    "dead link direction must be a mesh direction, not Local".into(),
+                ));
+            }
+        }
+        if self.retransmit.backoff_cap > 32 {
+            return Err(NocError::BadConfig(format!(
+                "backoff_cap {} would overflow the timeout (max 32)",
+                self.retransmit.backoff_cap
+            )));
+        }
+        Ok(())
+    }
+
+    /// Deterministic draw: is this flit dropped on this link traversal?
+    pub fn drops_flit(&self, packet: PacketId, attempt: u32, seq: u64, link: u64) -> bool {
+        self.flit_drop_prob > 0.0
+            && unit_draw(self.seed, 0x9e37_79b9, packet, attempt, seq, link) < self.flit_drop_prob
+    }
+
+    /// Deterministic draw: is this flit corrupted on this link traversal?
+    pub fn corrupts_flit(&self, packet: PacketId, attempt: u32, seq: u64, link: u64) -> bool {
+        self.flit_corrupt_prob > 0.0
+            && unit_draw(self.seed, 0x85eb_ca6b, packet, attempt, seq, link)
+                < self.flit_corrupt_prob
+    }
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes a fault-event identity to a uniform value in `[0, 1)`.
+fn unit_draw(seed: u64, salt: u64, packet: PacketId, attempt: u32, seq: u64, link: u64) -> f64 {
+    let mut h = mix64(seed ^ salt);
+    for v in [packet, u64::from(attempt), seq, link] {
+        h = mix64(h ^ v.wrapping_mul(0xff51_afd7_ed55_8ccd));
+    }
+    // 53 high bits → [0, 1) with full double precision.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Whether the physical link from `node` toward `dir` is unusable — either
+/// endpoint named it dead, or either endpoint router is dead.
+pub fn edge_dead(fault: &FaultModel, mesh: &Mesh2d, node: usize, dir: Direction) -> bool {
+    if fault.router_dead(node) || fault.link_dead(node, dir) {
+        return true;
+    }
+    match mesh.neighbor(node, dir) {
+        Some(nb) => fault.router_dead(nb) || fault.link_dead(nb, dir.opposite()),
+        None => true,
+    }
+}
+
+/// Builds the fault-aware next-hop table over the surviving topology:
+/// entry `here * nodes + dst` is the output direction at `here` toward
+/// `dst` (`Local` when `here == dst`), or `None` when `dst` is unreachable
+/// from `here` or either endpoint is dead.
+///
+/// Routes are minimal over the surviving graph, with ties broken toward
+/// the XY dimension-ordered direction (then port order), so the table
+/// degenerates to plain XY routing on a fault-free mesh.
+pub fn plan_routes(mesh: &Mesh2d, fault: &FaultModel) -> Vec<Option<Direction>> {
+    let n = mesh.nodes();
+    let mesh_dirs = [Direction::North, Direction::East, Direction::South, Direction::West];
+    let mut table = vec![None; n * n];
+    for dst in 0..n {
+        if fault.router_dead(dst) {
+            continue;
+        }
+        // BFS from the destination over surviving links (symmetric graph).
+        let mut dist = vec![usize::MAX; n];
+        dist[dst] = 0;
+        let mut queue = VecDeque::from([dst]);
+        while let Some(v) = queue.pop_front() {
+            for dir in mesh_dirs {
+                if edge_dead(fault, mesh, v, dir) {
+                    continue;
+                }
+                let Some(u) = mesh.neighbor(v, dir) else { continue };
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        for here in 0..n {
+            if dist[here] == usize::MAX {
+                continue;
+            }
+            if here == dst {
+                table[here * n + dst] = Some(Direction::Local);
+                continue;
+            }
+            let prefer = mesh.route_xy(here, dst);
+            let mut choice = None;
+            for dir in mesh_dirs {
+                if edge_dead(fault, mesh, here, dir) {
+                    continue;
+                }
+                let Some(nb) = mesh.neighbor(here, dir) else { continue };
+                if dist[nb] != usize::MAX && dist[nb] + 1 == dist[here] {
+                    if dir == prefer {
+                        choice = Some(dir);
+                        break;
+                    }
+                    if choice.is_none() {
+                        choice = Some(dir);
+                    }
+                }
+            }
+            debug_assert!(choice.is_some(), "finite BFS distance implies a next hop");
+            table[here * n + dst] = choice;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        let f = FaultModel::none();
+        assert!(f.is_none());
+        assert!(!f.has_permanent());
+        assert!(!f.has_transient());
+        assert!(f.validate(&NocConfig::paper_16core()).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        let c = NocConfig::paper_16core();
+        assert!(FaultModel::none().drop_rate(1.5).validate(&c).is_err());
+        assert!(FaultModel::none().drop_rate(-0.1).validate(&c).is_err());
+        assert!(FaultModel::none().corrupt_rate(f64::NAN).validate(&c).is_err());
+        assert!(FaultModel::none().drop_rate(1.0).validate(&c).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_hardware() {
+        let c = NocConfig::paper_16core();
+        assert!(FaultModel::none().kill_router(16).validate(&c).is_err());
+        assert!(FaultModel::none().kill_router(15).validate(&c).is_ok());
+        assert!(FaultModel::none().kill_link(16, Direction::East).validate(&c).is_err());
+        assert!(FaultModel::none().kill_link(0, Direction::Local).validate(&c).is_err());
+        let mut bad = FaultModel::none();
+        bad.retransmit.backoff_cap = 40;
+        assert!(bad.validate(&c).is_err());
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_and_seed_sensitive() {
+        let f = FaultModel::none().with_seed(42).drop_rate(0.5);
+        let a: Vec<bool> = (0..64).map(|s| f.drops_flit(3, 0, s, 7)).collect();
+        let b: Vec<bool> = (0..64).map(|s| f.drops_flit(3, 0, s, 7)).collect();
+        assert_eq!(a, b);
+        let g = FaultModel::none().with_seed(43).drop_rate(0.5);
+        let c: Vec<bool> = (0..64).map(|s| g.drops_flit(3, 0, s, 7)).collect();
+        assert_ne!(a, c, "different seeds should produce different schedules");
+        // Rate 0 never fires; rate 1 always fires.
+        assert!(!FaultModel::none().drops_flit(0, 0, 0, 0));
+        assert!(FaultModel::none().drop_rate(1.0).drops_flit(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn draw_rate_roughly_matches_probability() {
+        let f = FaultModel::none().with_seed(9).drop_rate(0.25);
+        let hits =
+            (0..4000).filter(|&s| f.drops_flit(s / 32, 0, s % 32, (s % 60) + 1)).count() as f64;
+        let rate = hits / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn fault_free_routes_match_xy() {
+        let mesh = Mesh2d::new(4, 4);
+        let table = plan_routes(&mesh, &FaultModel::none());
+        for here in 0..16 {
+            for dst in 0..16 {
+                assert_eq!(table[here * 16 + dst], Some(mesh.route_xy(here, dst)));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_detour_around_a_dead_link() {
+        let mesh = Mesh2d::new(4, 4);
+        // Kill the link 0 -> 1. XY would send 0 -> 3 straight East.
+        let f = FaultModel::none().kill_link(0, Direction::East);
+        let table = plan_routes(&mesh, &f);
+        assert_eq!(table[3], Some(Direction::South), "0->3 must detour via row 1");
+        // A single dead link leaves every pair reachable.
+        assert!(table.iter().all(|e| e.is_some()));
+    }
+
+    #[test]
+    fn dead_router_partitions_a_line_mesh() {
+        let mesh = Mesh2d::new(4, 1);
+        let f = FaultModel::none().kill_router(1);
+        let table = plan_routes(&mesh, &f);
+        assert_eq!(table[3], None, "0 -> 3 crosses the dead router");
+        assert_eq!(table[2 * 4 + 3], Some(Direction::East), "2 -> 3 unaffected");
+        assert_eq!(table[4 + 2], None, "dead endpoints have no routes");
+    }
+
+    #[test]
+    fn dead_link_is_bidirectional() {
+        let mesh = Mesh2d::new(2, 1);
+        let f = FaultModel::none().kill_link(1, Direction::West);
+        assert!(edge_dead(&f, &mesh, 0, Direction::East));
+        assert!(edge_dead(&f, &mesh, 1, Direction::West));
+        let table = plan_routes(&mesh, &f);
+        assert_eq!(table[1], None);
+        assert_eq!(table[2], None);
+    }
+}

@@ -35,10 +35,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod analytic;
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod network;
 pub mod packet;
 pub mod router;
@@ -48,6 +50,7 @@ pub mod traffic;
 
 pub use config::{NocConfig, NocError, RoutingPolicy};
 pub use energy::{EnergyModel, EnergyReport};
+pub use fault::{FaultModel, RetransmitConfig};
 pub use network::Simulator;
-pub use stats::SimReport;
+pub use stats::{FaultStats, SimReport};
 pub use topology::Mesh2d;

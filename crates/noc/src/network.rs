@@ -9,12 +9,13 @@
 //! [`SimReport::blocked_flit_cycles`].
 
 use crate::config::{NocConfig, NocError};
-use crate::packet::{packetize, Flit, PacketDescriptor};
+use crate::fault::{plan_routes, FaultModel};
+use crate::packet::{packetize, Flit, PacketDescriptor, PacketId};
 use crate::router::{Router, TimedFlit, PORTS};
-use crate::stats::{EventCounts, SimReport};
+use crate::stats::{EventCounts, FaultStats, SimReport};
 use crate::topology::{Direction, Mesh2d};
 use crate::traffic::Message;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 const LOCAL: usize = 4;
 
@@ -52,6 +53,26 @@ struct MessageState {
     completed_at: Option<u64>,
 }
 
+/// Per-packet retransmission bookkeeping (fault mode only; indexed by
+/// packet id, which the run assigns densely from 0).
+#[derive(Debug, Clone)]
+struct PacketRecord {
+    desc: PacketDescriptor,
+    /// Current (latest) attempt number.
+    attempt: u32,
+    /// The destination accepted a clean copy.
+    delivered: bool,
+    /// The source received the acknowledgement.
+    acked: bool,
+}
+
+/// Reassembly state of one `(packet, attempt)` at the destination NIC.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecvState {
+    received: u64,
+    poisoned: bool,
+}
+
 /// Flit-accurate simulator for one [`NocConfig`].
 ///
 /// Reusable: each [`Simulator::run`] starts from a clean network.
@@ -74,6 +95,12 @@ struct MessageState {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: NocConfig,
+    fault: FaultModel,
+    /// Fault-aware next-hop table (`here * nodes + dst`); empty when no
+    /// permanent faults are configured (plain dimension-ordered routing).
+    routes: Vec<Option<Direction>>,
+    /// Resolved first-retry timeout in cycles (fault mode).
+    base_timeout: u64,
     mesh: Mesh2d,
     routers: Vec<Router>,
     sources: Vec<SourceState>,
@@ -84,6 +111,16 @@ pub struct Simulator {
     /// Flits carried per directed link (`node * 4 + direction`).
     link_flits: Vec<u64>,
     cycle: u64,
+    // --- retransmission-protocol state (used only in fault mode) ---
+    packets: Vec<PacketRecord>,
+    recv: HashMap<(PacketId, u32), RecvState>,
+    /// Acknowledgement arrivals: cycle → packet ids acked then.
+    ack_at: BTreeMap<u64, Vec<PacketId>>,
+    /// Retransmission deadlines: cycle → packet ids to re-examine.
+    timeout_at: BTreeMap<u64, Vec<PacketId>>,
+    faults: FaultStats,
+    /// Flits of packets accepted cleanly at their destination.
+    delivered_flits: u64,
 }
 
 impl Simulator {
@@ -93,10 +130,38 @@ impl Simulator {
     ///
     /// Returns [`NocError::BadConfig`] for an invalid configuration.
     pub fn new(config: NocConfig) -> Result<Self, NocError> {
+        Self::with_faults(config, FaultModel::none())
+    }
+
+    /// Creates a simulator that injects faults from `fault`.
+    ///
+    /// With [`FaultModel::none`] this is exactly [`Simulator::new`]: the
+    /// fault-free code path is untouched and reports are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] for an invalid configuration or
+    /// fault model.
+    pub fn with_faults(config: NocConfig, fault: FaultModel) -> Result<Self, NocError> {
         config.validate()?;
+        fault.validate(&config)?;
         let mesh = Mesh2d::new(config.width, config.height);
+        let routes = if fault.has_permanent() { plan_routes(&mesh, &fault) } else { Vec::new() };
+        let base_timeout = if fault.retransmit.base_timeout > 0 {
+            fault.retransmit.base_timeout
+        } else {
+            // Auto: several uncongested round trips, so lightly-loaded
+            // traffic rarely retransmits spuriously.
+            let diameter = (config.width - 1 + config.height - 1) as u64;
+            let per_hop = config.router_stages + config.link_cycles;
+            let packet = config.max_packet_flits as u64 * config.serialization_cycles();
+            8 * (diameter * per_hop + packet) + 64
+        };
         Ok(Self {
             config,
+            fault,
+            routes,
+            base_timeout,
             mesh,
             routers: Vec::new(),
             sources: Vec::new(),
@@ -105,6 +170,12 @@ impl Simulator {
             blocked_flit_cycles: 0,
             link_flits: Vec::new(),
             cycle: 0,
+            packets: Vec::new(),
+            recv: HashMap::new(),
+            ack_at: BTreeMap::new(),
+            timeout_at: BTreeMap::new(),
+            faults: FaultStats::default(),
+            delivered_flits: 0,
         })
     }
 
@@ -113,9 +184,20 @@ impl Simulator {
         &self.config
     }
 
+    /// The fault model.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.fault
+    }
+
     /// The mesh topology.
     pub fn mesh(&self) -> &Mesh2d {
         &self.mesh
+    }
+
+    /// Whether the fault layer (poisoning, acknowledgements, timeouts) is
+    /// engaged for this simulator.
+    fn fault_active(&self) -> bool {
+        !self.fault.is_none()
     }
 
     /// Simulates the delivery of `messages` and returns the report.
@@ -126,11 +208,15 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`NocError::BadNode`] for out-of-range endpoints or
-    /// self-messages, and [`NocError::CycleLimitExceeded`] if the run does
-    /// not finish within the configured cycle budget.
+    /// self-messages, [`NocError::Unreachable`] when permanent faults
+    /// leave no surviving route between a message's endpoints, and
+    /// [`NocError::CycleLimitExceeded`] if the run does not finish within
+    /// the configured cycle budget (injected faults can slow delivery
+    /// arbitrarily, but never escape this watchdog).
     pub fn run(&mut self, messages: &[Message]) -> Result<SimReport, NocError> {
         self.reset();
         let nodes = self.config.nodes();
+        let fault_active = self.fault_active();
         let mut next_packet_id = 0u64;
         for (i, m) in messages.iter().enumerate() {
             if m.src >= nodes {
@@ -138,6 +224,14 @@ impl Simulator {
             }
             if m.dst >= nodes || m.dst == m.src {
                 return Err(NocError::BadNode { node: m.dst, nodes });
+            }
+            if fault_active {
+                let endpoint_dead = self.fault.router_dead(m.src) || self.fault.router_dead(m.dst);
+                let no_route =
+                    !self.routes.is_empty() && self.routes[m.src * nodes + m.dst].is_none();
+                if endpoint_dead || no_route {
+                    return Err(NocError::Unreachable { src: m.src, dst: m.dst });
+                }
             }
             let packets =
                 packetize(i as u64, m.src, m.dst, m.bytes, &self.config, &mut next_packet_id);
@@ -149,6 +243,15 @@ impl Simulator {
                 completed_at: None,
             });
             for p in packets {
+                if fault_active {
+                    debug_assert_eq!(p.id as usize, self.packets.len());
+                    self.packets.push(PacketRecord {
+                        desc: p,
+                        attempt: 0,
+                        delivered: false,
+                        acked: false,
+                    });
+                }
                 self.sources[m.src].pending.push_back(PendingPacket {
                     desc: p,
                     inject_cycle: m.inject_cycle,
@@ -173,6 +276,9 @@ impl Simulator {
                 });
             }
             let mut activity = false;
+            if fault_active {
+                self.fire_protocol_events();
+            }
             for node in 0..nodes {
                 if self.inject(node) {
                     activity = true;
@@ -195,6 +301,16 @@ impl Simulator {
                     Some(next) if next > self.cycle => self.cycle = next,
                     Some(_) => self.cycle += 1,
                     None => {
+                        if fault_active && delivered < total {
+                            // Every undelivered packet should hold a pending
+                            // timeout; a stall here means the protocol lost
+                            // track — surface it as a typed error, never a
+                            // hang or a wrong report.
+                            return Err(NocError::CycleLimitExceeded {
+                                limit: self.config.max_cycles,
+                                undelivered: total - delivered,
+                            });
+                        }
                         // No buffered flits and no pending injections, yet
                         // messages remain — impossible unless accounting broke.
                         debug_assert!(delivered == total, "simulator stalled with no events");
@@ -209,7 +325,13 @@ impl Simulator {
             makespan,
             messages_delivered: delivered,
             bytes_delivered: self.messages.iter().map(|m| m.bytes).sum(),
-            flits_delivered: self.events.ejections,
+            // In fault mode some ejected flits belong to rejected or
+            // duplicate packets; count only cleanly accepted ones.
+            flits_delivered: if fault_active {
+                self.delivered_flits
+            } else {
+                self.events.ejections
+            },
             message_latencies: self
                 .messages
                 .iter()
@@ -218,6 +340,7 @@ impl Simulator {
             blocked_flit_cycles: self.blocked_flit_cycles,
             events: self.events,
             link_flits: self.link_flits.clone(),
+            faults: self.faults,
         })
     }
 
@@ -243,6 +366,123 @@ impl Simulator {
         self.blocked_flit_cycles = 0;
         self.link_flits = vec![0u64; nodes * 4];
         self.cycle = 0;
+        self.packets.clear();
+        self.recv.clear();
+        self.ack_at.clear();
+        self.timeout_at.clear();
+        self.faults = FaultStats::default();
+        self.delivered_flits = 0;
+    }
+
+    /// Delivers due acknowledgements and fires due retransmission
+    /// timeouts (fault mode only).
+    fn fire_protocol_events(&mut self) {
+        while let Some((&c, _)) = self.ack_at.iter().next() {
+            if c > self.cycle {
+                break;
+            }
+            for id in self.ack_at.remove(&c).unwrap_or_default() {
+                self.packets[id as usize].acked = true;
+            }
+        }
+        while let Some((&c, _)) = self.timeout_at.iter().next() {
+            if c > self.cycle {
+                break;
+            }
+            for id in self.timeout_at.remove(&c).unwrap_or_default() {
+                let rec = &mut self.packets[id as usize];
+                if rec.acked {
+                    continue;
+                }
+                // No acknowledgement in time: send the packet again. The
+                // next timeout arms when the retry finishes injecting.
+                rec.attempt += 1;
+                self.faults.packets_retransmitted += 1;
+                let desc = rec.desc;
+                self.sources[desc.src].pending.push_back(PendingPacket {
+                    desc,
+                    inject_cycle: self.cycle,
+                    message_index: desc.message as usize,
+                });
+            }
+        }
+    }
+
+    /// Arms the retransmission timer for a fully injected packet, with
+    /// bounded exponential backoff over its attempt number.
+    fn arm_timeout(&mut self, id: PacketId) {
+        let attempt = self.packets[id as usize].attempt;
+        let shift = attempt.min(self.fault.retransmit.backoff_cap);
+        let wait = self.base_timeout.saturating_mul(1u64 << shift);
+        let deadline = self.cycle.saturating_add(wait.max(1));
+        self.timeout_at.entry(deadline).or_default().push(id);
+    }
+
+    /// Schedules the acknowledgement for a cleanly received packet: an
+    /// out-of-band credit modelled at uncongested pipeline latency.
+    fn schedule_ack(&mut self, id: PacketId) {
+        let desc = self.packets[id as usize].desc;
+        let hops = self.mesh.distance(desc.dst, desc.src) as u64;
+        let per_hop = self.config.router_stages + self.config.link_cycles;
+        let at = self.cycle + hops * per_hop + self.fault.retransmit.ack_overhead + 1;
+        self.ack_at.entry(at).or_default().push(id);
+    }
+
+    /// Destination-NIC acceptance logic for one ejected flit (fault mode):
+    /// reassembles per `(packet, attempt)`, discards poisoned or duplicate
+    /// packets, acknowledges and credits clean first deliveries. Returns 1
+    /// if this completed a message.
+    fn eject_with_protocol(&mut self, flit: Flit) -> usize {
+        let key = (flit.packet, flit.attempt);
+        let st = self.recv.entry(key).or_default();
+        st.received += 1;
+        st.poisoned |= flit.poisoned;
+        if !flit.is_tail {
+            return 0;
+        }
+        let st = self.recv.remove(&key).unwrap_or_default();
+        let id = flit.packet as usize;
+        debug_assert_eq!(st.received, self.packets[id].desc.flits, "partial packet at tail");
+        if st.poisoned {
+            // Failed integrity check: drop silently; the source times out.
+            self.faults.packets_rejected += 1;
+            return 0;
+        }
+        if self.packets[id].delivered {
+            // A late duplicate of an already-accepted packet.
+            self.faults.duplicate_packets += 1;
+            return 0;
+        }
+        self.packets[id].delivered = true;
+        self.schedule_ack(flit.packet);
+        let desc = self.packets[id].desc;
+        self.delivered_flits += desc.flits;
+        let mi = desc.message as usize;
+        let m = &mut self.messages[mi];
+        debug_assert!(m.remaining_flits >= desc.flits, "over-delivery of message {mi}");
+        m.remaining_flits -= desc.flits;
+        if m.remaining_flits == 0 {
+            m.completed_at = Some(self.cycle + 1);
+            return 1;
+        }
+        0
+    }
+
+    /// The output direction for a flit at `here`: the fault-aware table
+    /// when permanent faults exist, dimension-ordered routing otherwise.
+    fn route_for(&self, yx: bool, here: usize, dst: usize) -> Direction {
+        if self.routes.is_empty() {
+            return self.mesh.route_ordered(yx, here, dst);
+        }
+        match self.routes[here * self.config.nodes() + dst] {
+            Some(dir) => dir,
+            None => {
+                // Unreachable pairs are rejected before injection, and
+                // flits only visit nodes on a planned route.
+                debug_assert!(false, "flit at {here} with no route to {dst}");
+                self.mesh.route_ordered(yx, here, dst)
+            }
+        }
     }
 
     /// Streams up to `physical_channels` flits from the node's source queue
@@ -279,6 +519,8 @@ impl Simulator {
             if queue_len >= self.config.vc_buffer_flits {
                 break;
             }
+            let attempt =
+                if self.fault_active() { self.packets[open.desc.id as usize].attempt } else { 0 };
             let flit = Flit {
                 packet: open.desc.id,
                 message: open.message_index as u64,
@@ -286,6 +528,9 @@ impl Simulator {
                 is_head: open.sent == 0,
                 is_tail: open.sent + 1 == open.desc.flits,
                 yx: open.desc.yx,
+                attempt,
+                seq: open.sent,
+                poisoned: false,
             };
             self.routers[node].inputs[LOCAL][open.vc].queue.push_back(TimedFlit {
                 flit,
@@ -299,7 +544,11 @@ impl Simulator {
             let open_mut = self.sources[node].open.as_mut().expect("still open");
             open_mut.sent += 1;
             if open_mut.sent == open_mut.desc.flits {
+                let id = open_mut.desc.id;
                 self.sources[node].open = None;
+                if self.fault_active() {
+                    self.arm_timeout(id);
+                }
             }
         }
         injected
@@ -323,7 +572,7 @@ impl Simulator {
                 }
                 if self.routers[node].inputs[ip][vc].route.is_none() {
                     debug_assert!(tf.flit.is_head, "non-head flit with no route state");
-                    let dir = self.mesh.route_ordered(tf.flit.yx, node, tf.flit.dst);
+                    let dir = self.route_for(tf.flit.yx, node, tf.flit.dst);
                     self.routers[node].inputs[ip][vc].route = Some(dir);
                 }
                 if self.routers[node].inputs[ip][vc].route == Some(op_dir) {
@@ -427,6 +676,9 @@ impl Simulator {
         if op == LOCAL {
             // Ejection.
             self.events.ejections += 1;
+            if self.fault_active() {
+                return self.eject_with_protocol(tf.flit);
+            }
             let mi = tf.flit.message as usize;
             let m = &mut self.messages[mi];
             debug_assert!(m.remaining_flits > 0, "over-delivery of message {mi}");
@@ -443,11 +695,28 @@ impl Simulator {
             self.routers[node].outputs[op][v].holder = None;
         }
         let op_dir = Direction::ALL[op];
-        let downstream =
-            self.mesh.neighbor(node, op_dir).expect("XY routing never routes off the mesh");
+        let downstream = self.mesh.neighbor(node, op_dir).expect("routing never leaves the mesh");
         let in_port = op_dir.opposite().index();
+        let mut flit = tf.flit;
+        if self.fault.has_transient() {
+            // Transient faults poison the flit in place: it still occupies
+            // link bandwidth and buffer space (wormhole invariants hold),
+            // but the destination NIC will reject the whole packet.
+            let link = (node * 4 + op) as u64;
+            if self.fault.drops_flit(flit.packet, flit.attempt, flit.seq, link) {
+                if !flit.poisoned {
+                    self.faults.flits_dropped += 1;
+                }
+                flit.poisoned = true;
+            } else if self.fault.corrupts_flit(flit.packet, flit.attempt, flit.seq, link) {
+                if !flit.poisoned {
+                    self.faults.flits_corrupted += 1;
+                }
+                flit.poisoned = true;
+            }
+        }
         self.routers[downstream].inputs[in_port][v].queue.push_back(TimedFlit {
-            flit: tf.flit,
+            flit,
             // Last phit lands after `ser` cycles on the link, then the
             // downstream pipeline processes the flit.
             ready_at: self.cycle + (ser - 1) + self.config.link_cycles + self.config.router_stages,
@@ -475,12 +744,11 @@ impl Simulator {
                 }
             })
             .min();
-        match (buffered, inject) {
-            (Some(a), Some(b)) => Some(a.max(self.cycle + 1).min(b)),
-            (Some(a), None) => Some(a.max(self.cycle + 1)),
-            (None, Some(b)) => Some(b),
-            (None, None) => None,
-        }
+        // Pending acknowledgements and retransmission deadlines are events
+        // too: cycle fast-forwarding must not skip over them.
+        let ack = self.ack_at.keys().next().copied();
+        let timeout = self.timeout_at.keys().next().copied();
+        [buffered, inject, ack, timeout].into_iter().flatten().map(|c| c.max(self.cycle + 1)).min()
     }
 }
 

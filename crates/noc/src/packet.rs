@@ -24,6 +24,13 @@ pub struct Flit {
     /// Dimension order of this packet (`true` = YX); fixed at injection
     /// by the routing policy.
     pub yx: bool,
+    /// Retransmission attempt of the owning packet (0 = first try).
+    pub attempt: u32,
+    /// Position of this flit within its packet (0 = head).
+    pub seq: u64,
+    /// Set when a transient fault hit this flit in transit; the
+    /// destination NIC discards the whole packet and awaits a retry.
+    pub poisoned: bool,
 }
 
 /// A packet: a contiguous run of flits of one message.
@@ -88,6 +95,9 @@ impl PacketDescriptor {
             is_head: i == 0,
             is_tail: i + 1 == n,
             yx: self.yx,
+            attempt: 0,
+            seq: i,
+            poisoned: false,
         })
     }
 }

@@ -140,7 +140,17 @@ mod tests {
     #[test]
     fn earliest_ready_finds_minimum() {
         let mut r = Router::new(2, 4, 2);
-        let f = Flit { packet: 0, message: 0, dst: 0, is_head: true, is_tail: true, yx: false };
+        let f = Flit {
+            packet: 0,
+            message: 0,
+            dst: 0,
+            is_head: true,
+            is_tail: true,
+            yx: false,
+            attempt: 0,
+            seq: 0,
+            poisoned: false,
+        };
         r.inputs[0][0].queue.push_back(TimedFlit { flit: f, ready_at: 9 });
         r.inputs[3][1].queue.push_back(TimedFlit { flit: f, ready_at: 4 });
         assert_eq!(r.earliest_ready(), Some(4));

@@ -20,6 +20,39 @@ pub struct EventCounts {
     pub ejections: u64,
 }
 
+/// Counters for injected faults and the NIC retransmission protocol.
+/// All-zero on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Flits poisoned by an injected drop.
+    pub flits_dropped: u64,
+    /// Flits poisoned by an injected corruption.
+    pub flits_corrupted: u64,
+    /// Packets discarded at the destination NIC (failed integrity check).
+    pub packets_rejected: u64,
+    /// Packets re-sent after a timeout.
+    pub packets_retransmitted: u64,
+    /// Clean packets discarded as duplicates of an earlier delivery.
+    pub duplicate_packets: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault or protocol event occurred.
+    pub fn any(&self) -> bool {
+        self != &FaultStats::default()
+    }
+
+    /// Accumulates another run's counters into `self` (used when a
+    /// workload issues several simulations on one faulty mesh).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.flits_dropped += other.flits_dropped;
+        self.flits_corrupted += other.flits_corrupted;
+        self.packets_rejected += other.packets_rejected;
+        self.packets_retransmitted += other.packets_retransmitted;
+        self.duplicate_packets += other.duplicate_packets;
+    }
+}
+
 /// Result of simulating one traffic trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -42,6 +75,9 @@ pub struct SimReport {
     /// Flits carried per directed link, indexed `node * 4 + direction`
     /// (N/E/S/W); the utilization heat map.
     pub link_flits: Vec<u64>,
+    /// Injected-fault and retransmission counters (all zero when the run
+    /// used no fault model).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -123,6 +159,7 @@ mod tests {
             blocked_flit_cycles: 0,
             events: EventCounts::default(),
             link_flits: vec![],
+            faults: FaultStats::default(),
         };
         assert_eq!(r.mean_latency(), 0.0);
         assert_eq!(r.max_link_flits(), 0);
@@ -142,6 +179,7 @@ mod tests {
             blocked_flit_cycles: 5,
             events: EventCounts::default(),
             link_flits: vec![4, 0, 2, 0],
+            faults: FaultStats::default(),
         };
         assert_eq!(r.mean_latency(), 20.0);
         assert_eq!(r.max_latency(), 30);
@@ -165,6 +203,7 @@ mod tests {
             blocked_flit_cycles: 0,
             events: EventCounts::default(),
             link_flits,
+            faults: FaultStats::default(),
         };
         let s = render_link_heatmap(&r, &mesh);
         // Node 0's outgoing total is 7 + 9 = 16.

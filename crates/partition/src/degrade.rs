@@ -1,0 +1,262 @@
+//! Fail-operational re-planning: rebuild a parallelization plan after a
+//! set of cores has died.
+//!
+//! The recovery semantics differ by strategy, mirroring where each one
+//! keeps its weights:
+//!
+//! * **Traditional / sparsified** layers shard by *even output blocks*
+//!   whose weights are re-loadable from memory, so the plan simply
+//!   re-partitions every layer over the surviving cores. Latency and
+//!   traffic degrade; accuracy does not.
+//! * **Structure-level grouped** layers pin each channel group — weights
+//!   *and* the group-local activation chain — to one core. A dead core
+//!   takes its groups' entire output chain with it: those channels cannot
+//!   be recomputed elsewhere, so they are reported as [`LostGroups`]
+//!   (degraded accuracy) rather than re-sharded.
+//!
+//! The rebuilt [`Plan`] is *logical*: it spans `survivors` consecutive
+//! core ids. [`DegradedPlan::core_map`] maps each logical core to its
+//! physical surviving node so traffic can run on the real (faulty) mesh —
+//! see [`DegradedPlan::physical_messages`].
+
+use crate::plan::{LayerPlan, Plan, PlanError};
+use lts_nn::descriptor::{LayerKind, NetworkSpec};
+use lts_nn::grouping::even_blocks;
+use lts_noc::traffic::{Message, TrafficTrace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Channel groups of one grouped layer that died with their cores.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LostGroups {
+    /// Layer name.
+    pub layer: String,
+    /// Total groups in the layer.
+    pub groups: usize,
+    /// Indices of the lost groups.
+    pub lost: Vec<usize>,
+    /// Output channels owned by the lost groups.
+    pub lost_channels: usize,
+    /// Total output channels of the layer.
+    pub out_channels: usize,
+}
+
+impl LostGroups {
+    /// Fraction of this layer's output channels that are lost.
+    pub fn lost_fraction(&self) -> f64 {
+        if self.out_channels == 0 {
+            return 0.0;
+        }
+        self.lost_channels as f64 / self.out_channels as f64
+    }
+}
+
+/// A plan rebuilt over the surviving cores of a partially dead chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedPlan {
+    /// Dead physical core ids (sorted, deduplicated).
+    pub dead_cores: Vec<usize>,
+    /// `core_map[logical] = physical` surviving node id; the rebuilt plan
+    /// uses logical ids `0..survivors`.
+    pub core_map: Vec<usize>,
+    /// The plan over the surviving cores (logical ids).
+    pub plan: Plan,
+    /// Groups whose outputs are unrecoverable (grouped layers only;
+    /// empty for traditional/sparsified plans).
+    pub lost_groups: Vec<LostGroups>,
+}
+
+impl DegradedPlan {
+    /// Number of surviving cores.
+    pub fn survivors(&self) -> usize {
+        self.core_map.len()
+    }
+
+    /// Worst per-layer fraction of output channels lost to core death —
+    /// the accuracy-degradation proxy for grouped plans (`0.0` when
+    /// nothing was lost: full accuracy is preserved).
+    pub fn lost_output_fraction(&self) -> f64 {
+        self.lost_groups.iter().map(LostGroups::lost_fraction).fold(0.0, f64::max)
+    }
+
+    /// One layer's transition traffic with logical endpoints remapped to
+    /// physical surviving nodes, ready to run on the real (faulty) mesh.
+    pub fn physical_messages(&self, layer: &LayerPlan) -> TrafficTrace {
+        let mut trace = TrafficTrace::new();
+        for m in &layer.traffic.messages {
+            trace.messages.push(Message::new(
+                self.core_map[m.src],
+                self.core_map[m.dst],
+                m.bytes,
+                m.inject_cycle,
+            ));
+        }
+        trace
+    }
+}
+
+/// Rebuilds the plan for `spec` on a chip of `cores` cores of which
+/// `dead_cores` have failed. `weights` and `bytes_per_value` are passed
+/// through to [`Plan::build`] (sparsity-aware traffic still applies).
+///
+/// # Errors
+///
+/// Returns [`PlanError::BadConfig`] when `cores == 0`, a dead core id is
+/// out of range, or no core survives; plus anything [`Plan::build`]
+/// rejects.
+pub fn replan(
+    spec: &NetworkSpec,
+    cores: usize,
+    dead_cores: &[usize],
+    weights: &HashMap<String, Vec<f32>>,
+    bytes_per_value: usize,
+) -> Result<DegradedPlan, PlanError> {
+    if cores == 0 {
+        return Err(PlanError::BadConfig("cores must be positive".into()));
+    }
+    let mut dead: Vec<usize> = dead_cores.to_vec();
+    dead.sort_unstable();
+    dead.dedup();
+    if let Some(&bad) = dead.iter().find(|&&d| d >= cores) {
+        return Err(PlanError::BadConfig(format!(
+            "dead core {bad} out of range for {cores} cores"
+        )));
+    }
+    let core_map: Vec<usize> = (0..cores).filter(|c| !dead.contains(c)).collect();
+    if core_map.is_empty() {
+        return Err(PlanError::BadConfig("no surviving cores to re-plan onto".into()));
+    }
+    let plan = Plan::build(spec, core_map.len(), weights, bytes_per_value)?;
+    let lost_groups = collect_lost_groups(spec, cores, &dead);
+    Ok(DegradedPlan { dead_cores: dead, core_map, plan, lost_groups })
+}
+
+/// Finds the channel groups of grouped conv layers whose original owner
+/// core died. A group is lost if *any* core owning part of its output
+/// block is dead: grouped layers chain group-local activations, so the
+/// whole chain collapses with the core.
+fn collect_lost_groups(spec: &NetworkSpec, cores: usize, dead: &[usize]) -> Vec<LostGroups> {
+    let mut out = Vec::new();
+    for layer in &spec.layers {
+        let LayerKind::Conv { out_c, groups, .. } = layer.kind else { continue };
+        if groups <= 1 {
+            continue;
+        }
+        let owner_blocks = even_blocks(out_c, cores);
+        let group_blocks = even_blocks(out_c, groups);
+        let mut lost = Vec::new();
+        let mut lost_channels = 0usize;
+        for (g, gb) in group_blocks.iter().enumerate() {
+            let doomed = dead.iter().any(|&d| {
+                let ob = &owner_blocks[d];
+                ob.start < gb.end && gb.start < ob.end
+            });
+            if doomed {
+                lost.push(g);
+                lost_channels += gb.len();
+            }
+        }
+        if !lost.is_empty() {
+            out.push(LostGroups {
+                layer: layer.name.clone(),
+                groups,
+                lost,
+                lost_channels,
+                out_channels: out_c,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_nn::descriptor::{convnet_spec, lenet_spec, SpecBuilder};
+
+    fn grouped_spec(groups: usize) -> NetworkSpec {
+        SpecBuilder::new("g", (3, 16, 16))
+            .conv("conv1", 16, 5, 1, 2, 1)
+            .pool("pool1", 2, 2)
+            .conv("conv2", 32, 3, 1, 1, groups)
+            .pool("pool2", 2, 2)
+            .flatten()
+            .linear("ip1", 10)
+            .build()
+    }
+
+    #[test]
+    fn no_dead_cores_matches_the_healthy_plan() {
+        let spec = lenet_spec();
+        let d = replan(&spec, 16, &[], &HashMap::new(), 2).unwrap();
+        assert_eq!(d.plan, Plan::dense(&spec, 16, 2).unwrap());
+        assert_eq!(d.core_map, (0..16).collect::<Vec<_>>());
+        assert!(d.lost_groups.is_empty());
+        assert_eq!(d.lost_output_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dead_cores_shrink_the_plan_and_the_core_map() {
+        let spec = lenet_spec();
+        let d = replan(&spec, 16, &[5, 10, 5], &HashMap::new(), 2).unwrap();
+        assert_eq!(d.survivors(), 14);
+        assert_eq!(d.dead_cores, vec![5, 10], "duplicates are collapsed");
+        assert!(!d.core_map.contains(&5) && !d.core_map.contains(&10));
+        assert_eq!(d.plan.cores, 14);
+        // Dense layers re-shard: nothing is lost, accuracy is intact.
+        assert!(d.lost_groups.is_empty());
+    }
+
+    #[test]
+    fn invalid_dead_sets_are_rejected() {
+        let spec = lenet_spec();
+        assert!(replan(&spec, 16, &[16], &HashMap::new(), 2).is_err());
+        let all: Vec<usize> = (0..16).collect();
+        assert!(replan(&spec, 16, &all, &HashMap::new(), 2).is_err());
+        assert!(replan(&spec, 0, &[], &HashMap::new(), 2).is_err());
+    }
+
+    #[test]
+    fn grouped_layers_report_lost_groups() {
+        // 16 groups on 16 cores: group g lives on core g exactly.
+        let spec = grouped_spec(16);
+        let d = replan(&spec, 16, &[3, 7], &HashMap::new(), 2).unwrap();
+        assert_eq!(d.lost_groups.len(), 1);
+        let lg = &d.lost_groups[0];
+        assert_eq!(lg.layer, "conv2");
+        assert_eq!(lg.lost, vec![3, 7]);
+        assert_eq!(lg.lost_channels, 4, "32 channels / 16 groups = 2 per group");
+        assert!((d.lost_output_fraction() - 4.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ungrouped_networks_never_lose_groups() {
+        let d = replan(&convnet_spec(), 16, &[0, 1, 2, 3], &HashMap::new(), 2).unwrap();
+        assert!(d.lost_groups.is_empty());
+        assert_eq!(d.lost_output_fraction(), 0.0);
+    }
+
+    #[test]
+    fn physical_messages_avoid_dead_cores() {
+        let spec = lenet_spec();
+        let d = replan(&spec, 16, &[0, 6], &HashMap::new(), 2).unwrap();
+        for lp in &d.plan.layers {
+            let physical = d.physical_messages(lp);
+            assert_eq!(physical.len(), lp.traffic.len());
+            for m in &physical.messages {
+                assert!(m.src != 0 && m.src != 6, "message from dead core {}", m.src);
+                assert!(m.dst != 0 && m.dst != 6, "message to dead core {}", m.dst);
+                assert!(m.src < 16 && m.dst < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_survivors_move_less_total_traffic() {
+        // Each survivor holds a bigger slice, so less data crosses cores.
+        let spec = lenet_spec();
+        let healthy = Plan::dense(&spec, 16, 2).unwrap();
+        let degraded = replan(&spec, 16, &[1, 2, 3, 4, 5, 6], &HashMap::new(), 2).unwrap();
+        assert!(degraded.plan.total_traffic_bytes() < healthy.total_traffic_bytes());
+    }
+}

@@ -15,13 +15,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod comm;
+pub mod degrade;
 pub mod distance;
 pub mod ownership;
 pub mod plan;
 pub mod traffic;
 
+pub use degrade::{replan, DegradedPlan, LostGroups};
 pub use distance::{hop_mask, hop_power_mask};
 pub use ownership::OwnershipMap;
 pub use plan::{LayerPlan, Plan, PlanError};

@@ -22,4 +22,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> fault-injection smoke (dead router + 0.5% flit drops must still deliver)"
+cargo run --release --offline --example fault_injection
+
 echo "All checks passed."

@@ -30,7 +30,10 @@ fn saved_sparsified_network_reproduces_plan_and_predictions() {
     .expect("pipeline");
 
     // Round-trip through JSON.
-    let json = SavedNetwork::from_network(&outcome.network).to_json().expect("serialize");
+    let json = SavedNetwork::from_network(&outcome.network)
+        .expect("capture")
+        .to_json()
+        .expect("serialize");
     let mut restored =
         SavedNetwork::from_json(&json).expect("parse").into_network().expect("rebuild");
 
