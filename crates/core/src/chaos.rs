@@ -1,0 +1,303 @@
+//! Chaos soak: randomized mid-flight fault schedules hammered against
+//! the online recovery path ([`crate::recovery::run_with_recovery`])
+//! across all three parallelization strategies.
+//!
+//! Every trial draws a schedule of mid-inference core deaths from a
+//! stateless hash stream (deterministic in `(config, strategy, trial)`,
+//! independent of `LTS_THREADS`) and must end one of exactly three
+//! ways:
+//!
+//! * [`outcome::OK`] — the run recovered; the lost-output fraction is
+//!   bounded in `[0, 1]` and the overhead ratios are finite;
+//! * [`outcome::UNREACHABLE`] — the dead set disconnected the mesh, a
+//!   *typed* error ([`lts_noc::NocError::Unreachable`]);
+//! * [`outcome::CYCLE_LIMIT`] — the watchdog tripped
+//!   ([`lts_noc::NocError::CycleLimitExceeded`]).
+//!
+//! Panics and hangs are the failure modes the soak exists to rule out:
+//! anything other than the three outcomes above aborts the soak with
+//! the offending error.
+
+use crate::degradation::{outcome, workloads, Workload};
+use crate::recovery::{run_with_recovery, InferenceFault};
+use crate::system::SystemModel;
+use crate::{CoreError, Result};
+use lts_noc::{MonitorConfig, NocError};
+use lts_tensor::par;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the randomized soak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Cores on the (healthy) chip.
+    pub cores: usize,
+    /// Trials per strategy.
+    pub trials: usize,
+    /// Most fault events injected per trial (at least one fires).
+    pub max_faults: usize,
+    /// Most cores killed per fault event (at least one dies).
+    pub max_dead_per_fault: usize,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self { cores: 16, trials: 8, max_faults: 2, max_dead_per_fault: 2, seed: 2019 }
+    }
+}
+
+impl ChaosConfig {
+    /// A trimmed soak for tests and `LTS_EFFORT=quick` runs.
+    pub fn quick() -> Self {
+        Self { trials: 2, max_faults: 1, ..Self::default() }
+    }
+}
+
+/// One soak trial's verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosRow {
+    /// `traditional`, `structure` or `sparsified`.
+    pub strategy: String,
+    /// Workload network name.
+    pub network: String,
+    /// Trial index within the strategy.
+    pub trial: usize,
+    /// The injected schedule (layer boundary + cores per event).
+    pub faults: Vec<InferenceFault>,
+    /// One of the [`outcome`] strings.
+    pub outcome: String,
+    /// Cores dead by the end of the run.
+    pub dead_cores: Vec<usize>,
+    /// Composed-run latency in cycles (0 unless `outcome == "ok"`).
+    pub total_cycles: u64,
+    /// Latency relative to the fault-free run.
+    pub overhead_vs_fault_free: f64,
+    /// Latency relative to the oracle static replan (`None` when the
+    /// oracle itself cannot run).
+    pub overhead_vs_oracle: Option<f64>,
+    /// Cycles spent between deaths and detections.
+    pub detection_cycles: u64,
+    /// Boundary-resync payload moved during recovery.
+    pub redistribution_bytes: u64,
+    /// Worst output loss across both loss mechanisms, always in
+    /// `[0, 1]` — the soak's bounded-loss guarantee.
+    pub lost_output_fraction: f64,
+}
+
+/// One step of the splitmix64 stream the schedules are drawn from.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Draws one trial's fault schedule: sorted distinct layer boundaries,
+/// distinct victim cores, and never enough deaths to leave fewer than
+/// two survivors.
+fn draw_schedule(
+    config: &ChaosConfig,
+    layers: usize,
+    strategy_idx: usize,
+    trial: usize,
+) -> Vec<InferenceFault> {
+    let mut state = config
+        .seed
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add((strategy_idx as u64) << 32)
+        .wrapping_add(trial as u64 + 1);
+    let events = 1 + (splitmix(&mut state) as usize) % config.max_faults;
+    // Boundaries 1..=layers-1: strictly mid-flight (some work done, some
+    // remaining). Distinct, then sorted.
+    let mut boundaries: Vec<usize> = Vec::new();
+    let span = layers.saturating_sub(1).max(1);
+    while boundaries.len() < events.min(span) {
+        let b = 1 + (splitmix(&mut state) as usize) % span;
+        if !boundaries.contains(&b) {
+            boundaries.push(b);
+        }
+    }
+    boundaries.sort_unstable();
+    // Kill budget: always leave at least two survivors.
+    let mut budget = config.cores.saturating_sub(2);
+    let mut all_dead: Vec<usize> = Vec::new();
+    let mut faults = Vec::new();
+    for layer in boundaries {
+        if budget == 0 {
+            break;
+        }
+        let kills = (1 + (splitmix(&mut state) as usize) % config.max_dead_per_fault).min(budget);
+        let mut dead = Vec::with_capacity(kills);
+        while dead.len() < kills {
+            let c = (splitmix(&mut state) as usize) % config.cores;
+            if !dead.contains(&c) && !all_dead.contains(&c) {
+                dead.push(c);
+            }
+        }
+        dead.sort_unstable();
+        budget -= dead.len();
+        all_dead.extend_from_slice(&dead);
+        faults.push(InferenceFault { layer, dead_cores: dead });
+    }
+    faults
+}
+
+/// Runs the full soak: `config.trials` randomized fault schedules per
+/// strategy, through the online recovery path. Rows come back grouped
+/// by strategy in trial order.
+///
+/// Trials where the schedule defeats the protocol do not abort the
+/// soak — they are reported as [`outcome::UNREACHABLE`] or
+/// [`outcome::CYCLE_LIMIT`] with zeroed measurements. Any *other*
+/// error is a harness failure and propagates.
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] for an empty or degenerate soak shape;
+/// unexpected plan/simulation errors.
+pub fn chaos_soak(config: &ChaosConfig) -> Result<Vec<ChaosRow>> {
+    if config.cores < 4 {
+        return Err(CoreError::BadConfig("chaos soak needs at least 4 cores".into()));
+    }
+    if config.trials == 0 || config.max_faults == 0 || config.max_dead_per_fault == 0 {
+        return Err(CoreError::BadConfig(
+            "trials, max_faults and max_dead_per_fault must be positive".into(),
+        ));
+    }
+    let workloads = workloads(config.cores)?;
+    // Strategies are independent; fan them out on the execution engine
+    // (par_map preserves order, and every trial is deterministic).
+    let per_strategy = par::par_map(&workloads, |i, w| soak_workload(config, i, w))
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+    Ok(per_strategy.into_iter().flatten().collect())
+}
+
+fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Result<Vec<ChaosRow>> {
+    let model = SystemModel::paper(config.cores)?;
+    let monitor = MonitorConfig::default();
+    let mut rows = Vec::with_capacity(config.trials);
+    for trial in 0..config.trials {
+        let faults = draw_schedule(config, w.spec.layers.len(), strategy_idx, trial);
+        let mut row = ChaosRow {
+            strategy: w.strategy.into(),
+            network: w.network.into(),
+            trial,
+            faults: faults.clone(),
+            outcome: outcome::OK.into(),
+            dead_cores: Vec::new(),
+            total_cycles: 0,
+            overhead_vs_fault_free: 0.0,
+            overhead_vs_oracle: None,
+            detection_cycles: 0,
+            redistribution_bytes: 0,
+            lost_output_fraction: 0.0,
+        };
+        match run_with_recovery(&model, &w.spec, &w.weights, &faults, &monitor) {
+            Ok(report) => {
+                row.dead_cores = report.dead_cores.clone();
+                row.total_cycles = report.report.total_cycles;
+                row.overhead_vs_fault_free = report.overhead_vs_fault_free();
+                row.overhead_vs_oracle = report.overhead_vs_oracle();
+                row.detection_cycles = report.detection_cycles();
+                row.redistribution_bytes = report.redistribution_bytes();
+                row.lost_output_fraction = report.lost_fraction();
+            }
+            Err(CoreError::Noc(NocError::Unreachable { .. })) => {
+                row.outcome = outcome::UNREACHABLE.into();
+            }
+            Err(CoreError::Noc(NocError::CycleLimitExceeded { .. })) => {
+                row.outcome = outcome::CYCLE_LIMIT.into();
+            }
+            Err(e) => return Err(e),
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChaosConfig {
+        ChaosConfig { seed: 7, ..ChaosConfig::quick() }
+    }
+
+    #[test]
+    fn soak_covers_every_strategy_with_bounded_loss() {
+        let config = quick();
+        let rows = chaos_soak(&config).unwrap();
+        assert_eq!(rows.len(), 3 * config.trials);
+        for strategy in ["traditional", "structure", "sparsified"] {
+            assert_eq!(rows.iter().filter(|r| r.strategy == strategy).count(), config.trials);
+        }
+        for r in &rows {
+            assert!(!r.faults.is_empty(), "every trial injects at least one fault");
+            assert!(
+                [outcome::OK, outcome::UNREACHABLE, outcome::CYCLE_LIMIT]
+                    .contains(&r.outcome.as_str()),
+                "unknown outcome {}",
+                r.outcome
+            );
+            assert!(
+                (0.0..=1.0).contains(&r.lost_output_fraction),
+                "lost fraction {} out of bounds",
+                r.lost_output_fraction
+            );
+            if r.outcome == outcome::OK {
+                assert!(r.total_cycles > 0);
+                assert!(
+                    r.overhead_vs_fault_free >= 1.0,
+                    "recovery cannot be faster than fault-free ({})",
+                    r.overhead_vs_fault_free
+                );
+                assert!(r.overhead_vs_fault_free.is_finite());
+                assert!(r.detection_cycles > 0, "deaths must be detected, not assumed");
+                assert!(!r.dead_cores.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn soak_is_deterministic() {
+        let config = quick();
+        let a = chaos_soak(&config).unwrap();
+        let b = chaos_soak(&config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedules_are_valid_and_leave_survivors() {
+        let config = ChaosConfig { trials: 16, max_faults: 4, max_dead_per_fault: 5, ..quick() };
+        for s in 0..3 {
+            for t in 0..config.trials {
+                let faults = draw_schedule(&config, 11, s, t);
+                assert!(!faults.is_empty());
+                let mut dead = Vec::new();
+                for pair in faults.windows(2) {
+                    assert!(pair[0].layer < pair[1].layer, "boundaries sorted and distinct");
+                }
+                for f in &faults {
+                    assert!(f.layer >= 1 && f.layer <= 10, "strictly mid-flight");
+                    for &d in &f.dead_cores {
+                        assert!(d < config.cores);
+                        assert!(!dead.contains(&d), "no double kills");
+                        dead.push(d);
+                    }
+                }
+                assert!(dead.len() <= config.cores - 2, "at least two survivors");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(chaos_soak(&ChaosConfig { cores: 2, ..quick() }).is_err());
+        assert!(chaos_soak(&ChaosConfig { trials: 0, ..quick() }).is_err());
+        assert!(chaos_soak(&ChaosConfig { max_faults: 0, ..quick() }).is_err());
+        assert!(chaos_soak(&ChaosConfig { max_dead_per_fault: 0, ..quick() }).is_err());
+    }
+}

@@ -121,11 +121,13 @@ pub struct FaultSweepRow {
 }
 
 /// One strategy's workload: a spec plus (possibly sparse) weights.
-struct Workload {
-    strategy: &'static str,
-    network: &'static str,
-    spec: NetworkSpec,
-    weights: HashMap<String, Vec<f32>>,
+/// Shared with the chaos-soak harness ([`crate::chaos`]), which stresses
+/// the same three strategies with mid-flight faults.
+pub(crate) struct Workload {
+    pub(crate) strategy: &'static str,
+    pub(crate) network: &'static str,
+    pub(crate) spec: NetworkSpec,
+    pub(crate) weights: HashMap<String, Vec<f32>>,
 }
 
 /// The CIFAR ConvNet with its deeper convolutions grouped `groups` ways
@@ -176,7 +178,7 @@ fn hop_local_weights(spec: &NetworkSpec, cores: usize) -> Result<HashMap<String,
     Ok(weights)
 }
 
-fn workloads(cores: usize) -> Result<Vec<Workload>> {
+pub(crate) fn workloads(cores: usize) -> Result<Vec<Workload>> {
     let dense = convnet_spec();
     // Grouping degree: the chip size when it divides the conv channel
     // counts, otherwise the largest divisor that does.

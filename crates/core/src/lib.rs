@@ -17,6 +17,13 @@
 //!   section (Tables I, III–VI; Figs. 6–8; the §III motivation claim);
 //! * [`degradation`] — the fail-operational extension: fault rate ×
 //!   core-failure sweeps over all three strategies on a faulty mesh;
+//! * [`chaos`] — the chaos soak: randomized mid-flight fault schedules
+//!   against the online recovery path, asserting bounded output loss or
+//!   a typed error — never a panic or hang;
+//! * [`recovery`] — *online* fault recovery: mid-inference core deaths
+//!   detected by heartbeat-deadline arithmetic, incrementally resharded
+//!   with [`lts_partition::replan_from_layer`] and resumed on the
+//!   degraded mesh, measured against the oracle static replan;
 //! * [`report`] — ASCII rendering of tables and weight-group matrices.
 //!
 //! # Examples
@@ -34,18 +41,26 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod chaos;
 pub mod degradation;
 pub mod error;
 pub mod experiment;
 pub mod interlayer;
 pub mod pipeline;
+pub mod recovery;
 pub mod report;
 pub mod strategy;
 pub mod system;
 
+pub use chaos::{chaos_soak, ChaosConfig, ChaosRow};
 pub use degradation::{fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use error::CoreError;
+pub use recovery::{
+    boundary_checkpoints, run_with_recovery, BoundaryCheckpoint, InferenceFault, RecoveryEvent,
+    RecoveryReport,
+};
 pub use strategy::{SparsityScheme, Strategy};
 pub use system::{SystemModel, SystemReport};
 

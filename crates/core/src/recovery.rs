@@ -1,0 +1,589 @@
+//! Online fault recovery: mid-inference checkpoint, heartbeat-latency
+//! detection, incremental replan and resume on the degraded mesh.
+//!
+//! [`crate::degradation`] answers "how does a strategy perform if the
+//! dead cores are known *before* the run?" (the oracle). This module
+//! answers the harder online question: a core dies *while* an inference
+//! is in flight. The model follows the layer-barrier structure of
+//! [`SystemModel`]:
+//!
+//! 1. **Checkpoints.** At every layer boundary the live state of the
+//!    inference is exactly the previous layer's output feature map,
+//!    sharded by ownership ([`boundary_checkpoints`] enumerates them).
+//!    Nothing extra must be saved — the checkpoint is free.
+//! 2. **Detection.** A death at a boundary is noticed either by missed
+//!    heartbeats or NIC retransmission exhaustion; the latency comes
+//!    from the same [`MonitorConfig`] arithmetic the flit-level
+//!    simulator realizes (see `lts_noc::recovery`), so the timeline here
+//!    and the in-sim detection agree cycle for cycle.
+//! 3. **Replan + resync.** [`lts_partition::replan_from_layer`] reshards
+//!    only the remaining layers; the surviving boundary shards are
+//!    redistributed over the degraded mesh (simulated flit by flit).
+//! 4. **Resume.** The tail runs on the survivors, with every message
+//!    remapped through the composed logical→physical core map — faults
+//!    may strike more than once, each replan stacking on the last.
+//!
+//! [`RecoveryReport`] carries the composed run next to the fault-free
+//! baseline and the oracle static replan, so the price of *online*
+//! recovery (detection latency + resync traffic + mid-run resharding)
+//! is measurable directly.
+
+use crate::system::{LayerBreakdown, SystemModel, SystemReport};
+use crate::{CoreError, Result};
+use lts_nn::descriptor::NetworkSpec;
+use lts_noc::traffic::Message;
+use lts_noc::{FaultModel, FaultStats, MonitorConfig, NocError, Simulator};
+use lts_partition::ownership::{propagate, OwnershipMap};
+use lts_partition::{replan, replan_from_layer, Plan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// The free checkpoint at one layer boundary: who holds which slice of
+/// the in-flight feature map, and when (cumulatively) the barrier
+/// completed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryCheckpoint {
+    /// Layers `0..layer` have completed.
+    pub layer: usize,
+    /// Cumulative cycle of the barrier under the fault-free baseline.
+    pub cycle: u64,
+    /// `blocks[core]` = feature-map units held by that core.
+    pub blocks: Vec<Range<usize>>,
+    /// Scalar values per unit (spatial size; 1 for flat activations).
+    pub values_per_unit: usize,
+}
+
+/// One mid-inference fault: `dead_cores` die at the boundary before
+/// layer `layer` (original layer numbering; `0` = before anything ran).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceFault {
+    /// First layer that had not run when the cores died.
+    pub layer: usize,
+    /// Physical core ids killed by this fault.
+    pub dead_cores: Vec<usize>,
+}
+
+/// What one recovery cost, on the composed timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Boundary (original layer numbering) the fault hit.
+    pub layer: usize,
+    /// Cores newly dead at this event (physical, sorted).
+    pub dead_cores: Vec<usize>,
+    /// Cumulative cycle the cores died at.
+    pub died_at: u64,
+    /// Cycles from death to detection (worst dead core, heartbeat
+    /// deadline arithmetic shared with the NoC simulator).
+    pub detection_cycles: u64,
+    /// Boundary-resync payload moved over the degraded mesh.
+    pub redistribution_bytes: u64,
+    /// Flits the resync delivered.
+    pub redistribution_flits: u64,
+    /// NoC makespan of the resync.
+    pub redistribution_cycles: u64,
+    /// Boundary units orphaned by the dead cores.
+    pub lost_boundary_units: usize,
+    /// Total units in the boundary feature map.
+    pub boundary_units: usize,
+    /// Cores still alive after this event.
+    pub survivors: usize,
+}
+
+/// End-to-end result of an inference that recovered from mid-run faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// The composed run: healthy prefix, per-fault recovery overhead
+    /// (one `recovery@N` pseudo-layer each), degraded tail.
+    pub report: SystemReport,
+    /// The same plan on the fault-free chip.
+    pub fault_free: SystemReport,
+    /// The oracle: a static [`lts_partition::replan`] over the final
+    /// dead set, with the faults known before the run. `None` when the
+    /// dead set defeats even the oracle (disconnected mesh).
+    pub oracle: Option<SystemReport>,
+    /// One entry per applied fault, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// All dead cores (physical, sorted).
+    pub dead_cores: Vec<usize>,
+    /// Worst pinned-group output loss across all replans (grouped plans
+    /// only; see [`lts_partition::IncrementalPlan::lost_output_fraction`]).
+    pub lost_output_fraction: f64,
+    /// Worst boundary feature-map loss across all replans.
+    pub lost_boundary_fraction: f64,
+}
+
+impl RecoveryReport {
+    /// End-to-end latency relative to the fault-free run (`1.0` = free).
+    pub fn overhead_vs_fault_free(&self) -> f64 {
+        if self.fault_free.total_cycles == 0 {
+            return 1.0;
+        }
+        self.report.total_cycles as f64 / self.fault_free.total_cycles as f64
+    }
+
+    /// End-to-end latency relative to the oracle static replan — the
+    /// pure price of recovering *online* instead of knowing the dead set
+    /// up front.
+    pub fn overhead_vs_oracle(&self) -> Option<f64> {
+        let oracle = self.oracle.as_ref()?;
+        if oracle.total_cycles == 0 {
+            return None;
+        }
+        Some(self.report.total_cycles as f64 / oracle.total_cycles as f64)
+    }
+
+    /// Total cycles spent between deaths and their detections.
+    pub fn detection_cycles(&self) -> u64 {
+        self.events.iter().map(|e| e.detection_cycles).sum()
+    }
+
+    /// Total boundary-resync payload.
+    pub fn redistribution_bytes(&self) -> u64 {
+        self.events.iter().map(|e| e.redistribution_bytes).sum()
+    }
+
+    /// Worst output loss across both loss mechanisms — the bounded
+    /// "lost output fraction" the chaos harness asserts on.
+    pub fn lost_fraction(&self) -> f64 {
+        self.lost_output_fraction.max(self.lost_boundary_fraction)
+    }
+}
+
+/// Enumerates the free checkpoints of `spec` partitioned over `cores`:
+/// one per layer boundary, with the barrier cycle taken from `baseline`
+/// (a [`SystemModel::evaluate`] report of the same plan).
+///
+/// # Panics
+///
+/// Panics if `baseline` has a different layer count than `spec`.
+pub fn boundary_checkpoints(
+    spec: &NetworkSpec,
+    cores: usize,
+    baseline: &SystemReport,
+) -> Vec<BoundaryCheckpoint> {
+    assert_eq!(baseline.layers.len(), spec.layers.len(), "baseline/spec layer mismatch");
+    let mut out = Vec::with_capacity(spec.layers.len());
+    let mut ownership: Option<OwnershipMap> = None;
+    let mut cycle = 0u64;
+    for (i, layer) in spec.layers.iter().enumerate() {
+        ownership = propagate(layer, ownership.as_ref(), cores);
+        cycle += baseline.layers[i].comm_cycles + baseline.layers[i].compute_cycles;
+        let (blocks, values_per_unit) = match &ownership {
+            Some(o) => (o.blocks().to_vec(), o.values_per_unit()),
+            None => (Vec::new(), 1),
+        };
+        out.push(BoundaryCheckpoint { layer: i + 1, cycle, blocks, values_per_unit });
+    }
+    out
+}
+
+/// Runs `spec` end to end while `faults` strike mid-inference, detecting
+/// each death by heartbeat-deadline arithmetic, incrementally resharding
+/// the remaining layers and resuming on the degraded mesh.
+///
+/// With an empty fault list the composed report is bit-identical to
+/// [`SystemModel::evaluate`] on the same plan (and independent of the
+/// execution engine's worker count, which the system model never uses).
+///
+/// Faults must be sorted by `layer` (non-decreasing); a fault may kill
+/// several cores at once, and later faults stack on earlier replans.
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] for unsorted/out-of-range faults or when a
+/// fault kills every surviving core; plan and NoC errors propagate
+/// (e.g. [`NocError::Unreachable`] when the dead set disconnects the
+/// survivors).
+pub fn run_with_recovery(
+    model: &SystemModel,
+    spec: &NetworkSpec,
+    weights: &HashMap<String, Vec<f32>>,
+    faults: &[InferenceFault],
+    monitor: &MonitorConfig,
+) -> Result<RecoveryReport> {
+    let cores = model.cores();
+    let full_plan = Plan::build(spec, cores, weights, 2)?;
+    let fault_free = model.evaluate(&full_plan)?;
+    monitor.validate(model.noc_config()).map_err(CoreError::Noc)?;
+    if faults.is_empty() {
+        return Ok(RecoveryReport {
+            report: fault_free.clone(),
+            fault_free,
+            oracle: None,
+            events: Vec::new(),
+            dead_cores: Vec::new(),
+            lost_output_fraction: 0.0,
+            lost_boundary_fraction: 0.0,
+        });
+    }
+    for pair in faults.windows(2) {
+        if pair[1].layer < pair[0].layer {
+            return Err(CoreError::BadConfig("faults must be sorted by layer".into()));
+        }
+    }
+    if let Some(f) = faults.iter().find(|f| f.layer > spec.layers.len()) {
+        return Err(CoreError::BadConfig(format!(
+            "fault layer {} beyond the network's {} layers",
+            f.layer,
+            spec.layers.len()
+        )));
+    }
+    if let Some(&bad) = faults.iter().flat_map(|f| &f.dead_cores).find(|&&d| d >= cores) {
+        return Err(CoreError::BadConfig(format!(
+            "dead core {bad} out of range for {cores} cores"
+        )));
+    }
+
+    // Composed-run accumulators.
+    let mut acc = Accumulator::default();
+    // Current logical→physical map, remaining plan/spec, and progress.
+    let mut current_map: Vec<usize> = (0..cores).collect();
+    let mut current_plan = full_plan;
+    let mut current_spec = spec.clone();
+    let mut plan_start = 0usize; // original index of current_plan.layers[0]
+    let mut completed = 0usize; // original layers finished so far
+    let mut dead_all: Vec<usize> = Vec::new();
+    let mut events = Vec::new();
+    let mut lost_output_fraction = 0.0f64;
+    let mut lost_boundary_fraction = 0.0f64;
+
+    for fault in faults {
+        // Healthy-for-now segment up to the fault boundary.
+        let seg = &current_plan.layers[completed - plan_start..fault.layer - plan_start];
+        let seg_model = model.clone().with_fault_model(kill_set(&dead_all));
+        acc.push_segment(seg_model.evaluate_layers(seg, Some(&current_map))?);
+        completed = fault.layer;
+
+        // Which of the named cores are actually newly dead?
+        let mut newly: Vec<usize> =
+            fault.dead_cores.iter().copied().filter(|d| current_map.contains(d)).collect();
+        newly.sort_unstable();
+        newly.dedup();
+        if newly.is_empty() {
+            continue;
+        }
+        let died_at = acc.total_cycles;
+        let detection_cycles = newly
+            .iter()
+            .map(|&n| monitor.detection_latency(model.noc_config(), n, died_at))
+            .max()
+            .unwrap_or(0);
+
+        // Incremental replan in the *current* logical space.
+        let logical_dead: Vec<usize> = current_map
+            .iter()
+            .enumerate()
+            .filter_map(|(l, p)| newly.contains(p).then_some(l))
+            .collect();
+        let inc = replan_from_layer(
+            &current_spec,
+            current_map.len(),
+            fault.layer - plan_start,
+            &logical_dead,
+            weights,
+            2,
+        )?;
+        lost_output_fraction = lost_output_fraction.max(inc.lost_output_fraction());
+        lost_boundary_fraction = lost_boundary_fraction.max(inc.lost_boundary_fraction());
+
+        // Boundary resync on the now-degraded mesh (physical endpoints).
+        dead_all.extend(&newly);
+        dead_all.sort_unstable();
+        let resync: Vec<Message> = inc
+            .redistribution
+            .messages
+            .iter()
+            .map(|m| Message::new(current_map[m.src], current_map[m.dst], m.bytes, m.inject_cycle))
+            .collect();
+        let (resync_report, resync_energy) = if resync.is_empty() {
+            (None, 0.0)
+        } else {
+            let mut sim = Simulator::with_faults(*model.noc_config(), kill_set(&dead_all))
+                .map_err(CoreError::Noc)?;
+            let rep = sim.run(&resync).map_err(CoreError::Noc)?;
+            let energy = model.noc_energy_report(&rep).total_pj();
+            (Some(rep), energy)
+        };
+        let (resync_cycles, resync_flits, resync_stats) = match &resync_report {
+            Some(r) => (r.makespan, r.flits_delivered, r.faults),
+            None => (0, 0, FaultStats::default()),
+        };
+
+        // The recovery pseudo-layer: detection wait + resync makespan.
+        let overhead = detection_cycles + resync_cycles;
+        let resync_bytes = inc.redistribution_bytes;
+        acc.push_overhead(LayerBreakdown {
+            name: format!("recovery@{}", fault.layer),
+            compute_cycles: 0,
+            comm_cycles: overhead,
+            traffic_bytes: resync_bytes,
+            compute_energy_pj: 0.0,
+            noc_energy_pj: resync_energy,
+            blocked_flit_cycles: resync_report.as_ref().map_or(0, |r| r.blocked_flit_cycles),
+        });
+        acc.faults.merge(&resync_stats);
+
+        events.push(RecoveryEvent {
+            layer: fault.layer,
+            dead_cores: newly,
+            died_at,
+            detection_cycles,
+            redistribution_bytes: resync_bytes,
+            redistribution_flits: resync_flits,
+            redistribution_cycles: resync_cycles,
+            lost_boundary_units: inc.lost_boundary_units,
+            boundary_units: inc.boundary_units,
+            survivors: inc.survivors(),
+        });
+
+        // Stack the replan: compose maps, adopt the tail.
+        current_map = inc.core_map.iter().map(|&l| current_map[l]).collect();
+        current_plan = inc.tail;
+        current_spec = NetworkSpec {
+            name: current_spec.name.clone(),
+            input: if fault.layer == 0 {
+                spec.input
+            } else {
+                spec.layers[fault.layer - 1].out_dims
+            },
+            layers: spec.layers[fault.layer..].to_vec(),
+        };
+        plan_start = fault.layer;
+    }
+
+    // The surviving tail.
+    let seg = &current_plan.layers[completed - plan_start..];
+    let seg_model = model.clone().with_fault_model(kill_set(&dead_all));
+    acc.push_segment(seg_model.evaluate_layers(seg, Some(&current_map))?);
+
+    // The oracle knew the final dead set before starting.
+    let oracle = match replan(spec, cores, &dead_all, weights, 2) {
+        Ok(degraded) => {
+            match model.clone().with_fault_model(kill_set(&dead_all)).evaluate_degraded(&degraded) {
+                Ok(r) => Some(r),
+                Err(CoreError::Noc(
+                    NocError::Unreachable { .. } | NocError::CycleLimitExceeded { .. },
+                )) => None,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(_) => None,
+    };
+
+    Ok(RecoveryReport {
+        report: acc.into_report(),
+        fault_free,
+        oracle,
+        events,
+        dead_cores: dead_all,
+        lost_output_fraction,
+        lost_boundary_fraction,
+    })
+}
+
+/// A fault model with exactly `dead` routers killed.
+fn kill_set(dead: &[usize]) -> FaultModel {
+    dead.iter().fold(FaultModel::none(), |f, &d| f.kill_router(d))
+}
+
+/// Builds the composed [`SystemReport`] incrementally.
+#[derive(Default)]
+struct Accumulator {
+    total_cycles: u64,
+    compute_cycles: u64,
+    comm_cycles: u64,
+    traffic_bytes: u64,
+    compute_energy_pj: f64,
+    noc_energy_pj: f64,
+    faults: FaultStats,
+    layers: Vec<LayerBreakdown>,
+}
+
+impl Accumulator {
+    fn push_segment(&mut self, seg: SystemReport) {
+        self.total_cycles += seg.total_cycles;
+        self.compute_cycles += seg.compute_cycles;
+        self.comm_cycles += seg.comm_cycles;
+        self.traffic_bytes += seg.traffic_bytes;
+        self.compute_energy_pj += seg.compute_energy_pj;
+        self.noc_energy_pj += seg.noc_energy_pj;
+        self.faults.merge(&seg.faults);
+        self.layers.extend(seg.layers);
+    }
+
+    fn push_overhead(&mut self, layer: LayerBreakdown) {
+        self.total_cycles += layer.comm_cycles + layer.compute_cycles;
+        self.comm_cycles += layer.comm_cycles;
+        self.compute_cycles += layer.compute_cycles;
+        self.traffic_bytes += layer.traffic_bytes;
+        self.compute_energy_pj += layer.compute_energy_pj;
+        self.noc_energy_pj += layer.noc_energy_pj;
+        self.layers.push(layer);
+    }
+
+    fn into_report(self) -> SystemReport {
+        SystemReport {
+            total_cycles: self.total_cycles,
+            compute_cycles: self.compute_cycles,
+            comm_cycles: self.comm_cycles,
+            traffic_bytes: self.traffic_bytes,
+            compute_energy_pj: self.compute_energy_pj,
+            noc_energy_pj: self.noc_energy_pj,
+            faults: self.faults,
+            layers: self.layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_nn::descriptor::lenet_spec;
+
+    fn model() -> SystemModel {
+        SystemModel::paper(16).unwrap()
+    }
+
+    fn no_weights() -> HashMap<String, Vec<f32>> {
+        HashMap::new()
+    }
+
+    #[test]
+    fn empty_fault_list_is_bit_identical_to_evaluate() {
+        let spec = lenet_spec();
+        let m = model();
+        let plain = m.evaluate(&Plan::dense(&spec, 16, 2).unwrap()).unwrap();
+        let rec =
+            run_with_recovery(&m, &spec, &no_weights(), &[], &MonitorConfig::default()).unwrap();
+        assert_eq!(rec.report, plain);
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.overhead_vs_fault_free(), 1.0);
+        assert_eq!(rec.lost_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mid_inference_death_recovers_and_pays_a_measurable_overhead() {
+        let spec = lenet_spec();
+        let m = model();
+        let faults = [InferenceFault { layer: 3, dead_cores: vec![5] }];
+        let rec = run_with_recovery(&m, &spec, &no_weights(), &faults, &MonitorConfig::default())
+            .unwrap();
+        assert_eq!(rec.events.len(), 1);
+        let e = &rec.events[0];
+        assert_eq!(e.layer, 3);
+        assert_eq!(e.dead_cores, vec![5]);
+        assert!(e.detection_cycles > 0, "heartbeat detection takes time");
+        assert!(e.redistribution_bytes > 0, "survivors must resync the boundary");
+        assert!(e.redistribution_cycles > 0);
+        assert_eq!(e.survivors, 15);
+        assert!(rec.overhead_vs_fault_free() > 1.0, "recovery is never free");
+        // The recovery pseudo-layer shows up on the composed timeline.
+        assert!(rec.report.layers.iter().any(|l| l.name == "recovery@3"));
+        assert_eq!(rec.report.layers.len(), spec.layers.len() + 1);
+        // Dense plans lose no accuracy, only the boundary share of a
+        // feature map that dense resharding recomputes... which it
+        // cannot: the orphaned units are reported.
+        assert_eq!(rec.lost_output_fraction, 0.0);
+        assert!(rec.lost_boundary_fraction > 0.0);
+        assert!(rec.lost_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn online_recovery_costs_more_than_the_oracle() {
+        let spec = lenet_spec();
+        let m = model();
+        let faults = [InferenceFault { layer: 2, dead_cores: vec![6, 9] }];
+        let rec = run_with_recovery(&m, &spec, &no_weights(), &faults, &MonitorConfig::default())
+            .unwrap();
+        let oracle_overhead = rec.overhead_vs_oracle().expect("oracle survives 2 deaths");
+        assert!(
+            oracle_overhead > 1.0,
+            "online recovery (detection + resync) must cost more than foreknowledge"
+        );
+        assert_eq!(rec.dead_cores, vec![6, 9]);
+    }
+
+    #[test]
+    fn stacked_faults_compose_the_core_map() {
+        let spec = lenet_spec();
+        let m = model();
+        let faults = [
+            InferenceFault { layer: 2, dead_cores: vec![3] },
+            InferenceFault { layer: 5, dead_cores: vec![11, 3] }, // 3 already dead
+        ];
+        let rec = run_with_recovery(&m, &spec, &no_weights(), &faults, &MonitorConfig::default())
+            .unwrap();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].survivors, 15);
+        assert_eq!(rec.events[1].dead_cores, vec![11], "re-killing a dead core is a no-op");
+        assert_eq!(rec.events[1].survivors, 14);
+        assert_eq!(rec.dead_cores, vec![3, 11]);
+        assert!(rec.events[1].died_at > rec.events[0].died_at);
+    }
+
+    #[test]
+    fn fault_before_the_first_layer_restarts_on_survivors() {
+        let spec = lenet_spec();
+        let m = model();
+        let faults = [InferenceFault { layer: 0, dead_cores: vec![7] }];
+        let rec = run_with_recovery(&m, &spec, &no_weights(), &faults, &MonitorConfig::default())
+            .unwrap();
+        let e = &rec.events[0];
+        assert_eq!(e.died_at, 0);
+        assert_eq!(e.redistribution_bytes, 0, "no feature map exists yet");
+        assert_eq!(e.boundary_units, 0);
+        assert_eq!(rec.lost_boundary_fraction, 0.0);
+        // Aside from detection latency, this is the oracle's run.
+        let oracle = rec.oracle.as_ref().unwrap();
+        assert_eq!(rec.report.total_cycles, oracle.total_cycles + e.detection_cycles);
+    }
+
+    #[test]
+    fn invalid_fault_lists_are_rejected() {
+        let spec = lenet_spec();
+        let m = model();
+        let mon = MonitorConfig::default();
+        let unsorted = [
+            InferenceFault { layer: 4, dead_cores: vec![1] },
+            InferenceFault { layer: 2, dead_cores: vec![2] },
+        ];
+        assert!(run_with_recovery(&m, &spec, &no_weights(), &unsorted, &mon).is_err());
+        let oob_layer = [InferenceFault { layer: 99, dead_cores: vec![1] }];
+        assert!(run_with_recovery(&m, &spec, &no_weights(), &oob_layer, &mon).is_err());
+        let oob_core = [InferenceFault { layer: 1, dead_cores: vec![16] }];
+        assert!(run_with_recovery(&m, &spec, &no_weights(), &oob_core, &mon).is_err());
+        let wipeout = [InferenceFault { layer: 1, dead_cores: (0..16).collect() }];
+        assert!(run_with_recovery(&m, &spec, &no_weights(), &wipeout, &mon).is_err());
+    }
+
+    #[test]
+    fn checkpoints_cover_every_boundary_and_sum_to_the_total() {
+        let spec = lenet_spec();
+        let m = model();
+        let baseline = m.evaluate(&Plan::dense(&spec, 16, 2).unwrap()).unwrap();
+        let cps = boundary_checkpoints(&spec, 16, &baseline);
+        assert_eq!(cps.len(), spec.layers.len());
+        assert_eq!(cps.last().unwrap().cycle, baseline.total_cycles);
+        for cp in &cps {
+            let held: usize = cp.blocks.iter().map(|b| b.len()).sum();
+            if !cp.blocks.is_empty() {
+                assert!(held > 0, "boundary {} holds no state", cp.layer);
+            }
+        }
+        // The conv1 boundary shards 20 channels of 24x24 activations.
+        assert_eq!(cps[0].blocks.iter().map(|b| b.len()).sum::<usize>(), 20);
+        assert_eq!(cps[0].values_per_unit, 24 * 24);
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let spec = lenet_spec();
+        let m = model();
+        let faults = [InferenceFault { layer: 4, dead_cores: vec![2, 13] }];
+        let mon = MonitorConfig::default();
+        let a = run_with_recovery(&m, &spec, &no_weights(), &faults, &mon).unwrap();
+        let b = run_with_recovery(&m, &spec, &no_weights(), &faults, &mon).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -172,6 +172,11 @@ impl SystemModel {
         &self.noc_config
     }
 
+    /// Prices one NoC simulation with this model's energy parameters.
+    pub(crate) fn noc_energy_report(&self, sim: &lts_noc::SimReport) -> lts_noc::EnergyReport {
+        self.noc_energy.report(sim, self.cores())
+    }
+
     /// The injected fault model.
     pub fn fault_model(&self) -> &FaultModel {
         &self.fault
@@ -214,13 +219,17 @@ impl SystemModel {
                 )));
             }
         }
-        self.evaluate_layers(&degraded.plan.layers, Some(degraded))
+        self.evaluate_layers(&degraded.plan.layers, Some(&degraded.core_map))
     }
 
-    fn evaluate_layers(
+    /// Core of [`SystemModel::evaluate`]: runs `plan_layers` under the
+    /// barrier schedule, with message endpoints remapped through
+    /// `core_map` (`core_map[logical] = physical`) when given. The
+    /// recovery driver uses this to evaluate plan *segments*.
+    pub(crate) fn evaluate_layers(
         &self,
         plan_layers: &[LayerPlan],
-        degraded: Option<&DegradedPlan>,
+        core_map: Option<&[usize]>,
     ) -> Result<SystemReport> {
         let mut sim = Simulator::with_faults(self.noc_config, self.fault.clone())?;
         let mut layers = Vec::with_capacity(plan_layers.len());
@@ -234,10 +243,23 @@ impl SystemModel {
         for lp in plan_layers {
             // Communication phase (barrier before the layer runs); on a
             // degraded plan the trace is remapped to physical node ids.
-            let remapped = degraded.map(|d| d.physical_messages(lp));
+            let remapped = core_map.map(|map| {
+                lp.traffic
+                    .messages
+                    .iter()
+                    .map(|m| {
+                        lts_noc::traffic::Message::new(
+                            map[m.src],
+                            map[m.dst],
+                            m.bytes,
+                            m.inject_cycle,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            });
             let messages = match &remapped {
-                Some(trace) => &trace.messages,
-                None => &lp.traffic.messages,
+                Some(msgs) => msgs.as_slice(),
+                None => lp.traffic.messages.as_slice(),
             };
             let (comm_cycles, layer_noc_energy, blocked) = if messages.is_empty() {
                 (0, 0.0, 0)

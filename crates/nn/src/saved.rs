@@ -31,6 +31,86 @@ use crate::network::{Network, NetworkBuilder};
 use crate::{NnError, Result};
 use lts_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Magic tag heading every snapshot file; bump on format changes.
+const SNAPSHOT_MAGIC: &str = "LTS-SNAPSHOT-V1";
+
+/// FNV-1a 64-bit hash of `bytes` — the snapshot content checksum.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Atomically writes `payload` to `path` under a checksum envelope.
+///
+/// The file starts with one header line — `LTS-SNAPSHOT-V1 <16-hex
+/// fnv-1a-64 of the payload>` — followed by the payload itself. The
+/// bytes go to a sibling `<name>.tmp` first and are renamed into place,
+/// so a crash mid-write leaves the previous snapshot (or nothing)
+/// behind, never a half-written file under the final name.
+///
+/// # Errors
+///
+/// Returns [`NnError::SaveFailed`] for paths without a file name and
+/// for filesystem errors (the temporary file is removed best-effort if
+/// the rename fails).
+pub fn write_snapshot_file(path: &Path, payload: &str) -> Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        NnError::SaveFailed(format!("snapshot path `{}` has no file name", path.display()))
+    })?;
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    let envelope = format!("{SNAPSHOT_MAGIC} {:016x}\n{payload}", fnv1a64(payload.as_bytes()));
+    fs::write(&tmp, envelope)
+        .map_err(|e| NnError::SaveFailed(format!("cannot write `{}`: {e}", tmp.display())))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        NnError::SaveFailed(format!("cannot move snapshot into `{}`: {e}", path.display()))
+    })
+}
+
+/// Reads a snapshot file written by [`write_snapshot_file`], verifying
+/// the checksum envelope, and returns the payload.
+///
+/// # Errors
+///
+/// Returns [`NnError::MalformedSnapshot`] for unreadable files, missing
+/// or unrecognized headers, and — most importantly — payloads whose
+/// recomputed checksum disagrees with the header: a truncated or
+/// bit-flipped snapshot is rejected here instead of deploying a corrupt
+/// model.
+pub fn read_snapshot_file(path: &Path) -> Result<String> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        NnError::MalformedSnapshot(format!("cannot read `{}`: {e}", path.display()))
+    })?;
+    let (header, payload) = text.split_once('\n').ok_or_else(|| {
+        NnError::MalformedSnapshot(format!("`{}` has no envelope header line", path.display()))
+    })?;
+    let declared = header
+        .strip_prefix(SNAPSHOT_MAGIC)
+        .map(str::trim)
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| {
+            NnError::MalformedSnapshot(format!(
+                "`{}` does not start with `{SNAPSHOT_MAGIC} <checksum>`",
+                path.display()
+            ))
+        })?;
+    let actual = fnv1a64(payload.as_bytes());
+    if actual != declared {
+        return Err(NnError::MalformedSnapshot(format!(
+            "`{}` checksum mismatch: header says {declared:016x}, payload hashes to \
+             {actual:016x} (truncated or corrupted file)",
+            path.display()
+        )));
+    }
+    Ok(payload.to_string())
+}
 
 /// One layer's persisted parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -207,6 +287,29 @@ impl SavedNetwork {
         saved.validate()?;
         Ok(saved)
     }
+
+    /// Persists the snapshot to `path` atomically (checksum envelope,
+    /// temp-file + rename — see [`write_snapshot_file`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SaveFailed`] for serialization or filesystem
+    /// failures.
+    pub fn save_to_file(&self, path: &Path) -> Result<()> {
+        write_snapshot_file(path, &self.to_json()?)
+    }
+
+    /// Loads and validates a snapshot from a file written by
+    /// [`SavedNetwork::save_to_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedSnapshot`] for missing files, bad
+    /// envelopes, checksum mismatches, and snapshots that parse but fail
+    /// [`SavedNetwork::validate`].
+    pub fn load_from_file(path: &Path) -> Result<Self> {
+        Self::from_json(&read_snapshot_file(path)?)
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +406,66 @@ mod tests {
         // The original network is untouched and still runs.
         let x = init::uniform(Shape::d2(1, 16), 1.0, &mut init::rng(2));
         assert!(net2.forward(&x).is_ok());
+    }
+
+    /// A unique scratch path in the system temp dir (no tempfile dep).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lts-saved-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_checksummed() {
+        let net = models::mlp(16, 4, 9).unwrap();
+        let saved = SavedNetwork::from_network(&net).unwrap();
+        let path = scratch("roundtrip.snap");
+        saved.save_to_file(&path).unwrap();
+        // The temp file was renamed away, not left behind.
+        assert!(!path.with_file_name("roundtrip.snap.tmp").exists());
+        let loaded = SavedNetwork::load_from_file(&path).unwrap();
+        assert_eq!(saved, loaded);
+        // Saving over an existing snapshot replaces it in one step.
+        saved.save_to_file(&path).unwrap();
+        assert_eq!(SavedNetwork::load_from_file(&path).unwrap(), saved);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_files_are_rejected() {
+        let net = models::mlp(16, 4, 9).unwrap();
+        let saved = SavedNetwork::from_network(&net).unwrap();
+        let path = scratch("corrupt.snap");
+        saved.save_to_file(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip one payload byte: checksum must catch it.
+        let mut flipped = text.clone().into_bytes();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, flipped).unwrap();
+        let err = SavedNetwork::load_from_file(&path).unwrap_err();
+        assert!(matches!(err, NnError::MalformedSnapshot(_)));
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // Truncation (simulated torn write) is also a checksum mismatch.
+        std::fs::write(&path, &text[..text.len() - 40]).unwrap();
+        assert!(matches!(SavedNetwork::load_from_file(&path), Err(NnError::MalformedSnapshot(_))));
+        // A file with the wrong magic is rejected up front...
+        std::fs::write(&path, "BOGUS-MAGIC 0123\n{}").unwrap();
+        let err = SavedNetwork::load_from_file(&path).unwrap_err();
+        assert!(err.to_string().contains("LTS-SNAPSHOT-V1"), "{err}");
+        // ...as is one with no header line at all.
+        std::fs::write(&path, "{}").unwrap();
+        let err = SavedNetwork::load_from_file(&path).unwrap_err();
+        assert!(err.to_string().contains("envelope header"), "{err}");
+        // And a missing file is a malformed snapshot, not a panic.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(SavedNetwork::load_from_file(&path), Err(NnError::MalformedSnapshot(_))));
+    }
+
+    #[test]
+    fn checksum_is_stable_fnv1a() {
+        // Pinned vectors so the on-disk format never drifts silently.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
     }
 
     #[test]

@@ -4,11 +4,13 @@ use crate::loss::softmax_cross_entropy;
 use crate::network::Network;
 use crate::optim::Sgd;
 use crate::regularizer::GroupLasso;
+use crate::saved::{read_snapshot_file, write_snapshot_file, SavedNetwork};
 use crate::{NnError, Result};
 use lts_tensor::{par, Shape, Tensor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::Mutex;
 
 /// Number of gradient shards each mini-batch is split into.
@@ -19,6 +21,10 @@ use std::sync::Mutex;
 /// gradient reduction never change — threads only decide *when* a shard
 /// runs.
 const TRAIN_SHARDS: usize = 8;
+
+/// Optional per-epoch checkpoint sink threaded through the internal
+/// training loop (`None` for plain, checkpoint-free runs).
+type CheckpointSink<'a> = Option<&'a mut dyn FnMut(&TrainCheckpoint) -> Result<()>>;
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,6 +93,206 @@ impl TrainStats {
     /// Final-epoch loss (`inf` if no epochs ran).
     pub fn final_loss(&self) -> f32 {
         self.epochs.last().map_or(f32::INFINITY, |e| e.loss)
+    }
+}
+
+/// One weight-bearing layer's SGD momentum buffers — the optimizer
+/// state a [`SavedNetwork`] deliberately omits, persisted alongside it
+/// in a [`TrainCheckpoint`] so resumed training continues the exact
+/// velocity trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedMomentum {
+    /// Layer name (matches the snapshot's parameter entry).
+    pub layer: String,
+    /// Weight momentum buffer.
+    pub weight: Tensor,
+    /// Bias momentum buffer.
+    pub bias: Tensor,
+}
+
+/// A crash-safe snapshot of a training run, captured at an epoch
+/// boundary.
+///
+/// The checkpoint holds everything [`Trainer::resume`] needs to
+/// continue *bit-identically* to the uninterrupted run: the hyper
+/// parameters (resume refuses a mismatched trainer), the completed
+/// epoch count, the network weights and freeze masks, the momentum
+/// buffers, and the per-epoch stats so far. The shuffle RNG and the
+/// decayed learning rate are *not* stored — both are deterministic
+/// functions of `(config, completed_epochs)` and are replayed on
+/// resume, repeating the exact same f32 multiplications the original
+/// run performed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Hyper-parameters of the interrupted run.
+    pub config: TrainConfig,
+    /// Epochs fully completed before the snapshot (resume starts here).
+    pub completed_epochs: usize,
+    /// Weights and freeze masks at the epoch boundary.
+    pub network: SavedNetwork,
+    /// Momentum buffers, one entry per weight-bearing layer in spec
+    /// order (mirrors `network.params`).
+    pub momentum: Vec<SavedMomentum>,
+    /// Stats of the completed epochs.
+    pub stats: TrainStats,
+}
+
+impl TrainCheckpoint {
+    /// Captures the training state after `completed_epochs` epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SaveFailed`] when the network cannot be
+    /// snapshotted (see [`SavedNetwork::from_network`]).
+    pub fn capture(
+        config: &TrainConfig,
+        completed_epochs: usize,
+        net: &Network,
+        stats: &TrainStats,
+    ) -> Result<Self> {
+        let network = SavedNetwork::from_network(net)?;
+        let mut momentum = Vec::with_capacity(network.params.len());
+        for saved in &network.params {
+            let layer = net.layer(&saved.layer).ok_or_else(|| {
+                NnError::SaveFailed(format!("layer `{}` vanished mid-capture", saved.layer))
+            })?;
+            let ps = layer.params();
+            let (w, b) = match (ps.first(), ps.get(1)) {
+                (Some(w), Some(b)) => (w, b),
+                _ => {
+                    return Err(NnError::SaveFailed(format!(
+                        "layer `{}` lacks weight/bias parameters",
+                        saved.layer
+                    )))
+                }
+            };
+            momentum.push(SavedMomentum {
+                layer: saved.layer.clone(),
+                weight: w.momentum.clone(),
+                bias: b.momentum.clone(),
+            });
+        }
+        Ok(Self { config: *config, completed_epochs, network, momentum, stats: stats.clone() })
+    }
+
+    /// Checks internal consistency: the embedded network snapshot is
+    /// valid, the epoch count fits the config, the stats cover exactly
+    /// the completed epochs, and momentum entries mirror the parameter
+    /// entries shape-for-shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedSnapshot`] describing the first
+    /// inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        self.network.validate()?;
+        if self.completed_epochs > self.config.epochs {
+            return Err(NnError::MalformedSnapshot(format!(
+                "checkpoint claims {} completed epochs of a {}-epoch run",
+                self.completed_epochs, self.config.epochs
+            )));
+        }
+        if self.stats.epochs.len() != self.completed_epochs {
+            return Err(NnError::MalformedSnapshot(format!(
+                "{} epoch stats for {} completed epochs",
+                self.stats.epochs.len(),
+                self.completed_epochs
+            )));
+        }
+        if self.momentum.len() != self.network.params.len() {
+            return Err(NnError::MalformedSnapshot(format!(
+                "{} momentum entries for {} parameter entries",
+                self.momentum.len(),
+                self.network.params.len()
+            )));
+        }
+        for (m, p) in self.momentum.iter().zip(&self.network.params) {
+            if m.layer != p.layer {
+                return Err(NnError::MalformedSnapshot(format!(
+                    "momentum entry `{}` out of order with parameter entry `{}`",
+                    m.layer, p.layer
+                )));
+            }
+            if m.weight.shape() != p.weight.shape() || m.bias.shape() != p.bias.shape() {
+                return Err(NnError::MalformedSnapshot(format!(
+                    "momentum shapes for `{}` disagree with its parameters",
+                    m.layer
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the network with weights, freeze masks *and* momentum
+    /// buffers restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedSnapshot`] for inconsistent
+    /// checkpoints and [`NnError::BadConfig`] when the network cannot be
+    /// rebuilt.
+    pub fn restore_network(&self) -> Result<Network> {
+        self.validate()?;
+        let mut net = self.network.clone().into_network()?;
+        for m in &self.momentum {
+            let layer = net.layer_mut(&m.layer).ok_or_else(|| {
+                NnError::BadConfig(format!("checkpoint layer `{}` not reconstructible", m.layer))
+            })?;
+            let mut params = layer.params_mut();
+            if params.len() < 2 {
+                return Err(NnError::BadConfig(format!(
+                    "checkpoint layer `{}` lacks weight/bias parameters",
+                    m.layer
+                )));
+            }
+            params[0].momentum = m.weight.clone();
+            params[1].momentum = m.bias.clone();
+        }
+        Ok(net)
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SaveFailed`] if serialization fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| NnError::SaveFailed(e.to_string()))
+    }
+
+    /// Deserializes and validates a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedSnapshot`] for unparsable input and
+    /// checkpoints failing [`TrainCheckpoint::validate`].
+    pub fn from_json(json: &str) -> Result<Self> {
+        let cp: Self =
+            serde_json::from_str(json).map_err(|e| NnError::MalformedSnapshot(e.to_string()))?;
+        cp.validate()?;
+        Ok(cp)
+    }
+
+    /// Persists the checkpoint atomically under the snapshot checksum
+    /// envelope (see [`write_snapshot_file`]): a crash mid-save leaves
+    /// the previous checkpoint intact, never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::SaveFailed`] for serialization or filesystem
+    /// failures.
+    pub fn save_to_file(&self, path: &Path) -> Result<()> {
+        write_snapshot_file(path, &self.to_json()?)
+    }
+
+    /// Loads, checksum-verifies and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedSnapshot`] for missing/corrupt files
+    /// and invalid checkpoints.
+    pub fn load_from_file(path: &Path) -> Result<Self> {
+        Self::from_json(&read_snapshot_file(path)?)
     }
 }
 
@@ -167,6 +373,111 @@ impl Trainer {
         inputs: &Tensor,
         labels: &[usize],
     ) -> Result<TrainStats> {
+        self.run(net, inputs, labels, 0, Vec::new(), None)
+    }
+
+    /// Like [`Trainer::train`], but invokes `on_checkpoint` with a
+    /// [`TrainCheckpoint`] after every completed epoch (typically to
+    /// [`TrainCheckpoint::save_to_file`] it). The training trajectory is
+    /// bit-identical to [`Trainer::train`] — checkpointing only *reads*
+    /// state. A sink error aborts the run and propagates.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Trainer::train`] returns, plus errors from the sink
+    /// and from checkpoint capture.
+    pub fn train_with_checkpoints(
+        &self,
+        net: &mut Network,
+        inputs: &Tensor,
+        labels: &[usize],
+        mut on_checkpoint: impl FnMut(&TrainCheckpoint) -> Result<()>,
+    ) -> Result<TrainStats> {
+        self.run(net, inputs, labels, 0, Vec::new(), Some(&mut on_checkpoint))
+    }
+
+    /// Resumes an interrupted run from `checkpoint`, returning the
+    /// trained network and the full (prior + new epochs) stats.
+    ///
+    /// The result is bit-identical to the run that would have completed
+    /// without the interruption: weights, freeze masks and momentum come
+    /// from the checkpoint, while the shuffle RNG and the decayed
+    /// learning rate are replayed from the seed through the completed
+    /// epochs (the same f32 operations in the same order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the checkpoint's hyper
+    /// parameters disagree with this trainer's, plus everything
+    /// [`Trainer::train`] and [`TrainCheckpoint::restore_network`]
+    /// return.
+    pub fn resume(
+        &self,
+        checkpoint: &TrainCheckpoint,
+        inputs: &Tensor,
+        labels: &[usize],
+    ) -> Result<(Network, TrainStats)> {
+        let mut net = self.restore_for_resume(checkpoint)?;
+        let stats = self.run(
+            &mut net,
+            inputs,
+            labels,
+            checkpoint.completed_epochs,
+            checkpoint.stats.epochs.clone(),
+            None,
+        )?;
+        Ok((net, stats))
+    }
+
+    /// [`Trainer::resume`] that keeps checkpointing the remaining epochs
+    /// through `on_checkpoint`, so a resumed run is itself crash-safe.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Trainer::resume`] returns, plus sink errors.
+    pub fn resume_with_checkpoints(
+        &self,
+        checkpoint: &TrainCheckpoint,
+        inputs: &Tensor,
+        labels: &[usize],
+        mut on_checkpoint: impl FnMut(&TrainCheckpoint) -> Result<()>,
+    ) -> Result<(Network, TrainStats)> {
+        let mut net = self.restore_for_resume(checkpoint)?;
+        let stats = self.run(
+            &mut net,
+            inputs,
+            labels,
+            checkpoint.completed_epochs,
+            checkpoint.stats.epochs.clone(),
+            Some(&mut on_checkpoint),
+        )?;
+        Ok((net, stats))
+    }
+
+    fn restore_for_resume(&self, checkpoint: &TrainCheckpoint) -> Result<Network> {
+        if checkpoint.config != self.config {
+            return Err(NnError::BadConfig(
+                "checkpoint hyper-parameters disagree with this trainer; resuming would \
+                 silently change the training trajectory"
+                    .into(),
+            ));
+        }
+        checkpoint.restore_network()
+    }
+
+    /// The training loop proper, shared by fresh and resumed runs.
+    ///
+    /// `start_epoch` epochs are replayed through the shuffle RNG and the
+    /// learning-rate decay (but not trained); `prior` seeds the stats.
+    fn run(
+        &self,
+        net: &mut Network,
+        inputs: &Tensor,
+        labels: &[usize],
+        start_epoch: usize,
+        prior: Vec<EpochStats>,
+        mut on_checkpoint: CheckpointSink<'_>,
+    ) -> Result<TrainStats> {
         let total = inputs.shape().dim(0);
         if labels.len() != total {
             return Err(NnError::BadInput {
@@ -191,7 +502,14 @@ impl Trainer {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
         let mut order: Vec<usize> = (0..total).collect();
         let mut opt = Sgd::new(self.config.lr, self.config.momentum, self.config.weight_decay)?;
-        let mut stats = TrainStats { epochs: Vec::with_capacity(self.config.epochs) };
+        // Replay the completed epochs' RNG draws and lr decays so a
+        // resumed run continues the exact sequence — same shuffles, same
+        // repeated f32 multiplications — the uninterrupted run would see.
+        for _ in 0..start_epoch {
+            order.shuffle(&mut rng);
+            opt = opt.with_lr_scaled(self.config.lr_decay);
+        }
+        let mut stats = TrainStats { epochs: prior };
 
         net.set_training(true);
         // Worker replicas for data-parallel batches, indexed by shard.
@@ -199,7 +517,7 @@ impl Trainer {
         // batches so their buffers (layer workspaces, cached activations)
         // are reused instead of re-allocated.
         let mut workers: Vec<Mutex<Network>> = Vec::new();
-        for epoch in 0..self.config.epochs {
+        for epoch in start_epoch..self.config.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             let mut epoch_correct = 0usize;
@@ -224,6 +542,10 @@ impl Trainer {
                 accuracy: epoch_correct as f32 / total.max(1) as f32,
             });
             opt = opt.with_lr_scaled(self.config.lr_decay);
+            if let Some(sink) = on_checkpoint.as_deref_mut() {
+                let cp = TrainCheckpoint::capture(&self.config, epoch + 1, net, &stats)?;
+                sink(&cp)?;
+            }
         }
         net.set_training(false);
         Ok(stats)
@@ -587,6 +909,164 @@ mod tests {
         assert!(Trainer::new(TrainConfig { epochs: 0, ..TrainConfig::default() }).is_err());
         assert!(Trainer::new(TrainConfig { batch_size: 0, ..TrainConfig::default() }).is_err());
         assert!(Trainer::new(TrainConfig { lr: -1.0, ..TrainConfig::default() }).is_err());
+    }
+
+    /// A trainer with a proximal group-Lasso regularizer — exercises the
+    /// lr-dependent shrink on resume, the hardest bit-identity case.
+    fn lasso_trainer(epochs: usize) -> Trainer {
+        let layout = GroupLayout::new(16, 8, 1, 4);
+        let reg = GroupLasso::new("ip1", layout, 0.05, StrengthMask::uniform(4)).unwrap();
+        Trainer::new(TrainConfig { epochs, batch_size: 16, lr: 0.1, ..TrainConfig::default() })
+            .unwrap()
+            .with_regularizer(reg)
+    }
+
+    fn weights_of(net: &Network) -> Vec<Vec<f32>> {
+        net.params().into_iter().map(|p| p.value.as_slice().to_vec()).collect()
+    }
+
+    #[test]
+    fn killed_run_resumes_to_bit_identical_weights() {
+        let (x, y) = toy_data(96, 11);
+        let epochs = 6;
+        // The uninterrupted reference run.
+        let mut full_net = toy_net(12);
+        let full_stats = lasso_trainer(epochs).train(&mut full_net, &x, &y).unwrap();
+        // The same run, checkpointing every epoch and "killed" after
+        // epoch 3: all we keep is the last checkpoint.
+        let mut killed_net = toy_net(12);
+        let mut checkpoints = Vec::new();
+        let trainer = lasso_trainer(epochs);
+        let err = trainer
+            .train_with_checkpoints(&mut killed_net, &x, &y, |cp| {
+                checkpoints.push(cp.clone());
+                if cp.completed_epochs == 3 {
+                    return Err(NnError::SaveFailed("simulated crash".into()));
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        assert_eq!(checkpoints.len(), 3);
+        let last = checkpoints.last().unwrap();
+        last.validate().unwrap();
+        // Resume from the survivor and compare bit-for-bit.
+        let (resumed_net, resumed_stats) = trainer.resume(last, &x, &y).unwrap();
+        assert_eq!(resumed_stats, full_stats);
+        assert_eq!(weights_of(&resumed_net), weights_of(&full_net));
+    }
+
+    #[test]
+    fn checkpoint_survives_the_file_roundtrip() {
+        let (x, y) = toy_data(48, 13);
+        let mut net = toy_net(14);
+        let trainer = lasso_trainer(4);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lts-train-{}-ckpt.snap", std::process::id()));
+        let mut kept: Option<TrainCheckpoint> = None;
+        trainer
+            .train_with_checkpoints(&mut net, &x, &y, |cp| {
+                cp.save_to_file(&path)?;
+                if cp.completed_epochs == 2 {
+                    kept = Some(cp.clone());
+                }
+                Ok(())
+            })
+            .unwrap();
+        // The file holds the *final* checkpoint; reload and sanity-check.
+        let final_cp = TrainCheckpoint::load_from_file(&path).unwrap();
+        assert_eq!(final_cp.completed_epochs, 4);
+        // Round-trip the mid-run checkpoint through JSON and resume from
+        // both copies: identical weights either way.
+        let kept = kept.unwrap();
+        let reparsed = TrainCheckpoint::from_json(&kept.to_json().unwrap()).unwrap();
+        assert_eq!(kept, reparsed);
+        let (a, _) = trainer.resume(&kept, &x, &y).unwrap();
+        let (b, _) = trainer.resume(&reparsed, &x, &y).unwrap();
+        assert_eq!(weights_of(&a), weights_of(&b));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_restores_momentum_not_just_weights() {
+        let (x, y) = toy_data(64, 15);
+        let mut net = toy_net(16);
+        let trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).unwrap();
+        let mut cp1 = None;
+        trainer
+            .train_with_checkpoints(&mut net, &x, &y, |cp| {
+                if cp.completed_epochs == 1 {
+                    cp1 = Some(cp.clone());
+                }
+                Ok(())
+            })
+            .unwrap();
+        let cp1 = cp1.unwrap();
+        // After a real epoch the momentum buffers are nonzero...
+        assert!(cp1.momentum.iter().any(|m| m.weight.as_slice().iter().any(|&v| v != 0.0)));
+        // ...and restoring brings them back exactly.
+        let restored = cp1.restore_network().unwrap();
+        for m in &cp1.momentum {
+            let w = restored.layer_weight(&m.layer).unwrap();
+            assert_eq!(w.momentum, m.weight, "momentum of `{}`", m.layer);
+        }
+        // Dropping them (fresh momentum) diverges: proves they matter.
+        let mut zeroed = cp1.clone();
+        for m in &mut zeroed.momentum {
+            m.weight.fill(0.0);
+            m.bias.fill(0.0);
+        }
+        let (with_m, _) = trainer.resume(&cp1, &x, &y).unwrap();
+        let (without_m, _) = trainer.resume(&zeroed, &x, &y).unwrap();
+        assert_ne!(weights_of(&with_m), weights_of(&without_m));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_and_malformed_checkpoints() {
+        let (x, y) = toy_data(32, 17);
+        let mut net = toy_net(18);
+        let trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).unwrap();
+        let mut cp = None;
+        trainer
+            .train_with_checkpoints(&mut net, &x, &y, |c| {
+                cp.get_or_insert_with(|| c.clone());
+                Ok(())
+            })
+            .unwrap();
+        let cp = cp.unwrap();
+        // A trainer with different hyper-parameters must refuse.
+        let other =
+            Trainer::new(TrainConfig { lr: 0.01, epochs: 2, ..TrainConfig::default() }).unwrap();
+        assert!(matches!(other.resume(&cp, &x, &y), Err(NnError::BadConfig(_))));
+        // Tampered epoch counts and momentum lists fail validation.
+        let mut bad = cp.clone();
+        bad.completed_epochs = 99;
+        assert!(matches!(bad.validate(), Err(NnError::MalformedSnapshot(_))));
+        let mut bad = cp.clone();
+        bad.momentum.pop();
+        assert!(matches!(bad.validate(), Err(NnError::MalformedSnapshot(_))));
+        let mut bad = cp;
+        bad.momentum[0].weight = Tensor::zeros(Shape::d1(1));
+        assert!(matches!(bad.validate(), Err(NnError::MalformedSnapshot(_))));
+    }
+
+    #[test]
+    fn resuming_a_finished_run_is_an_identity() {
+        let (x, y) = toy_data(32, 19);
+        let mut net = toy_net(20);
+        let trainer = Trainer::new(TrainConfig { epochs: 2, ..TrainConfig::default() }).unwrap();
+        let mut last = None;
+        let stats = trainer
+            .train_with_checkpoints(&mut net, &x, &y, |c| {
+                last = Some(c.clone());
+                Ok(())
+            })
+            .unwrap();
+        let last = last.unwrap();
+        assert_eq!(last.completed_epochs, 2);
+        let (resumed, resumed_stats) = trainer.resume(&last, &x, &y).unwrap();
+        assert_eq!(resumed_stats, stats);
+        assert_eq!(weights_of(&resumed), weights_of(&net));
     }
 
     #[test]

@@ -40,11 +40,18 @@ pub struct RetransmitConfig {
     /// Extra cycles added to the modelled acknowledgement latency
     /// (processing overhead at both NICs).
     pub ack_overhead: u64,
+    /// Maximum transmission attempts per packet (initial send + retries).
+    /// `0` means unbounded: the NIC retries until the watchdog fires,
+    /// which preserves delivery under arbitrarily lossy links. A positive
+    /// bound makes a permanently unreachable destination surface as
+    /// [`NocError::Unreachable`] instead of burning the cycle budget —
+    /// the behaviour online fault recovery relies on.
+    pub max_attempts: u32,
 }
 
 impl Default for RetransmitConfig {
     fn default() -> Self {
-        Self { base_timeout: 0, backoff_cap: 6, ack_overhead: 4 }
+        Self { base_timeout: 0, backoff_cap: 6, ack_overhead: 4, max_attempts: 0 }
     }
 }
 
@@ -126,6 +133,14 @@ impl FaultModel {
         self
     }
 
+    /// Bounds the NIC to `max_attempts` transmission attempts per packet
+    /// (see [`RetransmitConfig::max_attempts`]).
+    #[must_use]
+    pub fn retry_limit(mut self, max_attempts: u32) -> Self {
+        self.retransmit.max_attempts = max_attempts;
+        self
+    }
+
     /// Whether this model injects no faults at all.
     pub fn is_none(&self) -> bool {
         !self.has_permanent() && !self.has_transient()
@@ -191,6 +206,12 @@ impl FaultModel {
             return Err(NocError::BadConfig(format!(
                 "backoff_cap {} would overflow the timeout (max 32)",
                 self.retransmit.backoff_cap
+            )));
+        }
+        if self.retransmit.max_attempts > 1 << 20 {
+            return Err(NocError::BadConfig(format!(
+                "max_attempts {} is not a meaningful retry bound",
+                self.retransmit.max_attempts
             )));
         }
         Ok(())

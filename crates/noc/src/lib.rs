@@ -43,6 +43,7 @@ pub mod energy;
 pub mod fault;
 pub mod network;
 pub mod packet;
+pub mod recovery;
 pub mod router;
 pub mod stats;
 pub mod topology;
@@ -52,5 +53,9 @@ pub use config::{NocConfig, NocError, RoutingPolicy};
 pub use energy::{EnergyModel, EnergyReport};
 pub use fault::{FaultModel, RetransmitConfig};
 pub use network::Simulator;
+pub use recovery::{
+    Detection, DetectionCause, FaultEvent, FaultEventKind, FaultSchedule, MonitorConfig,
+    RecoverableReport,
+};
 pub use stats::{FaultStats, SimReport};
 pub use topology::Mesh2d;

@@ -9,15 +9,24 @@
 //! [`SimReport::blocked_flit_cycles`].
 
 use crate::config::{NocConfig, NocError};
-use crate::fault::{plan_routes, FaultModel};
+use crate::fault::{edge_dead, plan_routes, FaultModel};
 use crate::packet::{packetize, Flit, PacketDescriptor, PacketId};
+use crate::recovery::{
+    Detection, DetectionCause, FaultEventKind, FaultSchedule, MonitorConfig, RecoverableReport,
+};
 use crate::router::{Router, TimedFlit, PORTS};
 use crate::stats::{EventCounts, FaultStats, SimReport};
 use crate::topology::{Direction, Mesh2d};
 use crate::traffic::Message;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 const LOCAL: usize = 4;
+
+/// Retransmission attempts per packet used by [`Simulator::run_recoverable`]
+/// when the fault model leaves [`crate::RetransmitConfig::max_attempts`] at
+/// its unbounded default: a dynamic run must never retry forever against a
+/// destination that died under it.
+const DYNAMIC_DEFAULT_MAX_ATTEMPTS: u32 = 8;
 
 /// A packet queued at a source, waiting to start injection.
 #[derive(Debug, Clone)]
@@ -121,6 +130,19 @@ pub struct Simulator {
     faults: FaultStats,
     /// Flits of packets accepted cleanly at their destination.
     delivered_flits: u64,
+    // --- dynamic mid-run death state (run_recoverable only) ---
+    /// Whether the current run executes a time-varying fault schedule.
+    dynamic: bool,
+    /// Cycle each node died at (`u64::MAX` = alive).
+    died_at: Vec<u64>,
+    /// `(packet, attempt)` worms whose remaining flits must be discarded.
+    doomed: HashSet<(PacketId, u32)>,
+    /// Per-message abandonment flags.
+    abandoned_msgs: Vec<bool>,
+    /// Node deaths noticed so far, in detection order.
+    detections: Vec<Detection>,
+    /// Nodes already declared dead (first detection wins).
+    detected_nodes: HashSet<usize>,
 }
 
 impl Simulator {
@@ -176,6 +198,12 @@ impl Simulator {
             timeout_at: BTreeMap::new(),
             faults: FaultStats::default(),
             delivered_flits: 0,
+            dynamic: false,
+            died_at: Vec::new(),
+            doomed: HashSet::new(),
+            abandoned_msgs: Vec::new(),
+            detections: Vec::new(),
+            detected_nodes: HashSet::new(),
         })
     }
 
@@ -197,7 +225,19 @@ impl Simulator {
     /// Whether the fault layer (poisoning, acknowledgements, timeouts) is
     /// engaged for this simulator.
     fn fault_active(&self) -> bool {
-        !self.fault.is_none()
+        !self.fault.is_none() || self.dynamic
+    }
+
+    /// The retransmission bound in force: the configured bound, or — only
+    /// for dynamic runs — a finite default so mid-run deaths cannot trap
+    /// the NIC in an unbounded retry loop.
+    fn effective_max_attempts(&self) -> u32 {
+        let configured = self.fault.retransmit.max_attempts;
+        if configured == 0 && self.dynamic {
+            DYNAMIC_DEFAULT_MAX_ATTEMPTS
+        } else {
+            configured
+        }
     }
 
     /// Simulates the delivery of `messages` and returns the report.
@@ -277,7 +317,7 @@ impl Simulator {
             }
             let mut activity = false;
             if fault_active {
-                self.fire_protocol_events();
+                self.fire_protocol_events()?;
             }
             for node in 0..nodes {
                 if self.inject(node) {
@@ -372,11 +412,25 @@ impl Simulator {
         self.timeout_at.clear();
         self.faults = FaultStats::default();
         self.delivered_flits = 0;
+        self.dynamic = false;
+        self.died_at = vec![u64::MAX; nodes];
+        self.doomed.clear();
+        self.abandoned_msgs.clear();
+        self.detections.clear();
+        self.detected_nodes.clear();
     }
 
     /// Delivers due acknowledgements and fires due retransmission
-    /// timeouts (fault mode only).
-    fn fire_protocol_events(&mut self) {
+    /// timeouts (fault mode only). Returns how many messages were newly
+    /// abandoned (dynamic runs only; always 0 otherwise).
+    ///
+    /// # Errors
+    ///
+    /// On a non-dynamic run with a positive retry bound, an exhausted
+    /// packet surfaces as [`NocError::Unreachable`] — the regression
+    /// guarantee that a permanently unreachable destination never burns
+    /// the whole cycle budget.
+    fn fire_protocol_events(&mut self) -> Result<usize, NocError> {
         while let Some((&c, _)) = self.ack_at.iter().next() {
             if c > self.cycle {
                 break;
@@ -385,6 +439,8 @@ impl Simulator {
                 self.packets[id as usize].acked = true;
             }
         }
+        let mut newly_abandoned = 0usize;
+        let max_attempts = self.effective_max_attempts();
         while let Some((&c, _)) = self.timeout_at.iter().next() {
             if c > self.cycle {
                 break;
@@ -392,6 +448,30 @@ impl Simulator {
             for id in self.timeout_at.remove(&c).unwrap_or_default() {
                 let rec = &mut self.packets[id as usize];
                 if rec.acked {
+                    continue;
+                }
+                if self.dynamic && self.died_at[rec.desc.src] <= self.cycle {
+                    // The sending NIC died; nobody is left to retry.
+                    continue;
+                }
+                if max_attempts > 0 && rec.attempt + 1 >= max_attempts {
+                    // Retransmission budget exhausted.
+                    let desc = rec.desc;
+                    if !self.dynamic {
+                        return Err(NocError::Unreachable { src: desc.src, dst: desc.dst });
+                    }
+                    newly_abandoned += self.abandon_message(desc.message as usize);
+                    // Exhaustion against a node that died mid-run doubles
+                    // as a detection signal, racing the heartbeat monitor.
+                    if self.died_at[desc.dst] <= self.cycle && self.detected_nodes.insert(desc.dst)
+                    {
+                        self.detections.push(Detection {
+                            node: desc.dst,
+                            died_at: self.died_at[desc.dst],
+                            detected_at: self.cycle,
+                            cause: DetectionCause::RetransmitExhaustion,
+                        });
+                    }
                     continue;
                 }
                 // No acknowledgement in time: send the packet again. The
@@ -406,6 +486,31 @@ impl Simulator {
                 });
             }
         }
+        Ok(newly_abandoned)
+    }
+
+    /// Gives up on message `mi`: cancels its timers and queued sends and
+    /// counts it as resolved. A packet already streaming keeps flowing so
+    /// its worm stays well-formed (its flits drain toward the dead
+    /// destination and are discarded en route). Returns 1 if the message
+    /// was newly abandoned.
+    fn abandon_message(&mut self, mi: usize) -> usize {
+        if self.abandoned_msgs[mi] || self.messages[mi].completed_at.is_some() {
+            return 0;
+        }
+        self.abandoned_msgs[mi] = true;
+        let mut src = None;
+        for rec in &mut self.packets {
+            if rec.desc.message as usize == mi {
+                // Neutralize the timer without faking a delivery.
+                rec.acked = true;
+                src = Some(rec.desc.src);
+            }
+        }
+        if let Some(s) = src {
+            self.sources[s].pending.retain(|p| p.message_index != mi);
+        }
+        1
     }
 
     /// Arms the retransmission timer for a fully injected packet, with
@@ -442,7 +547,13 @@ impl Simulator {
         }
         let st = self.recv.remove(&key).unwrap_or_default();
         let id = flit.packet as usize;
-        debug_assert_eq!(st.received, self.packets[id].desc.flits, "partial packet at tail");
+        // A poisoned worm may arrive partial on dynamic runs: a mid-run
+        // death can destroy body flits and close the worm with a synthetic
+        // poisoned tail.
+        debug_assert!(
+            st.poisoned || st.received == self.packets[id].desc.flits,
+            "partial clean packet at tail"
+        );
         if st.poisoned {
             // Failed integrity check: drop silently; the source times out.
             self.faults.packets_rejected += 1;
@@ -463,23 +574,38 @@ impl Simulator {
         m.remaining_flits -= desc.flits;
         if m.remaining_flits == 0 {
             m.completed_at = Some(self.cycle + 1);
+            if self.dynamic && self.abandoned_msgs[mi] {
+                // A message given up on (e.g. after its source died with
+                // everything already in flight) made it after all; it was
+                // already counted as resolved when abandoned.
+                self.abandoned_msgs[mi] = false;
+                return 0;
+            }
             return 1;
         }
         0
     }
 
+    /// The planned output direction at `here` toward `dst`, or `None`
+    /// when the surviving topology has no route.
+    fn lookup_route(&self, yx: bool, here: usize, dst: usize) -> Option<Direction> {
+        if self.routes.is_empty() {
+            return Some(self.mesh.route_ordered(yx, here, dst));
+        }
+        self.routes[here * self.config.nodes() + dst]
+    }
+
     /// The output direction for a flit at `here`: the fault-aware table
     /// when permanent faults exist, dimension-ordered routing otherwise.
     fn route_for(&self, yx: bool, here: usize, dst: usize) -> Direction {
-        if self.routes.is_empty() {
-            return self.mesh.route_ordered(yx, here, dst);
-        }
-        match self.routes[here * self.config.nodes() + dst] {
+        match self.lookup_route(yx, here, dst) {
             Some(dir) => dir,
             None => {
                 // Unreachable pairs are rejected before injection, and
-                // flits only visit nodes on a planned route.
-                debug_assert!(false, "flit at {here} with no route to {dst}");
+                // flits only visit nodes on a planned route; on dynamic
+                // runs the purge pass removes unroutable heads before
+                // they reach arbitration.
+                debug_assert!(self.dynamic, "flit at {here} with no route to {dst}");
                 self.mesh.route_ordered(yx, here, dst)
             }
         }
@@ -574,6 +700,7 @@ impl Simulator {
                     debug_assert!(tf.flit.is_head, "non-head flit with no route state");
                     let dir = self.route_for(tf.flit.yx, node, tf.flit.dst);
                     self.routers[node].inputs[ip][vc].route = Some(dir);
+                    self.routers[node].inputs[ip][vc].active = Some(tf.flit);
                 }
                 if self.routers[node].inputs[ip][vc].route == Some(op_dir) {
                     ready.push((ip, vc));
@@ -672,6 +799,7 @@ impl Simulator {
         if tf.flit.is_tail {
             self.routers[node].inputs[ip][vc].route = None;
             self.routers[node].inputs[ip][vc].out_vc = None;
+            self.routers[node].inputs[ip][vc].active = None;
         }
         if op == LOCAL {
             // Ejection.
@@ -690,12 +818,25 @@ impl Simulator {
             return 0;
         }
         let v = out_vc.expect("mesh traversal requires an allocated VC");
+        let op_dir = Direction::ALL[op];
+        let downstream = self.mesh.neighbor(node, op_dir).expect("routing never leaves the mesh");
+        if self.dynamic
+            && (self.died_at[downstream] <= self.cycle
+                || edge_dead(&self.fault, &self.mesh, node, op_dir))
+        {
+            // Null sink: the flit vanishes on the dead link / into the dead
+            // router. Upstream credit was already returned; the downstream
+            // buffer is never occupied, so no credit is consumed.
+            self.faults.flits_lost += 1;
+            if tf.flit.is_tail && self.routers[node].outputs[op][v].holder == Some((ip, vc)) {
+                self.routers[node].outputs[op][v].holder = None;
+            }
+            return 0;
+        }
         self.routers[node].outputs[op][v].credits -= 1;
         if tf.flit.is_tail {
             self.routers[node].outputs[op][v].holder = None;
         }
-        let op_dir = Direction::ALL[op];
-        let downstream = self.mesh.neighbor(node, op_dir).expect("routing never leaves the mesh");
         let in_port = op_dir.opposite().index();
         let mut flit = tf.flit;
         if self.fault.has_transient() {
@@ -725,6 +866,429 @@ impl Simulator {
         self.events.buffer_writes += 1;
         self.link_flits[node * 4 + op] += 1;
         0
+    }
+
+    /// Runs `messages` under a time-varying fault `schedule` with online
+    /// death detection via the heartbeat `monitor`.
+    ///
+    /// With an empty schedule this is exactly [`Simulator::run`] — the
+    /// report is bit-identical to the static path. With scheduled deaths
+    /// the run keeps going on the degraded topology: flits crossing dead
+    /// hardware are discarded, severed wormholes are closed with synthetic
+    /// poisoned tails so no VC stays wedged, undeliverable messages are
+    /// abandoned after a bounded retransmission budget (a finite default
+    /// applies even when [`crate::RetransmitConfig::max_attempts`] is 0),
+    /// and each router death is detected either by `miss_threshold`
+    /// consecutive missed heartbeats or by NIC retransmission exhaustion —
+    /// whichever fires first. The run extends past delivery until every
+    /// scheduled death has had its detection deadline, so reported
+    /// detection latencies are complete.
+    ///
+    /// The simulator's static fault model and routes are restored
+    /// afterwards, so the same instance can keep serving static runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] for an invalid schedule or monitor,
+    /// [`NocError::BadNode`] / [`NocError::Unreachable`] for endpoints
+    /// invalid before the run starts, and [`NocError::CycleLimitExceeded`]
+    /// if the run outlives `max_cycles` — it never hangs past the
+    /// watchdog.
+    pub fn run_recoverable(
+        &mut self,
+        messages: &[Message],
+        schedule: &FaultSchedule,
+        monitor: &MonitorConfig,
+    ) -> Result<RecoverableReport, NocError> {
+        schedule.validate(&self.config)?;
+        monitor.validate(&self.config)?;
+        if schedule.is_empty() {
+            let report = self.run(messages)?;
+            return Ok(RecoverableReport { report, detections: Vec::new(), abandoned: Vec::new() });
+        }
+        let saved_fault = self.fault.clone();
+        let saved_routes = self.routes.clone();
+        let result = self.run_recoverable_inner(messages, schedule, monitor);
+        self.fault = saved_fault;
+        self.routes = saved_routes;
+        self.dynamic = false;
+        result
+    }
+
+    fn run_recoverable_inner(
+        &mut self,
+        messages: &[Message],
+        schedule: &FaultSchedule,
+        monitor: &MonitorConfig,
+    ) -> Result<RecoverableReport, NocError> {
+        self.reset();
+        self.dynamic = true;
+        self.abandoned_msgs = vec![false; messages.len()];
+        let nodes = self.config.nodes();
+        let mut next_packet_id = 0u64;
+        for (i, m) in messages.iter().enumerate() {
+            if m.src >= nodes {
+                return Err(NocError::BadNode { node: m.src, nodes });
+            }
+            if m.dst >= nodes || m.dst == m.src {
+                return Err(NocError::BadNode { node: m.dst, nodes });
+            }
+            // Endpoints must be alive *at the start*; deaths after cycle 0
+            // are the whole point of this entry point.
+            let endpoint_dead = self.fault.router_dead(m.src) || self.fault.router_dead(m.dst);
+            let no_route = !self.routes.is_empty() && self.routes[m.src * nodes + m.dst].is_none();
+            if endpoint_dead || no_route {
+                return Err(NocError::Unreachable { src: m.src, dst: m.dst });
+            }
+            let packets =
+                packetize(i as u64, m.src, m.dst, m.bytes, &self.config, &mut next_packet_id);
+            let flits: u64 = packets.iter().map(|p| p.flits).sum();
+            self.messages.push(MessageState {
+                inject_cycle: m.inject_cycle,
+                remaining_flits: flits,
+                bytes: m.bytes,
+                completed_at: None,
+            });
+            for p in packets {
+                debug_assert_eq!(p.id as usize, self.packets.len());
+                self.packets.push(PacketRecord {
+                    desc: p,
+                    attempt: 0,
+                    delivered: false,
+                    acked: false,
+                });
+                self.sources[m.src].pending.push_back(PendingPacket {
+                    desc: p,
+                    inject_cycle: m.inject_cycle,
+                    message_index: i,
+                });
+            }
+        }
+        for s in &mut self.sources {
+            let mut v: Vec<PendingPacket> = s.pending.drain(..).collect();
+            v.sort_by_key(|p| p.inject_cycle);
+            s.pending = v.into();
+        }
+
+        // Heartbeat arithmetic is resolvable up front: beat deadlines are a
+        // pure function of the schedule, so precompute when the monitor
+        // will declare each scheduled router death (the in-sim exhaustion
+        // path can still race these and win).
+        let events = schedule.sorted();
+        let monitor_death = events.iter().find_map(|e| match e.kind {
+            FaultEventKind::RouterDeath { node } if node == monitor.monitor => Some(e.cycle),
+            _ => None,
+        });
+        let mut beats: Vec<(u64, usize, u64)> = Vec::new();
+        let mut scheduled: HashSet<usize> = HashSet::new();
+        for e in &events {
+            if let FaultEventKind::RouterDeath { node } = e.kind {
+                // The monitor cannot observe its own death, and deaths it
+                // would only have noticed after dying go unreported.
+                if node == monitor.monitor || !scheduled.insert(node) {
+                    continue;
+                }
+                let det = monitor.detection_cycle(&self.config, node, e.cycle);
+                if monitor_death.is_none_or(|md| det <= md) {
+                    beats.push((det, node, e.cycle));
+                }
+            }
+        }
+        beats.sort_unstable();
+
+        let total = self.messages.len();
+        let mut resolved = 0usize;
+        let mut next_event = 0usize;
+        let mut next_beat = 0usize;
+        while resolved < total || next_event < events.len() || next_beat < beats.len() {
+            if self.cycle > self.config.max_cycles {
+                return Err(NocError::CycleLimitExceeded {
+                    limit: self.config.max_cycles,
+                    undelivered: self.messages.iter().filter(|m| m.completed_at.is_none()).count(),
+                });
+            }
+            let mut activity = false;
+            while next_event < events.len() && events[next_event].cycle <= self.cycle {
+                let e = events[next_event];
+                next_event += 1;
+                match e.kind {
+                    FaultEventKind::RouterDeath { node } => {
+                        resolved += self.apply_router_death(node);
+                    }
+                    FaultEventKind::LinkDeath { node, dir } => self.apply_link_death(node, dir),
+                }
+            }
+            while next_beat < beats.len()
+                && (beats[next_beat].0 <= self.cycle
+                    || self.detected_nodes.contains(&beats[next_beat].1))
+            {
+                let (det, node, died) = beats[next_beat];
+                next_beat += 1;
+                if self.detected_nodes.insert(node) {
+                    resolved += self.declare_dead(Detection {
+                        node,
+                        died_at: died,
+                        detected_at: det,
+                        cause: DetectionCause::MissedHeartbeats,
+                    });
+                }
+            }
+            resolved += self.fire_protocol_events()?;
+            if self.purge_unroutable() {
+                activity = true;
+            }
+            for node in 0..nodes {
+                if self.died_at[node] <= self.cycle {
+                    continue;
+                }
+                if self.inject(node) {
+                    activity = true;
+                }
+            }
+            for node in 0..nodes {
+                if self.died_at[node] <= self.cycle {
+                    continue;
+                }
+                for op in 0..PORTS {
+                    let (moved, completed) = self.switch_output(node, op);
+                    if moved {
+                        activity = true;
+                    }
+                    resolved += completed;
+                }
+            }
+            if activity {
+                self.cycle += 1;
+            } else {
+                // Everything may have resolved within this iteration (e.g.
+                // an exhaustion-detection after this cycle's beat check):
+                // re-test the loop condition before treating an empty wake
+                // list as a wedged network.
+                if resolved >= total && next_event >= events.len() && next_beat >= beats.len() {
+                    break;
+                }
+                let pending_protocol =
+                    [events.get(next_event).map(|e| e.cycle), beats.get(next_beat).map(|b| b.0)];
+                let next = self
+                    .next_event_cycle()
+                    .into_iter()
+                    .chain(pending_protocol.into_iter().flatten())
+                    .map(|c| c.max(self.cycle + 1))
+                    .min();
+                match next {
+                    Some(n) if n > self.cycle => self.cycle = n,
+                    Some(_) => self.cycle += 1,
+                    None => {
+                        return Err(NocError::CycleLimitExceeded {
+                            limit: self.config.max_cycles,
+                            undelivered: self
+                                .messages
+                                .iter()
+                                .filter(|m| m.completed_at.is_none())
+                                .count(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let makespan = self.messages.iter().filter_map(|m| m.completed_at).max().unwrap_or(0);
+        let abandoned: Vec<usize> =
+            self.abandoned_msgs.iter().enumerate().filter_map(|(i, &a)| a.then_some(i)).collect();
+        let report = SimReport {
+            makespan,
+            messages_delivered: total - abandoned.len(),
+            bytes_delivered: self
+                .messages
+                .iter()
+                .zip(&self.abandoned_msgs)
+                .filter(|&(_, &a)| !a)
+                .map(|(m, _)| m.bytes)
+                .sum(),
+            flits_delivered: self.delivered_flits,
+            message_latencies: self
+                .messages
+                .iter()
+                .map(|m| m.completed_at.unwrap_or(0).saturating_sub(m.inject_cycle))
+                .collect(),
+            blocked_flit_cycles: self.blocked_flit_cycles,
+            events: self.events,
+            link_flits: self.link_flits.clone(),
+            faults: self.faults,
+        };
+        Ok(RecoverableReport {
+            report,
+            detections: std::mem::take(&mut self.detections),
+            abandoned,
+        })
+    }
+
+    /// Records a detection and gives up on all unresolved traffic destined
+    /// to the declared-dead node (the monitor broadcasts the verdict, so
+    /// NICs stop waiting on their own exhaustion timers). Returns how many
+    /// messages were newly abandoned.
+    fn declare_dead(&mut self, detection: Detection) -> usize {
+        let node = detection.node;
+        self.detections.push(detection);
+        let doomed_msgs: Vec<usize> = self
+            .packets
+            .iter()
+            .filter(|r| r.desc.dst == node)
+            .map(|r| r.desc.message as usize)
+            .collect();
+        let mut abandoned = 0;
+        for mi in doomed_msgs {
+            abandoned += self.abandon_message(mi);
+        }
+        abandoned
+    }
+
+    /// Kills `node` mid-run: reshapes the fault model and routes, discards
+    /// everything buffered inside the router, restores neighbour credit
+    /// pools (no credit will ever return from the dead router), closes
+    /// worms severed mid-stream, and abandons the dead core's own traffic.
+    /// Returns how many messages were newly abandoned.
+    fn apply_router_death(&mut self, node: usize) -> usize {
+        if self.died_at[node] <= self.cycle {
+            return 0;
+        }
+        self.died_at[node] = self.cycle;
+        self.fault = self.fault.clone().kill_router(node);
+        self.routes = plan_routes(&self.mesh, &self.fault);
+        for ip in 0..PORTS {
+            for vc in 0..self.config.vcs {
+                let input = &mut self.routers[node].inputs[ip][vc];
+                let lost = input.queue.len() as u64;
+                input.queue.clear();
+                input.route = None;
+                input.out_vc = None;
+                input.active = None;
+                self.faults.flits_lost += lost;
+            }
+        }
+        for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
+            let Some(nb) = self.mesh.neighbor(node, dir) else { continue };
+            let toward_dead = dir.opposite().index();
+            for vc in 0..self.config.vcs {
+                self.routers[nb].outputs[toward_dead][vc].credits = self.config.vc_buffer_flits;
+            }
+            self.close_severed_worms(nb, toward_dead);
+        }
+        self.sources[node].pending.clear();
+        self.sources[node].open = None;
+        let orphaned: Vec<usize> = self
+            .packets
+            .iter()
+            .filter(|r| r.desc.src == node)
+            .map(|r| r.desc.message as usize)
+            .collect();
+        let mut abandoned = 0;
+        for mi in orphaned {
+            abandoned += self.abandon_message(mi);
+        }
+        abandoned
+    }
+
+    /// Kills the link `(node, dir)` mid-run (both directions): reshapes
+    /// routes and closes worms severed across the link. Flits later
+    /// crossing the dead link are discarded by [`Simulator::traverse`].
+    fn apply_link_death(&mut self, node: usize, dir: Direction) {
+        let Some(nb) = self.mesh.neighbor(node, dir) else {
+            return; // A mesh-edge "link" has no far side; nothing to kill.
+        };
+        self.fault = self.fault.clone().kill_link(node, dir);
+        self.routes = plan_routes(&self.mesh, &self.fault);
+        // Both receiving sides may hold worms whose remaining flits were
+        // still across the link (the sending sides self-heal: their flits
+        // drain into the null sink and the real tail clears their state).
+        self.close_severed_worms(nb, dir.opposite().index());
+        self.close_severed_worms(node, dir.index());
+    }
+
+    /// Closes incomplete worms on input port `ip` of `node` after the
+    /// upstream hardware feeding that port died: any worm still waiting
+    /// for flits that can no longer arrive gets a synthetic poisoned tail
+    /// appended, which then follows the worm's latched route trail,
+    /// releasing per-hop VC state; the destination NIC rejects the partial
+    /// packet, and the source retransmits or exhausts its budget.
+    fn close_severed_worms(&mut self, node: usize, ip: usize) {
+        if self.died_at[node] <= self.cycle {
+            return;
+        }
+        let ser = self.config.serialization_cycles();
+        let ready_at = self.cycle + (ser - 1) + self.config.link_cycles + self.config.router_stages;
+        for vc in 0..self.config.vcs {
+            let input = &mut self.routers[node].inputs[ip][vc];
+            // Worms are contiguous, so only the last worm in the queue can
+            // be incomplete; an idle VC has neither flits nor a latched
+            // worm. A queue already ending in a tail needs no closure.
+            let template = match input.queue.back() {
+                Some(tf) if tf.flit.is_tail => None,
+                Some(tf) => Some(tf.flit),
+                None => input.active,
+            };
+            let Some(worm) = template else { continue };
+            let tail =
+                Flit { is_head: false, is_tail: true, poisoned: true, seq: u64::MAX, ..worm };
+            input.queue.push_back(TimedFlit { flit: tail, ready_at });
+            self.events.buffer_writes += 1;
+        }
+    }
+
+    /// Drops ready front flits that can no longer route anywhere (their
+    /// destination became unreachable mid-run), plus the rest of each such
+    /// worm as it surfaces. Returns whether anything was dropped.
+    fn purge_unroutable(&mut self) -> bool {
+        let mut dropped_any = false;
+        for node in 0..self.config.nodes() {
+            if self.died_at[node] <= self.cycle {
+                continue;
+            }
+            for ip in 0..PORTS {
+                for vc in 0..self.config.vcs {
+                    loop {
+                        let front = self.routers[node].inputs[ip][vc].queue.front().copied();
+                        let Some(tf) = front else { break };
+                        if tf.ready_at > self.cycle {
+                            break;
+                        }
+                        let key = (tf.flit.packet, tf.flit.attempt);
+                        let doomed = self.doomed.contains(&key);
+                        let unroutable = !doomed
+                            && tf.flit.is_head
+                            && self.routers[node].inputs[ip][vc].route.is_none()
+                            && self.lookup_route(tf.flit.yx, node, tf.flit.dst).is_none();
+                        if !doomed && !unroutable {
+                            break;
+                        }
+                        if unroutable && !tf.flit.is_tail {
+                            self.doomed.insert(key);
+                        }
+                        self.routers[node].inputs[ip][vc].queue.pop_front();
+                        self.faults.flits_lost += 1;
+                        dropped_any = true;
+                        if ip != LOCAL {
+                            let ip_dir = Direction::ALL[ip];
+                            let upstream = self
+                                .mesh
+                                .neighbor(node, ip_dir)
+                                .expect("mesh input port implies a neighbor");
+                            if self.died_at[upstream] > self.cycle {
+                                self.routers[upstream].outputs[ip_dir.opposite().index()][vc]
+                                    .credits += 1;
+                            }
+                        }
+                        if tf.flit.is_tail {
+                            self.doomed.remove(&key);
+                            self.routers[node].inputs[ip][vc].route = None;
+                            self.routers[node].inputs[ip][vc].out_vc = None;
+                            self.routers[node].inputs[ip][vc].active = None;
+                        }
+                    }
+                }
+            }
+        }
+        dropped_any
     }
 
     /// The earliest future cycle at which anything can happen.

@@ -1,0 +1,352 @@
+//! Time-varying fault schedules and the heartbeat health monitor.
+//!
+//! PR 2's [`crate::FaultModel`] describes faults that exist *before* a run
+//! starts. This module adds the dynamic half: a [`FaultSchedule`] kills
+//! routers and links at specific cycles **while traffic is in flight**,
+//! and a [`MonitorConfig`] models the lightweight health-monitor protocol
+//! that *detects* those deaths instead of being told about them.
+//!
+//! # Detection protocol
+//!
+//! Every router emits a one-phit heartbeat toward the monitor node each
+//! `period` cycles on an out-of-band control plane (modelled at
+//! uncongested Manhattan-distance latency — heartbeats are tiny and
+//! prioritized, so they do not contend with data flits). The monitor
+//! expects beat `k` of node `r` no later than
+//! `k * period + beat_latency(r) + 1`; after `miss_threshold` consecutive
+//! missed beats the node is declared dead
+//! ([`DetectionCause::MissedHeartbeats`]). Independently, a source NIC
+//! that exhausts its bounded retransmission budget against a dead
+//! destination reports it out of band
+//! ([`DetectionCause::RetransmitExhaustion`]) — whichever fires first
+//! wins. Both paths are exercised by
+//! [`crate::Simulator::run_recoverable`], and the analytic
+//! [`MonitorConfig::detection_cycle`] reproduces the heartbeat arithmetic
+//! exactly so higher layers can place detections on a timeline without a
+//! flit-level simulation.
+
+use crate::config::{NocConfig, NocError};
+use crate::stats::SimReport;
+use crate::topology::{Direction, Mesh2d};
+use serde::{Deserialize, Serialize};
+
+/// What dies in a [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// A router (and its attached core) stops forwarding, injecting and
+    /// ejecting. Flits inside it are lost.
+    RouterDeath {
+        /// The dying node.
+        node: usize,
+    },
+    /// A link goes down in both directions; traffic reroutes around it.
+    LinkDeath {
+        /// The node naming the link.
+        node: usize,
+        /// The link's direction from `node`.
+        dir: Direction,
+    },
+}
+
+/// One scheduled mid-run fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulation cycle at which the fault strikes.
+    pub cycle: u64,
+    /// What dies.
+    pub kind: FaultEventKind,
+}
+
+/// A time-ordered schedule of mid-run faults.
+///
+/// # Examples
+///
+/// ```
+/// use lts_noc::recovery::FaultSchedule;
+///
+/// let s = FaultSchedule::new().router_death(5_000, 5).link_death(9_000, 0, lts_noc::topology::Direction::East);
+/// assert_eq!(s.events().len(), 2);
+/// assert!(FaultSchedule::new().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (nothing ever dies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a router death at `cycle`.
+    #[must_use]
+    pub fn router_death(mut self, cycle: u64, node: usize) -> Self {
+        self.events.push(FaultEvent { cycle, kind: FaultEventKind::RouterDeath { node } });
+        self
+    }
+
+    /// Adds a link death at `cycle`.
+    #[must_use]
+    pub fn link_death(mut self, cycle: u64, node: usize, dir: Direction) -> Self {
+        self.events.push(FaultEvent { cycle, kind: FaultEventKind::LinkDeath { node, dir } });
+        self
+    }
+
+    /// The events, in insertion order (sort with [`FaultSchedule::sorted`]).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events sorted by cycle (stable: same-cycle events keep their
+    /// insertion order).
+    pub fn sorted(&self) -> Vec<FaultEvent> {
+        let mut v = self.events.clone();
+        v.sort_by_key(|e| e.cycle);
+        v
+    }
+
+    /// The router-death nodes in the schedule (deduplicated, sorted).
+    pub fn dead_routers(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultEventKind::RouterDeath { node } => Some(node),
+                FaultEventKind::LinkDeath { .. } => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Validates the schedule against a mesh configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] for out-of-range nodes or a
+    /// `Local` link direction.
+    pub fn validate(&self, config: &NocConfig) -> Result<(), NocError> {
+        let nodes = config.nodes();
+        for e in &self.events {
+            match e.kind {
+                FaultEventKind::RouterDeath { node } => {
+                    if node >= nodes {
+                        return Err(NocError::BadConfig(format!(
+                            "scheduled router death at node {node} out of range for {nodes} nodes"
+                        )));
+                    }
+                }
+                FaultEventKind::LinkDeath { node, dir } => {
+                    if node >= nodes {
+                        return Err(NocError::BadConfig(format!(
+                            "scheduled link death at node {node} out of range for {nodes} nodes"
+                        )));
+                    }
+                    if dir == Direction::Local {
+                        return Err(NocError::BadConfig(
+                            "scheduled link death direction must be a mesh direction".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Heartbeat health-monitor parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Heartbeat emission period in cycles.
+    pub period: u64,
+    /// Consecutive missed beats before a node is declared dead.
+    pub miss_threshold: u32,
+    /// Node hosting the health monitor.
+    pub monitor: usize,
+    /// Fixed processing overhead added to each beat's modelled latency.
+    pub overhead: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self { period: 256, miss_threshold: 3, monitor: 0, overhead: 4 }
+    }
+}
+
+impl MonitorConfig {
+    /// Validates the monitor against a mesh configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] for a zero period/threshold or an
+    /// out-of-range monitor node.
+    pub fn validate(&self, config: &NocConfig) -> Result<(), NocError> {
+        if self.period == 0 {
+            return Err(NocError::BadConfig("heartbeat period must be positive".into()));
+        }
+        if self.miss_threshold == 0 {
+            return Err(NocError::BadConfig("miss_threshold must be positive".into()));
+        }
+        if self.monitor >= config.nodes() {
+            return Err(NocError::BadConfig(format!(
+                "monitor node {} out of range for {} nodes",
+                self.monitor,
+                config.nodes()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Modelled control-plane latency of one heartbeat from `node` to the
+    /// monitor: uncongested pipeline cycles over the Manhattan distance
+    /// plus the fixed overhead.
+    pub fn beat_latency(&self, config: &NocConfig, node: usize) -> u64 {
+        let mesh = Mesh2d::new(config.width, config.height);
+        let hops = mesh.distance(node, self.monitor) as u64;
+        hops * (config.router_stages + config.link_cycles) + self.overhead
+    }
+
+    /// The cycle at which the monitor declares `node` dead, given it died
+    /// at `died_at`: the arrival deadline of the `miss_threshold`-th
+    /// consecutively missed beat. Beat `k` (emitted at `k * period`) is
+    /// missed iff the node was already dead at its emission instant.
+    pub fn detection_cycle(&self, config: &NocConfig, node: usize, died_at: u64) -> u64 {
+        let first_missed = died_at.div_ceil(self.period).max(1);
+        let last = first_missed + u64::from(self.miss_threshold) - 1;
+        last * self.period + self.beat_latency(config, node) + 1
+    }
+
+    /// Detection latency in cycles: [`MonitorConfig::detection_cycle`]
+    /// minus the death cycle.
+    pub fn detection_latency(&self, config: &NocConfig, node: usize, died_at: u64) -> u64 {
+        self.detection_cycle(config, node, died_at).saturating_sub(died_at)
+    }
+}
+
+/// How a death was noticed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectionCause {
+    /// The health monitor saw `miss_threshold` consecutive missed beats.
+    MissedHeartbeats,
+    /// A source NIC exhausted its retransmission budget against the node.
+    RetransmitExhaustion,
+}
+
+/// One detected node death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// The node declared dead.
+    pub node: usize,
+    /// Cycle at which it actually died (ground truth from the schedule).
+    pub died_at: u64,
+    /// Cycle at which the monitor/NIC declared it dead.
+    pub detected_at: u64,
+    /// Which mechanism fired first.
+    pub cause: DetectionCause,
+}
+
+impl Detection {
+    /// Detection latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.detected_at.saturating_sub(self.died_at)
+    }
+}
+
+/// Result of a [`crate::Simulator::run_recoverable`] run: the usual
+/// simulation report plus what died, when it was noticed, and which
+/// messages could not be delivered because of mid-run deaths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverableReport {
+    /// The flit-level report over the delivered portion of the trace.
+    pub report: SimReport,
+    /// Node deaths noticed by the monitor or the NICs, in detection order.
+    pub detections: Vec<Detection>,
+    /// Indices (into the input trace) of messages abandoned because an
+    /// endpoint died or retransmission was exhausted mid-run.
+    pub abandoned: Vec<usize>,
+}
+
+impl RecoverableReport {
+    /// Whether every message of the trace was delivered.
+    pub fn fully_delivered(&self) -> bool {
+        self.abandoned.is_empty()
+    }
+
+    /// Worst detection latency across all detections (0 when none).
+    pub fn max_detection_latency(&self) -> u64 {
+        self.detections.iter().map(Detection::latency).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_builders_sort_and_dedup() {
+        let s = FaultSchedule::new()
+            .router_death(900, 3)
+            .link_death(100, 0, Direction::East)
+            .router_death(500, 3);
+        let sorted = s.sorted();
+        assert_eq!(sorted[0].cycle, 100);
+        assert_eq!(sorted[2].cycle, 900);
+        assert_eq!(s.dead_routers(), vec![3]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn schedule_validation_rejects_bad_hardware() {
+        let cfg = NocConfig::paper_16core();
+        assert!(FaultSchedule::new().router_death(0, 16).validate(&cfg).is_err());
+        assert!(FaultSchedule::new().router_death(0, 15).validate(&cfg).is_ok());
+        assert!(FaultSchedule::new().link_death(0, 16, Direction::East).validate(&cfg).is_err());
+        assert!(FaultSchedule::new().link_death(0, 0, Direction::Local).validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn monitor_validation() {
+        let cfg = NocConfig::paper_16core();
+        assert!(MonitorConfig::default().validate(&cfg).is_ok());
+        assert!(MonitorConfig { period: 0, ..Default::default() }.validate(&cfg).is_err());
+        assert!(MonitorConfig { miss_threshold: 0, ..Default::default() }.validate(&cfg).is_err());
+        assert!(MonitorConfig { monitor: 16, ..Default::default() }.validate(&cfg).is_err());
+    }
+
+    #[test]
+    fn detection_arithmetic_is_monotone_and_bounded() {
+        let cfg = NocConfig::paper_16core();
+        let m = MonitorConfig::default();
+        // A node dying just after beat k must wait for k+1..k+3 to miss.
+        let d1 = m.detection_cycle(&cfg, 15, 257);
+        let d2 = m.detection_cycle(&cfg, 15, 511);
+        assert_eq!(d1, d2, "deaths inside one beat window detect together");
+        // Latency is bounded by (threshold + 1) * period + latency slack.
+        for died_at in [1u64, 256, 300, 1000, 5000] {
+            let lat = m.detection_latency(&cfg, 15, died_at);
+            assert!(lat >= u64::from(m.miss_threshold - 1) * m.period);
+            assert!(lat <= (u64::from(m.miss_threshold) + 1) * m.period + 64);
+        }
+        // Farther nodes detect slightly later (longer beat latency).
+        assert!(m.detection_cycle(&cfg, 15, 300) > m.detection_cycle(&cfg, 1, 300));
+    }
+
+    #[test]
+    fn death_at_emission_instant_counts_as_missed() {
+        let cfg = NocConfig::paper_16core();
+        let m = MonitorConfig::default();
+        // Dying exactly at cycle 256 kills beat 1.
+        let at_beat = m.detection_cycle(&cfg, 5, 256);
+        let before_beat = m.detection_cycle(&cfg, 5, 255);
+        assert_eq!(at_beat, before_beat);
+        // One cycle later the node still emitted beat 1.
+        assert!(m.detection_cycle(&cfg, 5, 257) > at_beat);
+    }
+}

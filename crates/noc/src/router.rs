@@ -32,6 +32,10 @@ pub struct InputVc {
     pub route: Option<Direction>,
     /// Downstream VC allocated to the current packet.
     pub out_vc: Option<usize>,
+    /// Head flit of the worm currently traversing this VC (set when the
+    /// route latches, cleared when the tail dequeues). Identifies the
+    /// worm so a mid-run router death can close its orphaned remainder.
+    pub active: Option<Flit>,
 }
 
 impl InputVc {

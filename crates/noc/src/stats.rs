@@ -34,6 +34,10 @@ pub struct FaultStats {
     pub packets_retransmitted: u64,
     /// Clean packets discarded as duplicates of an earlier delivery.
     pub duplicate_packets: u64,
+    /// Flits discarded in flight by a mid-run topology death (they were
+    /// inside, or heading into, a router that died under them). Only
+    /// nonzero for dynamic-schedule runs.
+    pub flits_lost: u64,
 }
 
 impl FaultStats {
@@ -50,6 +54,7 @@ impl FaultStats {
         self.packets_rejected += other.packets_rejected;
         self.packets_retransmitted += other.packets_retransmitted;
         self.duplicate_packets += other.duplicate_packets;
+        self.flits_lost += other.flits_lost;
     }
 }
 

@@ -209,3 +209,41 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+#[test]
+fn bounded_retransmission_surfaces_unreachable_within_budget() {
+    // Regression: with a finite retry budget, a destination that can never
+    // accept a clean packet must surface as a typed `Unreachable` long
+    // before the cycle watchdog, not spin in an unbounded retry loop.
+    let mut cfg = NocConfig::paper_16core();
+    cfg.max_cycles = 300_000;
+    let fault = FaultModel::none().with_seed(11).drop_rate(1.0).retry_limit(6);
+    let mut s = Simulator::with_faults(cfg, fault).unwrap();
+    match s.run(&[Message::new(0, 5, 256, 0)]) {
+        Err(NocError::Unreachable { src: 0, dst: 5 }) => {}
+        other => panic!("expected Unreachable, got {other:?}"),
+    }
+}
+
+#[test]
+fn retry_limit_zero_keeps_the_unbounded_default() {
+    // The unbounded default retries past any finite budget; total loss
+    // then ends at the watchdog exactly as before the bound existed.
+    let mut cfg = NocConfig::paper_16core();
+    cfg.max_cycles = 200_000;
+    let fault = FaultModel::none().with_seed(11).drop_rate(1.0).retry_limit(0);
+    let mut s = Simulator::with_faults(cfg, fault).unwrap();
+    assert!(matches!(
+        s.run(&[Message::new(0, 5, 256, 0)]),
+        Err(NocError::CycleLimitExceeded { .. })
+    ));
+}
+
+#[test]
+fn generous_retry_limit_still_delivers_under_moderate_loss() {
+    let cfg = NocConfig::paper_16core();
+    let msgs = trace();
+    let fault = FaultModel::none().with_seed(7).drop_rate(0.05).retry_limit(64);
+    let r = Simulator::with_faults(cfg, fault).unwrap().run(&msgs).unwrap();
+    assert_eq!(r.messages_delivered, msgs.len());
+}

@@ -1,0 +1,188 @@
+//! Online-recovery integration tests: empty-schedule bit-parity with the
+//! static path, heartbeat-deadline detection of mid-run router deaths,
+//! the exhaustion-vs-heartbeat detection race, link-death rerouting, and
+//! the never-hang guarantee under random schedules.
+
+use lts_noc::topology::Direction;
+use lts_noc::traffic::Message;
+use lts_noc::{
+    DetectionCause, FaultModel, FaultSchedule, MonitorConfig, NocConfig, NocError, Simulator,
+};
+use proptest::prelude::*;
+
+/// A steady mixed-pair stream covering the first ~10k cycles.
+fn stream() -> Vec<Message> {
+    let mut msgs = Vec::new();
+    for i in 0..200usize {
+        let src = i % 16;
+        let dst = (i * 7 + 3) % 16;
+        if src != dst {
+            msgs.push(Message::new(src, dst, 256, (i as u64) * 50));
+        }
+    }
+    msgs
+}
+
+#[test]
+fn empty_schedule_is_bit_identical_to_the_static_path() {
+    let cfg = NocConfig::paper_16core();
+    let msgs = stream();
+    let plain = Simulator::new(cfg).unwrap().run(&msgs).unwrap();
+    let mut s = Simulator::new(cfg).unwrap();
+    let rec = s.run_recoverable(&msgs, &FaultSchedule::new(), &MonitorConfig::default()).unwrap();
+    assert_eq!(rec.report, plain);
+    assert!(rec.detections.is_empty());
+    assert!(rec.fully_delivered());
+}
+
+#[test]
+fn mid_run_router_death_is_detected_at_the_heartbeat_deadline() {
+    let cfg = NocConfig::paper_16core();
+    let msgs = stream();
+    let monitor = MonitorConfig::default();
+    let died_at = 3_000u64;
+    let schedule = FaultSchedule::new().router_death(died_at, 10);
+    let mut s = Simulator::new(cfg).unwrap();
+    let rec = s.run_recoverable(&msgs, &schedule, &monitor).unwrap();
+
+    assert_eq!(rec.detections.len(), 1);
+    let d = rec.detections[0];
+    assert_eq!(d.node, 10);
+    assert_eq!(d.died_at, died_at);
+    assert_eq!(d.cause, DetectionCause::MissedHeartbeats);
+    // The in-sim detection must land exactly on the analytic deadline the
+    // higher layers use to place recovery on a timeline.
+    assert_eq!(d.detected_at, monitor.detection_cycle(&cfg, 10, died_at));
+    assert!(d.latency() >= u64::from(monitor.miss_threshold - 1) * monitor.period);
+
+    // Everything that still failed touches the dead node; the rest of the
+    // mesh keeps delivering.
+    assert!(!rec.abandoned.is_empty(), "traffic through node 10 must be lost");
+    for &mi in &rec.abandoned {
+        let m = &msgs[mi];
+        assert!(m.src == 10 || m.dst == 10, "abandoned {mi} avoids node 10: {m:?}");
+    }
+    let survivors = msgs.len() - rec.abandoned.len();
+    assert_eq!(rec.report.messages_delivered, survivors);
+    assert!(rec.report.faults.flits_lost > 0, "in-flight flits must be discarded");
+}
+
+#[test]
+fn retransmission_exhaustion_races_and_beats_a_slow_monitor() {
+    let cfg = NocConfig::paper_16core();
+    // Slow heartbeat (detection would land ~36k cycles in), fast bounded
+    // NIC: exhaustion must win the detection race.
+    let monitor = MonitorConfig { period: 8_192, miss_threshold: 3, monitor: 0, overhead: 4 };
+    let mut fault = FaultModel::none().retry_limit(4);
+    fault.retransmit.base_timeout = 200;
+    fault.retransmit.backoff_cap = 2;
+    let schedule = FaultSchedule::new().router_death(10, 9);
+    let msgs = vec![Message::new(0, 9, 128, 100)];
+    let mut s = Simulator::with_faults(cfg, fault).unwrap();
+    let rec = s.run_recoverable(&msgs, &schedule, &monitor).unwrap();
+
+    assert_eq!(rec.abandoned, vec![0]);
+    assert_eq!(rec.report.messages_delivered, 0);
+    assert_eq!(rec.detections.len(), 1);
+    let d = rec.detections[0];
+    assert_eq!(d.node, 9);
+    assert_eq!(d.cause, DetectionCause::RetransmitExhaustion);
+    assert!(
+        d.detected_at < monitor.detection_cycle(&cfg, 9, 10),
+        "exhaustion at {} should beat the heartbeat deadline {}",
+        d.detected_at,
+        monitor.detection_cycle(&cfg, 9, 10)
+    );
+}
+
+#[test]
+fn mid_run_link_death_reroutes_and_still_delivers_everything() {
+    let cfg = NocConfig::paper_16core();
+    let msgs = stream();
+    let schedule = FaultSchedule::new().link_death(500, 5, Direction::East);
+    let mut s = Simulator::new(cfg).unwrap();
+    let rec = s.run_recoverable(&msgs, &schedule, &MonitorConfig::default()).unwrap();
+    // One dead link leaves the mesh connected: retransmissions route
+    // around it and nothing is abandoned; link deaths alone are not node
+    // deaths, so the monitor reports nothing.
+    assert!(rec.fully_delivered(), "abandoned: {:?}", rec.abandoned);
+    assert_eq!(rec.report.messages_delivered, msgs.len());
+    assert!(rec.detections.is_empty());
+}
+
+#[test]
+fn recoverable_runs_are_reproducible() {
+    let cfg = NocConfig::paper_16core();
+    let msgs = stream();
+    let schedule =
+        FaultSchedule::new().router_death(2_500, 6).link_death(4_000, 12, Direction::North);
+    let monitor = MonitorConfig::default();
+    let a = Simulator::new(cfg).unwrap().run_recoverable(&msgs, &schedule, &monitor).unwrap();
+    let b = Simulator::new(cfg).unwrap().run_recoverable(&msgs, &schedule, &monitor).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn static_runs_still_work_after_a_dynamic_run_on_the_same_simulator() {
+    let cfg = NocConfig::paper_16core();
+    let msgs = stream();
+    let mut s = Simulator::new(cfg).unwrap();
+    let before = s.run(&msgs).unwrap();
+    let schedule = FaultSchedule::new().router_death(1_000, 7);
+    s.run_recoverable(&msgs, &schedule, &MonitorConfig::default()).unwrap();
+    // The dynamic run mutates fault state internally; it must restore it.
+    let after = s.run(&msgs).unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn monitor_death_goes_unreported_but_the_run_still_terminates() {
+    let cfg = NocConfig::paper_16core();
+    let msgs = stream();
+    let monitor = MonitorConfig::default();
+    // Kill the monitor first, then another node: the second death's
+    // heartbeat deadline lies after the monitor died, so neither death is
+    // reported by heartbeats; detection can only come from exhaustion.
+    let schedule = FaultSchedule::new().router_death(1_000, 0).router_death(1_200, 10);
+    let mut s = Simulator::new(cfg).unwrap();
+    let rec = s.run_recoverable(&msgs, &schedule, &monitor).unwrap();
+    assert!(rec.detections.iter().all(|d| d.cause == DetectionCause::RetransmitExhaustion));
+    assert!(!rec.abandoned.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any schedule of deaths terminates with Ok or a typed error —
+    /// never a panic, never a hang past the watchdog.
+    #[test]
+    fn any_death_schedule_terminates_cleanly(
+        node_a in 0usize..16,
+        node_b in 0usize..16,
+        cycle_a in 0u64..20_000,
+        cycle_b in 0u64..20_000,
+        kill_link in 0u8..2,
+        period in 64u64..2_048,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = NocConfig::paper_16core();
+        cfg.max_cycles = 2_000_000;
+        let mut schedule = FaultSchedule::new().router_death(cycle_a, node_a);
+        schedule = if kill_link == 1 {
+            schedule.link_death(cycle_b, node_b, Direction::East)
+        } else {
+            schedule.router_death(cycle_b, node_b)
+        };
+        let monitor = MonitorConfig { period, ..MonitorConfig::default() };
+        let msgs = lts_noc::traffic::uniform_random(16, 4, 400, seed).messages;
+        let mut s = Simulator::new(cfg).unwrap();
+        match s.run_recoverable(&msgs, &schedule, &monitor) {
+            Ok(rec) => {
+                let lost = rec.abandoned.len();
+                prop_assert_eq!(rec.report.messages_delivered + lost, msgs.len());
+            }
+            Err(NocError::CycleLimitExceeded { .. }) | Err(NocError::Unreachable { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+        }
+    }
+}

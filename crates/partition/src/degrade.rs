@@ -111,6 +111,18 @@ pub fn replan(
     weights: &HashMap<String, Vec<f32>>,
     bytes_per_value: usize,
 ) -> Result<DegradedPlan, PlanError> {
+    let (dead, core_map) = survivor_map(cores, dead_cores)?;
+    let plan = Plan::build(spec, core_map.len(), weights, bytes_per_value)?;
+    let lost_groups = collect_lost_groups(spec, cores, &dead);
+    Ok(DegradedPlan { dead_cores: dead, core_map, plan, lost_groups })
+}
+
+/// Normalizes a dead-core set: sorted/deduplicated dead ids plus the
+/// logical→physical map of the survivors.
+pub(crate) fn survivor_map(
+    cores: usize,
+    dead_cores: &[usize],
+) -> Result<(Vec<usize>, Vec<usize>), PlanError> {
     if cores == 0 {
         return Err(PlanError::BadConfig("cores must be positive".into()));
     }
@@ -126,16 +138,18 @@ pub fn replan(
     if core_map.is_empty() {
         return Err(PlanError::BadConfig("no surviving cores to re-plan onto".into()));
     }
-    let plan = Plan::build(spec, core_map.len(), weights, bytes_per_value)?;
-    let lost_groups = collect_lost_groups(spec, cores, &dead);
-    Ok(DegradedPlan { dead_cores: dead, core_map, plan, lost_groups })
+    Ok((dead, core_map))
 }
 
 /// Finds the channel groups of grouped conv layers whose original owner
 /// core died. A group is lost if *any* core owning part of its output
 /// block is dead: grouped layers chain group-local activations, so the
 /// whole chain collapses with the core.
-fn collect_lost_groups(spec: &NetworkSpec, cores: usize, dead: &[usize]) -> Vec<LostGroups> {
+pub(crate) fn collect_lost_groups(
+    spec: &NetworkSpec,
+    cores: usize,
+    dead: &[usize],
+) -> Vec<LostGroups> {
     let mut out = Vec::new();
     for layer in &spec.layers {
         let LayerKind::Conv { out_c, groups, .. } = layer.kind else { continue };

@@ -22,9 +22,11 @@ pub mod degrade;
 pub mod distance;
 pub mod ownership;
 pub mod plan;
+pub mod recover;
 pub mod traffic;
 
 pub use degrade::{replan, DegradedPlan, LostGroups};
 pub use distance::{hop_mask, hop_power_mask};
 pub use ownership::OwnershipMap;
 pub use plan::{LayerPlan, Plan, PlanError};
+pub use recover::{replan_from_layer, IncrementalPlan};

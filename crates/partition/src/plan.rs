@@ -99,13 +99,36 @@ impl Plan {
         weights: &HashMap<String, Vec<f32>>,
         bytes_per_value: usize,
     ) -> Result<Plan, PlanError> {
+        Self::build_from(spec, cores, weights, bytes_per_value, None)
+    }
+
+    /// [`Plan::build`] with an explicit input-ownership seed: `None` means
+    /// the network input is replicated on every core (the normal case);
+    /// `Some` means the first layer's input already lives partitioned
+    /// across the cores — the mid-inference recovery path, where a
+    /// boundary resync has just rebalanced surviving feature maps.
+    pub(crate) fn build_from(
+        spec: &NetworkSpec,
+        cores: usize,
+        weights: &HashMap<String, Vec<f32>>,
+        bytes_per_value: usize,
+        seed: Option<OwnershipMap>,
+    ) -> Result<Plan, PlanError> {
         if cores == 0 {
             return Err(PlanError::BadConfig("cores must be positive".into()));
         }
         if bytes_per_value == 0 {
             return Err(PlanError::BadConfig("bytes_per_value must be positive".into()));
         }
-        let mut ownership: Option<OwnershipMap> = None;
+        if let Some(o) = &seed {
+            if o.cores() != cores {
+                return Err(PlanError::BadConfig(format!(
+                    "ownership seed spans {} cores, plan wants {cores}",
+                    o.cores()
+                )));
+            }
+        }
+        let mut ownership: Option<OwnershipMap> = seed;
         let mut layers = Vec::with_capacity(spec.layers.len());
         for layer in &spec.layers {
             let layout = Self::layout_for(layer, ownership.as_ref(), cores);

@@ -1,0 +1,333 @@
+//! Incremental re-planning after a *mid-inference* core failure.
+//!
+//! [`replan`](crate::replan) rebuilds the whole network from scratch — the
+//! right tool when a fault is known before an inference starts. When a
+//! core dies *during* an inference, restarting throws away every layer
+//! already computed. [`replan_from_layer`] instead reshards only the
+//! layers that have not run yet and reuses the surviving feature maps of
+//! the last completed layer:
+//!
+//! 1. **Boundary resync.** The output of layer `fault_layer − 1` lives
+//!    sharded across the *old* plan's cores. Units owned by dead cores
+//!    are orphaned — for dense layers their values are unrecoverable
+//!    without recomputation, so they are reported, not resent. Surviving
+//!    units are rebalanced to the even ownership a fresh plan over the
+//!    survivors expects; [`IncrementalPlan::redistribution`] is exactly
+//!    that traffic, with *physical* (old id) endpoints ready to run on
+//!    the faulty mesh.
+//! 2. **Tail plan.** Layers `fault_layer..` are planned over the
+//!    survivors, seeded with the post-resync ownership, so the first
+//!    remaining layer's gather traffic is derived from where the data
+//!    *actually* is rather than assuming a replicated input.
+//!
+//! Grouped layers keep the [`crate::degrade`] semantics: a dead core
+//! takes its pinned channel groups' whole chain with it, reported in
+//! [`IncrementalPlan::lost_groups`].
+
+use crate::degrade::{collect_lost_groups, survivor_map, LostGroups};
+use crate::ownership::{propagate, OwnershipMap};
+use crate::plan::{LayerPlan, Plan, PlanError};
+use lts_nn::descriptor::NetworkSpec;
+use lts_nn::grouping::even_blocks;
+use lts_noc::traffic::{Message, TrafficTrace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// A tail plan plus the boundary resync that makes it runnable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalPlan {
+    /// Index of the first layer that had not run when the fault hit.
+    pub fault_layer: usize,
+    /// Dead physical core ids (sorted, deduplicated).
+    pub dead_cores: Vec<usize>,
+    /// `core_map[logical] = physical` surviving node id.
+    pub core_map: Vec<usize>,
+    /// The plan for layers `fault_layer..` over the survivors
+    /// (logical core ids, like [`crate::DegradedPlan::plan`]).
+    pub tail: Plan,
+    /// Boundary-resync messages with physical endpoints: surviving
+    /// feature-map units moving from their old owner to their new one.
+    pub redistribution: TrafficTrace,
+    /// Total bytes of [`IncrementalPlan::redistribution`].
+    pub redistribution_bytes: u64,
+    /// Boundary unit ranges that died with their owners (old unit ids;
+    /// one possibly-empty range per dead core).
+    pub orphan: Vec<Range<usize>>,
+    /// Pinned channel-group chains lost in the remaining layers.
+    pub lost_groups: Vec<LostGroups>,
+    /// Boundary units orphaned by the dead cores.
+    pub lost_boundary_units: usize,
+    /// Total units in the boundary feature map (0 when the fault hit
+    /// before the first layer, whose input is replicated everywhere).
+    pub boundary_units: usize,
+}
+
+impl IncrementalPlan {
+    /// Number of surviving cores.
+    pub fn survivors(&self) -> usize {
+        self.core_map.len()
+    }
+
+    /// Fraction of the boundary feature map lost with the dead cores.
+    pub fn lost_boundary_fraction(&self) -> f64 {
+        if self.boundary_units == 0 {
+            return 0.0;
+        }
+        self.lost_boundary_units as f64 / self.boundary_units as f64
+    }
+
+    /// Worst per-layer fraction of output channels lost to pinned-group
+    /// death in the remaining layers (`0.0` for dense/sparsified tails).
+    pub fn lost_output_fraction(&self) -> f64 {
+        self.lost_groups.iter().map(LostGroups::lost_fraction).fold(0.0, f64::max)
+    }
+
+    /// One tail layer's transition traffic with logical endpoints
+    /// remapped to physical surviving nodes.
+    pub fn physical_messages(&self, layer: &LayerPlan) -> TrafficTrace {
+        let mut trace = TrafficTrace::new();
+        for m in &layer.traffic.messages {
+            trace.messages.push(Message::new(
+                self.core_map[m.src],
+                self.core_map[m.dst],
+                m.bytes,
+                m.inject_cycle,
+            ));
+        }
+        trace
+    }
+}
+
+/// Reshards layers `fault_layer..` of `spec` over the cores surviving
+/// `dead_cores`, reusing the feature maps of the last completed layer.
+///
+/// `fault_layer` is the index of the first layer that had *not* run when
+/// the fault was detected: `0` means nothing ran (the result degenerates
+/// to a fresh [`crate::replan`] with no redistribution) and
+/// `spec.layers.len()` means everything ran (empty tail; the dead cores'
+/// share of the final output is orphaned).
+///
+/// # Errors
+///
+/// Returns [`PlanError::BadConfig`] when `cores == 0`, a dead core id is
+/// out of range, no core survives, or `fault_layer` is out of range;
+/// plus anything [`Plan::build`] rejects.
+pub fn replan_from_layer(
+    spec: &NetworkSpec,
+    cores: usize,
+    fault_layer: usize,
+    dead_cores: &[usize],
+    weights: &HashMap<String, Vec<f32>>,
+    bytes_per_value: usize,
+) -> Result<IncrementalPlan, PlanError> {
+    if fault_layer > spec.layers.len() {
+        return Err(PlanError::BadConfig(format!(
+            "fault layer {fault_layer} beyond the network's {} layers",
+            spec.layers.len()
+        )));
+    }
+    let (dead, core_map) = survivor_map(cores, dead_cores)?;
+    let survivors = core_map.len();
+
+    // Ownership of the boundary feature map under the *old* plan.
+    let mut boundary: Option<OwnershipMap> = None;
+    for layer in &spec.layers[..fault_layer] {
+        boundary = propagate(layer, boundary.as_ref(), cores);
+    }
+
+    let mut orphan = Vec::with_capacity(dead.len());
+    let mut redistribution = TrafficTrace::new();
+    let mut lost_boundary_units = 0usize;
+    let mut boundary_units = 0usize;
+    if let Some(old) = &boundary {
+        boundary_units = old.units();
+        for &d in &dead {
+            let b = old.block(d);
+            lost_boundary_units += b.len();
+            orphan.push(b);
+        }
+        // Rebalance surviving units onto the tail plan's even input
+        // ownership; data already on its new owner stays put.
+        let unit_bytes = (old.values_per_unit() * bytes_per_value) as u64;
+        let new_blocks = even_blocks(boundary_units, survivors);
+        for &src in &core_map {
+            let have = old.block(src);
+            for (logical, nb) in new_blocks.iter().enumerate() {
+                let dst = core_map[logical];
+                if dst == src {
+                    continue;
+                }
+                let moved = have.end.min(nb.end).saturating_sub(have.start.max(nb.start));
+                if moved > 0 {
+                    redistribution.push(Message::new(src, dst, moved as u64 * unit_bytes, 0));
+                }
+            }
+        }
+    }
+    let redistribution_bytes = redistribution.total_bytes();
+
+    let tail_spec = NetworkSpec {
+        name: spec.name.clone(),
+        input: if fault_layer == 0 { spec.input } else { spec.layers[fault_layer - 1].out_dims },
+        layers: spec.layers[fault_layer..].to_vec(),
+    };
+    let seed = boundary
+        .as_ref()
+        .map(|old| OwnershipMap::even(old.units(), old.values_per_unit(), survivors));
+    let tail = Plan::build_from(&tail_spec, survivors, weights, bytes_per_value, seed)?;
+    let lost_groups = collect_lost_groups(&tail_spec, cores, &dead);
+
+    Ok(IncrementalPlan {
+        fault_layer,
+        dead_cores: dead,
+        core_map,
+        tail,
+        redistribution,
+        redistribution_bytes,
+        orphan,
+        lost_groups,
+        lost_boundary_units,
+        boundary_units,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replan;
+    use lts_nn::descriptor::{lenet_spec, SpecBuilder};
+
+    fn grouped_spec(groups: usize) -> NetworkSpec {
+        SpecBuilder::new("g", (3, 16, 16))
+            .conv("conv1", 16, 5, 1, 2, 1)
+            .pool("pool1", 2, 2)
+            .conv("conv2", 32, 3, 1, 1, groups)
+            .pool("pool2", 2, 2)
+            .flatten()
+            .linear("ip1", 10)
+            .build()
+    }
+
+    #[test]
+    fn fault_before_the_first_layer_degenerates_to_a_fresh_replan() {
+        let spec = lenet_spec();
+        let inc = replan_from_layer(&spec, 16, 0, &[5], &HashMap::new(), 2).unwrap();
+        let full = replan(&spec, 16, &[5], &HashMap::new(), 2).unwrap();
+        assert_eq!(inc.tail, full.plan);
+        assert_eq!(inc.core_map, full.core_map);
+        assert!(inc.redistribution.is_empty());
+        assert_eq!(inc.boundary_units, 0);
+        assert_eq!(inc.lost_boundary_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tail_covers_exactly_the_remaining_layers() {
+        let spec = lenet_spec();
+        let inc = replan_from_layer(&spec, 16, 3, &[2, 9], &HashMap::new(), 2).unwrap();
+        assert_eq!(inc.tail.layers.len(), spec.layers.len() - 3);
+        assert_eq!(inc.tail.cores, 14);
+        for (lp, orig) in inc.tail.layers.iter().zip(&spec.layers[3..]) {
+            assert_eq!(lp.spec.name, orig.name);
+        }
+    }
+
+    #[test]
+    fn boundary_resync_moves_only_surviving_units_between_different_owners() {
+        let spec = lenet_spec();
+        // Fault after conv1 (boundary = conv1's 20-channel output).
+        let inc = replan_from_layer(&spec, 16, 1, &[0, 7], &HashMap::new(), 2).unwrap();
+        assert_eq!(inc.boundary_units, 20);
+        // Cores 0..4 own 2 channels, the rest 1: dead 0 and 7 orphan 3.
+        assert_eq!(inc.lost_boundary_units, 3);
+        assert_eq!(inc.orphan, vec![0..2, 11..12]);
+        for m in &inc.redistribution.messages {
+            assert!(m.src != 0 && m.src != 7, "dead core {} sends", m.src);
+            assert!(m.dst != 0 && m.dst != 7, "dead core {} receives", m.dst);
+            assert_ne!(m.src, m.dst);
+        }
+        // Moved units are bounded by the surviving boundary payload.
+        let unit_bytes = (24 * 24 * 2) as u64; // conv1 spatial x 2 B
+        assert!(inc.redistribution_bytes <= 17 * unit_bytes);
+        assert!(inc.redistribution_bytes > 0);
+    }
+
+    #[test]
+    fn no_deaths_and_no_progress_is_the_healthy_plan_with_no_resync() {
+        let spec = lenet_spec();
+        let inc = replan_from_layer(&spec, 16, 0, &[], &HashMap::new(), 2).unwrap();
+        assert_eq!(inc.tail, Plan::dense(&spec, 16, 2).unwrap());
+        assert!(inc.redistribution.is_empty());
+    }
+
+    #[test]
+    fn late_faults_leave_shorter_tails_and_orphan_final_outputs() {
+        let spec = lenet_spec();
+        let n = spec.layers.len();
+        let inc = replan_from_layer(&spec, 16, n, &[3], &HashMap::new(), 2).unwrap();
+        assert!(inc.tail.layers.is_empty());
+        // Boundary = ip2's 10 outputs; core 3 owned one of them.
+        assert_eq!(inc.boundary_units, 10);
+        assert_eq!(inc.lost_boundary_units, 1);
+        assert!((inc.lost_boundary_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_tails_report_lost_chains() {
+        let spec = grouped_spec(16);
+        // Fault before the grouped conv2: its pinned groups on cores 3, 7
+        // are unrecoverable even though conv2 has not run yet.
+        let inc = replan_from_layer(&spec, 16, 2, &[3, 7], &HashMap::new(), 2).unwrap();
+        assert_eq!(inc.lost_groups.len(), 1);
+        assert_eq!(inc.lost_groups[0].lost, vec![3, 7]);
+        assert!(inc.lost_output_fraction() > 0.0);
+        // Fault *after* conv2: the chain loss shows up as orphaned
+        // boundary units instead.
+        let late = replan_from_layer(&spec, 16, 4, &[3, 7], &HashMap::new(), 2).unwrap();
+        assert!(late.lost_groups.is_empty());
+        assert!(late.lost_boundary_units > 0);
+    }
+
+    #[test]
+    fn physical_messages_stay_on_survivors() {
+        let spec = lenet_spec();
+        let inc = replan_from_layer(&spec, 16, 2, &[1, 12], &HashMap::new(), 2).unwrap();
+        for lp in &inc.tail.layers {
+            for m in &inc.physical_messages(lp).messages {
+                assert!(m.src != 1 && m.src != 12 && m.dst != 1 && m.dst != 12);
+                assert!(m.src < 16 && m.dst < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_fault_layers_are_rejected() {
+        let spec = lenet_spec();
+        let n = spec.layers.len();
+        assert!(replan_from_layer(&spec, 16, n + 1, &[0], &HashMap::new(), 2).is_err());
+        assert!(replan_from_layer(&spec, 16, 2, &[16], &HashMap::new(), 2).is_err());
+        let all: Vec<usize> = (0..16).collect();
+        assert!(replan_from_layer(&spec, 16, 2, &all, &HashMap::new(), 2).is_err());
+    }
+
+    #[test]
+    fn sparse_weights_shrink_the_tail_gather() {
+        let spec = lenet_spec();
+        let dense = replan_from_layer(&spec, 16, 2, &[4], &HashMap::new(), 2).unwrap();
+        // All-zero conv2 weights suppress the transition into conv2.
+        let conv2 = spec.layer("conv2").unwrap();
+        let lts_nn::descriptor::LayerKind::Conv { out_c, kernel, .. } = conv2.kind else {
+            panic!("conv2 is a conv layer");
+        };
+        let w = vec![0.0f32; out_c * conv2.in_dims.0 * kernel * kernel];
+        let mut weights = HashMap::new();
+        weights.insert("conv2".to_string(), w);
+        let sparse = replan_from_layer(&spec, 16, 2, &[4], &weights, 2).unwrap();
+        let dense_bytes = dense.tail.layer("conv2").unwrap().traffic.total_bytes();
+        let sparse_bytes = sparse.tail.layer("conv2").unwrap().traffic.total_bytes();
+        assert!(dense_bytes > 0);
+        assert_eq!(sparse_bytes, 0);
+        // The resync itself is weight-independent: same surviving bytes.
+        assert_eq!(dense.redistribution_bytes, sparse.redistribution_bytes);
+    }
+}

@@ -1,4 +1,5 @@
-//! Property-based tests for ownership, masks and traffic generation.
+//! Property-based tests for ownership, masks, traffic generation and
+//! fail-operational degradation.
 
 use lts_nn::descriptor::SpecBuilder;
 use lts_nn::grouping::GroupLayout;
@@ -125,4 +126,108 @@ proptest! {
             - dense.layer("ip2").unwrap().traffic.total_bytes();
         prop_assert_eq!(sparse.total_traffic_bytes(), expected);
     }
+
+    #[test]
+    fn degraded_lost_fraction_is_a_valid_fraction(
+        group_pow in 1u32..5, seed in 0u64..1_000, deaths in 1usize..8
+    ) {
+        // Grouped plans lose pinned chains; the loss proxy stays in [0, 1].
+        let spec = grouped_spec(1 << group_pow);
+        let dead = pseudo_dead(seed, deaths);
+        let d = lts_partition::replan(&spec, 16, &dead, &HashMap::new(), 2).unwrap();
+        let f = d.lost_output_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "lost fraction {f} for dead {dead:?}");
+        for lg in &d.lost_groups {
+            prop_assert!((0.0..=1.0).contains(&lg.lost_fraction()));
+            prop_assert!(lg.lost_channels <= lg.out_channels);
+            prop_assert!(lg.lost.len() <= lg.groups);
+        }
+    }
+
+    #[test]
+    fn grouped_loss_is_monotone_in_the_dead_set(
+        group_pow in 1u32..5, seed in 0u64..1_000, deaths in 1usize..7, extra in 0usize..16
+    ) {
+        // Killing one more core can only lose more (or the same) output.
+        let spec = grouped_spec(1 << group_pow);
+        let dead = pseudo_dead(seed, deaths);
+        if dead.contains(&extra) || dead.len() + 1 >= 16 {
+            return;
+        }
+        let mut more = dead.clone();
+        more.push(extra);
+        let base = lts_partition::replan(&spec, 16, &dead, &HashMap::new(), 2).unwrap();
+        let worse = lts_partition::replan(&spec, 16, &more, &HashMap::new(), 2).unwrap();
+        prop_assert!(worse.lost_output_fraction() >= base.lost_output_fraction());
+        let channels = |d: &lts_partition::DegradedPlan| -> usize {
+            d.lost_groups.iter().map(|lg| lg.lost_channels).sum()
+        };
+        prop_assert!(channels(&worse) >= channels(&base));
+    }
+
+    #[test]
+    fn dense_and_sparsified_plans_never_lose_output(
+        seed in 0u64..1_000, deaths in 1usize..8
+    ) {
+        // Ungrouped weights are re-loadable: degradation costs latency,
+        // not accuracy — the lost fraction is exactly zero.
+        let spec = lts_nn::descriptor::lenet_spec();
+        let dead = pseudo_dead(seed, deaths);
+        let dense = lts_partition::replan(&spec, 16, &dead, &HashMap::new(), 2).unwrap();
+        prop_assert_eq!(dense.lost_output_fraction(), 0.0);
+        prop_assert!(dense.lost_groups.is_empty());
+        let layout = dense.plan.layer("conv2").unwrap().layout.clone().unwrap();
+        let mut weights = HashMap::new();
+        weights.insert("conv2".to_string(), vec![0.0f32; layout.weight_len()]);
+        let sparse = lts_partition::replan(&spec, 16, &dead, &weights, 2).unwrap();
+        prop_assert_eq!(sparse.lost_output_fraction(), 0.0);
+        prop_assert!(sparse.lost_groups.is_empty());
+    }
+
+    #[test]
+    fn incremental_replans_stay_on_survivors_with_bounded_resync(
+        fault_layer in 0usize..8, seed in 0u64..1_000, deaths in 1usize..6
+    ) {
+        let spec = lts_nn::descriptor::lenet_spec();
+        let fault_layer = fault_layer.min(spec.layers.len());
+        let dead = pseudo_dead(seed, deaths);
+        let inc = lts_partition::replan_from_layer(
+            &spec, 16, fault_layer, &dead, &HashMap::new(), 2,
+        ).unwrap();
+        prop_assert_eq!(inc.survivors() + dead.len(), 16);
+        prop_assert!(inc.lost_boundary_units <= inc.boundary_units);
+        let f = inc.lost_boundary_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        for m in &inc.redistribution.messages {
+            prop_assert!(!dead.contains(&m.src) && !dead.contains(&m.dst));
+            prop_assert!(m.src != m.dst && m.src < 16 && m.dst < 16);
+        }
+    }
+}
+
+/// A deterministic pseudo-random dead set of at most `deaths` distinct
+/// cores out of 16, never killing everyone.
+fn pseudo_dead(seed: u64, deaths: usize) -> Vec<usize> {
+    let mut dead = Vec::new();
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    while dead.len() < deaths.min(15) {
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let c = (x >> 33) as usize % 16;
+        if !dead.contains(&c) {
+            dead.push(c);
+        }
+    }
+    dead
+}
+
+fn grouped_spec(groups: usize) -> lts_nn::descriptor::NetworkSpec {
+    SpecBuilder::new("g", (3, 16, 16))
+        .conv("conv1", 16, 5, 1, 2, 1)
+        .pool("pool1", 2, 2)
+        .conv("conv2", 32, 3, 1, 1, groups)
+        .pool("pool2", 2, 2)
+        .flatten()
+        .linear("ip1", 10)
+        .build()
 }

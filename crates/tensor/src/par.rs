@@ -189,7 +189,7 @@ where
         enter_parallel(|| loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(item) = items.get(i) else { break };
-            *slots[i].lock().unwrap() = Some(f(i, item));
+            *slots[i].lock().expect("result slot poisoned") = Some(f(i, item));
         })
     };
     std::thread::scope(|scope| {
@@ -200,7 +200,10 @@ where
         }
         run();
     });
-    slots.into_iter().map(|slot| slot.into_inner().unwrap().expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("every slot filled"))
+        .collect()
 }
 
 /// Marks this thread as inside a parallel region for the duration of `f`.

@@ -1,0 +1,81 @@
+//! Crash-safe training smoke run: train with per-epoch checkpoints,
+//! "crash" halfway, resume from the snapshot file, and verify the
+//! resumed weights are **bit-identical** to an uninterrupted run.
+//!
+//! Exits nonzero if the round-trip diverges, so `scripts/check.sh`
+//! uses it as the trainer-resume gate.
+//! `cargo run --release --example trainer_resume`
+
+use learn_to_scale::nn::network::{Network, NetworkBuilder};
+use learn_to_scale::nn::trainer::{TrainCheckpoint, TrainConfig, Trainer};
+use learn_to_scale::nn::NnError;
+use learn_to_scale::tensor::{init, ops, Shape, Tensor};
+
+fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = init::rng(seed);
+    let x = init::uniform(Shape::d2(n, 8), 1.0, &mut rng);
+    let labels = (0..n)
+        .map(|i| {
+            let row = &x.as_slice()[i * 8..(i + 1) * 8];
+            ops::argmax(&row[0..4]).map(|(j, _)| j).unwrap_or(0)
+        })
+        .collect();
+    (x, labels)
+}
+
+fn toy_net() -> Result<Network, NnError> {
+    let mut rng = init::rng(5);
+    NetworkBuilder::new("resume-smoke", (8, 1, 1))
+        .linear("ip1", 16)
+        .relu()
+        .linear("ip2", 4)
+        .build(&mut rng)
+}
+
+fn weights(net: &Network) -> Vec<Vec<f32>> {
+    net.params().into_iter().map(|p| p.value.as_slice().to_vec()).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (x, y) = toy_data(128, 3);
+    let config = TrainConfig { epochs: 6, batch_size: 16, lr: 0.1, ..TrainConfig::default() };
+    let trainer = Trainer::new(config)?;
+    let ckpt_path =
+        std::env::temp_dir().join(format!("lts-trainer-resume-{}.ckpt", std::process::id()));
+
+    // The uninterrupted reference run.
+    let mut reference = toy_net()?;
+    let reference_stats = trainer.train(&mut reference, &x, &y)?;
+
+    // The same run, checkpointing every epoch and crashing after 3.
+    let crash_after = 3usize;
+    let mut victim = toy_net()?;
+    let crash = trainer.train_with_checkpoints(&mut victim, &x, &y, |cp| {
+        cp.save_to_file(&ckpt_path)?;
+        if cp.completed_epochs == crash_after {
+            return Err(NnError::SaveFailed("simulated crash".into()));
+        }
+        Ok(())
+    });
+    assert!(crash.is_err(), "the simulated crash must abort the run");
+
+    // Recover from disk (checksum-verified) and finish the run.
+    let cp = TrainCheckpoint::load_from_file(&ckpt_path)?;
+    println!("trainer-resume smoke: crashed after epoch {}, resuming", cp.completed_epochs);
+    assert_eq!(cp.completed_epochs, crash_after);
+    let (resumed, resumed_stats) = trainer.resume(&cp, &x, &y)?;
+
+    assert_eq!(resumed_stats, reference_stats, "stats must match the uninterrupted run");
+    assert_eq!(weights(&resumed), weights(&reference), "weights must be bit-identical");
+    println!(
+        "  epochs {} + {} resumed, final loss {:.4}, final accuracy {:.3}",
+        crash_after,
+        config.epochs - crash_after,
+        resumed_stats.final_loss(),
+        resumed_stats.final_accuracy()
+    );
+    println!("  resumed run is bit-identical to the uninterrupted run");
+
+    std::fs::remove_file(&ckpt_path)?;
+    Ok(())
+}

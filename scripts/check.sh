@@ -25,4 +25,11 @@ cargo fmt --all -- --check
 echo "==> fault-injection smoke (dead router + 0.5% flit drops must still deliver)"
 cargo run --release --offline --example fault_injection
 
+echo "==> chaos smoke (mid-flight core deaths: bounded loss or typed outcome, never a panic/hang)"
+LTS_EFFORT=quick LTS_BENCH_DIR="$(mktemp -d)" \
+    cargo run --release --offline -p lts-bench --bin chaos_soak
+
+echo "==> trainer kill-and-resume round-trip (bit-identical weights after crash recovery)"
+cargo run --release --offline --example trainer_resume
+
 echo "All checks passed."
