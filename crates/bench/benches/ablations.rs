@@ -317,5 +317,5 @@ fn main() {
     println!("\n--- timings ---");
     let mut report = BenchReport::new("ablations", "micro");
     bench_ablation_paths(&mut report);
-    report.write().expect("write benchmark report");
+    report.write_checked().expect("write benchmark report");
 }

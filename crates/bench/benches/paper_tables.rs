@@ -127,6 +127,7 @@ fn main() {
         .iter()
         .map(|&n| (n, models::convnet_variant([64, 160, 320], n, 0).expect("net").spec()))
         .collect();
+    lts_core::simcache::reset();
     report.push(time("table5_system_eval_4_to_32_cores", 2, 10, || {
         for (cores, spec) in &nets {
             let model = SystemModel::paper(*cores).expect("model");
@@ -134,6 +135,11 @@ fn main() {
             model.evaluate(&plan).expect("evaluate");
         }
     }));
+    let cache = lts_core::simcache::stats();
+    report.note(format!(
+        "sim cache over table5 sweep: {} hits / {} misses ({} entries)",
+        cache.hits, cache.misses, cache.entries
+    ));
 
     // Group-matrix extraction from a network (training excluded).
     let net = models::mlp(28 * 28, 10, 0).expect("net");
@@ -150,5 +156,5 @@ fn main() {
         plan_for(&net, 16, true, true).expect("plan");
     }));
 
-    report.write().expect("write benchmark report");
+    report.write_checked().expect("write benchmark report");
 }

@@ -42,12 +42,41 @@ pub mod timing {
     //! Reports always record the host's available parallelism and the
     //! engine's worker count, because kernel timings are meaningless
     //! without them.
+    //!
+    //! Two environment knobs make the harness CI-friendly:
+    //!
+    //! * `LTS_BENCH_ITERS` caps measured iterations (see
+    //!   [`iters_from_env`]) so a smoke run finishes in seconds;
+    //! * `LTS_BENCH_BASELINE` names a previously written `BENCH_*.json`;
+    //!   [`BenchReport::write_checked`] then compares each record's
+    //!   `mean_ms` against it and fails on a >25 % regression.
 
-    use serde::Serialize;
+    use serde::{Deserialize, Serialize};
     use std::time::Instant;
 
+    /// Mean-time regression tolerance for [`BenchReport::write_checked`]:
+    /// a record must be more than 25 % slower than the baseline to fail
+    /// the run (wall-clock noise on shared hosts sits well below that).
+    pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+    /// Measured-iteration count: `LTS_BENCH_ITERS` when set (parsed,
+    /// minimum 1), else `default`. Lets CI smoke-run the heavy benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to something unparsable.
+    pub fn iters_from_env(default: usize) -> usize {
+        match std::env::var("LTS_BENCH_ITERS") {
+            Ok(v) => v
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("LTS_BENCH_ITERS must be an integer, got `{v}`"))
+                .max(1),
+            Err(_) => default,
+        }
+    }
+
     /// Timing of one benchmarked workload.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct BenchRecord {
         /// Workload label.
         pub name: String,
@@ -87,7 +116,7 @@ pub mod timing {
     }
 
     /// A full benchmark report: host facts plus one record per workload.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct BenchReport {
         /// Benchmark binary name.
         pub bench: String,
@@ -145,6 +174,73 @@ pub mod timing {
             println!("\nwrote {}", path.display());
             Ok(path)
         }
+
+        /// Reads back a report previously produced by [`BenchReport::write`].
+        ///
+        /// # Errors
+        ///
+        /// I/O errors, or a parse failure mapped to `InvalidData`.
+        pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+            let json = std::fs::read_to_string(path)?;
+            serde_json::from_str(&json)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        }
+
+        /// Records of `self` that regressed versus `baseline`: same name,
+        /// `mean_ms` more than `tolerance` (fractional) slower. Records
+        /// missing from either side are ignored — a rename or a new
+        /// workload is not a regression.
+        pub fn regressions_vs(&self, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+            self.records
+                .iter()
+                .filter_map(|r| {
+                    let base = baseline.records.iter().find(|b| b.name == r.name)?;
+                    (r.mean_ms > base.mean_ms * (1.0 + tolerance)).then(|| {
+                        format!(
+                            "{}: {:.3} ms -> {:.3} ms (+{:.0}%)",
+                            r.name,
+                            base.mean_ms,
+                            r.mean_ms,
+                            100.0 * (r.mean_ms / base.mean_ms - 1.0)
+                        )
+                    })
+                })
+                .collect()
+        }
+
+        /// [`BenchReport::write`], then — when `LTS_BENCH_BASELINE` names
+        /// a previous report — the regression gate: every record whose
+        /// `mean_ms` grew by more than [`REGRESSION_TOLERANCE`] versus its
+        /// baseline namesake is listed and the call fails, so a
+        /// `.expect()` in the bench `main` exits the process non-zero.
+        ///
+        /// # Errors
+        ///
+        /// Write/load errors, or `Other` naming the regressed records.
+        pub fn write_checked(&self) -> std::io::Result<std::path::PathBuf> {
+            let path = self.write()?;
+            let Ok(baseline_path) = std::env::var("LTS_BENCH_BASELINE") else {
+                return Ok(path);
+            };
+            let baseline = Self::load(&baseline_path)?;
+            let regressions = self.regressions_vs(&baseline, REGRESSION_TOLERANCE);
+            if regressions.is_empty() {
+                println!(
+                    "regression gate vs {baseline_path}: ok ({} records compared)",
+                    self.records.len()
+                );
+                return Ok(path);
+            }
+            for r in &regressions {
+                println!("REGRESSION {r}");
+            }
+            Err(std::io::Error::other(format!(
+                "{} record(s) regressed >{:.0}% vs {baseline_path}: {}",
+                regressions.len(),
+                100.0 * REGRESSION_TOLERANCE,
+                regressions.join("; ")
+            )))
+        }
     }
 }
 
@@ -158,6 +254,57 @@ mod tests {
         if std::env::var("LTS_EFFORT").is_err() {
             assert_eq!(effort_from_env(), EffortPreset::paper());
         }
+    }
+
+    #[test]
+    fn iters_from_env_defaults_when_unset() {
+        if std::env::var("LTS_BENCH_ITERS").is_err() {
+            assert_eq!(timing::iters_from_env(17), 17);
+        }
+    }
+
+    #[test]
+    fn regression_gate_flags_only_slowdowns_beyond_tolerance() {
+        let record = |name: &str, mean_ms: f64| timing::BenchRecord {
+            name: name.into(),
+            threads: 1,
+            iters: 3,
+            mean_ms,
+            min_ms: mean_ms,
+            max_ms: mean_ms,
+        };
+        let mut baseline = timing::BenchReport::new("gate", "quick");
+        baseline.records.push(record("stable", 10.0));
+        baseline.records.push(record("regressed", 10.0));
+        baseline.records.push(record("removed", 10.0));
+        let mut current = timing::BenchReport::new("gate", "quick");
+        current.records.push(record("stable", 12.0)); // +20% — under the gate
+        current.records.push(record("regressed", 13.0)); // +30% — over
+        current.records.push(record("added", 99.0)); // no baseline — ignored
+        let regressions = current.regressions_vs(&baseline, timing::REGRESSION_TOLERANCE);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].starts_with("regressed:"), "{regressions:?}");
+        assert!(current.regressions_vs(&baseline, 0.5).is_empty());
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let mut report = timing::BenchReport::new("roundtrip", "quick");
+        report.records.push(timing::BenchRecord {
+            name: "w".into(),
+            threads: 2,
+            iters: 5,
+            mean_ms: 1.5,
+            min_ms: 1.0,
+            max_ms: 2.0,
+        });
+        report.notes.push("a note".into());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: timing::BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.bench, "roundtrip");
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].name, "w");
+        assert_eq!(back.notes, vec!["a note".to_string()]);
     }
 
     #[test]

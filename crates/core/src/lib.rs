@@ -20,6 +20,9 @@
 //! * [`chaos`] — the chaos soak: randomized mid-flight fault schedules
 //!   against the online recovery path, asserting bounded output loss or
 //!   a typed error — never a panic or hang;
+//! * [`simcache`] — cross-sweep NoC simulation memoization: repeated
+//!   (config, fault model, trace) triples return the cached, bit-identical
+//!   report instead of re-stepping the simulator;
 //! * [`recovery`] — *online* fault recovery: mid-inference core deaths
 //!   detected by heartbeat-deadline arithmetic, incrementally resharded
 //!   with [`lts_partition::replan_from_layer`] and resumed on the
@@ -51,6 +54,7 @@ pub mod interlayer;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
+pub mod simcache;
 pub mod strategy;
 pub mod system;
 
@@ -61,6 +65,7 @@ pub use recovery::{
     boundary_checkpoints, run_with_recovery, BoundaryCheckpoint, InferenceFault, RecoveryEvent,
     RecoveryReport,
 };
+pub use simcache::SimCacheStats;
 pub use strategy::{SparsityScheme, Strategy};
 pub use system::{SystemModel, SystemReport};
 

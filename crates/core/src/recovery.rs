@@ -299,9 +299,11 @@ pub fn run_with_recovery(
         let (resync_report, resync_energy) = if resync.is_empty() {
             (None, 0.0)
         } else {
-            let mut sim = Simulator::with_faults(*model.noc_config(), kill_set(&dead_all))
+            let fault = kill_set(&dead_all);
+            let mut sim = Simulator::with_faults(*model.noc_config(), fault.clone())
                 .map_err(CoreError::Noc)?;
-            let rep = sim.run(&resync).map_err(CoreError::Noc)?;
+            let rep = crate::simcache::run_cached(&mut sim, model.noc_config(), &fault, &resync)
+                .map_err(CoreError::Noc)?;
             let energy = model.noc_energy_report(&rep).total_pj();
             (Some(rep), energy)
         };

@@ -1,0 +1,231 @@
+//! Cross-sweep NoC simulation memoization.
+//!
+//! A NoC run is a pure function of the triple *(configuration, fault
+//! model, message trace)*: [`Simulator::run`] resets every piece of
+//! mutable state — router queues, NIC protocol state, the fault RNG —
+//! before stepping, so two runs with an identical triple produce
+//! bit-identical [`SimReport`]s (the `equivalence` and golden tests in
+//! `lts-noc` pin this). The experiment sweeps exploit that heavily:
+//! strategies share dense early layers, effort presets re-evaluate the
+//! same plans, and ablations re-simulate unchanged transitions. This
+//! module collapses each repeated triple to one simulation.
+//!
+//! The cache key is the FNV-1a 64-bit hash (the same content hash the
+//! snapshot format uses, [`lts_nn::saved::fnv1a64`]) over a canonical
+//! `serde_json` encoding of the triple. The full encoding is stored next
+//! to each cached report and compared byte-for-byte on lookup, so a hash
+//! collision degrades to a miss instead of returning a wrong report.
+//!
+//! The cache is process-global and thread-safe. Set `LTS_SIM_CACHE=0` to
+//! disable it (every call then simulates); [`reset`] clears entries and
+//! counters, [`stats`] exposes hit/miss totals for benches and sweeps.
+
+use lts_noc::traffic::Message;
+use lts_noc::{FaultModel, NocConfig, NocError, SimReport, Simulator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Snapshot of the cache's lifetime counters (see [`stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real simulation.
+    pub misses: u64,
+    /// Reports currently stored.
+    pub entries: usize,
+}
+
+/// Entry cap: sweeps re-simulate a bounded set of transitions, so this is
+/// generous; beyond it new triples still simulate, they just stop being
+/// recorded (counted as misses).
+const MAX_ENTRIES: usize = 8192;
+
+/// One memoized simulation: the canonical key encoding (kept for
+/// collision verification) and the report it produced.
+struct Entry {
+    encoding: Vec<u8>,
+    report: SimReport,
+}
+
+/// Hash-indexed store plus lifetime counters.
+#[derive(Default)]
+struct Cache {
+    map: HashMap<u64, Vec<Entry>>,
+    entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Records a hit or a miss and returns the hit's report.
+    fn lookup(&mut self, hash: u64, encoding: &[u8]) -> Option<SimReport> {
+        let hit = self
+            .map
+            .get(&hash)
+            .and_then(|bucket| bucket.iter().find(|e| e.encoding == encoding))
+            .map(|e| e.report.clone());
+        match hit {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        hit
+    }
+
+    /// Stores a freshly simulated report unless the cache is full or a
+    /// concurrent caller already stored the same triple.
+    fn insert(&mut self, hash: u64, encoding: Vec<u8>, report: &SimReport) {
+        if self.entries >= MAX_ENTRIES {
+            return;
+        }
+        let bucket = self.map.entry(hash).or_default();
+        if bucket.iter().all(|e| e.encoding != encoding) {
+            bucket.push(Entry { encoding, report: report.clone() });
+            self.entries += 1;
+        }
+    }
+
+    fn stats(&self) -> SimCacheStats {
+        SimCacheStats { hits: self.hits, misses: self.misses, entries: self.entries }
+    }
+}
+
+/// A thread-safe memoization store. The process-global instance behind
+/// [`run_cached`]/[`stats`]/[`reset`] is the normal entry point; tests
+/// construct private instances for deterministic counters.
+#[derive(Default)]
+struct SharedCache(Mutex<Option<Cache>>);
+
+impl SharedCache {
+    // The `Option` exists only because `HashMap::new` is not const:
+    // `locked` materializes the cache on first touch.
+    fn locked<R>(&self, f: impl FnOnce(&mut Cache) -> R) -> R {
+        let mut guard = self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(guard.get_or_insert_with(Cache::default))
+    }
+
+    fn run_cached(
+        &self,
+        sim: &mut Simulator,
+        config: &NocConfig,
+        fault: &FaultModel,
+        messages: &[Message],
+    ) -> Result<SimReport, NocError> {
+        if !enabled() {
+            return sim.run(messages);
+        }
+        let Ok(encoding) =
+            serde_json::to_string(&(config, fault, messages)).map(String::into_bytes)
+        else {
+            return sim.run(messages);
+        };
+        let hash = lts_nn::saved::fnv1a64(&encoding);
+        if let Some(report) = self.locked(|c| c.lookup(hash, &encoding)) {
+            return Ok(report);
+        }
+        // Simulate outside the lock: concurrent sweeps may duplicate a
+        // miss, but they never serialize on each other's simulations.
+        let report = sim.run(messages)?;
+        self.locked(|c| c.insert(hash, encoding, &report));
+        Ok(report)
+    }
+}
+
+static CACHE: SharedCache = SharedCache(Mutex::new(None));
+
+/// Whether memoization is active (`LTS_SIM_CACHE=0` disables it).
+pub fn enabled() -> bool {
+    std::env::var("LTS_SIM_CACHE").map_or(true, |v| v != "0")
+}
+
+/// Clears every cached report and zeroes the hit/miss counters.
+pub fn reset() {
+    CACHE.locked(|c| *c = Cache::default());
+}
+
+/// Lifetime hit/miss counters and current entry count.
+pub fn stats() -> SimCacheStats {
+    CACHE.locked(|c| c.stats())
+}
+
+/// Runs `messages` through `sim`, memoized on the `(config, fault,
+/// messages)` triple.
+///
+/// On a hit the stored report is cloned back without stepping the
+/// simulator. On a miss (or when the cache is disabled, or the triple
+/// fails to encode — e.g. a non-finite fault rate, which JSON cannot
+/// represent) the simulation runs normally; successful reports are
+/// inserted, errors are never cached.
+///
+/// # Errors
+///
+/// Exactly those of [`Simulator::run`].
+pub fn run_cached(
+    sim: &mut Simulator,
+    config: &NocConfig,
+    fault: &FaultModel,
+    messages: &[Message],
+) -> Result<SimReport, NocError> {
+    CACHE.run_cached(sim, config, fault, messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_noc::NocConfig;
+
+    // Tests use private `SharedCache` instances, not the process-global
+    // one: the global's counters move under concurrently running system
+    // tests, so exact-count assertions against it would be flaky.
+
+    fn trace() -> Vec<Message> {
+        vec![Message::new(0, 5, 256, 0), Message::new(3, 12, 1024, 40)]
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_report_without_resimulating() {
+        let cache = SharedCache::default();
+        let config = NocConfig::paper_16core();
+        let fault = FaultModel::none();
+        let mut sim = Simulator::with_faults(config, fault.clone()).unwrap();
+        let first = cache.run_cached(&mut sim, &config, &fault, &trace()).unwrap();
+        let again = cache.run_cached(&mut sim, &config, &fault, &trace()).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(first, sim.run(&trace()).unwrap(), "cache must match a direct run");
+        let s = cache.locked(|c| c.stats());
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_triples_do_not_alias() {
+        let cache = SharedCache::default();
+        let config = NocConfig::paper_16core();
+        let clean = FaultModel::none();
+        let drops = FaultModel::none().with_seed(7).drop_rate(0.05);
+        let mut sim_clean = Simulator::with_faults(config, clean.clone()).unwrap();
+        let mut sim_drops = Simulator::with_faults(config, drops.clone()).unwrap();
+        let a = cache.run_cached(&mut sim_clean, &config, &clean, &trace()).unwrap();
+        let b = cache.run_cached(&mut sim_drops, &config, &drops, &trace()).unwrap();
+        assert!(!a.faults.any());
+        assert!(b.faults.any(), "a 5% drop rate over this trace must fire");
+        assert_ne!(a, b);
+        let s = cache.locked(|c| c.stats());
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn global_cache_agrees_with_direct_run() {
+        // The global cache is shared with concurrently running tests, so
+        // only the monotonic effect of one extra lookup is asserted.
+        let config = NocConfig::paper_16core();
+        let fault = FaultModel::none();
+        let mut sim = Simulator::with_faults(config, fault.clone()).unwrap();
+        let before = stats();
+        let direct = sim.run(&trace()).unwrap();
+        let via_cache = run_cached(&mut sim, &config, &fault, &trace()).unwrap();
+        assert_eq!(direct, via_cache);
+        let after = stats();
+        assert!(after.hits + after.misses > before.hits + before.misses);
+    }
+}

@@ -264,7 +264,8 @@ impl SystemModel {
             let (comm_cycles, layer_noc_energy, blocked) = if messages.is_empty() {
                 (0, 0.0, 0)
             } else {
-                let report = sim.run(messages)?;
+                let report =
+                    crate::simcache::run_cached(&mut sim, &self.noc_config, &self.fault, messages)?;
                 faults.merge(&report.faults);
                 let energy = self.noc_energy.report(&report, self.cores()).total_pj();
                 (report.makespan, energy, report.blocked_flit_cycles)

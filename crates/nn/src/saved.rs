@@ -38,7 +38,10 @@ use std::path::Path;
 const SNAPSHOT_MAGIC: &str = "LTS-SNAPSHOT-V1";
 
 /// FNV-1a 64-bit hash of `bytes` — the snapshot content checksum.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+///
+/// Public because downstream crates reuse the same content-hash for
+/// golden fingerprints and the simulation memoization cache key.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -1,0 +1,70 @@
+//! Golden trained-weight fingerprints, pinned from the pre-optimization
+//! GEMM kernels.
+//!
+//! The register-blocked microkernel rewrite is gated on bit-identical
+//! training trajectories: these tests train a dense MLP (linear
+//! forward/backward: `matmul`, `matmul_a_bt`, `matmul_at_b`) and a small
+//! grouped ConvNet (im2col + the same three kernels) on deterministic
+//! synthetic data, then compare an FNV-1a-64 hash of every trained
+//! parameter against the value captured before the optimization landed.
+//! Any change in floating-point accumulation order trips them.
+//!
+//! To re-capture (only legitimate after an *intentional* numeric change):
+//! `LTS_GOLDEN_CAPTURE=1 cargo test -p lts-nn --test golden --
+//! --nocapture` and paste the printed hashes.
+
+use lts_nn::models;
+use lts_nn::saved::fnv1a64;
+use lts_nn::trainer::{TrainConfig, Trainer};
+use lts_nn::Network;
+use lts_tensor::{init, Shape};
+
+/// Hash of every parameter tensor's exact bit pattern, in network order.
+fn weight_hash(net: &Network) -> u64 {
+    let mut bytes = Vec::new();
+    for p in net.params() {
+        for &v in p.value.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fnv1a64(&bytes)
+}
+
+fn check(label: &str, got: u64, pinned: u64) {
+    if std::env::var("LTS_GOLDEN_CAPTURE").is_ok() {
+        println!("GOLDEN {label}: 0x{got:016x}");
+        return;
+    }
+    assert_eq!(
+        got, pinned,
+        "{label} weight hash 0x{got:016x} drifted from the pre-optimization capture"
+    );
+}
+
+#[test]
+fn mlp_training_matches_pre_optimization_weights() {
+    let mut rng = init::rng(11);
+    let inputs = init::uniform(Shape::d2(48, 36), 1.0, &mut rng);
+    let labels: Vec<usize> = (0..48).map(|i| i % 4).collect();
+    let mut net = models::mlp(36, 4, 77).expect("model");
+    let config = TrainConfig { epochs: 3, batch_size: 8, seed: 5, ..Default::default() };
+    let stats =
+        Trainer::new(config).expect("trainer").train(&mut net, &inputs, &labels).expect("train");
+    assert_eq!(stats.epochs.len(), 3);
+    check("mlp", weight_hash(&net), 0xe9d8_3686_3b8f_5a9f);
+}
+
+#[test]
+fn grouped_convnet_training_matches_pre_optimization_weights() {
+    let mut rng = init::rng(12);
+    let inputs = init::uniform(Shape::d4(12, 3, 16, 16), 1.0, &mut rng);
+    let labels: Vec<usize> = (0..12).map(|i| i % 10).collect();
+    // Grouped conv2/conv3 exercise the grouped-GEMM slices on top of the
+    // dense conv1/ip1 paths.
+    let mut net = models::convnet_variant([16, 32, 32], 4, 33).expect("model");
+    let config = TrainConfig { epochs: 2, batch_size: 4, seed: 21, ..Default::default() };
+    let stats =
+        Trainer::new(config).expect("trainer").train(&mut net, &inputs, &labels).expect("train");
+    assert_eq!(stats.epochs.len(), 2);
+    check("convnet", weight_hash(&net), 0xfaf1_9d28_69de_f03d);
+}

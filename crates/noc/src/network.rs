@@ -10,7 +10,7 @@
 
 use crate::config::{NocConfig, NocError};
 use crate::fault::{edge_dead, plan_routes, FaultModel};
-use crate::packet::{packetize, Flit, PacketDescriptor, PacketId};
+use crate::packet::{packetize_into, Flit, PacketDescriptor, PacketId};
 use crate::recovery::{
     Detection, DetectionCause, FaultEventKind, FaultSchedule, MonitorConfig, RecoverableReport,
 };
@@ -143,6 +143,24 @@ pub struct Simulator {
     detections: Vec<Detection>,
     /// Nodes already declared dead (first detection wins).
     detected_nodes: HashSet<usize>,
+    // --- active-set stepper state ---
+    /// Flits buffered in each router's input VCs, maintained incrementally
+    /// on every enqueue/dequeue; a router with zero buffered flits is
+    /// provably a no-op for switch allocation and is skipped by the
+    /// active-set sweep.
+    buffered: Vec<u64>,
+    /// Sources that must attempt injection this cycle: an open packet is
+    /// streaming (possibly lane/credit-blocked — such sources are never
+    /// retired) or the front pending packet is due.
+    inject_ready: Vec<bool>,
+    /// Sleeping sources keyed by the cycle their front pending packet
+    /// becomes due; drained into `inject_ready` each stepped cycle.
+    inject_wake: BTreeMap<u64, Vec<usize>>,
+    /// Cycles the stepper evaluated (for [`SimReport::cycles_simulated`]).
+    cycles_simulated: u64,
+    /// Idle cycles skipped by fast-forward (for
+    /// [`SimReport::cycles_fast_forwarded`]).
+    cycles_fast_forwarded: u64,
 }
 
 impl Simulator {
@@ -204,6 +222,11 @@ impl Simulator {
             abandoned_msgs: Vec::new(),
             detections: Vec::new(),
             detected_nodes: HashSet::new(),
+            buffered: Vec::new(),
+            inject_ready: Vec::new(),
+            inject_wake: BTreeMap::new(),
+            cycles_simulated: 0,
+            cycles_fast_forwarded: 0,
         })
     }
 
@@ -255,9 +278,36 @@ impl Simulator {
     /// arbitrarily, but never escape this watchdog).
     pub fn run(&mut self, messages: &[Message]) -> Result<SimReport, NocError> {
         self.reset();
+        self.enqueue(messages)?;
+        let delivered = self.drive(messages.len(), false)?;
+        Ok(self.build_report(delivered))
+    }
+
+    /// The retained pre-overhaul stepper: semantically identical to
+    /// [`Simulator::run`] — bit-identical reports, including the cycle
+    /// counters — but every evaluated cycle scans all sources and all
+    /// `nodes × PORTS` switch outputs unconditionally instead of sweeping
+    /// the active set. Kept as the benchmark baseline and the
+    /// property-test oracle for the active-set sweep.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run`].
+    pub fn run_reference(&mut self, messages: &[Message]) -> Result<SimReport, NocError> {
+        self.reset();
+        self.enqueue(messages)?;
+        let delivered = self.drive(messages.len(), true)?;
+        Ok(self.build_report(delivered))
+    }
+
+    /// Validates `messages` and queues their packets at the sources,
+    /// arming injection wake-ups. Requires a fresh [`Simulator::reset`].
+    fn enqueue(&mut self, messages: &[Message]) -> Result<(), NocError> {
         let nodes = self.config.nodes();
         let fault_active = self.fault_active();
         let mut next_packet_id = 0u64;
+        // One packetize scratch shared across every message of the run.
+        let mut packets = Vec::new();
         for (i, m) in messages.iter().enumerate() {
             if m.src >= nodes {
                 return Err(NocError::BadNode { node: m.src, nodes });
@@ -273,8 +323,15 @@ impl Simulator {
                     return Err(NocError::Unreachable { src: m.src, dst: m.dst });
                 }
             }
-            let packets =
-                packetize(i as u64, m.src, m.dst, m.bytes, &self.config, &mut next_packet_id);
+            packetize_into(
+                i as u64,
+                m.src,
+                m.dst,
+                m.bytes,
+                &self.config,
+                &mut next_packet_id,
+                &mut packets,
+            );
             let flits: u64 = packets.iter().map(|p| p.flits).sum();
             self.messages.push(MessageState {
                 inject_cycle: m.inject_cycle,
@@ -282,7 +339,7 @@ impl Simulator {
                 bytes: m.bytes,
                 completed_at: None,
             });
-            for p in packets {
+            for &p in &packets {
                 if fault_active {
                     debug_assert_eq!(p.id as usize, self.packets.len());
                     self.packets.push(PacketRecord {
@@ -300,13 +357,33 @@ impl Simulator {
             }
         }
         // Per-source pending packets must start in inject-cycle order.
-        for s in &mut self.sources {
-            let mut v: Vec<PendingPacket> = s.pending.drain(..).collect();
-            v.sort_by_key(|p| p.inject_cycle);
-            s.pending = v.into();
+        // Traces are usually generated in global injection order, which
+        // preserves per-source order — skip the sort (stable, so the
+        // result is identical either way) unless actually needed.
+        for node in 0..nodes {
+            let s = &mut self.sources[node];
+            let ordered = s.pending.iter().zip(s.pending.iter().skip(1));
+            if ordered.clone().any(|(a, b)| a.inject_cycle > b.inject_cycle) {
+                let mut v: Vec<PendingPacket> = s.pending.drain(..).collect();
+                v.sort_by_key(|p| p.inject_cycle);
+                s.pending = v.into();
+            }
+            if let Some(p) = self.sources[node].pending.front() {
+                let due = p.inject_cycle;
+                self.wake_source_at(node, due);
+            }
         }
+        Ok(())
+    }
 
-        let total = self.messages.len();
+    /// Steps the static run to completion and returns how many messages
+    /// were delivered. `full_scan` selects the retained pre-overhaul
+    /// sweep (every source and every router, every evaluated cycle); the
+    /// default active-set sweep skips sources with nothing due and
+    /// routers with no buffered flits, which are provably no-ops.
+    fn drive(&mut self, total: usize, full_scan: bool) -> Result<usize, NocError> {
+        let nodes = self.config.nodes();
+        let fault_active = self.fault_active();
         let mut delivered = 0usize;
         while delivered < total {
             if self.cycle > self.config.max_cycles {
@@ -319,12 +396,20 @@ impl Simulator {
             if fault_active {
                 self.fire_protocol_events()?;
             }
+            self.drain_inject_wake();
             for node in 0..nodes {
+                if !full_scan && !self.inject_ready[node] {
+                    continue;
+                }
                 if self.inject(node) {
                     activity = true;
                 }
+                self.retire_or_keep_source(node);
             }
             for node in 0..nodes {
+                if !full_scan && self.buffered[node] == 0 {
+                    continue;
+                }
                 for op in 0..PORTS {
                     let (moved, completed) = self.switch_output(node, op);
                     if moved {
@@ -333,12 +418,16 @@ impl Simulator {
                     delivered += completed;
                 }
             }
+            self.cycles_simulated += 1;
             if activity {
                 self.cycle += 1;
             } else {
                 // Idle: fast-forward to the next event.
                 match self.next_event_cycle() {
-                    Some(next) if next > self.cycle => self.cycle = next,
+                    Some(next) if next > self.cycle => {
+                        self.cycles_fast_forwarded += next - self.cycle - 1;
+                        self.cycle = next;
+                    }
                     Some(_) => self.cycle += 1,
                     None => {
                         if fault_active && delivered < total {
@@ -359,15 +448,19 @@ impl Simulator {
                 }
             }
         }
+        Ok(delivered)
+    }
 
+    /// Assembles the report of a completed static run.
+    fn build_report(&mut self, delivered: usize) -> SimReport {
         let makespan = self.messages.iter().filter_map(|m| m.completed_at).max().unwrap_or(0);
-        Ok(SimReport {
+        SimReport {
             makespan,
             messages_delivered: delivered,
             bytes_delivered: self.messages.iter().map(|m| m.bytes).sum(),
             // In fault mode some ejected flits belong to rejected or
             // duplicate packets; count only cleanly accepted ones.
-            flits_delivered: if fault_active {
+            flits_delivered: if self.fault_active() {
                 self.delivered_flits
             } else {
                 self.events.ejections
@@ -381,7 +474,54 @@ impl Simulator {
             events: self.events,
             link_flits: self.link_flits.clone(),
             faults: self.faults,
-        })
+            cycles_simulated: self.cycles_simulated,
+            cycles_fast_forwarded: self.cycles_fast_forwarded,
+        }
+    }
+
+    /// Flags `node` for injection at `cycle` (immediately when due).
+    fn wake_source_at(&mut self, node: usize, cycle: u64) {
+        if cycle <= self.cycle {
+            self.inject_ready[node] = true;
+        } else {
+            self.inject_wake.entry(cycle).or_default().push(node);
+        }
+    }
+
+    /// Moves sources whose wake cycle has arrived into the ready set.
+    fn drain_inject_wake(&mut self) {
+        while let Some((&c, _)) = self.inject_wake.iter().next() {
+            if c > self.cycle {
+                break;
+            }
+            for node in self.inject_wake.remove(&c).unwrap_or_default() {
+                self.inject_ready[node] = true;
+            }
+        }
+    }
+
+    /// After an injection attempt: keeps `node` in the ready set while it
+    /// can make progress next cycle (an open packet is streaming, possibly
+    /// blocked on lanes/buffer space, or the front pending packet is due),
+    /// otherwise retires it — arming a wake-up for a future pending packet.
+    fn retire_or_keep_source(&mut self, node: usize) {
+        // A sleeping source already holds a wake-up; re-examining it (the
+        // full-scan sweep visits every node) must not arm duplicates.
+        if !self.inject_ready[node] {
+            return;
+        }
+        if self.sources[node].open.is_some() {
+            return;
+        }
+        match self.sources[node].pending.front() {
+            Some(p) if p.inject_cycle <= self.cycle => {}
+            Some(p) => {
+                let due = p.inject_cycle;
+                self.inject_ready[node] = false;
+                self.inject_wake.entry(due).or_default().push(node);
+            }
+            None => self.inject_ready[node] = false,
+        }
     }
 
     fn reset(&mut self) {
@@ -418,6 +558,11 @@ impl Simulator {
         self.abandoned_msgs.clear();
         self.detections.clear();
         self.detected_nodes.clear();
+        self.buffered = vec![0; nodes];
+        self.inject_ready = vec![false; nodes];
+        self.inject_wake.clear();
+        self.cycles_simulated = 0;
+        self.cycles_fast_forwarded = 0;
     }
 
     /// Delivers due acknowledgements and fires due retransmission
@@ -484,6 +629,10 @@ impl Simulator {
                     inject_cycle: self.cycle,
                     message_index: desc.message as usize,
                 });
+                // The retry is due immediately: pull the source out of the
+                // active-set sleep state (its armed wake-up, if any, may
+                // point arbitrarily far in the future).
+                self.inject_ready[desc.src] = true;
             }
         }
         Ok(newly_abandoned)
@@ -664,6 +813,7 @@ impl Simulator {
                 // clears the router pipeline.
                 ready_at: self.cycle + (ser - 1) + self.config.router_stages,
             });
+            self.buffered[node] += 1;
             self.sources[node].lanes[lane] = self.cycle + ser;
             self.events.buffer_writes += 1;
             injected = true;
@@ -784,6 +934,7 @@ impl Simulator {
             .queue
             .pop_front()
             .expect("movable candidate has a front flit");
+        self.buffered[node] -= 1;
         self.events.buffer_reads += 1;
         self.events.crossbar_traversals += 1;
         // Credit return to the upstream router (none for local injections:
@@ -862,6 +1013,7 @@ impl Simulator {
             // downstream pipeline processes the flit.
             ready_at: self.cycle + (ser - 1) + self.config.link_cycles + self.config.router_stages,
         });
+        self.buffered[downstream] += 1;
         self.events.link_traversals += 1;
         self.events.buffer_writes += 1;
         self.link_flits[node * 4 + op] += 1;
@@ -900,15 +1052,43 @@ impl Simulator {
         schedule: &FaultSchedule,
         monitor: &MonitorConfig,
     ) -> Result<RecoverableReport, NocError> {
+        self.run_recoverable_mode(messages, schedule, monitor, false)
+    }
+
+    /// The retained pre-overhaul full-scan variant of
+    /// [`Simulator::run_recoverable`]: semantically identical (bit-identical
+    /// reports, detections and abandonment sets) but without the active-set
+    /// sweep. Kept as the benchmark baseline and property-test oracle.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Simulator::run_recoverable`].
+    pub fn run_recoverable_reference(
+        &mut self,
+        messages: &[Message],
+        schedule: &FaultSchedule,
+        monitor: &MonitorConfig,
+    ) -> Result<RecoverableReport, NocError> {
+        self.run_recoverable_mode(messages, schedule, monitor, true)
+    }
+
+    fn run_recoverable_mode(
+        &mut self,
+        messages: &[Message],
+        schedule: &FaultSchedule,
+        monitor: &MonitorConfig,
+        full_scan: bool,
+    ) -> Result<RecoverableReport, NocError> {
         schedule.validate(&self.config)?;
         monitor.validate(&self.config)?;
         if schedule.is_empty() {
-            let report = self.run(messages)?;
+            let report =
+                if full_scan { self.run_reference(messages)? } else { self.run(messages)? };
             return Ok(RecoverableReport { report, detections: Vec::new(), abandoned: Vec::new() });
         }
         let saved_fault = self.fault.clone();
         let saved_routes = self.routes.clone();
-        let result = self.run_recoverable_inner(messages, schedule, monitor);
+        let result = self.run_recoverable_inner(messages, schedule, monitor, full_scan);
         self.fault = saved_fault;
         self.routes = saved_routes;
         self.dynamic = false;
@@ -920,55 +1100,16 @@ impl Simulator {
         messages: &[Message],
         schedule: &FaultSchedule,
         monitor: &MonitorConfig,
+        full_scan: bool,
     ) -> Result<RecoverableReport, NocError> {
         self.reset();
         self.dynamic = true;
         self.abandoned_msgs = vec![false; messages.len()];
         let nodes = self.config.nodes();
-        let mut next_packet_id = 0u64;
-        for (i, m) in messages.iter().enumerate() {
-            if m.src >= nodes {
-                return Err(NocError::BadNode { node: m.src, nodes });
-            }
-            if m.dst >= nodes || m.dst == m.src {
-                return Err(NocError::BadNode { node: m.dst, nodes });
-            }
-            // Endpoints must be alive *at the start*; deaths after cycle 0
-            // are the whole point of this entry point.
-            let endpoint_dead = self.fault.router_dead(m.src) || self.fault.router_dead(m.dst);
-            let no_route = !self.routes.is_empty() && self.routes[m.src * nodes + m.dst].is_none();
-            if endpoint_dead || no_route {
-                return Err(NocError::Unreachable { src: m.src, dst: m.dst });
-            }
-            let packets =
-                packetize(i as u64, m.src, m.dst, m.bytes, &self.config, &mut next_packet_id);
-            let flits: u64 = packets.iter().map(|p| p.flits).sum();
-            self.messages.push(MessageState {
-                inject_cycle: m.inject_cycle,
-                remaining_flits: flits,
-                bytes: m.bytes,
-                completed_at: None,
-            });
-            for p in packets {
-                debug_assert_eq!(p.id as usize, self.packets.len());
-                self.packets.push(PacketRecord {
-                    desc: p,
-                    attempt: 0,
-                    delivered: false,
-                    acked: false,
-                });
-                self.sources[m.src].pending.push_back(PendingPacket {
-                    desc: p,
-                    inject_cycle: m.inject_cycle,
-                    message_index: i,
-                });
-            }
-        }
-        for s in &mut self.sources {
-            let mut v: Vec<PendingPacket> = s.pending.drain(..).collect();
-            v.sort_by_key(|p| p.inject_cycle);
-            s.pending = v.into();
-        }
+        // Endpoints must be alive *at the start*; deaths after cycle 0
+        // are the whole point of this entry point (`enqueue` checks the
+        // static fault model because `dynamic` is already set).
+        self.enqueue(messages)?;
 
         // Heartbeat arithmetic is resolvable up front: beat deadlines are a
         // pure function of the schedule, so precompute when the monitor
@@ -1034,19 +1175,27 @@ impl Simulator {
                 }
             }
             resolved += self.fire_protocol_events()?;
-            if self.purge_unroutable() {
+            if self.purge_unroutable(full_scan) {
                 activity = true;
             }
+            self.drain_inject_wake();
             for node in 0..nodes {
                 if self.died_at[node] <= self.cycle {
+                    continue;
+                }
+                if !full_scan && !self.inject_ready[node] {
                     continue;
                 }
                 if self.inject(node) {
                     activity = true;
                 }
+                self.retire_or_keep_source(node);
             }
             for node in 0..nodes {
                 if self.died_at[node] <= self.cycle {
+                    continue;
+                }
+                if !full_scan && self.buffered[node] == 0 {
                     continue;
                 }
                 for op in 0..PORTS {
@@ -1057,6 +1206,7 @@ impl Simulator {
                     resolved += completed;
                 }
             }
+            self.cycles_simulated += 1;
             if activity {
                 self.cycle += 1;
             } else {
@@ -1076,7 +1226,10 @@ impl Simulator {
                     .map(|c| c.max(self.cycle + 1))
                     .min();
                 match next {
-                    Some(n) if n > self.cycle => self.cycle = n,
+                    Some(n) if n > self.cycle => {
+                        self.cycles_fast_forwarded += n - self.cycle - 1;
+                        self.cycle = n;
+                    }
                     Some(_) => self.cycle += 1,
                     None => {
                         return Err(NocError::CycleLimitExceeded {
@@ -1115,6 +1268,8 @@ impl Simulator {
             events: self.events,
             link_flits: self.link_flits.clone(),
             faults: self.faults,
+            cycles_simulated: self.cycles_simulated,
+            cycles_fast_forwarded: self.cycles_fast_forwarded,
         };
         Ok(RecoverableReport {
             report,
@@ -1166,6 +1321,7 @@ impl Simulator {
                 self.faults.flits_lost += lost;
             }
         }
+        self.buffered[node] = 0;
         for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
             let Some(nb) = self.mesh.neighbor(node, dir) else { continue };
             let toward_dead = dir.opposite().index();
@@ -1176,6 +1332,9 @@ impl Simulator {
         }
         self.sources[node].pending.clear();
         self.sources[node].open = None;
+        // A dead core never injects again; drop it from the active set
+        // (any armed wake-up degenerates to a no-op visit).
+        self.inject_ready[node] = false;
         let orphaned: Vec<usize> = self
             .packets
             .iter()
@@ -1231,6 +1390,7 @@ impl Simulator {
             let tail =
                 Flit { is_head: false, is_tail: true, poisoned: true, seq: u64::MAX, ..worm };
             input.queue.push_back(TimedFlit { flit: tail, ready_at });
+            self.buffered[node] += 1;
             self.events.buffer_writes += 1;
         }
     }
@@ -1238,10 +1398,15 @@ impl Simulator {
     /// Drops ready front flits that can no longer route anywhere (their
     /// destination became unreachable mid-run), plus the rest of each such
     /// worm as it surfaces. Returns whether anything was dropped.
-    fn purge_unroutable(&mut self) -> bool {
+    fn purge_unroutable(&mut self, full_scan: bool) -> bool {
         let mut dropped_any = false;
         for node in 0..self.config.nodes() {
             if self.died_at[node] <= self.cycle {
+                continue;
+            }
+            // An empty router has nothing to purge; only the retained
+            // full-scan stepper insists on visiting it anyway.
+            if !full_scan && self.buffered[node] == 0 {
                 continue;
             }
             for ip in 0..PORTS {
@@ -1265,6 +1430,7 @@ impl Simulator {
                             self.doomed.insert(key);
                         }
                         self.routers[node].inputs[ip][vc].queue.pop_front();
+                        self.buffered[node] -= 1;
                         self.faults.flits_lost += 1;
                         dropped_any = true;
                         if ip != LOCAL {

@@ -64,13 +64,32 @@ pub fn packetize(
     config: &NocConfig,
     next_packet_id: &mut PacketId,
 ) -> Vec<PacketDescriptor> {
+    let mut packets = Vec::new();
+    packetize_into(message, src, dst, bytes, config, next_packet_id, &mut packets);
+    packets
+}
+
+/// [`packetize`] into a caller-owned buffer: `out` is cleared and refilled,
+/// so one scratch vector can serve every message of a run instead of a
+/// fresh allocation per message.
+#[allow(clippy::too_many_arguments)]
+pub fn packetize_into(
+    message: MessageId,
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    config: &NocConfig,
+    next_packet_id: &mut PacketId,
+    out: &mut Vec<PacketDescriptor>,
+) {
+    out.clear();
     let total_flits = config.flits_for_bytes(bytes);
     let max = config.max_packet_flits as u64;
-    let mut packets = Vec::with_capacity(total_flits.div_ceil(max) as usize);
+    out.reserve(total_flits.div_ceil(max) as usize);
     let mut remaining = total_flits;
     while remaining > 0 {
         let flits = remaining.min(max);
-        packets.push(PacketDescriptor {
+        out.push(PacketDescriptor {
             id: *next_packet_id,
             message,
             src,
@@ -81,7 +100,6 @@ pub fn packetize(
         *next_packet_id += 1;
         remaining -= flits;
     }
-    packets
 }
 
 impl PacketDescriptor {

@@ -83,6 +83,15 @@ pub struct SimReport {
     /// Injected-fault and retransmission counters (all zero when the run
     /// used no fault model).
     pub faults: FaultStats,
+    /// Cycles the stepper actually evaluated (observability only: the
+    /// active-set and full-scan steppers produce identical values, and
+    /// the field is excluded from equivalence fingerprints by callers
+    /// that pin pre-overhaul reports).
+    pub cycles_simulated: u64,
+    /// Idle cycles skipped by fast-forwarding to the next event instead of
+    /// being stepped. `cycles_simulated + cycles_fast_forwarded` spans the
+    /// whole run; a high fast-forward share marks a sparse trace.
+    pub cycles_fast_forwarded: u64,
 }
 
 impl SimReport {
@@ -165,6 +174,8 @@ mod tests {
             events: EventCounts::default(),
             link_flits: vec![],
             faults: FaultStats::default(),
+            cycles_simulated: 0,
+            cycles_fast_forwarded: 0,
         };
         assert_eq!(r.mean_latency(), 0.0);
         assert_eq!(r.max_link_flits(), 0);
@@ -185,6 +196,8 @@ mod tests {
             events: EventCounts::default(),
             link_flits: vec![4, 0, 2, 0],
             faults: FaultStats::default(),
+            cycles_simulated: 0,
+            cycles_fast_forwarded: 0,
         };
         assert_eq!(r.mean_latency(), 20.0);
         assert_eq!(r.max_latency(), 30);
@@ -209,6 +222,8 @@ mod tests {
             events: EventCounts::default(),
             link_flits,
             faults: FaultStats::default(),
+            cycles_simulated: 0,
+            cycles_fast_forwarded: 0,
         };
         let s = render_link_heatmap(&r, &mesh);
         // Node 0's outgoing total is 7 + 9 = 16.

@@ -1,0 +1,128 @@
+//! Golden simulation fingerprints, pinned from the pre-optimization
+//! full-scan stepper.
+//!
+//! The hot-path overhaul (active-set worklist, idle fast-forward
+//! extension, packetize scratch reuse) is gated on bit-identical
+//! `SimReport`s: these tests pin the reports of four representative runs
+//! — a sparse timed trace, an all-to-all burst, a static faulty run with
+//! retransmissions, and a dynamic-schedule recoverable run — as exact
+//! fingerprints captured before the optimizations landed. Any
+//! accumulation/ordering change in the simulator trips them.
+//!
+//! To re-capture (only legitimate after an *intentional* semantic
+//! change): `LTS_GOLDEN_CAPTURE=1 cargo test -p lts-noc --test golden --
+//! --nocapture` and paste the printed fingerprints.
+
+use lts_noc::recovery::{FaultSchedule, MonitorConfig};
+use lts_noc::stats::SimReport;
+use lts_noc::topology::Direction;
+use lts_noc::traffic::{all_to_all, uniform_random, Message, TrafficTrace};
+use lts_noc::{FaultModel, NocConfig, Simulator};
+
+/// A deterministic sparse trace: a few messages spread far apart in time,
+/// so the simulator spends most cycles idle (the fast-forward showcase).
+fn sparse_trace(nodes: usize) -> TrafficTrace {
+    let mut t = TrafficTrace::new();
+    for i in 0..40usize {
+        let src = i % nodes;
+        let mut dst = (i * 7 + 3) % nodes;
+        if dst == src {
+            dst = (dst + 1) % nodes;
+        }
+        t.push(Message::new(src, dst, 64 + (i as u64) * 13, (i as u64) * 3_000));
+    }
+    t
+}
+
+/// Stable text fingerprint over the report fields that predate the
+/// hot-path overhaul (`cycles_simulated`/`cycles_fast_forwarded` are
+/// intentionally excluded: they are new observability counters, not
+/// simulation results).
+fn fingerprint(r: &SimReport) -> String {
+    format!(
+        "makespan={} delivered={} bytes={} flits={} blocked={} latsum={} latn={} links={} \
+         events={:?} faults={:?}",
+        r.makespan,
+        r.messages_delivered,
+        r.bytes_delivered,
+        r.flits_delivered,
+        r.blocked_flit_cycles,
+        r.message_latencies.iter().sum::<u64>(),
+        r.message_latencies.len(),
+        r.link_flits.iter().sum::<u64>(),
+        r.events,
+        r.faults,
+    )
+}
+
+fn check(label: &str, got: &str, pinned: &str) {
+    if std::env::var("LTS_GOLDEN_CAPTURE").is_ok() {
+        println!("GOLDEN {label}: {got}");
+        return;
+    }
+    assert_eq!(got, pinned, "{label} fingerprint drifted from the pre-optimization capture");
+}
+
+#[test]
+fn sparse_timed_trace_matches_pre_optimization_fingerprint() {
+    let trace = sparse_trace(16);
+    let mut sim = Simulator::new(NocConfig::paper_16core()).expect("sim");
+    let report = sim.run(&trace.messages).expect("run");
+    check(
+        "sparse",
+        &fingerprint(&report),
+        "makespan=117076 delivered=40 bytes=12700 flits=219 blocked=0 latsum=2419 latn=40 links=657 events=EventCounts { buffer_writes: 876, buffer_reads: 876, crossbar_traversals: 876, link_traversals: 657, arbitrations: 996, ejections: 219 } faults=FaultStats { flits_dropped: 0, flits_corrupted: 0, packets_rejected: 0, packets_retransmitted: 0, duplicate_packets: 0, flits_lost: 0 }",
+    );
+}
+
+#[test]
+fn all_to_all_burst_matches_pre_optimization_fingerprint() {
+    let trace = all_to_all(16, 256);
+    let mut sim = Simulator::new(NocConfig::paper_16core()).expect("sim");
+    let report = sim.run(&trace.messages).expect("run");
+    check(
+        "all_to_all",
+        &fingerprint(&report),
+        "makespan=532 delivered=240 bytes=61440 flits=960 blocked=34003 latsum=66475 latn=240 links=2560 events=EventCounts { buffer_writes: 3520, buffer_reads: 3520, crossbar_traversals: 3520, link_traversals: 2560, arbitrations: 8303, ejections: 960 } faults=FaultStats { flits_dropped: 0, flits_corrupted: 0, packets_rejected: 0, packets_retransmitted: 0, duplicate_packets: 0, flits_lost: 0 }",
+    );
+}
+
+#[test]
+fn static_faulty_run_matches_pre_optimization_fingerprint() {
+    // Node 5 is dead, so survivors only talk to survivors.
+    let trace: TrafficTrace = uniform_random(16, 3, 256, 9)
+        .messages
+        .into_iter()
+        .filter(|m| m.src != 5 && m.dst != 5)
+        .collect();
+    let fault = FaultModel::none().with_seed(42).kill_router(5).drop_rate(0.02).retry_limit(6);
+    let mut sim = Simulator::with_faults(NocConfig::paper_16core(), fault).expect("sim");
+    let report = sim.run(&trace.messages).expect("run");
+    check(
+        "static_faulty",
+        &fingerprint(&report),
+        "makespan=4731 delivered=40 bytes=10240 flits=160 blocked=1587 latsum=18836 latn=40 links=560 events=EventCounts { buffer_writes: 756, buffer_reads: 756, crossbar_traversals: 756, link_traversals: 560, arbitrations: 919, ejections: 196 } faults=FaultStats { flits_dropped: 10, flits_corrupted: 0, packets_rejected: 9, packets_retransmitted: 9, duplicate_packets: 0, flits_lost: 0 }",
+    );
+}
+
+#[test]
+fn recoverable_run_matches_pre_optimization_fingerprint() {
+    let trace = sparse_trace(16);
+    let mut sim = Simulator::new(NocConfig::paper_16core()).expect("sim");
+    let schedule =
+        FaultSchedule::new().router_death(20_000, 10).link_death(50_000, 0, Direction::East);
+    let rec = sim
+        .run_recoverable(&trace.messages, &schedule, &MonitorConfig::default())
+        .expect("recoverable run");
+    let got = format!(
+        "{} detections={:?} abandoned={:?}",
+        fingerprint(&rec.report),
+        rec.detections,
+        rec.abandoned
+    );
+    check(
+        "recoverable",
+        &got,
+        "makespan=117076 delivered=36 bytes=11326 flits=195 blocked=0 latsum=2279 latn=40 links=641 events=EventCounts { buffer_writes: 836, buffer_reads: 836, crossbar_traversals: 836, link_traversals: 641, arbitrations: 954, ejections: 195 } faults=FaultStats { flits_dropped: 0, flits_corrupted: 0, packets_rejected: 0, packets_retransmitted: 0, duplicate_packets: 0, flits_lost: 0 } detections=[Detection { node: 10, died_at: 20000, detected_at: 20757, cause: MissedHeartbeats }] abandoned=[10, 17, 26, 33]",
+    );
+}

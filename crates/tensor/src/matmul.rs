@@ -21,6 +21,36 @@ use crate::tensor::{Tensor, TensorError};
 /// Rows of the shared-dimension panel kept hot in cache per pass.
 const PANEL: usize = 64;
 
+/// Shared-dimension panel depth of the register-blocked A·B / Aᵀ·B
+/// kernels. A `KC × NR` tile of B (32 KB) is the L1 working set; deeper
+/// panels amortize the per-panel accumulator load/store further. Panel
+/// depth never changes results: the accumulator round-trips through C in
+/// f32, so each element's terms stay in ascending-`p` order regardless.
+const KC: usize = 128;
+
+/// Columns of the register-resident output tile (the microkernel width).
+///
+/// Together with [`MR`] this fixes the accumulator tile of the A·B and
+/// Aᵀ·B microkernels at `MR × NR` floats: wide enough to give the backend
+/// several independent accumulation chains, small enough to stay in SIMD
+/// registers without spilling.
+const NR: usize = 32;
+
+/// Rows of the register-resident output tile (the microkernel height).
+///
+/// Each B tile load feeds `MR` output rows, so raising `MR` divides the
+/// dominant load stream; the `MR × NR` product is bounded by the register
+/// file (see [`NR`]).
+const MR: usize = 1;
+
+/// Dot products computed concurrently by the A·Bᵀ microkernel.
+///
+/// Each output element of `A · Bᵀ` is an independent dot product; computing
+/// one at a time leaves a single latency-bound add chain. Running `NR_DOT`
+/// dots side by side (one accumulator each, shared `A` element) fills the
+/// FPU pipeline without touching any element's accumulation order.
+const NR_DOT: usize = 8;
+
 /// Multiply-adds below which a product runs inline: for tiny operands the
 /// cost of spawning scoped workers exceeds the whole product.
 const PAR_THRESHOLD: usize = 32 * 1024;
@@ -153,30 +183,134 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     let kernel = |first_row: usize, stripe: &mut [f32]| {
         stripe.fill(0.0);
         let rows = stripe.len() / n;
-        // Panel over the shared dimension: the PANEL×n block of B stays hot
-        // across every row of the stripe. Accumulation order per element is
-        // still p ascending, so blocking does not perturb results.
-        for p0 in (0..k).step_by(PANEL) {
-            let p1 = (p0 + PANEL).min(k);
-            for r in 0..rows {
-                let arow = &a[(first_row + r) * k..(first_row + r) * k + k];
-                let crow = &mut stripe[r * n..(r + 1) * n];
-                for (p, &aval) in arow[p0..p1].iter().enumerate().map(|(o, v)| (p0 + o, v)) {
-                    if aval == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (cj, &bj) in crow.iter_mut().zip(brow) {
-                        *cj += aval * bj;
-                    }
-                }
-            }
+        // Panel over the shared dimension: within a panel the microkernel
+        // accumulates an NR-wide register tile of the C row across every p
+        // of the panel; each element still sums its terms in p-ascending
+        // order, so neither level of blocking perturbs results.
+        for p0 in (0..k).step_by(KC) {
+            let p1 = (p0 + KC).min(k);
+            axpy_panel_stripe(|i, p| a[i * k + p], b, stripe, first_row, rows, n, p0, p1);
         }
     };
     if m * k * n < PAR_THRESHOLD {
         kernel(0, c);
     } else {
         par::par_row_stripes(c, n, kernel);
+    }
+}
+
+/// Runs the register-blocked microkernel over every row of a stripe for one
+/// shared-dimension panel, pairing rows so each B tile load feeds two
+/// output rows (the row-major GEMMs are load-bound, not FLOP-bound).
+///
+/// `apanel(i, p)` abstracts the A access (`a[i*k + p]` for A·B,
+/// `a[p*m + i]` for Aᵀ·B) so both kernels share the microkernel. Pairing
+/// rows cannot perturb results: each element's terms are still added in
+/// ascending `p`, and rows never mix.
+#[inline]
+#[allow(clippy::too_many_arguments)] // one call frame below two GEMM kernels
+fn axpy_panel_stripe(
+    apanel: impl Fn(usize, usize) -> f32 + Copy,
+    b: &[f32],
+    stripe: &mut [f32],
+    first_row: usize,
+    rows: usize,
+    n: usize,
+    p0: usize,
+    p1: usize,
+) {
+    // j-tile outermost: one `PANEL × NR` tile of B (a few KB) is re-read
+    // for every row of the stripe and stays L1-resident, instead of
+    // streaming the whole `PANEL × n` panel once per row.
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        let mut r = 0;
+        while r + MR <= rows {
+            axpy_panel_tile::<MR>(apanel, b, stripe, first_row, r, n, j0, p0, p1);
+            r += MR;
+        }
+        while r < rows {
+            axpy_panel_tile::<1>(apanel, b, stripe, first_row, r, n, j0, p0, p1);
+            r += 1;
+        }
+        j0 += NR;
+    }
+    if j0 < n {
+        for r in 0..rows {
+            let i = first_row + r;
+            axpy_row_tail(|p| apanel(i, p), b, &mut stripe[r * n + j0..r * n + n], n, j0, p0, p1);
+        }
+    }
+}
+
+/// Register-blocked update of one `M × NR` output tile over one
+/// shared-dimension panel: `c[r+mr][j0+jj] += Σ_{p in p0..p1}
+/// apanel(first_row + r + mr, p) · b[p*n + j0 + jj]`, terms added in
+/// ascending `p` for every element.
+///
+/// The `M × NR` accumulator tile lives in registers across the whole
+/// panel, so each C element is loaded and stored once per panel (instead
+/// of once per `p`) and each B tile load feeds `M` output rows — the
+/// row-major GEMMs are load-bound, not FLOP-bound. A zero A element skips
+/// its row's whole tile update for that `p` — exactly the skip the
+/// pre-tile kernels performed, preserved bit-for-bit because `c + 0.0·x`
+/// is *not* always `c` in IEEE arithmetic (`-0.0` and non-finite `x`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn axpy_panel_tile<const M: usize>(
+    apanel: impl Fn(usize, usize) -> f32 + Copy,
+    b: &[f32],
+    stripe: &mut [f32],
+    first_row: usize,
+    r: usize,
+    n: usize,
+    j0: usize,
+    p0: usize,
+    p1: usize,
+) {
+    let mut acc = [[0.0f32; NR]; M];
+    for (mr, accrow) in acc.iter_mut().enumerate() {
+        let row = (r + mr) * n + j0;
+        accrow.copy_from_slice(&stripe[row..row + NR]);
+    }
+    for p in p0..p1 {
+        let btile = &b[p * n + j0..p * n + j0 + NR];
+        for (mr, accrow) in acc.iter_mut().enumerate() {
+            let aval = apanel(first_row + r + mr, p);
+            if aval != 0.0 {
+                for jj in 0..NR {
+                    accrow[jj] += aval * btile[jj];
+                }
+            }
+        }
+    }
+    for (mr, accrow) in acc.iter().enumerate() {
+        let row = (r + mr) * n + j0;
+        stripe[row..row + NR].copy_from_slice(accrow);
+    }
+}
+
+/// Scalar update of one row's tail columns (`j0..n`) for one panel — the
+/// pre-tile kernel loop, byte-for-byte.
+#[inline]
+fn axpy_row_tail(
+    apanel: impl Fn(usize) -> f32,
+    b: &[f32],
+    ctail: &mut [f32],
+    n: usize,
+    j0: usize,
+    p0: usize,
+    p1: usize,
+) {
+    for p in p0..p1 {
+        let aval = apanel(p);
+        if aval == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..(p + 1) * n];
+        for (cj, &bj) in ctail.iter_mut().zip(&brow[j0..]) {
+            *cj += aval * bj;
+        }
     }
 }
 
@@ -192,22 +326,9 @@ pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     let kernel = |first_row: usize, stripe: &mut [f32]| {
         stripe.fill(0.0);
         let rows = stripe.len() / n;
-        for p0 in (0..k).step_by(PANEL) {
-            let p1 = (p0 + PANEL).min(k);
-            for r in 0..rows {
-                let i = first_row + r;
-                let crow = &mut stripe[r * n..(r + 1) * n];
-                for p in p0..p1 {
-                    let aval = a[p * m + i];
-                    if aval == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (cj, &bj) in crow.iter_mut().zip(brow) {
-                        *cj += aval * bj;
-                    }
-                }
-            }
+        for p0 in (0..k).step_by(KC) {
+            let p1 = (p0 + KC).min(k);
+            axpy_panel_stripe(|i, p| a[p * m + i], b, stripe, first_row, rows, n, p0, p1);
         }
     };
     if m * k * n < PAR_THRESHOLD {
@@ -229,13 +350,29 @@ pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     let kernel = |first_row: usize, stripe: &mut [f32]| {
         let rows = stripe.len() / n;
         // Panel over B's rows (output columns): each j-panel of B is reused
-        // across every row of the stripe. Dots are independent per element.
+        // across every row of the stripe. Dots are independent per element,
+        // so the microkernel runs NR_DOT of them side by side — one
+        // accumulator each — to break the single-dot latency chain. Each
+        // dot still sums in ascending shared-dimension order.
         for j0 in (0..n).step_by(PANEL) {
             let j1 = (j0 + PANEL).min(n);
             for r in 0..rows {
                 let arow = &a[(first_row + r) * k..(first_row + r) * k + k];
                 let crow = &mut stripe[r * n..(r + 1) * n];
-                for j in j0..j1 {
+                let mut j = j0;
+                while j + NR_DOT <= j1 {
+                    let mut acc = [0.0f32; NR_DOT];
+                    let bt: [&[f32]; NR_DOT] =
+                        std::array::from_fn(|jj| &b[(j + jj) * k..(j + jj) * k + k]);
+                    for (p, &x) in arow.iter().enumerate() {
+                        for jj in 0..NR_DOT {
+                            acc[jj] += x * bt[jj][p];
+                        }
+                    }
+                    crow[j..j + NR_DOT].copy_from_slice(&acc);
+                    j += NR_DOT;
+                }
+                for j in j..j1 {
                     let brow = &b[j * k..(j + 1) * k];
                     let mut acc = 0.0f32;
                     for (&x, &y) in arow.iter().zip(brow) {
@@ -250,6 +387,97 @@ pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
         kernel(0, c);
     } else {
         par::par_row_stripes(c, n, kernel);
+    }
+}
+
+pub mod reference {
+    //! The pre-overhaul GEMM kernels, retained verbatim (serial form).
+    //!
+    //! The register-blocked microkernels in the parent module are gated on
+    //! producing bit-identical results to these: the equivalence proptests
+    //! assert exact equality on random shapes, and the `hotpath` benchmark
+    //! times both on the same inputs so `BENCH_hotpath.json` records a
+    //! true before/after on one host. Not for production use.
+
+    use super::PANEL;
+
+    /// Pre-overhaul `C = A · B` (i-k-j panel loop, no register tile).
+    pub fn matmul_into_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if n == 0 {
+            return;
+        }
+        c.fill(0.0);
+        for p0 in (0..k).step_by(PANEL) {
+            let p1 = (p0 + PANEL).min(k);
+            for r in 0..m {
+                let arow = &a[r * k..r * k + k];
+                let crow = &mut c[r * n..(r + 1) * n];
+                for (p, &aval) in arow[p0..p1].iter().enumerate().map(|(o, v)| (p0 + o, v)) {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cj, &bj) in crow.iter_mut().zip(brow) {
+                        *cj += aval * bj;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-overhaul `C = Aᵀ · B`.
+    pub fn matmul_at_b_into_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), k * m);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if n == 0 {
+            return;
+        }
+        c.fill(0.0);
+        for p0 in (0..k).step_by(PANEL) {
+            let p1 = (p0 + PANEL).min(k);
+            for i in 0..m {
+                let crow = &mut c[i * n..(i + 1) * n];
+                for p in p0..p1 {
+                    let aval = a[p * m + i];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cj, &bj) in crow.iter_mut().zip(brow) {
+                        *cj += aval * bj;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-overhaul `C = A · Bᵀ` (one dot product per element).
+    pub fn matmul_a_bt_into_ref(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(c.len(), m * n);
+        if n == 0 {
+            return;
+        }
+        for j0 in (0..n).step_by(PANEL) {
+            let j1 = (j0 + PANEL).min(n);
+            for r in 0..m {
+                let arow = &a[r * k..r * k + k];
+                let crow = &mut c[r * n..(r + 1) * n];
+                for j in j0..j1 {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    crow[j] = acc;
+                }
+            }
+        }
     }
 }
 
@@ -338,6 +566,33 @@ mod tests {
             let mut c = vec![1.0f32; mm * nn];
             matmul_into(&a, &b, &mut c, mm, kk, nn);
             assert_eq!(c, naive(&a, &b, mm, kk, nn), "{mm}x{kk}x{nn}");
+        }
+    }
+
+    #[test]
+    fn microkernels_match_retained_reference_kernels() {
+        // Shapes straddling both the panel and the register-tile widths,
+        // with exact zeros in A (the zero-skip path) and awkward tails.
+        for (mm, kk, nn) in
+            [(5, PANEL + 9, NR + 3), (3, 2 * PANEL + 1, 2 * NR), (7, 11, NR_DOT + 1), (2, 1, 1)]
+        {
+            let gen = |len: usize, s: usize| -> Vec<f32> {
+                (0..len).map(|x| (((x * s + 5) % 13) as f32) - 6.0).collect()
+            };
+            let a = gen(mm * kk, 37);
+            let at = gen(kk * mm, 37);
+            let b = gen(kk * nn, 17);
+            let bt = gen(nn * kk, 17);
+            let (mut c, mut cr) = (vec![1.0f32; mm * nn], vec![2.0f32; mm * nn]);
+            matmul_into(&a, &b, &mut c, mm, kk, nn);
+            reference::matmul_into_ref(&a, &b, &mut cr, mm, kk, nn);
+            assert_eq!(c, cr, "matmul {mm}x{kk}x{nn}");
+            matmul_at_b_into(&at, &b, &mut c, mm, kk, nn);
+            reference::matmul_at_b_into_ref(&at, &b, &mut cr, mm, kk, nn);
+            assert_eq!(c, cr, "at_b {mm}x{kk}x{nn}");
+            matmul_a_bt_into(&a, &bt, &mut c, mm, kk, nn);
+            reference::matmul_a_bt_into_ref(&a, &bt, &mut cr, mm, kk, nn);
+            assert_eq!(c, cr, "a_bt {mm}x{kk}x{nn}");
         }
     }
 }

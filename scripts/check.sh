@@ -16,11 +16,16 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
-echo "==> cargo clippy"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "==> cargo clippy (incl. the perf lint group, denied workspace-wide)"
+cargo clippy --offline --workspace --all-targets -- -D warnings -D clippy::perf
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> hot-path smoke (micro-kernel bench at 2 iters + stepper-equivalence properties)"
+LTS_BENCH_ITERS=2 LTS_BENCH_DIR="$(mktemp -d)" \
+    cargo bench --offline -p lts-bench --bench micro_kernels
+cargo test --release --offline -q -p lts-noc --test equivalence
 
 echo "==> fault-injection smoke (dead router + 0.5% flit drops must still deliver)"
 cargo run --release --offline --example fault_injection
