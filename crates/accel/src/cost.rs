@@ -109,7 +109,7 @@ impl CoreModel {
         if out_units_assigned == 0 {
             return LayerCost::zero();
         }
-        match spec.kind {
+        let cost = match spec.kind {
             LayerKind::Conv { kernel, groups, .. } => {
                 let in_per_group = spec.in_dims.0 / groups;
                 let contrib = in_per_group * kernel * kernel;
@@ -160,7 +160,15 @@ impl CoreModel {
                 }
             }
             LayerKind::Flatten => LayerCost::zero(),
+        };
+        if lts_obs::enabled() {
+            lts_obs::counter_add("accel.layer_costs", 1);
+            lts_obs::counter_add("accel.macs", cost.macs);
+            lts_obs::counter_add("accel.compute_cycles", cost.compute_cycles);
+            lts_obs::counter_add("accel.memory_cycles", cost.memory_cycles);
+            lts_obs::counter_add("accel.dram_bytes", cost.dram_bytes);
         }
+        cost
     }
 
     /// Shared conv/linear tile model: `out_assigned` output units each
@@ -211,10 +219,24 @@ impl CoreModel {
 
     /// Cost of the whole network on a single core (the non-parallel
     /// reference point).
+    ///
+    /// When `lts-obs` recording is enabled, an `accel.single_core#N`
+    /// cycle track receives one interval per layer — phase
+    /// `compute-bound` or `memory-bound` by which stream dominated —
+    /// whose lengths are the exact per-layer `cycles`, so the track
+    /// total equals the returned `cycles` bit for bit.
     pub fn single_core_cost(&self, layers: &[LayerSpec]) -> LayerCost {
+        let track = lts_obs::cycle_track("accel.single_core");
         let mut total = LayerCost::zero();
         for spec in layers {
-            total.accumulate(&self.layer_cost(spec, spec.out_dims.0));
+            let cost = self.layer_cost(spec, spec.out_dims.0);
+            let phase = if cost.memory_cycles > cost.compute_cycles {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            };
+            lts_obs::cycle_record(track, phase, &spec.name, cost.cycles);
+            total.accumulate(&cost);
         }
         total
     }

@@ -70,6 +70,30 @@ fn main() {
     note_speedup(&mut report, "matmul_256x256_t1");
     note_speedup(&mut report, "matmul_at_b_256_t1");
     note_speedup(&mut report, "matmul_a_bt_256_t1");
+
+    // Disabled-probe overhead: the optimized kernels above already run
+    // with an `lts-obs` span inside (off by default); price one million
+    // disabled spans against the GEMM they guard. Contract: <1%.
+    const SPAN_CALLS: usize = 1_000_000;
+    let spans = time("obs_span_disabled_x1e6", 1, iters.min(10), || {
+        for _ in 0..SPAN_CALLS {
+            let _s = lts_obs::span("hotpath.disabled_probe");
+        }
+    });
+    let span_ns = spans.mean_ms * 1e6 / SPAN_CALLS as f64;
+    let gemm_ns = report
+        .records
+        .iter()
+        .find(|r| r.name == "matmul_256x256_t1_after")
+        .map(|r| r.mean_ms * 1e6)
+        .unwrap_or(f64::NAN);
+    let overhead_pct = 100.0 * span_ns / gemm_ns;
+    report.push(spans);
+    report.note(format!(
+        "disabled obs span: {span_ns:.1} ns/call = {overhead_pct:.4}% of one 256x256 GEMM \
+         (contract: <1%)"
+    ));
+    assert!(overhead_pct < 1.0, "disabled-probe overhead {overhead_pct:.3}% breaches 1%");
     report.note(
         "GEMM context: the pinned-SSE2 safe-Rust build caps f32 MACs at 4/cycle and the \
          pre-overhaul A*B / At*B kernels already ran near 3 MACs/cycle, so their headroom is \

@@ -15,6 +15,7 @@
 //! stateless hash draws and the NoC simulator is single-threaded.
 
 use lts_core::chaos::{chaos_soak, ChaosConfig, ChaosRow};
+use lts_core::simcache::{self, SimCacheStats, SimUsage};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,9 +25,12 @@ struct SoakArtifact {
     threads: usize,
     config: ChaosConfig,
     rows: Vec<ChaosRow>,
+    sim: SimUsage,
+    sim_cache: SimCacheStats,
 }
 
 fn main() {
+    lts_obs::enable_from_env();
     let effort = std::env::var("LTS_EFFORT").unwrap_or_else(|_| "paper".into());
     let config = match effort.as_str() {
         "quick" => ChaosConfig::quick(),
@@ -39,6 +43,7 @@ fn main() {
         config.cores, config.trials, config.max_faults, config.max_dead_per_fault, config.seed
     );
 
+    simcache::reset();
     let rows = chaos_soak(&config).expect("chaos soak");
     let mut violations = 0usize;
     println!(
@@ -79,6 +84,22 @@ fn main() {
     println!("`lost` is the bounded output-loss fraction: the in-flight boundary units that");
     println!("died with their cores (any strategy), plus — for grouped plans only — the");
     println!("output channels whose pinned weight chains died (permanent accuracy loss).");
+    println!();
+    let mut sim = SimUsage::default();
+    for r in &rows {
+        sim.merge(&r.sim);
+    }
+    let sim_cache = simcache::stats();
+    println!(
+        "sim usage: {} transitions simulated, {} answered from cache ({} cache hits / {} \
+         misses); {} cycles stepped, {} fast-forwarded",
+        sim.sims,
+        sim.cache_hits,
+        sim_cache.hits,
+        sim_cache.misses,
+        sim.cycles_simulated,
+        sim.cycles_fast_forwarded
+    );
 
     let artifact = SoakArtifact {
         bench: "chaos_soak".into(),
@@ -86,6 +107,8 @@ fn main() {
         threads: lts_tensor::par::current().threads(),
         config,
         rows,
+        sim,
+        sim_cache,
     };
     let dir = std::env::var("LTS_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let path = std::path::Path::new(&dir).join("BENCH_chaos_soak.json");

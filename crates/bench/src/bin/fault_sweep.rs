@@ -13,6 +13,7 @@
 
 use lts_core::degradation::{fault_sweep, FaultSweepConfig, FaultSweepRow};
 use lts_core::report::render_fault_sweep;
+use lts_core::simcache::{self, SimCacheStats, SimUsage};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,9 +23,12 @@ struct SweepArtifact {
     threads: usize,
     config: FaultSweepConfig,
     rows: Vec<FaultSweepRow>,
+    sim: SimUsage,
+    sim_cache: SimCacheStats,
 }
 
 fn main() {
+    lts_obs::enable_from_env();
     let effort = std::env::var("LTS_EFFORT").unwrap_or_else(|_| "paper".into());
     let config = match effort.as_str() {
         "quick" => FaultSweepConfig::quick(),
@@ -37,8 +41,25 @@ fn main() {
         config.cores, config.fault_rates, config.dead_core_sets, config.seed
     );
 
+    simcache::reset();
     let rows = fault_sweep(&config).expect("fault sweep");
     println!("{}", render_fault_sweep(&rows));
+    println!();
+    let mut sim = SimUsage::default();
+    for r in &rows {
+        sim.merge(&r.sim);
+    }
+    let sim_cache = simcache::stats();
+    println!(
+        "sim usage: {} transitions simulated, {} answered from cache ({} cache hits / {} \
+         misses); {} cycles stepped, {} fast-forwarded",
+        sim.sims,
+        sim.cache_hits,
+        sim_cache.hits,
+        sim_cache.misses,
+        sim.cycles_simulated,
+        sim.cycles_fast_forwarded
+    );
     println!();
     println!("Latency/energy are relative to the same strategy on the fault-free chip.");
     println!("`Lost out.` is the accuracy proxy: output channels that died with their core");
@@ -51,6 +72,8 @@ fn main() {
         threads: lts_tensor::par::current().threads(),
         config,
         rows,
+        sim,
+        sim_cache,
     };
     let dir = std::env::var("LTS_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let path = std::path::Path::new(&dir).join("BENCH_fault_sweep.json");

@@ -13,10 +13,15 @@ use lts_core::experiment::EffortPreset;
 
 /// Reads the effort preset from `LTS_EFFORT` (default: `paper`).
 ///
+/// Every experiment binary calls this first, so it doubles as the hook
+/// that honors `LTS_OBS=1` (see [`lts_obs::enable_from_env`]): set it
+/// and any binary records probe spans and cycle timelines for the run.
+///
 /// # Panics
 ///
 /// Panics on an unrecognized value, listing the accepted ones.
 pub fn effort_from_env() -> EffortPreset {
+    lts_obs::enable_from_env();
     match std::env::var("LTS_EFFORT").as_deref() {
         Ok("quick") => EffortPreset::quick(),
         Ok("paper") | Err(_) => EffortPreset::paper(),
@@ -54,10 +59,50 @@ pub mod timing {
     use serde::{Deserialize, Serialize};
     use std::time::Instant;
 
+    /// Provenance of the host a report was produced on, so two
+    /// `BENCH_*.json` files can be compared knowing whether the
+    /// toolchain or the tree changed between them.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    pub struct HostFingerprint {
+        /// `rustc -V` output (or `unknown` when unavailable).
+        pub rustc: String,
+        /// `git rev-parse --short HEAD` (or `unknown` outside a repo).
+        pub git_rev: String,
+        /// Compile-time target OS.
+        pub os: String,
+    }
+
+    impl HostFingerprint {
+        /// Probes the host. Never fails: anything unqueryable is
+        /// recorded as `unknown`.
+        pub fn probe() -> Self {
+            let run = |cmd: &str, args: &[&str]| -> String {
+                std::process::Command::new(cmd)
+                    .args(args)
+                    .output()
+                    .ok()
+                    .filter(|o| o.status.success())
+                    .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .unwrap_or_else(|| "unknown".into())
+            };
+            Self {
+                rustc: run("rustc", &["-V"]),
+                git_rev: run("git", &["rev-parse", "--short", "HEAD"]),
+                os: std::env::consts::OS.to_string(),
+            }
+        }
+    }
+
     /// Mean-time regression tolerance for [`BenchReport::write_checked`]:
     /// a record must be more than 25 % slower than the baseline to fail
     /// the run (wall-clock noise on shared hosts sits well below that).
     pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+    /// Probe medians below this (milliseconds) are exempt from the
+    /// regression gate: at sub-50 µs scale scheduler jitter swamps any
+    /// real signal.
+    pub const PROBE_GATE_FLOOR_MS: f64 = 0.05;
 
     /// Measured-iteration count: `LTS_BENCH_ITERS` when set (parsed,
     /// minimum 1), else `default`. Lets CI smoke-run the heavy benches.
@@ -128,6 +173,11 @@ pub mod timing {
         pub notes: Vec<String>,
         /// One entry per timed workload.
         pub records: Vec<BenchRecord>,
+        /// Host provenance (`Option` so pre-fingerprint reports load).
+        pub fingerprint: Option<HostFingerprint>,
+        /// Probe-path statistics captured by `lts-obs` during the run
+        /// (`Option` so pre-observability reports load).
+        pub probes: Option<Vec<lts_obs::ProbeRow>>,
     }
 
     impl BenchReport {
@@ -139,7 +189,16 @@ pub mod timing {
                 host_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
                 notes: Vec::new(),
                 records: Vec::new(),
+                fingerprint: Some(HostFingerprint::probe()),
+                probes: None,
             }
+        }
+
+        /// Snapshots the live `lts-obs` probe statistics into the report
+        /// so [`BenchReport::regressions_vs`] can gate on per-probe
+        /// medians, not just end-to-end means.
+        pub fn attach_probes(&mut self) {
+            self.probes = Some(lts_obs::snapshot().probes);
         }
 
         /// Adds a record and echoes it to stdout.
@@ -190,8 +249,17 @@ pub mod timing {
         /// `mean_ms` more than `tolerance` (fractional) slower. Records
         /// missing from either side are ignored — a rename or a new
         /// workload is not a regression.
+        ///
+        /// When both reports carry attached probe statistics (see
+        /// [`BenchReport::attach_probes`]), per-probe `p50_ms` medians
+        /// are gated by the same rule, so a slowdown buried inside one
+        /// call path fails the gate even if the end-to-end mean hides
+        /// it. Probes whose baseline median sits below
+        /// [`PROBE_GATE_FLOOR_MS`] are skipped — scheduler jitter
+        /// dominates at that scale.
         pub fn regressions_vs(&self, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
-            self.records
+            let mut out: Vec<String> = self
+                .records
                 .iter()
                 .filter_map(|r| {
                     let base = baseline.records.iter().find(|b| b.name == r.name)?;
@@ -205,7 +273,25 @@ pub mod timing {
                         )
                     })
                 })
-                .collect()
+                .collect();
+            if let (Some(probes), Some(base_probes)) = (&self.probes, &baseline.probes) {
+                out.extend(probes.iter().filter_map(|p| {
+                    let base = base_probes.iter().find(|b| b.path == p.path)?;
+                    if base.p50_ms < PROBE_GATE_FLOOR_MS {
+                        return None;
+                    }
+                    (p.p50_ms > base.p50_ms * (1.0 + tolerance)).then(|| {
+                        format!(
+                            "probe {}: p50 {:.3} ms -> {:.3} ms (+{:.0}%)",
+                            p.path,
+                            base.p50_ms,
+                            p.p50_ms,
+                            100.0 * (p.p50_ms / base.p50_ms - 1.0)
+                        )
+                    })
+                }));
+            }
+            out
         }
 
         /// [`BenchReport::write`], then — when `LTS_BENCH_BASELINE` names

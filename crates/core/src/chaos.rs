@@ -20,6 +20,7 @@
 
 use crate::degradation::{outcome, workloads, Workload};
 use crate::recovery::{run_with_recovery, InferenceFault};
+use crate::simcache::SimUsage;
 use crate::system::SystemModel;
 use crate::{CoreError, Result};
 use lts_noc::{MonitorConfig, NocError};
@@ -83,6 +84,9 @@ pub struct ChaosRow {
     /// Worst output loss across both loss mechanisms, always in
     /// `[0, 1]` — the soak's bounded-loss guarantee.
     pub lost_output_fraction: f64,
+    /// Simulated-vs-cached NoC work behind the composed run (zeroed
+    /// when the trial fails before evaluation).
+    pub sim: SimUsage,
 }
 
 /// One step of the splitmix64 stream the schedules are drawn from.
@@ -194,6 +198,7 @@ fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Res
             detection_cycles: 0,
             redistribution_bytes: 0,
             lost_output_fraction: 0.0,
+            sim: SimUsage::default(),
         };
         match run_with_recovery(&model, &w.spec, &w.weights, &faults, &monitor) {
             Ok(report) => {
@@ -204,6 +209,7 @@ fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Res
                 row.detection_cycles = report.detection_cycles();
                 row.redistribution_bytes = report.redistribution_bytes();
                 row.lost_output_fraction = report.lost_fraction();
+                row.sim = report.report.sim;
             }
             Err(CoreError::Noc(NocError::Unreachable { .. })) => {
                 row.outcome = outcome::UNREACHABLE.into();

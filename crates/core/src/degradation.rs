@@ -20,6 +20,7 @@
 //! the execution engine's worker count: the NoC simulator is
 //! single-threaded and fault schedules are stateless hash draws.
 
+use crate::simcache::SimUsage;
 use crate::system::{SystemModel, SystemReport};
 use crate::{CoreError, Result};
 use lts_nn::descriptor::{convnet_spec, NetworkSpec, SpecBuilder};
@@ -118,6 +119,9 @@ pub struct FaultSweepRow {
     /// Worst per-layer fraction of output channels lost to core death —
     /// the accuracy-degradation proxy (nonzero only for grouped plans).
     pub lost_output_fraction: f64,
+    /// Simulated-vs-cached NoC work behind this cell (zeroed when the
+    /// cell fails before evaluation).
+    pub sim: SimUsage,
 }
 
 /// One strategy's workload: a spec plus (possibly sparse) weights.
@@ -275,6 +279,7 @@ fn sweep_cell(
         latency_vs_healthy: 0.0,
         energy_vs_healthy: 0.0,
         lost_output_fraction: degraded.lost_output_fraction(),
+        sim: SimUsage::default(),
     };
     match model.evaluate_degraded(&degraded) {
         Ok(report) => {
@@ -292,6 +297,7 @@ fn sweep_cell(
             let base_energy = healthy.total_energy_pj();
             row.energy_vs_healthy =
                 if base_energy == 0.0 { 1.0 } else { report.total_energy_pj() / base_energy };
+            row.sim = report.sim;
         }
         Err(CoreError::Noc(NocError::Unreachable { .. })) => {
             row.outcome = outcome::UNREACHABLE.into();

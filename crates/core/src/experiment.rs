@@ -180,6 +180,7 @@ fn structure_rows_for_cores(
     let mut rows = Vec::with_capacity(variants.len());
     let mut baseline_report: Option<SystemReport> = None;
     for (name, kernels, groups) in variants {
+        let _variant_probe = lts_obs::span(&format!("experiment.variant.{name}"));
         let net = models::convnet_variant(kernels, groups, preset.seed)?;
         let outcome = train_baseline(net, &data, &config)?;
         let plan = plan_for(&outcome.network, cores, false, true)?;

@@ -111,6 +111,7 @@ pub fn train_baseline(
     data: &TrainTest,
     config: &PipelineConfig,
 ) -> Result<TrainedOutcome> {
+    let _probe = lts_obs::span("core.train_baseline");
     par::install(config.exec);
     let trainer = Trainer::new(config.train)?;
     let train_stats = trainer.train(&mut network, &data.train.images, &data.train.labels)?;
@@ -163,6 +164,7 @@ pub fn train_sparsified(
     lambda: f32,
     prune: PruneCriterion,
 ) -> Result<SparsifiedOutcome> {
+    let _probe = lts_obs::span("core.train_sparsified");
     par::install(config.exec);
     let spec = network.spec();
     let dense_plan = Plan::dense(&spec, cores, 2)?;
@@ -237,6 +239,7 @@ pub fn strength_mask(cores: usize, scheme: SparsityScheme) -> Result<StrengthMas
 ///
 /// Propagates forward-pass errors.
 pub fn evaluate(network: &Network, data: &TrainTest, config: &PipelineConfig) -> Result<f32> {
+    let _probe = lts_obs::span("core.evaluate_accuracy");
     par::install(config.exec);
     let mut deployed = network.clone();
     if config.quantize {
@@ -275,6 +278,7 @@ pub fn weights_map(network: &Network, quantize: bool) -> HashMap<String, Vec<f32
 ///
 /// Propagates plan-construction errors.
 pub fn plan_for(network: &Network, cores: usize, sparse: bool, quantize: bool) -> Result<Plan> {
+    let _probe = lts_obs::span("core.plan_for");
     let spec = network.spec();
     if sparse {
         Ok(Plan::build(&spec, cores, &weights_map(network, quantize), 2)?)

@@ -28,6 +28,7 @@
 //! recovery (detection latency + resync traffic + mid-run resharding)
 //! is measurable directly.
 
+use crate::simcache::SimUsage;
 use crate::system::{LayerBreakdown, SystemModel, SystemReport};
 use crate::{CoreError, Result};
 use lts_nn::descriptor::NetworkSpec;
@@ -133,6 +134,12 @@ impl RecoveryReport {
         Some(self.report.total_cycles as f64 / oracle.total_cycles as f64)
     }
 
+    /// Simulated-vs-cached NoC work behind the composed run (healthy
+    /// segments plus every boundary resync).
+    pub fn sim_usage(&self) -> SimUsage {
+        self.report.sim
+    }
+
     /// Total cycles spent between deaths and their detections.
     pub fn detection_cycles(&self) -> u64 {
         self.events.iter().map(|e| e.detection_cycles).sum()
@@ -202,6 +209,7 @@ pub fn run_with_recovery(
     faults: &[InferenceFault],
     monitor: &MonitorConfig,
 ) -> Result<RecoveryReport> {
+    let _probe = lts_obs::span("core.recovery");
     let cores = model.cores();
     let full_plan = Plan::build(spec, cores, weights, 2)?;
     let fault_free = model.evaluate(&full_plan)?;
@@ -276,14 +284,17 @@ pub fn run_with_recovery(
             .enumerate()
             .filter_map(|(l, p)| newly.contains(p).then_some(l))
             .collect();
-        let inc = replan_from_layer(
-            &current_spec,
-            current_map.len(),
-            fault.layer - plan_start,
-            &logical_dead,
-            weights,
-            2,
-        )?;
+        let inc = {
+            let _replan_probe = lts_obs::span("core.recovery.replan");
+            replan_from_layer(
+                &current_spec,
+                current_map.len(),
+                fault.layer - plan_start,
+                &logical_dead,
+                weights,
+                2,
+            )?
+        };
         lost_output_fraction = lost_output_fraction.max(inc.lost_output_fraction());
         lost_boundary_fraction = lost_boundary_fraction.max(inc.lost_boundary_fraction());
 
@@ -299,11 +310,18 @@ pub fn run_with_recovery(
         let (resync_report, resync_energy) = if resync.is_empty() {
             (None, 0.0)
         } else {
+            let _resync_probe = lts_obs::span("core.recovery.resync");
             let fault = kill_set(&dead_all);
             let mut sim = Simulator::with_faults(*model.noc_config(), fault.clone())
                 .map_err(CoreError::Noc)?;
-            let rep = crate::simcache::run_cached(&mut sim, model.noc_config(), &fault, &resync)
-                .map_err(CoreError::Noc)?;
+            let rep = crate::simcache::run_cached(
+                &mut sim,
+                model.noc_config(),
+                &fault,
+                &resync,
+                &mut acc.sim,
+            )
+            .map_err(CoreError::Noc)?;
             let energy = model.noc_energy_report(&rep).total_pj();
             (Some(rep), energy)
         };
@@ -325,6 +343,17 @@ pub fn run_with_recovery(
             blocked_flit_cycles: resync_report.as_ref().map_or(0, |r| r.blocked_flit_cycles),
         });
         acc.faults.merge(&resync_stats);
+
+        if lts_obs::enabled() {
+            let track = lts_obs::cycle_track_named("core.recovery");
+            let at = format!("layer{}", fault.layer);
+            lts_obs::cycle_record(track, "detect", &at, detection_cycles);
+            lts_obs::cycle_record(track, "resync", &at, resync_cycles);
+            lts_obs::counter_add("recovery.events", 1);
+            lts_obs::counter_add("recovery.detection_cycles", detection_cycles);
+            lts_obs::counter_add("recovery.redistribution_cycles", resync_cycles);
+            lts_obs::counter_add("recovery.redistribution_bytes", resync_bytes);
+        }
 
         events.push(RecoveryEvent {
             layer: fault.layer,
@@ -399,6 +428,7 @@ struct Accumulator {
     compute_energy_pj: f64,
     noc_energy_pj: f64,
     faults: FaultStats,
+    sim: SimUsage,
     layers: Vec<LayerBreakdown>,
 }
 
@@ -411,6 +441,7 @@ impl Accumulator {
         self.compute_energy_pj += seg.compute_energy_pj;
         self.noc_energy_pj += seg.noc_energy_pj;
         self.faults.merge(&seg.faults);
+        self.sim.merge(&seg.sim);
         self.layers.extend(seg.layers);
     }
 
@@ -433,6 +464,7 @@ impl Accumulator {
             compute_energy_pj: self.compute_energy_pj,
             noc_energy_pj: self.noc_energy_pj,
             faults: self.faults,
+            sim: self.sim,
             layers: self.layers,
         }
     }

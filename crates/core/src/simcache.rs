@@ -37,6 +37,55 @@ pub struct SimCacheStats {
     pub entries: usize,
 }
 
+/// Per-evaluation accounting of how much NoC simulation was consumed
+/// versus answered from this cache. Carried on
+/// [`SystemReport`](crate::SystemReport) and merged across recovery
+/// segments, so sweeps and recovery summaries can tell cached from
+/// simulated work apart without reaching for the process-global
+/// [`stats`] counters.
+///
+/// `cycles_simulated` / `cycles_fast_forwarded` count only runs that
+/// actually stepped the simulator — a cache hit contributes to
+/// `cache_hits` and nothing else.
+///
+/// Equality is intentionally vacuous: cache temperature is an artifact
+/// of run order, not a property of the modeled system, so two otherwise
+/// identical reports (one warmed, one cold) still compare equal — the
+/// recovery determinism tests rely on whole-report `==`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SimUsage {
+    /// Transitions that fell through to a real simulation.
+    pub sims: u64,
+    /// Transitions answered from the cross-sweep cache.
+    pub cache_hits: u64,
+    /// Cycles the active-set stepper evaluated, over the simulated runs.
+    pub cycles_simulated: u64,
+    /// Idle cycles skipped by fast-forward, over the simulated runs.
+    pub cycles_fast_forwarded: u64,
+}
+
+impl SimUsage {
+    /// Total lookups (simulated + cached).
+    pub fn lookups(&self) -> u64 {
+        self.sims.saturating_add(self.cache_hits)
+    }
+
+    /// Folds another evaluation's usage into this one.
+    pub fn merge(&mut self, other: &SimUsage) {
+        self.sims = self.sims.saturating_add(other.sims);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cycles_simulated = self.cycles_simulated.saturating_add(other.cycles_simulated);
+        self.cycles_fast_forwarded =
+            self.cycles_fast_forwarded.saturating_add(other.cycles_fast_forwarded);
+    }
+}
+
+impl PartialEq for SimUsage {
+    fn eq(&self, _: &Self) -> bool {
+        true // see type docs: cache temperature is not semantic identity
+    }
+}
+
 /// Entry cap: sweeps re-simulate a bounded set of transitions, so this is
 /// generous; beyond it new triples still simulate, they just stop being
 /// recorded (counted as misses).
@@ -111,22 +160,32 @@ impl SharedCache {
         config: &NocConfig,
         fault: &FaultModel,
         messages: &[Message],
+        usage: &mut SimUsage,
     ) -> Result<SimReport, NocError> {
+        let simulate = |sim: &mut Simulator, usage: &mut SimUsage| {
+            let report = sim.run(messages)?;
+            usage.sims = usage.sims.saturating_add(1);
+            usage.cycles_simulated = usage.cycles_simulated.saturating_add(report.cycles_simulated);
+            usage.cycles_fast_forwarded =
+                usage.cycles_fast_forwarded.saturating_add(report.cycles_fast_forwarded);
+            Ok(report)
+        };
         if !enabled() {
-            return sim.run(messages);
+            return simulate(sim, usage);
         }
         let Ok(encoding) =
             serde_json::to_string(&(config, fault, messages)).map(String::into_bytes)
         else {
-            return sim.run(messages);
+            return simulate(sim, usage);
         };
         let hash = lts_nn::saved::fnv1a64(&encoding);
         if let Some(report) = self.locked(|c| c.lookup(hash, &encoding)) {
+            usage.cache_hits = usage.cache_hits.saturating_add(1);
             return Ok(report);
         }
         // Simulate outside the lock: concurrent sweeps may duplicate a
         // miss, but they never serialize on each other's simulations.
-        let report = sim.run(messages)?;
+        let report = simulate(sim, usage)?;
         self.locked(|c| c.insert(hash, encoding, &report));
         Ok(report)
     }
@@ -150,7 +209,7 @@ pub fn stats() -> SimCacheStats {
 }
 
 /// Runs `messages` through `sim`, memoized on the `(config, fault,
-/// messages)` triple.
+/// messages)` triple, and accounts the lookup into `usage`.
 ///
 /// On a hit the stored report is cloned back without stepping the
 /// simulator. On a miss (or when the cache is disabled, or the triple
@@ -166,8 +225,9 @@ pub fn run_cached(
     config: &NocConfig,
     fault: &FaultModel,
     messages: &[Message],
+    usage: &mut SimUsage,
 ) -> Result<SimReport, NocError> {
-    CACHE.run_cached(sim, config, fault, messages)
+    CACHE.run_cached(sim, config, fault, messages, usage)
 }
 
 #[cfg(test)]
@@ -189,12 +249,36 @@ mod tests {
         let config = NocConfig::paper_16core();
         let fault = FaultModel::none();
         let mut sim = Simulator::with_faults(config, fault.clone()).unwrap();
-        let first = cache.run_cached(&mut sim, &config, &fault, &trace()).unwrap();
-        let again = cache.run_cached(&mut sim, &config, &fault, &trace()).unwrap();
+        let mut usage = SimUsage::default();
+        let first = cache.run_cached(&mut sim, &config, &fault, &trace(), &mut usage).unwrap();
+        let again = cache.run_cached(&mut sim, &config, &fault, &trace(), &mut usage).unwrap();
         assert_eq!(first, again);
         assert_eq!(first, sim.run(&trace()).unwrap(), "cache must match a direct run");
         let s = cache.locked(|c| c.stats());
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!((usage.sims, usage.cache_hits, usage.lookups()), (1, 1, 2));
+        assert_eq!(
+            usage.cycles_simulated, first.cycles_simulated,
+            "the hit must not re-account the stored run's stepped cycles"
+        );
+        assert_eq!(usage.cycles_fast_forwarded, first.cycles_fast_forwarded);
+    }
+
+    #[test]
+    fn sim_usage_merges_and_compares_vacuously() {
+        let mut a =
+            SimUsage { sims: 1, cache_hits: 2, cycles_simulated: 10, cycles_fast_forwarded: 20 };
+        let b = SimUsage {
+            sims: u64::MAX,
+            cache_hits: 1,
+            cycles_simulated: 5,
+            cycles_fast_forwarded: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.sims, u64::MAX, "merge saturates");
+        assert_eq!((a.cache_hits, a.cycles_simulated, a.cycles_fast_forwarded), (3, 15, 27));
+        // Cache temperature never breaks report equality.
+        assert_eq!(a, SimUsage::default());
     }
 
     #[test]
@@ -205,8 +289,9 @@ mod tests {
         let drops = FaultModel::none().with_seed(7).drop_rate(0.05);
         let mut sim_clean = Simulator::with_faults(config, clean.clone()).unwrap();
         let mut sim_drops = Simulator::with_faults(config, drops.clone()).unwrap();
-        let a = cache.run_cached(&mut sim_clean, &config, &clean, &trace()).unwrap();
-        let b = cache.run_cached(&mut sim_drops, &config, &drops, &trace()).unwrap();
+        let mut usage = SimUsage::default();
+        let a = cache.run_cached(&mut sim_clean, &config, &clean, &trace(), &mut usage).unwrap();
+        let b = cache.run_cached(&mut sim_drops, &config, &drops, &trace(), &mut usage).unwrap();
         assert!(!a.faults.any());
         assert!(b.faults.any(), "a 5% drop rate over this trace must fire");
         assert_ne!(a, b);
@@ -223,7 +308,8 @@ mod tests {
         let mut sim = Simulator::with_faults(config, fault.clone()).unwrap();
         let before = stats();
         let direct = sim.run(&trace()).unwrap();
-        let via_cache = run_cached(&mut sim, &config, &fault, &trace()).unwrap();
+        let mut usage = SimUsage::default();
+        let via_cache = run_cached(&mut sim, &config, &fault, &trace(), &mut usage).unwrap();
         assert_eq!(direct, via_cache);
         let after = stats();
         assert!(after.hits + after.misses > before.hits + before.misses);

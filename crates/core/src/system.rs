@@ -7,6 +7,7 @@
 //! NoC simulator; then every core computes its partition, and the slowest
 //! core gates the transition to the next layer.
 
+use crate::simcache::SimUsage;
 use crate::{CoreError, Result};
 use lts_accel::{CoreConfig, CoreModel};
 use lts_noc::{EnergyModel, FaultModel, FaultStats, NocConfig, Simulator};
@@ -50,6 +51,10 @@ pub struct SystemReport {
     /// Fault and retransmission counters accumulated over every
     /// layer-transition simulation (all-zero on a fault-free run).
     pub faults: FaultStats,
+    /// How much NoC simulation this evaluation consumed versus answered
+    /// from the cross-sweep cache (compares vacuously equal; see
+    /// [`SimUsage`]).
+    pub sim: SimUsage,
     /// Per-layer details.
     pub layers: Vec<LayerBreakdown>,
 }
@@ -231,7 +236,13 @@ impl SystemModel {
         plan_layers: &[LayerPlan],
         core_map: Option<&[usize]>,
     ) -> Result<SystemReport> {
+        let _probe = lts_obs::span("core.evaluate_layers");
+        // One sequential cycle track per evaluation: its per-layer
+        // comm/compute records sum to `total_cycles` *exactly* (the obs
+        // bench pins this reconciliation).
+        let track = lts_obs::cycle_track("core.evaluate");
         let mut sim = Simulator::with_faults(self.noc_config, self.fault.clone())?;
+        let mut usage = SimUsage::default();
         let mut layers = Vec::with_capacity(plan_layers.len());
         let mut total_cycles = 0u64;
         let mut compute_total = 0u64;
@@ -264,8 +275,13 @@ impl SystemModel {
             let (comm_cycles, layer_noc_energy, blocked) = if messages.is_empty() {
                 (0, 0.0, 0)
             } else {
-                let report =
-                    crate::simcache::run_cached(&mut sim, &self.noc_config, &self.fault, messages)?;
+                let report = crate::simcache::run_cached(
+                    &mut sim,
+                    &self.noc_config,
+                    &self.fault,
+                    messages,
+                    &mut usage,
+                )?;
                 faults.merge(&report.faults);
                 let energy = self.noc_energy.report(&report, self.cores()).total_pj();
                 (report.makespan, energy, report.blocked_flit_cycles)
@@ -279,6 +295,8 @@ impl SystemModel {
                 worst = worst.max(cost.cycles);
                 layer_compute_energy += cost.energy_pj;
             }
+            lts_obs::cycle_record(track, "comm", &lp.spec.name, visible_comm);
+            lts_obs::cycle_record(track, "compute", &lp.spec.name, worst);
             total_cycles += visible_comm + worst;
             compute_total += worst;
             comm_total += visible_comm;
@@ -303,6 +321,7 @@ impl SystemModel {
             compute_energy_pj: compute_energy,
             noc_energy_pj: noc_energy,
             faults,
+            sim: usage,
             layers,
         })
     }
@@ -376,6 +395,19 @@ mod tests {
         assert_eq!(comm, r.comm_cycles);
         let traffic: u64 = r.layers.iter().map(|l| l.traffic_bytes).sum();
         assert_eq!(traffic, r.traffic_bytes);
+    }
+
+    #[test]
+    fn evaluation_accounts_one_sim_lookup_per_communicating_layer() {
+        let r = eval(16, &lenet_spec());
+        let with_comm = r.layers.iter().filter(|l| l.traffic_bytes > 0).count() as u64;
+        assert!(with_comm > 0);
+        assert_eq!(r.sim.lookups(), with_comm, "{:?}", r.sim);
+        assert!(
+            r.sim.sims == 0 || r.sim.cycles_simulated > 0,
+            "simulated transitions must account stepped cycles: {:?}",
+            r.sim
+        );
     }
 
     #[test]

@@ -175,6 +175,7 @@ impl SynthGenerator {
     /// Generates a balanced dataset of `n` samples (classes round-robin,
     /// then shuffled by the caller if desired).
     pub fn dataset(&self, n: usize, rng: &mut StdRng) -> Dataset {
+        let _probe = lts_obs::span("datasets.synth_dataset");
         let (c, h, w) = self.config.dims;
         let sample_len = c * h * w;
         let mut data = Vec::with_capacity(n * sample_len);

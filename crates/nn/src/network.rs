@@ -136,8 +136,10 @@ impl Network {
     ///
     /// Propagates the first layer error (usually a shape mismatch).
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let _probe = lts_obs::span("nn.forward");
         let mut current = input.clone();
         for layer in &mut self.layers {
+            let _layer_probe = lts_obs::span(layer.name());
             current = layer.forward(&current)?;
         }
         Ok(current)
@@ -149,8 +151,10 @@ impl Network {
     ///
     /// Propagates layer errors (e.g. backward before forward).
     pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor> {
+        let _probe = lts_obs::span("nn.backward");
         let mut current = grad.clone();
         for layer in self.layers.iter_mut().rev() {
+            let _layer_probe = lts_obs::span(layer.name());
             current = layer.backward(&current)?;
         }
         Ok(current)

@@ -518,6 +518,7 @@ impl Trainer {
         // are reused instead of re-allocated.
         let mut workers: Vec<Mutex<Network>> = Vec::new();
         for epoch in start_epoch..self.config.epochs {
+            let _probe = lts_obs::span("nn.train_epoch");
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
             let mut epoch_correct = 0usize;
@@ -568,6 +569,7 @@ impl Trainer {
         chunk: &[usize],
         sample_len: usize,
     ) -> Result<(f32, usize)> {
+        let _probe = lts_obs::span("nn.train_batch");
         let batch_len = chunk.len();
         let nshards = TRAIN_SHARDS.min(batch_len);
         if nshards <= 1 {

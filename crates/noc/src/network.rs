@@ -277,6 +277,7 @@ impl Simulator {
     /// the configured cycle budget (injected faults can slow delivery
     /// arbitrarily, but never escape this watchdog).
     pub fn run(&mut self, messages: &[Message]) -> Result<SimReport, NocError> {
+        let _probe = lts_obs::span("noc.run");
         self.reset();
         self.enqueue(messages)?;
         let delivered = self.drive(messages.len(), false)?;
@@ -294,6 +295,7 @@ impl Simulator {
     ///
     /// Exactly as [`Simulator::run`].
     pub fn run_reference(&mut self, messages: &[Message]) -> Result<SimReport, NocError> {
+        let _probe = lts_obs::span("noc.run_reference");
         self.reset();
         self.enqueue(messages)?;
         let delivered = self.drive(messages.len(), true)?;
@@ -451,8 +453,26 @@ impl Simulator {
         Ok(delivered)
     }
 
+    /// Reports a finished run's stepper counters and cycle timeline into
+    /// `lts-obs`: how many cycles the active-set sweep actually evaluated
+    /// versus skipped by fast-forward, plus retransmission-protocol
+    /// activity. Cheap no-op while recording is disabled.
+    fn record_obs(&self) {
+        if !lts_obs::enabled() {
+            return;
+        }
+        lts_obs::counter_add("noc.runs", 1);
+        lts_obs::counter_add("noc.cycles_simulated", self.cycles_simulated);
+        lts_obs::counter_add("noc.cycles_fast_forwarded", self.cycles_fast_forwarded);
+        lts_obs::counter_add("noc.packets_retransmitted", self.faults.packets_retransmitted);
+        let track = lts_obs::cycle_track_named("noc.stepper");
+        lts_obs::cycle_record(track, "active-sweep", "", self.cycles_simulated);
+        lts_obs::cycle_record(track, "fast-forward", "", self.cycles_fast_forwarded);
+    }
+
     /// Assembles the report of a completed static run.
     fn build_report(&mut self, delivered: usize) -> SimReport {
+        self.record_obs();
         let makespan = self.messages.iter().filter_map(|m| m.completed_at).max().unwrap_or(0);
         SimReport {
             makespan,
@@ -1079,6 +1099,7 @@ impl Simulator {
         monitor: &MonitorConfig,
         full_scan: bool,
     ) -> Result<RecoverableReport, NocError> {
+        let _probe = lts_obs::span("noc.run_recoverable");
         schedule.validate(&self.config)?;
         monitor.validate(&self.config)?;
         if schedule.is_empty() {
@@ -1245,6 +1266,7 @@ impl Simulator {
             }
         }
 
+        self.record_obs();
         let makespan = self.messages.iter().filter_map(|m| m.completed_at).max().unwrap_or(0);
         let abandoned: Vec<usize> =
             self.abandoned_msgs.iter().enumerate().filter_map(|(i, &a)| a.then_some(i)).collect();

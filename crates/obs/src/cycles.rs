@@ -1,0 +1,198 @@
+//! The cycle-domain recorder: append-only simulated-time timelines.
+//!
+//! Wall-clock spans measure host time; the NoC stepper and the
+//! accelerator cost model live in *simulated cycles*, where nothing can
+//! be measured — the models already know exactly how many cycles each
+//! phase took. A cycle track is an ordered list of `(phase, label,
+//! cycles)` records whose running sum is the track's clock, so a track's
+//! `total_cycles` reconciles **exactly** with the report totals the same
+//! code computes (`lts-core`'s obs bench asserts this against
+//! `SystemReport::total_cycles`).
+//!
+//! [`cycle_track`] mints a fresh uniquely-named track (`name#N`) — use it
+//! per evaluation run so runs don't interleave. [`cycle_track_named`]
+//! returns one shared track per name — use it for a process-wide timeline
+//! like the NoC stepper's.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Track-count cap: beyond it new tracks are created disabled (a sweep
+/// minting one track per evaluation stays well under this).
+const TRACK_CAP: usize = 4096;
+/// Per-track record cap; overflow is counted in `spans_dropped`.
+const SPAN_CAP: usize = 1 << 16;
+
+/// Handle to a cycle track. Obtained from [`cycle_track`] or
+/// [`cycle_track_named`]; a handle minted while recording was disabled
+/// is inert and [`cycle_record`] through it is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleTrackId(usize);
+
+impl CycleTrackId {
+    /// The inert handle: records through it are dropped.
+    pub const DISABLED: Self = Self(usize::MAX);
+}
+
+/// One recorded cycle-domain interval.
+#[derive(Debug, Clone)]
+pub(crate) struct CycleSpan {
+    pub phase: String,
+    pub label: String,
+    pub start: u64,
+    pub cycles: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Track {
+    pub name: String,
+    pub cursor: u64,
+    pub spans: Vec<CycleSpan>,
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct Domain {
+    tracks: Vec<Track>,
+    /// Shared tracks by name (for [`cycle_track_named`]).
+    named: BTreeMap<String, usize>,
+    /// Next `#N` suffix per base name (for [`cycle_track`]).
+    seq: BTreeMap<String, u64>,
+}
+
+static DOMAIN: Mutex<Option<Domain>> = Mutex::new(None);
+
+// `Option` only because the maps cannot be built const; first touch
+// materializes the domain.
+fn with<R>(f: impl FnOnce(&mut Domain) -> R) -> R {
+    let mut guard = DOMAIN.lock().unwrap_or_else(PoisonError::into_inner);
+    f(guard.get_or_insert_with(Domain::default))
+}
+
+fn new_track(d: &mut Domain, name: String) -> CycleTrackId {
+    if d.tracks.len() >= TRACK_CAP {
+        return CycleTrackId::DISABLED;
+    }
+    d.tracks.push(Track { name, cursor: 0, spans: Vec::new(), dropped: 0 });
+    CycleTrackId(d.tracks.len() - 1)
+}
+
+/// Mints a fresh track named `name#N` (`N` counts up per base name).
+/// Returns the inert handle while recording is disabled.
+pub fn cycle_track(name: &str) -> CycleTrackId {
+    if !crate::enabled() {
+        return CycleTrackId::DISABLED;
+    }
+    with(|d| {
+        let n = d.seq.entry(name.to_string()).or_insert(0);
+        let unique = format!("{name}#{n}");
+        *n += 1;
+        new_track(d, unique)
+    })
+}
+
+/// Returns the shared track for `name`, creating it on first use.
+/// Returns the inert handle while recording is disabled.
+pub fn cycle_track_named(name: &str) -> CycleTrackId {
+    if !crate::enabled() {
+        return CycleTrackId::DISABLED;
+    }
+    with(|d| {
+        if let Some(&idx) = d.named.get(name) {
+            return CycleTrackId(idx);
+        }
+        let id = new_track(d, name.to_string());
+        if id != CycleTrackId::DISABLED {
+            d.named.insert(name.to_string(), id.0);
+        }
+        id
+    })
+}
+
+/// Appends `(phase, label, cycles)` at the track's cursor and advances
+/// the cursor by `cycles`. No-op through an inert or stale handle.
+pub fn cycle_record(track: CycleTrackId, phase: &str, label: &str, cycles: u64) {
+    let CycleTrackId(idx) = track;
+    if idx == usize::MAX {
+        return;
+    }
+    with(|d| {
+        let Some(t) = d.tracks.get_mut(idx) else {
+            return; // handle minted before a reset
+        };
+        if t.spans.len() < SPAN_CAP {
+            t.spans.push(CycleSpan {
+                phase: phase.to_string(),
+                label: label.to_string(),
+                start: t.cursor,
+                cycles,
+            });
+        } else {
+            t.dropped = t.dropped.saturating_add(1);
+        }
+        t.cursor = t.cursor.saturating_add(cycles);
+    });
+}
+
+/// Drains nothing: clones every track for a snapshot.
+pub(crate) fn collect() -> Vec<(String, u64, u64, Vec<CycleSpan>)> {
+    with(|d| {
+        d.tracks.iter().map(|t| (t.name.clone(), t.cursor, t.dropped, t.spans.clone())).collect()
+    })
+}
+
+/// Clears every track (outstanding handles become inert).
+pub(crate) fn reset() {
+    with(|d| *d = Domain::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_accumulate_and_cursor_is_the_running_sum() {
+        let _g = crate::test_lock::guard();
+        crate::set_enabled(true);
+        let a = cycle_track("eval");
+        let b = cycle_track("eval");
+        assert_ne!(a, b, "sequential tracks are distinct");
+        cycle_record(a, "comm", "conv1", 700);
+        cycle_record(a, "compute", "conv1", 300);
+        cycle_record(b, "comm", "conv1", 11);
+        let shared1 = cycle_track_named("noc.stepper");
+        let shared2 = cycle_track_named("noc.stepper");
+        assert_eq!(shared1, shared2, "named tracks are shared");
+        cycle_record(shared1, "sweep", "", 5);
+        cycle_record(shared2, "fast-forward", "", 20);
+        crate::set_enabled(false);
+        let tracks = collect();
+        let names: Vec<&str> = tracks.iter().map(|(n, ..)| n.as_str()).collect();
+        assert_eq!(names, vec!["eval#0", "eval#1", "noc.stepper"]);
+        let (_, total, dropped, spans) = &tracks[0];
+        assert_eq!((*total, *dropped), (1000, 0));
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[1].start, spans[1].cycles), (700, 300));
+        assert_eq!(tracks[2].1, 25);
+    }
+
+    #[test]
+    fn disabled_handles_are_inert_and_totals_survive_span_cap() {
+        let _g = crate::test_lock::guard();
+        let t = cycle_track("off");
+        assert_eq!(t, CycleTrackId::DISABLED);
+        cycle_record(t, "p", "l", 1_000_000);
+        crate::set_enabled(true);
+        assert!(collect().is_empty());
+        let t = cycle_track("on");
+        for _ in 0..SPAN_CAP + 3 {
+            cycle_record(t, "p", "l", 2);
+        }
+        crate::set_enabled(false);
+        let tracks = collect();
+        let (_, total, dropped, spans) = &tracks[0];
+        assert_eq!(*total as usize, 2 * (SPAN_CAP + 3), "cursor stays exact past the cap");
+        assert_eq!(*dropped as usize, 3);
+        assert_eq!(spans.len(), SPAN_CAP);
+    }
+}

@@ -1,0 +1,87 @@
+//! Monotonically-named counters and gauges in a process-global registry.
+//!
+//! Counters are monotone `u64` sums that saturate instead of wrapping
+//! (a hot loop adding forever must never panic or roll over to a small
+//! number mid-run); gauges are last-write-wins `f64` readings. Names are
+//! dot-separated, lowercase, `crate.subsystem.metric` (DESIGN.md §13).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+#[derive(Default)]
+struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+static METRICS: Mutex<Option<Metrics>> = Mutex::new(None);
+
+// `Option` only because `BTreeMap::new` cannot be built in a `static`
+// initializer expression here; first touch materializes the maps.
+fn with<R>(f: impl FnOnce(&mut Metrics) -> R) -> R {
+    let mut guard = METRICS.lock().unwrap_or_else(PoisonError::into_inner);
+    f(guard.get_or_insert_with(Metrics::default))
+}
+
+/// Adds `delta` to the named counter (created at zero), saturating at
+/// `u64::MAX`. A no-op while recording is disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with(|m| {
+        let slot = m.counters.entry(name.to_string()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    });
+}
+
+/// Sets the named gauge to `value` (last write wins). A no-op while
+/// recording is disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with(|m| {
+        m.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Sorted counter readings paired with sorted gauge readings.
+pub(crate) type MetricsDump = (Vec<(String, u64)>, Vec<(String, f64)>);
+
+/// Sorted copies of every counter and gauge.
+pub(crate) fn collect() -> MetricsDump {
+    with(|m| {
+        (
+            m.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            m.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        )
+    })
+}
+
+/// Clears every counter and gauge.
+pub(crate) fn reset() {
+    with(|m| *m = Metrics::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_saturate_gauges_overwrite() {
+        let _g = crate::test_lock::guard();
+        crate::set_enabled(true);
+        counter_add("t.count", 2);
+        counter_add("t.count", 3);
+        counter_add("t.sat", u64::MAX - 1);
+        counter_add("t.sat", 17);
+        gauge_set("t.gauge", 1.0);
+        gauge_set("t.gauge", 2.5);
+        crate::set_enabled(false);
+        counter_add("t.count", 100); // disabled: ignored
+        let (counters, gauges) = collect();
+        assert_eq!(counters, vec![("t.count".to_string(), 5), ("t.sat".to_string(), u64::MAX)]);
+        assert_eq!(gauges, vec![("t.gauge".to_string(), 2.5)]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Scoped wall-clock spans with thread-aware call-path aggregation.
+//!
+//! Each OS thread owns a call-path stack and a sample sink. [`span`]
+//! pushes its name onto the opening thread's stack; dropping the guard
+//! pops it and records the elapsed time under the `;`-joined path of
+//! everything on the stack at open time (the folded-stack flamegraph
+//! format, which is why `;` in span names is rewritten to `:`). Sinks of
+//! exited threads are merged into a process-global retired aggregate on
+//! thread-local destruction, so short-lived worker threads (the `par`
+//! engine spawns fresh scoped threads per call) never leak registry
+//! entries. [`collect`] merges retired and live sinks for a snapshot.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
+use std::time::Instant;
+
+/// Per-path sample retention cap: percentiles beyond this many samples
+/// per path are computed over the first `SAMPLE_CAP` observations (the
+/// count/sum/max stay exact).
+pub(crate) const SAMPLE_CAP: usize = 16_384;
+/// Trace-event retention cap per live thread sink.
+const SINK_EVENT_CAP: usize = 1 << 16;
+/// Trace-event retention cap for the retired (exited-thread) aggregate.
+const RETIRED_EVENT_CAP: usize = 1 << 18;
+
+/// Aggregate of one call path: exact count/sum/max plus a capped sample
+/// reservoir for percentiles.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PathStat {
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    /// Distinct threads that contributed (1 in a per-thread sink).
+    pub threads: u64,
+    /// Samples dropped once the reservoir filled.
+    pub truncated: u64,
+    pub samples: Vec<u64>,
+}
+
+impl PathStat {
+    fn record(&mut self, ns: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.threads = self.threads.max(1);
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(ns);
+        } else {
+            self.truncated = self.truncated.saturating_add(1);
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &PathStat) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.threads = self.threads.saturating_add(other.threads);
+        let room = SAMPLE_CAP.saturating_sub(self.samples.len());
+        let take = room.min(other.samples.len());
+        self.samples.extend_from_slice(&other.samples[..take]);
+        let spilled = (other.samples.len() - take) as u64;
+        self.truncated = self.truncated.saturating_add(other.truncated.saturating_add(spilled));
+    }
+}
+
+/// One closed span, for the Chrome trace-event export.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceEvent {
+    pub tid: u64,
+    pub name: String,
+    pub ts_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// Per-thread sample sink (behind a mutex so snapshots can read live
+/// threads without stopping them).
+#[derive(Debug, Default)]
+struct Sink {
+    tid: u64,
+    paths: BTreeMap<String, PathStat>,
+    events: Vec<TraceEvent>,
+    dropped_events: u64,
+}
+
+impl Sink {
+    fn record(&mut self, path: String, name: String, ts_ns: u64, dur_ns: u64) {
+        self.paths.entry(path).or_default().record(dur_ns);
+        if self.events.len() < SINK_EVENT_CAP {
+            self.events.push(TraceEvent { tid: self.tid, name, ts_ns, dur_ns });
+        } else {
+            self.dropped_events = self.dropped_events.saturating_add(1);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.paths.clear();
+        self.events.clear();
+        self.dropped_events = 0;
+    }
+}
+
+/// Process-global probe state: live thread sinks (weak, so an exited
+/// thread's sink is owned only by its retiring destructor) plus the
+/// merged aggregate of every exited thread.
+#[derive(Default)]
+struct Registry {
+    live: Vec<Weak<Mutex<Sink>>>,
+    retired_paths: BTreeMap<String, PathStat>,
+    retired_events: Vec<TraceEvent>,
+    retired_dropped: u64,
+    next_tid: u64,
+}
+
+impl Registry {
+    /// Merges an exiting thread's sink into the retired aggregate and
+    /// drains it, so a concurrent snapshot can never count it twice.
+    fn absorb(&mut self, sink: &mut Sink) {
+        for (path, stat) in &sink.paths {
+            self.retired_paths.entry(path.clone()).or_default().merge(stat);
+        }
+        let room = RETIRED_EVENT_CAP.saturating_sub(self.retired_events.len());
+        let take = room.min(sink.events.len());
+        self.retired_events.extend_from_slice(&sink.events[..take]);
+        let spilled = (sink.events.len() - take) as u64;
+        self.retired_dropped =
+            self.retired_dropped.saturating_add(sink.dropped_events.saturating_add(spilled));
+        sink.clear();
+    }
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+// The `Option` exists only because `BTreeMap::new` in a struct literal is
+// not const-initializable here; first touch materializes the registry.
+// Lock order is always registry, then sink — never the reverse.
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+fn lock_sink(sink: &Mutex<Sink>) -> MutexGuard<'_, Sink> {
+    sink.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The thread-local probe slot: this thread's open-span name stack plus
+/// its shared-ownership sink. Dropping it (thread exit) retires the sink.
+struct Slot {
+    sink: Arc<Mutex<Sink>>,
+    stack: RefCell<Vec<String>>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        let sink = with_registry(|r| {
+            let tid = r.next_tid;
+            r.next_tid += 1;
+            let sink = Arc::new(Mutex::new(Sink { tid, ..Sink::default() }));
+            r.live.push(Arc::downgrade(&sink));
+            // Prune sinks of threads that exited, so long trainer runs
+            // spawning thousands of scoped workers stay bounded.
+            r.live.retain(|w| w.strong_count() > 0);
+            sink
+        });
+        Self { sink, stack: RefCell::new(Vec::new()) }
+    }
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        with_registry(|r| {
+            let mut sink = lock_sink(&self.sink);
+            r.absorb(&mut sink);
+        });
+    }
+}
+
+thread_local! {
+    static SLOT: Slot = Slot::new();
+}
+
+/// A scoped probe span: measures from [`span`] until drop and records
+/// under the opening thread's current call path.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; bind it to a named guard"]
+pub struct Span {
+    /// `None` when recording was disabled at open (the drop is free).
+    start: Option<Instant>,
+    /// Stack depth at open — the drop truncates back to it, so guards
+    /// dropped out of order cannot corrupt the path stack.
+    depth: usize,
+    ts_ns: u64,
+}
+
+impl Span {
+    const DISABLED: Self = Self { start: None, depth: 0, ts_ns: 0 };
+}
+
+/// Opens a probe span named `name` on the current thread.
+///
+/// When recording is disabled this is one relaxed atomic load and the
+/// returned guard's drop is free. `;` in names is rewritten to `:` so a
+/// name can never forge a path separator in the folded export.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if !crate::enabled() {
+        return Span::DISABLED;
+    }
+    let ts_ns = crate::epoch_ns();
+    SLOT.try_with(|slot| {
+        let mut stack = slot.stack.borrow_mut();
+        let depth = stack.len();
+        stack.push(name.replace(';', ":"));
+        Span { start: Some(Instant::now()), depth, ts_ns }
+    })
+    .unwrap_or(Span::DISABLED)
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let _ = SLOT.try_with(|slot| {
+            let mut stack = slot.stack.borrow_mut();
+            if stack.len() <= self.depth {
+                return; // a reset or out-of-order drop already popped us
+            }
+            let path = stack[..=self.depth].join(";");
+            let name = stack[self.depth].clone();
+            stack.truncate(self.depth);
+            drop(stack);
+            lock_sink(&slot.sink).record(path, name, self.ts_ns, dur_ns);
+        });
+    }
+}
+
+/// Merged view of every path and trace event recorded so far: the
+/// retired aggregate plus all live thread sinks (read in place, not
+/// drained). Events are sorted by timestamp.
+pub(crate) fn collect() -> (BTreeMap<String, PathStat>, Vec<TraceEvent>, u64) {
+    with_registry(|r| {
+        let mut paths = r.retired_paths.clone();
+        let mut events = r.retired_events.clone();
+        let mut dropped = r.retired_dropped;
+        for weak in &r.live {
+            let Some(sink) = weak.upgrade() else {
+                continue;
+            };
+            let sink = lock_sink(&sink);
+            for (path, stat) in &sink.paths {
+                paths.entry(path.clone()).or_default().merge(stat);
+            }
+            events.extend_from_slice(&sink.events);
+            dropped = dropped.saturating_add(sink.dropped_events);
+        }
+        events.sort_by_key(|e| (e.ts_ns, e.tid));
+        (paths, events, dropped)
+    })
+}
+
+/// Clears the retired aggregate and every live sink (thread identities
+/// and open-span stacks survive).
+pub(crate) fn reset() {
+    with_registry(|r| {
+        r.retired_paths.clear();
+        r.retired_events.clear();
+        r.retired_dropped = 0;
+        for weak in &r.live {
+            if let Some(sink) = weak.upgrade() {
+                lock_sink(&sink).clear();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_stat_merge_adds_counts_and_caps_samples() {
+        let mut a = PathStat::default();
+        for _ in 0..3 {
+            a.record(10);
+        }
+        let mut b = PathStat::default();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!((a.count, a.sum_ns, a.max_ns, a.threads), (4, 60, 30, 2));
+        assert_eq!(a.samples, vec![10, 10, 10, 30]);
+
+        let mut full = PathStat::default();
+        for _ in 0..SAMPLE_CAP {
+            full.record(1);
+        }
+        full.record(5); // over the cap: counted, not sampled
+        assert_eq!(full.count as usize, SAMPLE_CAP + 1);
+        assert_eq!(full.samples.len(), SAMPLE_CAP);
+        assert_eq!(full.truncated, 1);
+        assert_eq!(full.max_ns, 5, "max stays exact past the cap");
+        full.merge(&b);
+        assert_eq!(full.samples.len(), SAMPLE_CAP);
+        assert_eq!(full.truncated, 2, "merged samples past the cap count as truncated");
+    }
+
+    #[test]
+    fn path_stat_saturates_instead_of_overflowing() {
+        let mut a = PathStat { count: u64::MAX - 1, sum_ns: u64::MAX - 1, ..PathStat::default() };
+        a.record(100);
+        a.record(100);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.sum_ns, u64::MAX);
+    }
+
+    #[test]
+    fn out_of_order_guard_drops_keep_the_stack_consistent() {
+        let _g = crate::test_lock::guard();
+        crate::set_enabled(true);
+        {
+            let outer = span("outer");
+            let inner = span("inner");
+            drop(outer); // wrong order: truncates the stack through `inner`
+            drop(inner); // must be a no-op, not a mis-pathed record
+            let _next = span("next");
+        }
+        crate::set_enabled(false);
+        let (paths, _, _) = collect();
+        let rows: Vec<(&str, u64)> = paths.iter().map(|(p, s)| (p.as_str(), s.count)).collect();
+        assert_eq!(rows, vec![("next", 1), ("outer", 1)]);
+    }
+}

@@ -1,0 +1,400 @@
+//! Snapshot assembly and the three exporters.
+//!
+//! [`snapshot`] merges every domain (probe paths, counters, gauges,
+//! cycle tracks, trace events) into one serializable [`Snapshot`].
+//! Exporters:
+//!
+//! * [`Snapshot::to_json`] — the structured report, via the vendored
+//!   `serde_json`;
+//! * [`Snapshot::folded`] — folded-stack flamegraph text (`path value`
+//!   per line; wall paths carry microseconds, cycle lines are prefixed
+//!   `cycles;track;phase[;label]` and carry cycles);
+//! * [`Snapshot::chrome_trace`] — Chrome trace-event JSON (`chrome://
+//!   tracing` / Perfetto): wall spans under pid 1 with real timestamps,
+//!   cycle tracks under pid 2 rendering one cycle as one microsecond.
+
+use crate::probe::PathStat;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate of one wall-domain call path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRow {
+    /// `;`-joined call path (folded-stack native).
+    pub path: String,
+    /// Distinct threads that contributed samples.
+    pub threads: u64,
+    /// Closed spans recorded under this path.
+    pub count: u64,
+    /// Total milliseconds across all samples.
+    pub sum_ms: f64,
+    /// `sum_ms / count` (0 for an empty row).
+    pub mean_ms: f64,
+    /// Nearest-rank median over the retained samples.
+    pub p50_ms: f64,
+    /// Nearest-rank 95th percentile over the retained samples.
+    pub p95_ms: f64,
+    /// Slowest sample (exact even when the sample reservoir capped).
+    pub max_ms: f64,
+}
+
+/// One monotone counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterRow {
+    /// Dot-separated counter name.
+    pub name: String,
+    /// Saturating sum of every `counter_add`.
+    pub value: u64,
+}
+
+/// One last-write-wins gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeRow {
+    /// Dot-separated gauge name.
+    pub name: String,
+    /// Most recent `gauge_set` value.
+    pub value: f64,
+}
+
+/// One interval on a cycle track.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleSpanRow {
+    /// Phase name (e.g. `comm`, `compute`, `fast-forward`).
+    pub phase: String,
+    /// Work-item label (e.g. the layer name); may be empty.
+    pub label: String,
+    /// Track-clock value when the interval began.
+    pub start_cycle: u64,
+    /// Interval length in cycles.
+    pub cycles: u64,
+}
+
+/// One cycle-domain timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleTrackRow {
+    /// Track name (`name#N` for sequential tracks).
+    pub track: String,
+    /// The track's clock: the exact sum of every recorded interval,
+    /// including any dropped past the retention cap.
+    pub total_cycles: u64,
+    /// Intervals dropped past the per-track retention cap.
+    pub spans_dropped: u64,
+    /// Retained intervals in record order.
+    pub spans: Vec<CycleSpanRow>,
+}
+
+/// One closed wall-domain span, for the Chrome trace export.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRow {
+    /// Recording thread's obs-assigned id.
+    pub tid: u64,
+    /// Span name (path leaf).
+    pub name: String,
+    /// Open timestamp, nanoseconds since the process obs epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Merged view of everything recorded so far. Produced by [`snapshot`];
+/// serializable so benches can embed or persist it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Wall-domain call-path aggregates, sorted by path.
+    pub probes: Vec<ProbeRow>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterRow>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeRow>,
+    /// Cycle-domain timelines in creation order.
+    pub cycles: Vec<CycleTrackRow>,
+    /// Closed spans sorted by open timestamp.
+    pub events: Vec<EventRow>,
+    /// Spans whose events were dropped past the retention caps (their
+    /// path aggregates are still exact).
+    pub dropped_events: u64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample slice:
+/// the smallest element such that at least `q` of the samples are ≤ it
+/// (rank `ceil(q·n)`, clamped to `[1, n]`). Empty input yields 0.
+pub(crate) fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+fn probe_row(path: &str, stat: &PathStat) -> ProbeRow {
+    let mut sorted = stat.samples.clone();
+    sorted.sort_unstable();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    ProbeRow {
+        path: path.to_string(),
+        threads: stat.threads,
+        count: stat.count,
+        sum_ms: ms(stat.sum_ns),
+        mean_ms: if stat.count == 0 { 0.0 } else { ms(stat.sum_ns) / stat.count as f64 },
+        p50_ms: ms(percentile(&sorted, 0.50)),
+        p95_ms: ms(percentile(&sorted, 0.95)),
+        max_ms: ms(stat.max_ns),
+    }
+}
+
+/// Merges every domain into a [`Snapshot`]. Non-destructive: live
+/// threads keep recording and a later snapshot sees strictly more.
+pub fn snapshot() -> Snapshot {
+    let (paths, events, dropped_events) = crate::probe::collect();
+    let (counters, gauges) = crate::metrics::collect();
+    Snapshot {
+        probes: paths.iter().map(|(p, s)| probe_row(p, s)).collect(),
+        counters: counters.into_iter().map(|(name, value)| CounterRow { name, value }).collect(),
+        gauges: gauges.into_iter().map(|(name, value)| GaugeRow { name, value }).collect(),
+        cycles: crate::cycles::collect()
+            .into_iter()
+            .map(|(track, total_cycles, spans_dropped, spans)| CycleTrackRow {
+                track,
+                total_cycles,
+                spans_dropped,
+                spans: spans
+                    .into_iter()
+                    .map(|s| CycleSpanRow {
+                        phase: s.phase,
+                        label: s.label,
+                        start_cycle: s.start,
+                        cycles: s.cycles,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        events: events
+            .into_iter()
+            .map(|e| EventRow { tid: e.tid, name: e.name, ts_ns: e.ts_ns, dur_ns: e.dur_ns })
+            .collect(),
+        dropped_events,
+    }
+}
+
+/// Minimal JSON string escaping (backslash, quote, control characters).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Pretty-printed JSON of the whole snapshot.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Folded-stack flamegraph text: one `path value` line per probe
+    /// path (value = total microseconds) followed by one line per
+    /// aggregated cycle interval (`cycles;track;phase[;label]`, value =
+    /// cycles). Feed to any `flamegraph.pl`-compatible renderer.
+    pub fn folded(&self) -> String {
+        let mut lines: Vec<String> = self
+            .probes
+            .iter()
+            .map(|p| format!("{} {}", p.path, (p.sum_ms * 1e3).round() as u64))
+            .collect();
+        let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+        for t in &self.cycles {
+            for s in &t.spans {
+                let mut key = format!("cycles;{};{}", t.track, s.phase);
+                if !s.label.is_empty() {
+                    key.push(';');
+                    key.push_str(&s.label);
+                }
+                let slot = agg.entry(key).or_insert(0);
+                *slot = slot.saturating_add(s.cycles);
+            }
+        }
+        lines.extend(agg.into_iter().map(|(k, v)| format!("{k} {v}")));
+        if lines.is_empty() {
+            String::new()
+        } else {
+            lines.join("\n") + "\n"
+        }
+    }
+
+    /// Chrome trace-event JSON (load in `chrome://tracing` or Perfetto).
+    /// Wall spans render under pid 1 with microsecond timestamps; each
+    /// cycle track renders as a thread of pid 2 with one cycle as one
+    /// microsecond, the interval phase as the event category.
+    pub fn chrome_trace(&self) -> String {
+        let mut ev: Vec<String> = vec![
+            r#"{"ph":"M","pid":1,"name":"process_name","args":{"name":"wall"}}"#.to_string(),
+            r#"{"ph":"M","pid":2,"name":"process_name","args":{"name":"cycles (1 cycle = 1us)"}}"#
+                .to_string(),
+        ];
+        for e in &self.events {
+            ev.push(format!(
+                r#"{{"ph":"X","pid":1,"tid":{},"name":"{}","ts":{:.3},"dur":{:.3}}}"#,
+                e.tid,
+                esc(&e.name),
+                e.ts_ns as f64 / 1e3,
+                e.dur_ns as f64 / 1e3
+            ));
+        }
+        for (tid, track) in self.cycles.iter().enumerate() {
+            ev.push(format!(
+                r#"{{"ph":"M","pid":2,"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+                esc(&track.track)
+            ));
+            for s in &track.spans {
+                let name = if s.label.is_empty() { &s.phase } else { &s.label };
+                ev.push(format!(
+                    r#"{{"ph":"X","pid":2,"tid":{tid},"name":"{}","cat":"{}","ts":{},"dur":{}}}"#,
+                    esc(name),
+                    esc(&s.phase),
+                    s.start_cycle,
+                    s.cycles
+                ));
+            }
+        }
+        format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank_with_tiny_n() {
+        assert_eq!(percentile(&[], 0.50), 0, "n=0 yields 0");
+        assert_eq!(percentile(&[], 0.95), 0);
+        assert_eq!(percentile(&[7], 0.50), 7, "n=1: the only sample");
+        assert_eq!(percentile(&[7], 0.95), 7);
+        assert_eq!(percentile(&[3, 9], 0.50), 3, "n=2: p50 is the first");
+        assert_eq!(percentile(&[3, 9], 0.95), 9, "n=2: p95 is the second");
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.95), 4);
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 0.50), 50);
+        assert_eq!(percentile(&hundred, 0.95), 95);
+    }
+
+    fn golden() -> Snapshot {
+        Snapshot {
+            probes: vec![
+                ProbeRow {
+                    path: "evaluate".into(),
+                    threads: 1,
+                    count: 1,
+                    sum_ms: 2.0,
+                    mean_ms: 2.0,
+                    p50_ms: 2.0,
+                    p95_ms: 2.0,
+                    max_ms: 2.0,
+                },
+                ProbeRow {
+                    path: "evaluate;conv1".into(),
+                    threads: 2,
+                    count: 2,
+                    sum_ms: 1.5,
+                    mean_ms: 0.75,
+                    p50_ms: 0.5,
+                    p95_ms: 1.0,
+                    max_ms: 1.0,
+                },
+            ],
+            counters: vec![CounterRow { name: "noc.cycles_simulated".into(), value: 42 }],
+            gauges: vec![GaugeRow { name: "noc.utilization".into(), value: 0.5 }],
+            cycles: vec![CycleTrackRow {
+                track: "system.evaluate#0".into(),
+                total_cycles: 1000,
+                spans_dropped: 0,
+                spans: vec![
+                    CycleSpanRow {
+                        phase: "comm".into(),
+                        label: "conv1".into(),
+                        start_cycle: 0,
+                        cycles: 700,
+                    },
+                    CycleSpanRow {
+                        phase: "compute".into(),
+                        label: "conv1".into(),
+                        start_cycle: 700,
+                        cycles: 300,
+                    },
+                ],
+            }],
+            events: vec![EventRow {
+                tid: 0,
+                name: "evaluate".into(),
+                ts_ns: 1000,
+                dur_ns: 2_000_000,
+            }],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn golden_folded_stack() {
+        assert_eq!(
+            golden().folded(),
+            "evaluate 2000\n\
+             evaluate;conv1 1500\n\
+             cycles;system.evaluate#0;comm;conv1 700\n\
+             cycles;system.evaluate#0;compute;conv1 300\n"
+        );
+        assert_eq!(
+            Snapshot { probes: vec![], ..golden() }.folded().lines().count(),
+            2,
+            "cycle lines survive without probes"
+        );
+    }
+
+    #[test]
+    fn golden_chrome_trace() {
+        let expected = concat!(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n",
+            "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"wall\"}},\n",
+            "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"cycles (1 cycle = 1us)\"}},\n",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"evaluate\",\"ts\":1.000,\"dur\":2000.000},\n",
+            "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"system.evaluate#0\"}},\n",
+            "{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"name\":\"conv1\",\"cat\":\"comm\",\"ts\":0,\"dur\":700},\n",
+            "{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"name\":\"conv1\",\"cat\":\"compute\",\"ts\":700,\"dur\":300}\n",
+            "]}\n",
+        );
+        assert_eq!(golden().chrome_trace(), expected);
+    }
+
+    #[test]
+    fn exports_escape_hostile_names() {
+        let snap = Snapshot {
+            probes: vec![],
+            counters: vec![],
+            gauges: vec![],
+            cycles: vec![],
+            events: vec![EventRow { tid: 0, name: "a\"b\\c\nd".into(), ts_ns: 0, dur_ns: 1 }],
+            dropped_events: 0,
+        };
+        let trace = snap.chrome_trace();
+        assert!(trace.contains(r#""name":"a\"b\\c\nd""#), "{trace}");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = golden();
+        let json = snap.to_json();
+        let back: Snapshot = serde_json::from_str(&json).expect("parse snapshot json");
+        assert_eq!(back, snap);
+    }
+}

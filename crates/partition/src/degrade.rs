@@ -111,6 +111,7 @@ pub fn replan(
     weights: &HashMap<String, Vec<f32>>,
     bytes_per_value: usize,
 ) -> Result<DegradedPlan, PlanError> {
+    let _probe = lts_obs::span("partition.replan");
     let (dead, core_map) = survivor_map(cores, dead_cores)?;
     let plan = Plan::build(spec, core_map.len(), weights, bytes_per_value)?;
     let lost_groups = collect_lost_groups(spec, cores, &dead);

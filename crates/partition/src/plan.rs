@@ -114,6 +114,7 @@ impl Plan {
         bytes_per_value: usize,
         seed: Option<OwnershipMap>,
     ) -> Result<Plan, PlanError> {
+        let _probe = lts_obs::span("partition.plan_build");
         if cores == 0 {
             return Err(PlanError::BadConfig("cores must be positive".into()));
         }

@@ -102,6 +102,7 @@ pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
 pub fn im2col_into(src: &[f32], geom: &ConvGeometry, dst: &mut [f32]) {
     assert_eq!(src.len(), geom.in_c * geom.in_h * geom.in_w, "input size mismatch");
     assert_eq!(dst.len(), geom.col_rows() * geom.col_cols(), "column buffer size mismatch");
+    let _probe = lts_obs::span("tensor.im2col");
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let cols = oh * ow;
     let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
@@ -159,6 +160,7 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError>
 pub fn col2im_into(src: &[f32], geom: &ConvGeometry, dst: &mut [f32]) {
     assert_eq!(src.len(), geom.col_rows() * geom.col_cols(), "column buffer size mismatch");
     assert_eq!(dst.len(), geom.in_c * geom.in_h * geom.in_w, "image size mismatch");
+    let _probe = lts_obs::span("tensor.col2im");
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let ncols = oh * ow;
     let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);

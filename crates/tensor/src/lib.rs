@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod fixed;
 pub mod im2col;

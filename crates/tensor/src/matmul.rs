@@ -177,6 +177,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let _probe = lts_obs::span("tensor.matmul");
     if n == 0 {
         return;
     }
@@ -320,6 +321,7 @@ pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let _probe = lts_obs::span("tensor.matmul_at_b");
     if n == 0 {
         return;
     }
@@ -344,6 +346,7 @@ pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    let _probe = lts_obs::span("tensor.matmul_a_bt");
     if n == 0 {
         return;
     }

@@ -27,6 +27,10 @@ LTS_BENCH_ITERS=2 LTS_BENCH_DIR="$(mktemp -d)" \
     cargo bench --offline -p lts-bench --bench micro_kernels
 cargo test --release --offline -q -p lts-noc --test equivalence
 
+echo "==> obs smoke (instrumented table3-quick: per-layer probe rows, exact cycle sums, <1% disabled overhead)"
+LTS_BENCH_ITERS=2 LTS_BENCH_DIR="$(mktemp -d)" \
+    cargo bench --offline -p lts-bench --bench obs
+
 echo "==> fault-injection smoke (dead router + 0.5% flit drops must still deliver)"
 cargo run --release --offline --example fault_injection
 
