@@ -31,6 +31,42 @@ impl ComputeEnergyModel {
     }
 }
 
+/// Per-event energy for interposer (chiplet-to-chiplet) links on a
+/// multi-chip package. Interposer traces are physically longer and drive
+/// larger capacitances than on-die NoC wires, so a seam crossing costs an
+/// order of magnitude more than an on-die link traversal — but far less
+/// than going off package to DRAM (2.5D-integration-class values, in the
+/// range reported for silicon-interposer PHYs: ~0.5–1 pJ/bit vs
+/// ~0.05–0.1 pJ/bit on die).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterposerEnergyModel {
+    /// One flit crossing an interposer seam (pJ). Applied per
+    /// inter-chip link traversal on top of the router/link energy the
+    /// NoC model already charges.
+    pub seam_crossing_pj: f64,
+}
+
+impl Default for InterposerEnergyModel {
+    fn default() -> Self {
+        // 512-bit flit at ~0.64 pJ/bit of extra interposer cost.
+        Self { seam_crossing_pj: 328.0 }
+    }
+}
+
+impl InterposerEnergyModel {
+    /// Extra energy for `crossings` interposer traversals (pJ).
+    pub fn crossings_pj(&self, crossings: u64) -> f64 {
+        self.seam_crossing_pj * crossings as f64
+    }
+
+    /// The interposer premium must sit between an on-die link traversal
+    /// (~a few pJ/flit) and a DRAM line fetch — a guard against unit slips
+    /// (per-bit vs per-flit).
+    pub fn is_physically_ordered(&self, compute: &ComputeEnergyModel) -> bool {
+        self.seam_crossing_pj > 10.0 && self.seam_crossing_pj < compute.dram_pj_per_byte * 64.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +80,13 @@ mod tests {
     fn dram_dominates_sram_by_orders_of_magnitude() {
         let e = ComputeEnergyModel::default();
         assert!(e.dram_pj_per_byte / e.sram_pj_per_byte > 100.0);
+    }
+
+    #[test]
+    fn interposer_premium_sits_between_link_and_dram() {
+        let i = InterposerEnergyModel::default();
+        assert!(i.is_physically_ordered(&ComputeEnergyModel::default()));
+        assert_eq!(i.crossings_pj(0), 0.0);
+        assert_eq!(i.crossings_pj(10), 10.0 * i.seam_crossing_pj);
     }
 }

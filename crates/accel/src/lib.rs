@@ -40,4 +40,4 @@ pub mod energy;
 
 pub use config::CoreConfig;
 pub use cost::{CoreModel, LayerCost};
-pub use energy::ComputeEnergyModel;
+pub use energy::{ComputeEnergyModel, InterposerEnergyModel};

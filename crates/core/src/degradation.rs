@@ -24,7 +24,7 @@ use crate::simcache::SimUsage;
 use crate::system::{SystemModel, SystemReport};
 use crate::{CoreError, Result};
 use lts_nn::descriptor::{convnet_spec, NetworkSpec, SpecBuilder};
-use lts_noc::{FaultModel, Mesh2d, NocConfig, NocError};
+use lts_noc::{FaultModel, NocConfig, NocError, Topology};
 use lts_partition::{replan, Plan};
 use lts_tensor::par;
 use serde::{Deserialize, Serialize};
@@ -160,7 +160,7 @@ fn grouped_convnet_spec(groups: usize) -> NetworkSpec {
 /// reproduced without training.
 fn hop_local_weights(spec: &NetworkSpec, cores: usize) -> Result<HashMap<String, Vec<f32>>> {
     let cfg = NocConfig::paper_cores(cores)?;
-    let mesh = Mesh2d::new(cfg.width, cfg.height);
+    let mesh = cfg.topo();
     let plan = Plan::dense(spec, cores, 2)?;
     let mut weights = HashMap::new();
     for lp in &plan.layers {

@@ -12,7 +12,7 @@
 use crate::Result;
 use lts_accel::CoreModel;
 use lts_nn::descriptor::NetworkSpec;
-use lts_noc::{Mesh2d, NocConfig};
+use lts_noc::NocConfig;
 use serde::{Deserialize, Serialize};
 
 /// A contiguous-stage assignment of layers to cores.
@@ -113,7 +113,6 @@ pub fn evaluate_pipeline(
     noc: &NocConfig,
 ) -> Result<PipelineReport> {
     noc.validate()?;
-    let _mesh = Mesh2d::new(noc.width, noc.height);
     let mut stage_cycles = Vec::with_capacity(mapping.stages.len());
     for stage in &mapping.stages {
         let mut cycles = 0u64;

@@ -20,6 +20,9 @@
 //! * [`chaos`] — the chaos soak: randomized mid-flight fault schedules
 //!   against the online recovery path, asserting bounded output loss or
 //!   a typed error — never a panic or hang;
+//! * [`mcm`] — multi-chip-module scale-out: chiplet-count sweeps that
+//!   pit stage-pipelined [`lts_partition::McmPlan`] schedules against
+//!   whole-network replication for package throughput;
 //! * [`simcache`] — cross-sweep NoC simulation memoization: repeated
 //!   (config, fault model, trace) triples return the cached, bit-identical
 //!   report instead of re-stepping the simulator;
@@ -52,6 +55,7 @@ pub mod degradation;
 pub mod error;
 pub mod experiment;
 pub mod interlayer;
+pub mod mcm;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
@@ -62,6 +66,7 @@ pub mod system;
 pub use chaos::{chaos_soak, ChaosConfig, ChaosRow};
 pub use degradation::{fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use error::CoreError;
+pub use mcm::{scale_chiplets, McmScalingRow, ScaleMode};
 pub use recovery::{
     boundary_checkpoints, run_with_recovery, BoundaryCheckpoint, InferenceFault, RecoveryEvent,
     RecoveryReport,

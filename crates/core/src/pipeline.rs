@@ -19,8 +19,8 @@ use lts_nn::prune::{prune_groups, PruneCriterion, PruneReport};
 use lts_nn::regularizer::{GroupLasso, StrengthMask};
 use lts_nn::trainer::{parallel_accuracy, TrainConfig, TrainStats, Trainer};
 use lts_nn::Network;
-use lts_noc::{Mesh2d, NocConfig};
-use lts_partition::{hop_power_mask, Plan};
+use lts_noc::{NocConfig, Topo};
+use lts_partition::{hop_power_mask, two_level_mask, Plan};
 use lts_tensor::{par, ExecConfig};
 use std::collections::HashMap;
 
@@ -216,7 +216,13 @@ pub fn train_sparsified(
     Ok(SparsifiedOutcome { network, train_stats, test_accuracy, prune_reports })
 }
 
-/// The strength mask for a scheme on `cores` cores.
+/// Chiplet-distance weight of the two-level SS_Mask on multi-chip
+/// packages: one interposer seam counts as this many on-die hops,
+/// mirroring the default interposer link's 4× latency over an on-die
+/// link (see `lts_noc::InterposerConfig`).
+pub const MCM_INTER_WEIGHT: f32 = 4.0;
+
+/// The strength mask for a scheme on `cores` cores (single-chip mesh).
 ///
 /// # Errors
 ///
@@ -225,10 +231,24 @@ pub fn strength_mask(cores: usize, scheme: SparsityScheme) -> Result<StrengthMas
     match scheme {
         SparsityScheme::Ss => Ok(StrengthMask::uniform(cores)),
         SparsityScheme::SsMask { power } => {
-            let config = NocConfig::paper_cores(cores)?;
-            let mesh = Mesh2d::new(config.width, config.height);
-            Ok(hop_power_mask(&mesh, power, true)?)
+            strength_mask_for(&NocConfig::paper_cores(cores)?, power)
         }
+    }
+}
+
+/// The SS_Mask strength mask for an arbitrary package topology: plain
+/// hop distance on a single-chip mesh (bit-identical to the historical
+/// mesh-only mask); on a multi-chip module the two-level distance
+/// additionally penalizes seam-crossing groups by the chiplet distance
+/// weighted by [`MCM_INTER_WEIGHT`].
+///
+/// # Errors
+///
+/// Propagates mask-construction errors.
+pub fn strength_mask_for(config: &NocConfig, power: f32) -> Result<StrengthMask> {
+    match config.topo() {
+        Topo::Mesh(mesh) => Ok(hop_power_mask(&mesh, power, true)?),
+        Topo::Mcm(package) => Ok(two_level_mask(&package, power, MCM_INTER_WEIGHT, true)?),
     }
 }
 

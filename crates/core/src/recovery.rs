@@ -322,13 +322,17 @@ pub fn run_with_recovery(
                 &mut acc.sim,
             )
             .map_err(CoreError::Noc)?;
-            let energy = model.noc_energy_report(&rep).total_pj();
+            let energy = model.noc_total_energy_pj(&rep);
             (Some(rep), energy)
         };
         let (resync_cycles, resync_flits, resync_stats) = match &resync_report {
             Some(r) => (r.makespan, r.flits_delivered, r.faults),
             None => (0, 0, FaultStats::default()),
         };
+        if let Some(r) = &resync_report {
+            acc.intra_chip_traversals += r.intra_chip_traversals;
+            acc.inter_chip_traversals += r.inter_chip_traversals;
+        }
 
         // The recovery pseudo-layer: detection wait + resync makespan.
         let overhead = detection_cycles + resync_cycles;
@@ -429,6 +433,8 @@ struct Accumulator {
     noc_energy_pj: f64,
     faults: FaultStats,
     sim: SimUsage,
+    intra_chip_traversals: u64,
+    inter_chip_traversals: u64,
     layers: Vec<LayerBreakdown>,
 }
 
@@ -442,6 +448,8 @@ impl Accumulator {
         self.noc_energy_pj += seg.noc_energy_pj;
         self.faults.merge(&seg.faults);
         self.sim.merge(&seg.sim);
+        self.intra_chip_traversals += seg.intra_chip_traversals;
+        self.inter_chip_traversals += seg.inter_chip_traversals;
         self.layers.extend(seg.layers);
     }
 
@@ -465,6 +473,8 @@ impl Accumulator {
             noc_energy_pj: self.noc_energy_pj,
             faults: self.faults,
             sim: self.sim,
+            intra_chip_traversals: self.intra_chip_traversals,
+            inter_chip_traversals: self.inter_chip_traversals,
             layers: self.layers,
         }
     }

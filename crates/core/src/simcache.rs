@@ -300,6 +300,29 @@ mod tests {
     }
 
     #[test]
+    fn topologies_with_identical_geometry_do_not_alias() {
+        // An 8×4 single-chip mesh and a 2×(4×4)-chiplet package have the
+        // same node grid but different link pricing: the key must keep
+        // their triples apart.
+        let cache = SharedCache::default();
+        let mesh = NocConfig::paper_cores(32).unwrap();
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        assert_eq!(mesh.nodes(), mcm.nodes());
+        let fault = FaultModel::none();
+        let mut sim_mesh = Simulator::with_faults(mesh, fault.clone()).unwrap();
+        let mut sim_mcm = Simulator::with_faults(mcm, fault.clone()).unwrap();
+        let mut usage = SimUsage::default();
+        let cross = vec![Message::new(0, 31, 2048, 0)];
+        let a = cache.run_cached(&mut sim_mesh, &mesh, &fault, &cross, &mut usage).unwrap();
+        let b = cache.run_cached(&mut sim_mcm, &mcm, &fault, &cross, &mut usage).unwrap();
+        assert_eq!(a.inter_chip_traversals, 0);
+        assert!(b.inter_chip_traversals > 0, "0→31 must cross the seam");
+        assert_ne!(a, b, "seam pricing must show up in the report");
+        let s = cache.locked(|c| c.stats());
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+    }
+
+    #[test]
     fn global_cache_agrees_with_direct_run() {
         // The global cache is shared with concurrently running tests, so
         // only the monotonic effect of one extra lookup is asserted.

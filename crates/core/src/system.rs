@@ -9,7 +9,7 @@
 
 use crate::simcache::SimUsage;
 use crate::{CoreError, Result};
-use lts_accel::{CoreConfig, CoreModel};
+use lts_accel::{CoreConfig, CoreModel, InterposerEnergyModel};
 use lts_noc::{EnergyModel, FaultModel, FaultStats, NocConfig, Simulator};
 use lts_partition::{DegradedPlan, LayerPlan, Plan};
 use serde::{Deserialize, Serialize};
@@ -55,6 +55,14 @@ pub struct SystemReport {
     /// from the cross-sweep cache (compares vacuously equal; see
     /// [`SimUsage`]).
     pub sim: SimUsage,
+    /// Link traversals that stayed inside one chiplet, summed over every
+    /// layer-transition simulation (equals all link traversals on a
+    /// single-chip mesh).
+    pub intra_chip_traversals: u64,
+    /// Link traversals that crossed an interposer seam (always `0` on a
+    /// single-chip mesh). Each one is priced by the interposer energy
+    /// model on top of the on-die NoC energy.
+    pub inter_chip_traversals: u64,
     /// Per-layer details.
     pub layers: Vec<LayerBreakdown>,
 }
@@ -122,6 +130,9 @@ pub struct SystemModel {
     core_model: CoreModel,
     noc_config: NocConfig,
     noc_energy: EnergyModel,
+    /// Extra per-seam-crossing energy on multi-chip packages. Inert on a
+    /// single-chip mesh (no traversal ever crosses a seam).
+    interposer: InterposerEnergyModel,
     /// Fraction of each transition's NoC makespan hidden under the
     /// previous layer's compute (0 = strict barrier, the paper's model;
     /// the `ablation_overlap` bench sweeps this).
@@ -142,6 +153,29 @@ impl SystemModel {
             core_model: CoreModel::new(CoreConfig::diannao()),
             noc_config,
             noc_energy: EnergyModel::default(),
+            interposer: InterposerEnergyModel::default(),
+            overlap: 0.0,
+            fault: FaultModel::none(),
+        })
+    }
+
+    /// The paper's configuration scaled out to a multi-chip module:
+    /// `chiplets` chiplets (laid out on the squarest possible package
+    /// grid), each a Table II mesh of `cores_per_chiplet` cores, joined
+    /// by interposer links. `paper_mcm(1, n)` models exactly the same
+    /// package as [`SystemModel::paper`]`(n)` and produces bit-identical
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error when either count is zero.
+    pub fn paper_mcm(chiplets: usize, cores_per_chiplet: usize) -> Result<Self> {
+        let noc_config = NocConfig::paper_mcm(chiplets, cores_per_chiplet)?;
+        Ok(Self {
+            core_model: CoreModel::new(CoreConfig::diannao()),
+            noc_config,
+            noc_energy: EnergyModel::default(),
+            interposer: InterposerEnergyModel::default(),
             overlap: 0.0,
             fault: FaultModel::none(),
         })
@@ -149,7 +183,20 @@ impl SystemModel {
 
     /// Builds from explicit parts.
     pub fn new(core_model: CoreModel, noc_config: NocConfig, noc_energy: EnergyModel) -> Self {
-        Self { core_model, noc_config, noc_energy, overlap: 0.0, fault: FaultModel::none() }
+        Self {
+            core_model,
+            noc_config,
+            noc_energy,
+            interposer: InterposerEnergyModel::default(),
+            overlap: 0.0,
+            fault: FaultModel::none(),
+        }
+    }
+
+    /// Replaces the interposer (seam-crossing) energy model.
+    pub fn with_interposer_energy(mut self, interposer: InterposerEnergyModel) -> Self {
+        self.interposer = interposer;
+        self
     }
 
     /// Sets the compute/communication overlap factor in `[0, 1]`.
@@ -177,9 +224,16 @@ impl SystemModel {
         &self.noc_config
     }
 
-    /// Prices one NoC simulation with this model's energy parameters.
-    pub(crate) fn noc_energy_report(&self, sim: &lts_noc::SimReport) -> lts_noc::EnergyReport {
-        self.noc_energy.report(sim, self.cores())
+    /// Prices one NoC simulation with this model's energy parameters:
+    /// on-die router/link/NIC energy plus the interposer premium for any
+    /// seam-crossing traversals. The interposer term is added only when
+    /// crossings occurred, so single-chip totals stay bit-identical.
+    pub(crate) fn noc_total_energy_pj(&self, sim: &lts_noc::SimReport) -> f64 {
+        let mut energy = self.noc_energy.report(sim, self.cores()).total_pj();
+        if sim.inter_chip_traversals > 0 {
+            energy += self.interposer.crossings_pj(sim.inter_chip_traversals);
+        }
+        energy
     }
 
     /// The injected fault model.
@@ -251,6 +305,8 @@ impl SystemModel {
         let mut compute_energy = 0.0f64;
         let mut noc_energy = 0.0f64;
         let mut faults = FaultStats::default();
+        let mut intra_hops = 0u64;
+        let mut inter_hops = 0u64;
         for lp in plan_layers {
             // Communication phase (barrier before the layer runs); on a
             // degraded plan the trace is remapped to physical node ids.
@@ -283,7 +339,9 @@ impl SystemModel {
                     &mut usage,
                 )?;
                 faults.merge(&report.faults);
-                let energy = self.noc_energy.report(&report, self.cores()).total_pj();
+                intra_hops += report.intra_chip_traversals;
+                inter_hops += report.inter_chip_traversals;
+                let energy = self.noc_total_energy_pj(&report);
                 (report.makespan, energy, report.blocked_flit_cycles)
             };
             let visible_comm = ((comm_cycles as f64) * (1.0 - self.overlap)).round() as u64;
@@ -322,6 +380,8 @@ impl SystemModel {
             noc_energy_pj: noc_energy,
             faults,
             sim: usage,
+            intra_chip_traversals: intra_hops,
+            inter_chip_traversals: inter_hops,
             layers,
         })
     }
@@ -467,6 +527,42 @@ mod tests {
         assert!(faulty.faults.packets_retransmitted > 0);
         assert!(faulty.comm_cycles > clean.comm_cycles, "retransmissions cost time");
         assert_eq!(faulty.compute_cycles, clean.compute_cycles, "compute is unaffected");
+    }
+
+    #[test]
+    fn single_chiplet_mcm_report_is_bit_identical_to_single_chip() {
+        let spec = lenet_spec();
+        let plan = Plan::dense(&spec, 16, 2).unwrap();
+        let mesh = SystemModel::paper(16).unwrap().evaluate(&plan).unwrap();
+        let mcm = SystemModel::paper_mcm(1, 16).unwrap().evaluate(&plan).unwrap();
+        assert_eq!(mesh, mcm);
+        assert_eq!(mcm.inter_chip_traversals, 0);
+        assert!(mcm.intra_chip_traversals > 0);
+    }
+
+    #[test]
+    fn hop_split_is_populated_and_mesh_runs_have_no_inter_hops() {
+        let r = eval(16, &lenet_spec());
+        assert!(r.intra_chip_traversals > 0);
+        assert_eq!(r.inter_chip_traversals, 0);
+    }
+
+    #[test]
+    fn multi_chip_package_prices_interposer_crossings() {
+        let spec = lenet_spec();
+        let plan = Plan::dense(&spec, 32, 2).unwrap();
+        let model = SystemModel::paper_mcm(2, 16).unwrap();
+        assert_eq!(model.cores(), 32);
+        let priced = model.evaluate(&plan).unwrap();
+        assert!(priced.inter_chip_traversals > 0, "a 32-core plan must cross the seam");
+        let free = SystemModel::paper_mcm(2, 16)
+            .unwrap()
+            .with_interposer_energy(lts_accel::InterposerEnergyModel { seam_crossing_pj: 0.0 })
+            .evaluate(&plan)
+            .unwrap();
+        let premium =
+            lts_accel::InterposerEnergyModel::default().crossings_pj(priced.inter_chip_traversals);
+        assert!((priced.noc_energy_pj - free.noc_energy_pj - premium).abs() < 1e-6);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! NoC configuration and error type.
 
+use crate::topology::{HopClass, McmTopology, Mesh2d, Topo, Topology};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -69,12 +70,52 @@ impl fmt::Display for NocError {
 
 impl Error for NocError {}
 
+/// Interposer link parameters of an MCM package: inter-chiplet hops are
+/// *slower* (more cycles of link latency) but *wider* (more phit bits, so
+/// fewer serialization cycles per flit) than on-chip mesh links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterposerConfig {
+    /// Link traversal latency in cycles (on-chip default is 1).
+    pub link_cycles: u64,
+    /// Physical link (phit) width in bits (on-chip default is 64).
+    pub phit_bits: usize,
+}
+
+impl Default for InterposerConfig {
+    fn default() -> Self {
+        // 4× the on-chip link latency, 4× the on-chip phit width: a
+        // 512-bit flit serializes in 2 cycles instead of 8 but pays the
+        // longer die-to-die wire.
+        Self { link_cycles: 4, phit_bits: 256 }
+    }
+}
+
+/// Which topology the `width × height` per-chip geometry is instantiated
+/// on. `Mesh` (the default, and the only pre-MCM behaviour) is one chip;
+/// `Mcm` tiles a package grid of identical chiplets joined by interposer
+/// links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// A single-chip 2-D mesh of `width × height` cores.
+    #[default]
+    Mesh,
+    /// A `grid_width × grid_height` package of `width × height` chiplets.
+    Mcm {
+        /// Chiplet columns on the package.
+        grid_width: usize,
+        /// Chiplet rows on the package.
+        grid_height: usize,
+        /// Interposer link parameters.
+        interposer: InterposerConfig,
+    },
+}
+
 /// Full NoC configuration (defaults reproduce Table II of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NocConfig {
-    /// Mesh width (columns).
+    /// Mesh width (columns) — per chiplet under [`TopologySpec::Mcm`].
     pub width: usize,
-    /// Mesh height (rows).
+    /// Mesh height (rows) — per chiplet under [`TopologySpec::Mcm`].
     pub height: usize,
     /// Flit size in bytes (Table II: 512-bit flits = 64 B).
     pub flit_bytes: usize,
@@ -101,6 +142,10 @@ pub struct NocConfig {
     pub routing: RoutingPolicy,
     /// Hard cap on simulated cycles (deadlock guard).
     pub max_cycles: u64,
+    /// The topology the geometry lives on. Defaults to a single-chip
+    /// mesh, so pre-MCM configs (and their serialized forms, which feed
+    /// the simcache keys) are unchanged.
+    pub topology: TopologySpec,
 }
 
 impl NocConfig {
@@ -126,23 +171,64 @@ impl NocConfig {
             physical_channels: 2,
             routing: RoutingPolicy::XyDor,
             max_cycles: 50_000_000,
+            topology: TopologySpec::Mesh,
         }
     }
 
     /// Mesh geometry for a core count, as used in the paper's scalability
     /// study: 4 → 2×2, 8 → 4×2, 16 → 4×4, 32 → 8×4; other counts get the
-    /// most square factorization.
+    /// most square factorization (via [`Mesh2d::for_nodes`]).
     pub fn paper_cores(cores: usize) -> Result<Self, NocError> {
         if cores == 0 {
             return Err(NocError::BadConfig("core count must be positive".into()));
         }
-        let (w, h) = squarest_factors(cores);
-        Ok(Self::paper_mesh(w, h))
+        let mesh = Mesh2d::for_nodes(cores);
+        Ok(Self::paper_mesh(mesh.width(), mesh.height()))
     }
 
-    /// Number of nodes in the mesh.
+    /// The paper's per-chip configuration scaled out to a multi-chip
+    /// module: `chiplets` chips of `cores_per_chiplet` cores each, chip
+    /// and package grids both chosen by [`Mesh2d::for_nodes`], joined by
+    /// default interposer links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] if either count is zero.
+    pub fn paper_mcm(chiplets: usize, cores_per_chiplet: usize) -> Result<Self, NocError> {
+        if chiplets == 0 {
+            return Err(NocError::BadConfig("chiplet count must be positive".into()));
+        }
+        let mut config = Self::paper_cores(cores_per_chiplet)?;
+        let grid = Mesh2d::for_nodes(chiplets);
+        config.topology = TopologySpec::Mcm {
+            grid_width: grid.width(),
+            grid_height: grid.height(),
+            interposer: InterposerConfig::default(),
+        };
+        Ok(config)
+    }
+
+    /// The concrete topology this configuration describes.
+    pub fn topo(&self) -> Topo {
+        match self.topology {
+            TopologySpec::Mesh => Topo::Mesh(Mesh2d::new(self.width, self.height)),
+            TopologySpec::Mcm { grid_width, grid_height, .. } => {
+                Topo::Mcm(McmTopology::new(self.width, self.height, grid_width, grid_height))
+            }
+        }
+    }
+
+    /// Number of chiplets (1 for a plain mesh).
+    pub fn chiplets(&self) -> usize {
+        match self.topology {
+            TopologySpec::Mesh => 1,
+            TopologySpec::Mcm { grid_width, grid_height, .. } => grid_width * grid_height,
+        }
+    }
+
+    /// Number of nodes across the whole topology.
     pub fn nodes(&self) -> usize {
-        self.width * self.height
+        self.width * self.height * self.chiplets()
     }
 
     /// Validates all fields.
@@ -176,6 +262,17 @@ impl NocConfig {
             return Err(NocError::BadConfig(
                 "O1TURN routing needs at least 2 VCs for deadlock freedom".into(),
             ));
+        }
+        if let TopologySpec::Mcm { grid_width, grid_height, interposer } = self.topology {
+            if grid_width == 0 || grid_height == 0 {
+                return Err(NocError::BadConfig("package grid dimensions must be positive".into()));
+            }
+            if interposer.link_cycles == 0 {
+                return Err(NocError::BadConfig("interposer link_cycles must be positive".into()));
+            }
+            if interposer.phit_bits == 0 {
+                return Err(NocError::BadConfig("interposer phit_bits must be positive".into()));
+            }
         }
         Ok(())
     }
@@ -215,19 +312,47 @@ impl NocConfig {
     pub fn serialization_cycles(&self) -> u64 {
         ((self.flit_bytes * 8).div_ceil(self.phit_bits)) as u64
     }
+
+    /// Link traversal latency of a hop of the given class.
+    pub fn link_cycles_for(&self, class: HopClass) -> u64 {
+        match (class, self.topology) {
+            (HopClass::Inter, TopologySpec::Mcm { interposer, .. }) => interposer.link_cycles,
+            _ => self.link_cycles,
+        }
+    }
+
+    /// Serialization cycles of a hop of the given class (interposer links
+    /// are wider, so a flit occupies them for fewer cycles).
+    pub fn serialization_cycles_for(&self, class: HopClass) -> u64 {
+        match (class, self.topology) {
+            (HopClass::Inter, TopologySpec::Mcm { interposer, .. }) => {
+                ((self.flit_bytes * 8).div_ceil(interposer.phit_bits)) as u64
+            }
+            _ => self.serialization_cycles(),
+        }
+    }
+
+    /// Uncongested head-flit latency of the XY route from `src` to
+    /// `dst`, excluding injection serialization: one router pipeline plus
+    /// one (class-priced) link traversal per hop.
+    pub fn uncongested_route_cycles(&self, src: usize, dst: usize) -> u64 {
+        let topo = self.topo();
+        let mut here = src;
+        let mut cycles = 0u64;
+        while here != dst {
+            let dir = topo.route_xy(here, dst);
+            cycles += self.router_stages + self.link_cycles_for(topo.hop_class(here, dir));
+            here = topo.neighbor(here, dir).expect("XY routing never leaves the topology");
+        }
+        cycles
+    }
 }
 
-/// The factor pair of `n` closest to a square, wider than tall.
+/// The factor pair of `n` closest to a square, wider than tall (the
+/// geometry rule of [`Mesh2d::for_nodes`]).
 pub fn squarest_factors(n: usize) -> (usize, usize) {
-    let mut best = (n, 1);
-    let mut d = 1;
-    while d * d <= n {
-        if n.is_multiple_of(d) {
-            best = (n / d, d);
-        }
-        d += 1;
-    }
-    best
+    let mesh = Mesh2d::for_nodes(n);
+    (mesh.width(), mesh.height())
 }
 
 #[cfg(test)]
@@ -278,5 +403,84 @@ mod tests {
     fn error_display() {
         let e = NocError::BadNode { node: 20, nodes: 16 };
         assert!(e.to_string().contains("20"));
+    }
+
+    #[test]
+    fn paper_cores_follows_topology_geometry_for_non_square_counts() {
+        for cores in [2, 6, 7, 8, 12, 18, 24] {
+            let c = NocConfig::paper_cores(cores).unwrap();
+            let mesh = Mesh2d::for_nodes(cores);
+            assert_eq!((c.width, c.height), (mesh.width(), mesh.height()), "{cores} cores");
+            assert_eq!(c.nodes(), cores);
+            assert!(c.width >= c.height, "{cores} cores: wider than tall");
+            assert!(c.validate().is_ok());
+        }
+        assert!(NocConfig::paper_cores(0).is_err());
+    }
+
+    #[test]
+    fn paper_mcm_geometry_and_nodes() {
+        let c = NocConfig::paper_mcm(2, 16).unwrap();
+        assert_eq!((c.width, c.height), (4, 4));
+        assert_eq!(c.chiplets(), 2);
+        assert_eq!(c.nodes(), 32);
+        assert!(c.validate().is_ok());
+        match c.topo() {
+            Topo::Mcm(m) => {
+                assert_eq!(Topology::width(&m), 8);
+                assert_eq!(Topology::height(&m), 4);
+            }
+            Topo::Mesh(_) => panic!("expected MCM topology"),
+        }
+        // chiplets = 1 keeps the single-chip node count and geometry.
+        let one = NocConfig::paper_mcm(1, 16).unwrap();
+        assert_eq!(one.nodes(), 16);
+        assert_eq!(one.chiplets(), 1);
+    }
+
+    #[test]
+    fn hop_class_pricing_defaults_and_interposer() {
+        let mesh = NocConfig::paper_16core();
+        assert_eq!(mesh.link_cycles_for(HopClass::Inter), mesh.link_cycles);
+        assert_eq!(mesh.serialization_cycles_for(HopClass::Inter), mesh.serialization_cycles());
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        assert_eq!(mcm.link_cycles_for(HopClass::Intra), 1);
+        assert_eq!(mcm.link_cycles_for(HopClass::Inter), 4);
+        assert_eq!(mcm.serialization_cycles_for(HopClass::Intra), 8);
+        assert_eq!(mcm.serialization_cycles_for(HopClass::Inter), 2);
+    }
+
+    #[test]
+    fn uncongested_route_prices_interposer_hops() {
+        let mesh = NocConfig::paper_16core();
+        // 4x4 mesh, 0 -> 15 is 6 hops of (3 router + 1 link) cycles.
+        assert_eq!(mesh.uncongested_route_cycles(0, 15), 6 * 4);
+        let mcm = NocConfig::paper_mcm(2, 4).unwrap(); // two 2x2 chips, 4x2 global
+                                                       // 0 -> 3 crosses the seam between x=1 and x=2: two intra hops at
+                                                       // 3+1, one interposer hop at 3+4.
+        assert_eq!(mcm.uncongested_route_cycles(0, 3), 2 * 4 + 7);
+    }
+
+    #[test]
+    fn mcm_validation_catches_bad_interposer() {
+        let mut c = NocConfig::paper_mcm(2, 16).unwrap();
+        if let TopologySpec::Mcm { ref mut interposer, .. } = c.topology {
+            interposer.link_cycles = 0;
+        }
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn topology_spec_round_trips_through_serde() {
+        let mesh = NocConfig::paper_16core();
+        let json = serde_json::to_string(&mesh).unwrap();
+        assert_eq!(serde_json::from_str::<NocConfig>(&json).unwrap(), mesh);
+        let mcm = NocConfig::paper_mcm(4, 16).unwrap();
+        let json = serde_json::to_string(&mcm).unwrap();
+        assert_eq!(serde_json::from_str::<NocConfig>(&json).unwrap(), mcm);
+        // Distinct topologies must serialize distinctly (simcache keys hash
+        // this encoding).
+        let other = serde_json::to_string(&NocConfig::paper_mcm(2, 32).unwrap()).unwrap();
+        assert_ne!(json, other);
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::config::{NocConfig, NocError};
 use crate::packet::PacketId;
-use crate::topology::{Direction, Mesh2d};
+use crate::topology::{Direction, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -250,11 +250,11 @@ fn unit_draw(seed: u64, salt: u64, packet: PacketId, attempt: u32, seq: u64, lin
 
 /// Whether the physical link from `node` toward `dir` is unusable — either
 /// endpoint named it dead, or either endpoint router is dead.
-pub fn edge_dead(fault: &FaultModel, mesh: &Mesh2d, node: usize, dir: Direction) -> bool {
+pub fn edge_dead<T: Topology>(fault: &FaultModel, topo: &T, node: usize, dir: Direction) -> bool {
     if fault.router_dead(node) || fault.link_dead(node, dir) {
         return true;
     }
-    match mesh.neighbor(node, dir) {
+    match topo.neighbor(node, dir) {
         Some(nb) => fault.router_dead(nb) || fault.link_dead(nb, dir.opposite()),
         None => true,
     }
@@ -267,9 +267,9 @@ pub fn edge_dead(fault: &FaultModel, mesh: &Mesh2d, node: usize, dir: Direction)
 ///
 /// Routes are minimal over the surviving graph, with ties broken toward
 /// the XY dimension-ordered direction (then port order), so the table
-/// degenerates to plain XY routing on a fault-free mesh.
-pub fn plan_routes(mesh: &Mesh2d, fault: &FaultModel) -> Vec<Option<Direction>> {
-    let n = mesh.nodes();
+/// degenerates to plain XY routing on a fault-free topology.
+pub fn plan_routes<T: Topology>(topo: &T, fault: &FaultModel) -> Vec<Option<Direction>> {
+    let n = topo.nodes();
     let mesh_dirs = [Direction::North, Direction::East, Direction::South, Direction::West];
     let mut table = vec![None; n * n];
     for dst in 0..n {
@@ -282,10 +282,10 @@ pub fn plan_routes(mesh: &Mesh2d, fault: &FaultModel) -> Vec<Option<Direction>> 
         let mut queue = VecDeque::from([dst]);
         while let Some(v) = queue.pop_front() {
             for dir in mesh_dirs {
-                if edge_dead(fault, mesh, v, dir) {
+                if edge_dead(fault, topo, v, dir) {
                     continue;
                 }
-                let Some(u) = mesh.neighbor(v, dir) else { continue };
+                let Some(u) = topo.neighbor(v, dir) else { continue };
                 if dist[u] == usize::MAX {
                     dist[u] = dist[v] + 1;
                     queue.push_back(u);
@@ -300,13 +300,13 @@ pub fn plan_routes(mesh: &Mesh2d, fault: &FaultModel) -> Vec<Option<Direction>> 
                 table[here * n + dst] = Some(Direction::Local);
                 continue;
             }
-            let prefer = mesh.route_xy(here, dst);
+            let prefer = topo.route_xy(here, dst);
             let mut choice = None;
             for dir in mesh_dirs {
-                if edge_dead(fault, mesh, here, dir) {
+                if edge_dead(fault, topo, here, dir) {
                     continue;
                 }
-                let Some(nb) = mesh.neighbor(here, dir) else { continue };
+                let Some(nb) = topo.neighbor(here, dir) else { continue };
                 if dist[nb] != usize::MAX && dist[nb] + 1 == dist[here] {
                     if dir == prefer {
                         choice = Some(dir);
@@ -327,6 +327,7 @@ pub fn plan_routes(mesh: &Mesh2d, fault: &FaultModel) -> Vec<Option<Direction>> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{McmTopology, Mesh2d};
 
     #[test]
     fn none_is_none() {
@@ -411,6 +412,25 @@ mod tests {
         assert_eq!(table[3], None, "0 -> 3 crosses the dead router");
         assert_eq!(table[2 * 4 + 3], Some(Direction::East), "2 -> 3 unaffected");
         assert_eq!(table[4 + 2], None, "dead endpoints have no routes");
+    }
+
+    #[test]
+    fn mcm_routes_detour_around_a_dead_interposer_link() {
+        // 2x1 grid of 2x2 chiplets: seam links are 1->2 and 5->6.
+        let mcm = McmTopology::new(2, 2, 2, 1);
+        let table = plan_routes(&mcm, &FaultModel::none());
+        let n = Topology::nodes(&mcm);
+        for here in 0..n {
+            for dst in 0..n {
+                assert_eq!(table[here * n + dst], Some(mcm.route_xy(here, dst)));
+            }
+        }
+        // Kill the top seam link: traffic 1 -> 2 must detour over the
+        // bottom seam (South first).
+        let f = FaultModel::none().kill_link(1, Direction::East);
+        let table = plan_routes(&mcm, &f);
+        assert_eq!(table[n + 2], Some(Direction::South));
+        assert!(table.iter().all(|e| e.is_some()), "one dead seam link keeps all pairs reachable");
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! Flit-level 2-D-mesh network-on-chip simulator with a DSENT-style
-//! energy model.
+//! Flit-level network-on-chip simulator with a DSENT-style energy model,
+//! over pluggable package topologies ([`Topology`]): a single-chip 2-D
+//! mesh ([`Mesh2d`]) or a multi-chip module of interposer-linked mesh
+//! chiplets ([`McmTopology`]).
 //!
 //! This crate reconstructs the NoC substrate of the Learn-to-Scale paper
 //! ("BookSim2 and DSENT are used to simulate the NoC communication
@@ -9,7 +11,9 @@
 //! * 512-bit flits and 20-flit maximum packets,
 //! * dimension-ordered (XY) routing,
 //! * 3 virtual channels per port with credit-based flow control,
-//! * a 3-stage router pipeline plus single-cycle links.
+//! * a 3-stage router pipeline plus single-cycle links (interposer
+//!   seams on an MCM price each hop by its [`HopClass`]: wider phits,
+//!   slower traversal).
 //!
 //! Congestion — the effect the paper's communication-aware training
 //! attacks — emerges naturally: layer-transition bursts serialize on
@@ -50,7 +54,7 @@ pub mod stats;
 pub mod topology;
 pub mod traffic;
 
-pub use config::{NocConfig, NocError, RoutingPolicy};
+pub use config::{InterposerConfig, NocConfig, NocError, RoutingPolicy, TopologySpec};
 pub use energy::{EnergyModel, EnergyReport};
 pub use fault::{FaultModel, RetransmitConfig};
 pub use network::Simulator;
@@ -59,4 +63,4 @@ pub use recovery::{
     RecoverableReport,
 };
 pub use stats::{FaultStats, SimReport};
-pub use topology::Mesh2d;
+pub use topology::{HopClass, McmTopology, Mesh2d, Topo, Topology};

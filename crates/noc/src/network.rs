@@ -16,7 +16,7 @@ use crate::recovery::{
 };
 use crate::router::{Router, TimedFlit, PORTS};
 use crate::stats::{EventCounts, FaultStats, SimReport};
-use crate::topology::{Direction, Mesh2d};
+use crate::topology::{Direction, HopClass, Topo, Topology};
 use crate::traffic::Message;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -110,7 +110,7 @@ pub struct Simulator {
     routes: Vec<Option<Direction>>,
     /// Resolved first-retry timeout in cycles (fault mode).
     base_timeout: u64,
-    mesh: Mesh2d,
+    topo: Topo,
     routers: Vec<Router>,
     sources: Vec<SourceState>,
     messages: Vec<MessageState>,
@@ -119,6 +119,12 @@ pub struct Simulator {
     blocked_flit_cycles: u64,
     /// Flits carried per directed link (`node * 4 + direction`).
     link_flits: Vec<u64>,
+    /// Link traversals that stayed on one chiplet. Always equal to
+    /// `events.link_traversals` minus `inter_link_traversals`; kept as its
+    /// own counter so the split is asserted, not derived.
+    intra_link_traversals: u64,
+    /// Link traversals that crossed an interposer seam (0 on a mesh).
+    inter_link_traversals: u64,
     cycle: u64,
     // --- retransmission-protocol state (used only in fault mode) ---
     packets: Vec<PacketRecord>,
@@ -185,16 +191,29 @@ impl Simulator {
     pub fn with_faults(config: NocConfig, fault: FaultModel) -> Result<Self, NocError> {
         config.validate()?;
         fault.validate(&config)?;
-        let mesh = Mesh2d::new(config.width, config.height);
-        let routes = if fault.has_permanent() { plan_routes(&mesh, &fault) } else { Vec::new() };
+        let topo = config.topo();
+        let routes = if fault.has_permanent() { plan_routes(&topo, &fault) } else { Vec::new() };
         let base_timeout = if fault.retransmit.base_timeout > 0 {
             fault.retransmit.base_timeout
         } else {
             // Auto: several uncongested round trips, so lightly-loaded
-            // traffic rarely retransmits spuriously.
-            let diameter = (config.width - 1 + config.height - 1) as u64;
-            let per_hop = config.router_stages + config.link_cycles;
-            let packet = config.max_packet_flits as u64 * config.serialization_cycles();
+            // traffic rarely retransmits spuriously. Conservative per-hop
+            // pricing: the slowest hop class the package actually has
+            // (interposer pricing only when seams exist, so a one-chiplet
+            // package times out exactly like the plain mesh).
+            let diameter = topo.diameter() as u64;
+            let (worst_link, worst_ser) = if topo.chiplets() > 1 {
+                (
+                    config.link_cycles.max(config.link_cycles_for(HopClass::Inter)),
+                    config
+                        .serialization_cycles()
+                        .max(config.serialization_cycles_for(HopClass::Inter)),
+                )
+            } else {
+                (config.link_cycles, config.serialization_cycles())
+            };
+            let per_hop = config.router_stages + worst_link;
+            let packet = config.max_packet_flits as u64 * worst_ser;
             8 * (diameter * per_hop + packet) + 64
         };
         Ok(Self {
@@ -202,13 +221,15 @@ impl Simulator {
             fault,
             routes,
             base_timeout,
-            mesh,
+            topo,
             routers: Vec::new(),
             sources: Vec::new(),
             messages: Vec::new(),
             events: EventCounts::default(),
             blocked_flit_cycles: 0,
             link_flits: Vec::new(),
+            intra_link_traversals: 0,
+            inter_link_traversals: 0,
             cycle: 0,
             packets: Vec::new(),
             recv: HashMap::new(),
@@ -240,9 +261,9 @@ impl Simulator {
         &self.fault
     }
 
-    /// The mesh topology.
-    pub fn mesh(&self) -> &Mesh2d {
-        &self.mesh
+    /// The topology.
+    pub fn topo(&self) -> &Topo {
+        &self.topo
     }
 
     /// Whether the fault layer (poisoning, acknowledgements, timeouts) is
@@ -465,9 +486,14 @@ impl Simulator {
         lts_obs::counter_add("noc.cycles_simulated", self.cycles_simulated);
         lts_obs::counter_add("noc.cycles_fast_forwarded", self.cycles_fast_forwarded);
         lts_obs::counter_add("noc.packets_retransmitted", self.faults.packets_retransmitted);
+        lts_obs::counter_add("noc.intra_chip_traversals", self.intra_link_traversals);
+        lts_obs::counter_add("noc.inter_chip_traversals", self.inter_link_traversals);
         let track = lts_obs::cycle_track_named("noc.stepper");
         lts_obs::cycle_record(track, "active-sweep", "", self.cycles_simulated);
         lts_obs::cycle_record(track, "fast-forward", "", self.cycles_fast_forwarded);
+        let hops = lts_obs::cycle_track_named("noc.hops");
+        lts_obs::cycle_record(hops, "intra-chip", "", self.intra_link_traversals);
+        lts_obs::cycle_record(hops, "inter-chip", "", self.inter_link_traversals);
     }
 
     /// Assembles the report of a completed static run.
@@ -493,6 +519,8 @@ impl Simulator {
             blocked_flit_cycles: self.blocked_flit_cycles,
             events: self.events,
             link_flits: self.link_flits.clone(),
+            intra_chip_traversals: self.intra_link_traversals,
+            inter_chip_traversals: self.inter_link_traversals,
             faults: self.faults,
             cycles_simulated: self.cycles_simulated,
             cycles_fast_forwarded: self.cycles_fast_forwarded,
@@ -565,6 +593,8 @@ impl Simulator {
         self.events = EventCounts::default();
         self.blocked_flit_cycles = 0;
         self.link_flits = vec![0u64; nodes * 4];
+        self.intra_link_traversals = 0;
+        self.inter_link_traversals = 0;
         self.cycle = 0;
         self.packets.clear();
         self.recv.clear();
@@ -693,12 +723,12 @@ impl Simulator {
     }
 
     /// Schedules the acknowledgement for a cleanly received packet: an
-    /// out-of-band credit modelled at uncongested pipeline latency.
+    /// out-of-band credit modelled at uncongested pipeline latency
+    /// (per-hop-class link pricing, so interposer hops cost their share).
     fn schedule_ack(&mut self, id: PacketId) {
         let desc = self.packets[id as usize].desc;
-        let hops = self.mesh.distance(desc.dst, desc.src) as u64;
-        let per_hop = self.config.router_stages + self.config.link_cycles;
-        let at = self.cycle + hops * per_hop + self.fault.retransmit.ack_overhead + 1;
+        let route = self.config.uncongested_route_cycles(desc.dst, desc.src);
+        let at = self.cycle + route + self.fault.retransmit.ack_overhead + 1;
         self.ack_at.entry(at).or_default().push(id);
     }
 
@@ -759,7 +789,7 @@ impl Simulator {
     /// when the surviving topology has no route.
     fn lookup_route(&self, yx: bool, here: usize, dst: usize) -> Option<Direction> {
         if self.routes.is_empty() {
-            return Some(self.mesh.route_ordered(yx, here, dst));
+            return Some(self.topo.route_ordered(yx, here, dst));
         }
         self.routes[here * self.config.nodes() + dst]
     }
@@ -775,7 +805,7 @@ impl Simulator {
                 // runs the purge pass removes unroutable heads before
                 // they reach arbitration.
                 debug_assert!(self.dynamic, "flit at {here} with no route to {dst}");
-                self.mesh.route_ordered(yx, here, dst)
+                self.topo.route_ordered(yx, here, dst)
             }
         }
     }
@@ -945,7 +975,16 @@ impl Simulator {
     /// Moves the front flit of `(node, ip, vc)` through output `op`.
     /// Returns 1 if this completed a message.
     fn traverse(&mut self, node: usize, op: usize, ip: usize, vc: usize) -> usize {
-        let ser = self.config.serialization_cycles();
+        // Hop-class pricing: a seam-crossing output rides the interposer
+        // (wider phits → shorter serialization, longer link latency). On a
+        // plain mesh every class is `Intra` and the constants are exactly
+        // the pre-MCM ones.
+        let class = if op == LOCAL {
+            HopClass::Intra
+        } else {
+            self.topo.hop_class(node, Direction::ALL[op])
+        };
+        let ser = self.config.serialization_cycles_for(class);
         let lane = self.routers[node]
             .free_lane(op, self.cycle)
             .expect("winner count bounded by free lanes");
@@ -962,7 +1001,7 @@ impl Simulator {
         if ip != LOCAL {
             let ip_dir = Direction::ALL[ip];
             let upstream =
-                self.mesh.neighbor(node, ip_dir).expect("mesh input port implies a neighbor");
+                self.topo.neighbor(node, ip_dir).expect("mesh input port implies a neighbor");
             let up_out = ip_dir.opposite().index();
             self.routers[upstream].outputs[up_out][vc].credits += 1;
         }
@@ -990,10 +1029,11 @@ impl Simulator {
         }
         let v = out_vc.expect("mesh traversal requires an allocated VC");
         let op_dir = Direction::ALL[op];
-        let downstream = self.mesh.neighbor(node, op_dir).expect("routing never leaves the mesh");
+        let downstream =
+            self.topo.neighbor(node, op_dir).expect("routing never leaves the topology");
         if self.dynamic
             && (self.died_at[downstream] <= self.cycle
-                || edge_dead(&self.fault, &self.mesh, node, op_dir))
+                || edge_dead(&self.fault, &self.topo, node, op_dir))
         {
             // Null sink: the flit vanishes on the dead link / into the dead
             // router. Upstream credit was already returned; the downstream
@@ -1031,10 +1071,17 @@ impl Simulator {
             flit,
             // Last phit lands after `ser` cycles on the link, then the
             // downstream pipeline processes the flit.
-            ready_at: self.cycle + (ser - 1) + self.config.link_cycles + self.config.router_stages,
+            ready_at: self.cycle
+                + (ser - 1)
+                + self.config.link_cycles_for(class)
+                + self.config.router_stages,
         });
         self.buffered[downstream] += 1;
         self.events.link_traversals += 1;
+        match class {
+            HopClass::Intra => self.intra_link_traversals += 1,
+            HopClass::Inter => self.inter_link_traversals += 1,
+        }
         self.events.buffer_writes += 1;
         self.link_flits[node * 4 + op] += 1;
         0
@@ -1289,6 +1336,8 @@ impl Simulator {
             blocked_flit_cycles: self.blocked_flit_cycles,
             events: self.events,
             link_flits: self.link_flits.clone(),
+            intra_chip_traversals: self.intra_link_traversals,
+            inter_chip_traversals: self.inter_link_traversals,
             faults: self.faults,
             cycles_simulated: self.cycles_simulated,
             cycles_fast_forwarded: self.cycles_fast_forwarded,
@@ -1331,7 +1380,7 @@ impl Simulator {
         }
         self.died_at[node] = self.cycle;
         self.fault = self.fault.clone().kill_router(node);
-        self.routes = plan_routes(&self.mesh, &self.fault);
+        self.routes = plan_routes(&self.topo, &self.fault);
         for ip in 0..PORTS {
             for vc in 0..self.config.vcs {
                 let input = &mut self.routers[node].inputs[ip][vc];
@@ -1345,7 +1394,7 @@ impl Simulator {
         }
         self.buffered[node] = 0;
         for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
-            let Some(nb) = self.mesh.neighbor(node, dir) else { continue };
+            let Some(nb) = self.topo.neighbor(node, dir) else { continue };
             let toward_dead = dir.opposite().index();
             for vc in 0..self.config.vcs {
                 self.routers[nb].outputs[toward_dead][vc].credits = self.config.vc_buffer_flits;
@@ -1374,11 +1423,11 @@ impl Simulator {
     /// routes and closes worms severed across the link. Flits later
     /// crossing the dead link are discarded by [`Simulator::traverse`].
     fn apply_link_death(&mut self, node: usize, dir: Direction) {
-        let Some(nb) = self.mesh.neighbor(node, dir) else {
+        let Some(nb) = self.topo.neighbor(node, dir) else {
             return; // A mesh-edge "link" has no far side; nothing to kill.
         };
         self.fault = self.fault.clone().kill_link(node, dir);
-        self.routes = plan_routes(&self.mesh, &self.fault);
+        self.routes = plan_routes(&self.topo, &self.fault);
         // Both receiving sides may hold worms whose remaining flits were
         // still across the link (the sending sides self-heal: their flits
         // drain into the null sink and the real tail clears their state).
@@ -1396,8 +1445,16 @@ impl Simulator {
         if self.died_at[node] <= self.cycle {
             return;
         }
-        let ser = self.config.serialization_cycles();
-        let ready_at = self.cycle + (ser - 1) + self.config.link_cycles + self.config.router_stages;
+        // The synthetic tail notionally crossed the severed input link, so
+        // it lands with that link's class timing.
+        let class = if ip == LOCAL {
+            HopClass::Intra
+        } else {
+            self.topo.hop_class(node, Direction::ALL[ip])
+        };
+        let ser = self.config.serialization_cycles_for(class);
+        let ready_at =
+            self.cycle + (ser - 1) + self.config.link_cycles_for(class) + self.config.router_stages;
         for vc in 0..self.config.vcs {
             let input = &mut self.routers[node].inputs[ip][vc];
             // Worms are contiguous, so only the last worm in the queue can
@@ -1458,7 +1515,7 @@ impl Simulator {
                         if ip != LOCAL {
                             let ip_dir = Direction::ALL[ip];
                             let upstream = self
-                                .mesh
+                                .topo
                                 .neighbor(node, ip_dir)
                                 .expect("mesh input port implies a neighbor");
                             if self.died_at[upstream] > self.cycle {
@@ -1614,7 +1671,7 @@ mod tests {
         let trace = uniform_random(16, 3, 256, 4);
         let r = s.run(&trace.messages).unwrap();
         for (i, m) in trace.messages.iter().enumerate() {
-            let hops = s.mesh().distance(m.src, m.dst) as u64;
+            let hops = s.topo().distance(m.src, m.dst) as u64;
             let flits = s.config().flits_for_bytes(m.bytes);
             // (hops+1) router pipelines + hops links + serialization.
             let lower = (hops + 1) * 3 + hops + (flits - 1);
@@ -1760,6 +1817,63 @@ mod tests {
         let r = s.run(&trace.messages).unwrap();
         assert_eq!(r.link_flits.iter().sum::<u64>(), r.events.link_traversals);
         assert!(r.max_link_flits() > 0);
+    }
+
+    #[test]
+    fn hop_split_sums_to_link_traversals_on_mesh() {
+        let mut s = sim();
+        let trace = uniform_random(16, 5, 901, 6);
+        let r = s.run(&trace.messages).unwrap();
+        assert_eq!(r.inter_chip_traversals, 0, "a mesh has no interposer hops");
+        assert_eq!(r.intra_chip_traversals, r.events.link_traversals);
+        assert_eq!(r.intra_chip_traversals + r.inter_chip_traversals, r.events.link_traversals);
+    }
+
+    #[test]
+    fn mcm_delivers_and_splits_hops_exactly() {
+        let config = NocConfig::paper_mcm(2, 16).unwrap();
+        let mut s = Simulator::new(config).unwrap();
+        let trace = uniform_random(32, 4, 902, 7);
+        let r = s.run(&trace.messages).unwrap();
+        assert_eq!(r.messages_delivered, trace.len());
+        assert!(r.inter_chip_traversals > 0, "cross-package traffic must ride the interposer");
+        assert_eq!(r.intra_chip_traversals + r.inter_chip_traversals, r.events.link_traversals);
+        // The seam columns carry exactly the inter-chip flits: per-link
+        // counters and the class split agree.
+        let topo = *s.topo();
+        let inter_from_links: u64 = (0..config.nodes())
+            .flat_map(|n| (0..4).map(move |d| (n, d)))
+            .filter(|&(n, d)| {
+                topo.neighbor(n, Direction::ALL[d]).is_some()
+                    && topo.hop_class(n, Direction::ALL[d]) == HopClass::Inter
+            })
+            .map(|(n, d)| r.link_flits[n * 4 + d])
+            .sum();
+        assert_eq!(inter_from_links, r.inter_chip_traversals);
+    }
+
+    #[test]
+    fn single_chiplet_mcm_report_is_bit_identical_to_mesh() {
+        let mesh_cfg = NocConfig::paper_16core();
+        let mcm_cfg = NocConfig::paper_mcm(1, 16).unwrap();
+        let trace = uniform_random(16, 6, 903, 9);
+        let a = Simulator::new(mesh_cfg).unwrap().run(&trace.messages).unwrap();
+        let b = Simulator::new(mcm_cfg).unwrap().run(&trace.messages).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interposer_latency_slows_cross_chip_messages() {
+        // Same global 8x4 geometry; the MCM prices the seam crossing.
+        let mesh = NocConfig::paper_mesh(8, 4);
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        let msg = [Message::new(0, 7, 64, 0)]; // one flit, 0 -> (7,0) crosses the seam
+        let rm = Simulator::new(mesh).unwrap().run(&msg).unwrap();
+        let rc = Simulator::new(mcm).unwrap().run(&msg).unwrap();
+        // Interposer: +3 link cycles but -6 serialization cycles on the
+        // seam hop; a single-flit head sees the net effect.
+        assert_ne!(rm.message_latencies[0], rc.message_latencies[0]);
+        assert_eq!(rc.messages_delivered, 1);
     }
 
     #[test]

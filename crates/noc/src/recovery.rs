@@ -27,7 +27,7 @@
 
 use crate::config::{NocConfig, NocError};
 use crate::stats::SimReport;
-use crate::topology::{Direction, Mesh2d};
+use crate::topology::Direction;
 use serde::{Deserialize, Serialize};
 
 /// What dies in a [`FaultEvent`].
@@ -205,12 +205,10 @@ impl MonitorConfig {
     }
 
     /// Modelled control-plane latency of one heartbeat from `node` to the
-    /// monitor: uncongested pipeline cycles over the Manhattan distance
-    /// plus the fixed overhead.
+    /// monitor: uncongested pipeline cycles along the XY route (interposer
+    /// hops priced at their own link latency) plus the fixed overhead.
     pub fn beat_latency(&self, config: &NocConfig, node: usize) -> u64 {
-        let mesh = Mesh2d::new(config.width, config.height);
-        let hops = mesh.distance(node, self.monitor) as u64;
-        hops * (config.router_stages + config.link_cycles) + self.overhead
+        config.uncongested_route_cycles(node, self.monitor) + self.overhead
     }
 
     /// The cycle at which the monitor declares `node` dead, given it died

@@ -80,6 +80,14 @@ pub struct SimReport {
     /// Flits carried per directed link, indexed `node * 4 + direction`
     /// (N/E/S/W); the utilization heat map.
     pub link_flits: Vec<u64>,
+    /// Link traversals that stayed inside one chiplet. On a plain mesh
+    /// every traversal is intra-chip, so this equals
+    /// `events.link_traversals`.
+    pub intra_chip_traversals: u64,
+    /// Link traversals that crossed an interposer seam between chiplets
+    /// (always 0 on a plain mesh). `intra + inter` sums bit-exactly to
+    /// `events.link_traversals`.
+    pub inter_chip_traversals: u64,
     /// Injected-fault and retransmission counters (all zero when the run
     /// used no fault model).
     pub faults: FaultStats,
@@ -135,12 +143,12 @@ impl SimReport {
 
 /// Renders per-node outgoing link load as an ASCII grid (sum over the
 /// four outgoing directions), plus the single hottest directed link.
-pub fn render_link_heatmap(report: &SimReport, mesh: &crate::topology::Mesh2d) -> String {
+pub fn render_link_heatmap<T: crate::topology::Topology>(report: &SimReport, topo: &T) -> String {
     use crate::topology::Direction;
     let mut out = String::from("outgoing flits per node (sum over N/E/S/W links):\n");
-    for y in 0..mesh.height() {
-        for x in 0..mesh.width() {
-            let node = mesh.node_at(x, y);
+    for y in 0..topo.height() {
+        for x in 0..topo.width() {
+            let node = topo.node_at(x, y);
             let total: u64 =
                 (0..4).map(|d| report.link_flits.get(node * 4 + d).copied().unwrap_or(0)).sum();
             out.push_str(&format!("[{node:>2}]{total:<8}"));
@@ -173,6 +181,8 @@ mod tests {
             blocked_flit_cycles: 0,
             events: EventCounts::default(),
             link_flits: vec![],
+            intra_chip_traversals: 0,
+            inter_chip_traversals: 0,
             faults: FaultStats::default(),
             cycles_simulated: 0,
             cycles_fast_forwarded: 0,
@@ -195,6 +205,8 @@ mod tests {
             blocked_flit_cycles: 5,
             events: EventCounts::default(),
             link_flits: vec![4, 0, 2, 0],
+            intra_chip_traversals: 0,
+            inter_chip_traversals: 0,
             faults: FaultStats::default(),
             cycles_simulated: 0,
             cycles_fast_forwarded: 0,
@@ -221,6 +233,8 @@ mod tests {
             blocked_flit_cycles: 0,
             events: EventCounts::default(),
             link_flits,
+            intra_chip_traversals: 0,
+            inter_chip_traversals: 0,
             faults: FaultStats::default(),
             cycles_simulated: 0,
             cycles_fast_forwarded: 0,

@@ -1,4 +1,14 @@
-//! 2-D mesh topology and dimension-ordered routing.
+//! Topologies: the [`Topology`] trait, the single-chip [`Mesh2d`], and the
+//! multi-chip-module [`McmTopology`] (a grid of chiplet meshes joined by
+//! interposer links), plus dimension-ordered routing over either.
+//!
+//! Both implementors expose **row-major global node ids over a rectangle**,
+//! so routing, neighbour enumeration and distance are shared; what differs
+//! is the *class* of each hop ([`HopClass`]): an MCM hop that crosses a
+//! chiplet seam rides the interposer, which is slower, wider and more
+//! expensive than an on-chip link. A 1×1-chiplet MCM is geometrically the
+//! plain mesh, which is what makes single-chip results the `chiplets = 1`
+//! special case.
 
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +52,158 @@ impl Direction {
             Direction::West => Direction::East,
             Direction::Local => Direction::Local,
         }
+    }
+}
+
+/// Latency/energy class of one link hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HopClass {
+    /// An on-chip mesh link.
+    Intra,
+    /// An inter-chiplet interposer link.
+    Inter,
+}
+
+/// A switched interconnect with row-major node ids on a `width × height`
+/// rectangle.
+///
+/// Routing, neighbour enumeration, distance and path walking are provided
+/// from the global geometry; implementors add the hierarchy: how many
+/// chiplets there are, which chiplet a node belongs to, and which hops
+/// cross a chiplet seam ([`Topology::hop_class`]).
+pub trait Topology {
+    /// Global columns.
+    fn width(&self) -> usize;
+
+    /// Global rows.
+    fn height(&self) -> usize;
+
+    /// Number of nodes.
+    fn nodes(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Coordinates `(x, y)` of a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node % self.width(), node / self.width())
+    }
+
+    /// Node id of coordinates `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    fn node_at(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.width() && y < self.height(), "({x},{y}) out of range");
+        y * self.width() + x
+    }
+
+    /// Manhattan (hop) distance between two nodes.
+    fn distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The neighbour of `node` in `dir`, if it exists.
+    fn neighbor(&self, node: usize, dir: Direction) -> Option<usize> {
+        let (x, y) = self.coords(node);
+        match dir {
+            Direction::North if y > 0 => Some(self.node_at(x, y - 1)),
+            Direction::South if y + 1 < self.height() => Some(self.node_at(x, y + 1)),
+            Direction::East if x + 1 < self.width() => Some(self.node_at(x + 1, y)),
+            Direction::West if x > 0 => Some(self.node_at(x - 1, y)),
+            _ => None,
+        }
+    }
+
+    /// Dimension-ordered (XY) routing: the output direction a flit at
+    /// `here` takes toward `dst`; `Local` when `here == dst`.
+    fn route_xy(&self, here: usize, dst: usize) -> Direction {
+        let (hx, hy) = self.coords(here);
+        let (dx, dy) = self.coords(dst);
+        if hx < dx {
+            Direction::East
+        } else if hx > dx {
+            Direction::West
+        } else if hy < dy {
+            Direction::South
+        } else if hy > dy {
+            Direction::North
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Dimension-ordered YX routing (the complementary order of O1TURN).
+    fn route_yx(&self, here: usize, dst: usize) -> Direction {
+        let (hx, hy) = self.coords(here);
+        let (dx, dy) = self.coords(dst);
+        if hy < dy {
+            Direction::South
+        } else if hy > dy {
+            Direction::North
+        } else if hx < dx {
+            Direction::East
+        } else if hx > dx {
+            Direction::West
+        } else {
+            Direction::Local
+        }
+    }
+
+    /// Routes in the given dimension order (`yx = false` → XY).
+    fn route_ordered(&self, yx: bool, here: usize, dst: usize) -> Direction {
+        if yx {
+            self.route_yx(here, dst)
+        } else {
+            self.route_xy(here, dst)
+        }
+    }
+
+    /// The full XY path from `src` to `dst`, excluding `src`, including
+    /// `dst`.
+    fn path_xy(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut path = Vec::with_capacity(self.distance(src, dst));
+        let mut here = src;
+        while here != dst {
+            let dir = self.route_xy(here, dst);
+            here = self.neighbor(here, dir).expect("XY routing never leaves the mesh");
+            path.push(here);
+        }
+        path
+    }
+
+    /// The class of the link leaving `node` in `dir` (`Local` and
+    /// off-edge directions report `Intra`; only real links matter).
+    fn hop_class(&self, _node: usize, _dir: Direction) -> HopClass {
+        HopClass::Intra
+    }
+
+    /// Number of chiplets.
+    fn chiplets(&self) -> usize {
+        1
+    }
+
+    /// Chiplet id owning `node`.
+    fn chiplet_of(&self, _node: usize) -> usize {
+        0
+    }
+
+    /// Manhattan distance between two nodes' chiplets on the package grid
+    /// (the number of interposer seams an XY route crosses).
+    fn chiplet_distance(&self, _a: usize, _b: usize) -> usize {
+        0
+    }
+
+    /// Longest shortest-path hop count.
+    fn diameter(&self) -> usize {
+        (self.width() - 1) + (self.height() - 1)
     }
 }
 
@@ -198,6 +360,240 @@ impl Mesh2d {
         let total: usize = self.distance_matrix().iter().sum();
         total as f64 / (n * (n - 1)) as f64
     }
+
+    /// The squarest wider-than-tall mesh holding exactly `n` nodes — the
+    /// geometry the paper uses for its core-count sweeps (16 → 4×4,
+    /// 32 → 8×4, primes degenerate to a chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn for_nodes(n: usize) -> Self {
+        assert!(n > 0, "mesh must have at least one node");
+        let mut best = (n, 1);
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                best = (n / d, d);
+            }
+            d += 1;
+        }
+        Self::new(best.0, best.1)
+    }
+}
+
+impl Topology for Mesh2d {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+}
+
+/// A multi-chip module: a `grid_width × grid_height` package grid of
+/// chiplets, each a `chip_width × chip_height` mesh, joined edge-to-edge
+/// by interposer links.
+///
+/// Node ids are row-major over the *flattened* global rectangle
+/// (`chip_width·grid_width × chip_height·grid_height`), so the router
+/// radix, dimension-ordered routing and deadlock freedom of the mesh all
+/// carry over unchanged; a hop is an interposer hop exactly when it
+/// crosses a chiplet seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McmTopology {
+    chip_width: usize,
+    chip_height: usize,
+    grid_width: usize,
+    grid_height: usize,
+}
+
+impl McmTopology {
+    /// Creates an MCM of `grid_width × grid_height` chiplets, each a
+    /// `chip_width × chip_height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        chip_width: usize,
+        chip_height: usize,
+        grid_width: usize,
+        grid_height: usize,
+    ) -> Self {
+        assert!(
+            chip_width > 0 && chip_height > 0 && grid_width > 0 && grid_height > 0,
+            "MCM dimensions must be positive"
+        );
+        Self { chip_width, chip_height, grid_width, grid_height }
+    }
+
+    /// Per-chiplet mesh width.
+    pub fn chip_width(&self) -> usize {
+        self.chip_width
+    }
+
+    /// Per-chiplet mesh height.
+    pub fn chip_height(&self) -> usize {
+        self.chip_height
+    }
+
+    /// Package-grid width (chiplet columns).
+    pub fn grid_width(&self) -> usize {
+        self.grid_width
+    }
+
+    /// Package-grid height (chiplet rows).
+    pub fn grid_height(&self) -> usize {
+        self.grid_height
+    }
+
+    /// Cores on one chiplet.
+    pub fn nodes_per_chiplet(&self) -> usize {
+        self.chip_width * self.chip_height
+    }
+
+    /// Package-grid coordinates of chiplet `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn chiplet_coords(&self, c: usize) -> (usize, usize) {
+        assert!(c < self.chiplets(), "chiplet {c} out of range");
+        (c % self.grid_width, c / self.grid_width)
+    }
+
+    /// Global node id of local node `local` (row-major within the
+    /// chiplet) on chiplet `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn chiplet_node(&self, c: usize, local: usize) -> usize {
+        assert!(local < self.nodes_per_chiplet(), "local node {local} out of range");
+        let (cx, cy) = self.chiplet_coords(c);
+        let (lx, ly) = (local % self.chip_width, local / self.chip_width);
+        (cy * self.chip_height + ly) * self.width() + cx * self.chip_width + lx
+    }
+
+    /// Global node ids of chiplet `c`, in local row-major order.
+    pub fn chiplet_nodes(&self, c: usize) -> Vec<usize> {
+        (0..self.nodes_per_chiplet()).map(|l| self.chiplet_node(c, l)).collect()
+    }
+
+    /// Chiplet ids in serpentine (boustrophedon) package order, so that
+    /// consecutive entries are always grid-adjacent — the natural order
+    /// for laying out pipeline stages with single-seam boundaries.
+    pub fn serpentine_chiplets(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.chiplets());
+        for gy in 0..self.grid_height {
+            let row: Vec<usize> =
+                (0..self.grid_width).map(|gx| gy * self.grid_width + gx).collect();
+            if gy % 2 == 0 {
+                order.extend(row);
+            } else {
+                order.extend(row.into_iter().rev());
+            }
+        }
+        order
+    }
+}
+
+impl Topology for McmTopology {
+    fn width(&self) -> usize {
+        self.chip_width * self.grid_width
+    }
+
+    fn height(&self) -> usize {
+        self.chip_height * self.grid_height
+    }
+
+    fn hop_class(&self, node: usize, dir: Direction) -> HopClass {
+        let (x, y) = self.coords(node);
+        let seam = match dir {
+            Direction::East => (x + 1) % self.chip_width == 0,
+            Direction::West => x % self.chip_width == 0,
+            Direction::South => (y + 1) % self.chip_height == 0,
+            Direction::North => y % self.chip_height == 0,
+            Direction::Local => false,
+        };
+        if seam {
+            HopClass::Inter
+        } else {
+            HopClass::Intra
+        }
+    }
+
+    fn chiplets(&self) -> usize {
+        self.grid_width * self.grid_height
+    }
+
+    fn chiplet_of(&self, node: usize) -> usize {
+        let (x, y) = self.coords(node);
+        (y / self.chip_height) * self.grid_width + x / self.chip_width
+    }
+
+    fn chiplet_distance(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.chiplet_coords(self.chiplet_of(a));
+        let (bx, by) = self.chiplet_coords(self.chiplet_of(b));
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+/// Statically dispatched topology: the concrete type stored in configs
+/// and simulators. Delegates every [`Topology`] method to the wrapped
+/// implementor without dynamic dispatch, preserving `Copy`/serde.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topo {
+    /// A single-chip 2-D mesh.
+    Mesh(Mesh2d),
+    /// A multi-chip module.
+    Mcm(McmTopology),
+}
+
+impl Topology for Topo {
+    fn width(&self) -> usize {
+        match self {
+            Topo::Mesh(m) => m.width(),
+            Topo::Mcm(m) => Topology::width(m),
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Topo::Mesh(m) => m.height(),
+            Topo::Mcm(m) => Topology::height(m),
+        }
+    }
+
+    fn hop_class(&self, node: usize, dir: Direction) -> HopClass {
+        match self {
+            Topo::Mesh(_) => HopClass::Intra,
+            Topo::Mcm(m) => m.hop_class(node, dir),
+        }
+    }
+
+    fn chiplets(&self) -> usize {
+        match self {
+            Topo::Mesh(_) => 1,
+            Topo::Mcm(m) => Topology::chiplets(m),
+        }
+    }
+
+    fn chiplet_of(&self, node: usize) -> usize {
+        match self {
+            Topo::Mesh(_) => 0,
+            Topo::Mcm(m) => m.chiplet_of(node),
+        }
+    }
+
+    fn chiplet_distance(&self, a: usize, b: usize) -> usize {
+        match self {
+            Topo::Mesh(_) => 0,
+            Topo::Mcm(m) => m.chiplet_distance(a, b),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,5 +701,101 @@ mod tests {
         assert!(large > small);
         // 2x2 mesh: pairs at distance 1 (8 ordered) and 2 (4 ordered) -> 4/3.
         assert!((small - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_nodes_picks_squarest_wider_than_tall() {
+        assert_eq!(Mesh2d::for_nodes(4), Mesh2d::new(2, 2));
+        assert_eq!(Mesh2d::for_nodes(8), Mesh2d::new(4, 2));
+        assert_eq!(Mesh2d::for_nodes(16), Mesh2d::new(4, 4));
+        assert_eq!(Mesh2d::for_nodes(32), Mesh2d::new(8, 4));
+        assert_eq!(Mesh2d::for_nodes(12), Mesh2d::new(4, 3));
+        assert_eq!(Mesh2d::for_nodes(7), Mesh2d::new(7, 1));
+        assert_eq!(Mesh2d::for_nodes(1), Mesh2d::new(1, 1));
+    }
+
+    #[test]
+    fn single_chiplet_mcm_is_the_plain_mesh() {
+        let mesh = Mesh2d::new(4, 4);
+        let mcm = McmTopology::new(4, 4, 1, 1);
+        assert_eq!(Topology::nodes(&mcm), mesh.nodes());
+        for a in 0..16 {
+            assert_eq!(mcm.chiplet_of(a), 0);
+            for b in 0..16 {
+                assert_eq!(Topology::distance(&mcm, a, b), mesh.distance(a, b));
+                assert_eq!(mcm.chiplet_distance(a, b), 0);
+            }
+            for dir in Direction::ALL {
+                assert_eq!(Topology::neighbor(&mcm, a, dir), mesh.neighbor(a, dir));
+                // No seams: every hop is on-chip.
+                if Topology::neighbor(&mcm, a, dir).is_some() {
+                    assert_eq!(mcm.hop_class(a, dir), HopClass::Intra);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mcm_seam_hops_are_inter_chip() {
+        // 2x1 grid of 2x2 chiplets: global 4x2 mesh, seam between x=1,2.
+        let mcm = McmTopology::new(2, 2, 2, 1);
+        assert_eq!(Topology::width(&mcm), 4);
+        assert_eq!(Topology::height(&mcm), 2);
+        assert_eq!(Topology::chiplets(&mcm), 2);
+        // Node 1 = (1,0) on chiplet 0; East crosses the seam.
+        assert_eq!(mcm.hop_class(1, Direction::East), HopClass::Inter);
+        assert_eq!(mcm.hop_class(2, Direction::West), HopClass::Inter);
+        assert_eq!(mcm.hop_class(0, Direction::East), HopClass::Intra);
+        assert_eq!(mcm.hop_class(1, Direction::South), HopClass::Intra);
+        assert_eq!(mcm.chiplet_of(1), 0);
+        assert_eq!(mcm.chiplet_of(2), 1);
+        assert_eq!(mcm.chiplet_distance(0, 3), 1);
+        assert_eq!(mcm.chiplet_distance(0, 1), 0);
+    }
+
+    #[test]
+    fn chiplet_node_ids_partition_the_package() {
+        let mcm = McmTopology::new(4, 2, 2, 2);
+        let mut seen = vec![false; Topology::nodes(&mcm)];
+        for c in 0..Topology::chiplets(&mcm) {
+            for n in mcm.chiplet_nodes(c) {
+                assert_eq!(mcm.chiplet_of(n), c);
+                assert!(!seen[n], "node {n} owned by two chiplets");
+                seen[n] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Local ids are row-major within the chiplet.
+        assert_eq!(mcm.chiplet_node(0, 0), 0);
+        assert_eq!(mcm.chiplet_node(1, 0), 4);
+        assert_eq!(mcm.chiplet_node(2, 0), 16);
+        // Chiplet 3 sits at grid (1, 1); its local node 5 is (1, 1) inside
+        // the 4x2 chip, i.e. package coords (5, 3) on the 8-wide mesh.
+        assert_eq!(mcm.chiplet_node(3, 5), 3 * 8 + 5);
+    }
+
+    #[test]
+    fn serpentine_order_is_grid_adjacent() {
+        let mcm = McmTopology::new(2, 2, 2, 2);
+        let order = mcm.serpentine_chiplets();
+        assert_eq!(order, vec![0, 1, 3, 2]);
+        for w in order.windows(2) {
+            let (ax, ay) = mcm.chiplet_coords(w[0]);
+            let (bx, by) = mcm.chiplet_coords(w[1]);
+            assert_eq!(ax.abs_diff(bx) + ay.abs_diff(by), 1);
+        }
+    }
+
+    #[test]
+    fn topo_enum_delegates() {
+        let topo = Topo::Mcm(McmTopology::new(2, 2, 2, 1));
+        assert_eq!(topo.nodes(), 8);
+        assert_eq!(topo.chiplets(), 2);
+        assert_eq!(topo.hop_class(1, Direction::East), HopClass::Inter);
+        assert_eq!(topo.diameter(), 3 + 1);
+        let mesh = Topo::Mesh(Mesh2d::new(4, 4));
+        assert_eq!(mesh.chiplets(), 1);
+        assert_eq!(mesh.hop_class(1, Direction::East), HopClass::Intra);
+        assert_eq!(mesh.distance(0, 15), 6);
     }
 }

@@ -1,0 +1,134 @@
+//! Trait-dispatched mesh vs pre-refactor mesh equivalence.
+//!
+//! The topology refactor routes every hot path (routing, pricing, fault
+//! planning, recovery) through the [`lts_noc::Topology`] trait. A
+//! single-chiplet MCM package is geometrically the same mesh, so its
+//! reports must be **bit-identical** to the plain-mesh configuration on
+//! any trace — fault-free, under static fault models with
+//! retransmissions, and under mid-run death schedules. These properties
+//! pin that: the `chiplets = 1` special case IS the old simulator.
+
+use lts_noc::recovery::{FaultSchedule, MonitorConfig};
+use lts_noc::stats::SimReport;
+use lts_noc::topology::Direction;
+use lts_noc::traffic::Message;
+use lts_noc::{FaultModel, NocConfig, NocError, Simulator};
+use proptest::prelude::*;
+
+/// The two configurations that must be indistinguishable: the plain
+/// 4x4 paper mesh, and the same 16 cores packaged as one chiplet.
+fn mesh_and_unit_mcm() -> (NocConfig, NocConfig) {
+    let mesh = NocConfig::paper_16core();
+    let mcm = NocConfig::paper_mcm(1, 16).expect("1-chiplet package is valid");
+    assert_eq!(mesh.nodes(), mcm.nodes());
+    (mesh, mcm)
+}
+
+/// Renders a run outcome for comparison (reports and errors alike).
+fn outcome(r: Result<SimReport, NocError>) -> String {
+    format!("{r:?}")
+}
+
+/// Random valid trace on `nodes` cores (same shape as the stepper
+/// equivalence suite).
+fn trace_strategy(nodes: usize, max_msgs: usize) -> impl Strategy<Value = Vec<Message>> {
+    proptest::collection::vec(
+        (0..nodes, 0..nodes, 1u64..1500, 0u64..20_000).prop_map(move |(s, d, bytes, t)| {
+            let dst = if d == s { (d + 1) % nodes } else { d };
+            Message::new(s, dst, bytes, t)
+        }),
+        1..max_msgs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn unit_mcm_matches_mesh_fault_free(msgs in trace_strategy(16, 30)) {
+        let (mesh, mcm) = mesh_and_unit_mcm();
+        let a = Simulator::new(mesh).unwrap().run(&msgs).unwrap();
+        let b = Simulator::new(mcm).unwrap().run(&msgs).unwrap();
+        prop_assert_eq!(&a, &b);
+        // A one-chiplet package has no interposer seams to cross.
+        prop_assert_eq!(b.inter_chip_traversals, 0);
+        prop_assert_eq!(b.intra_chip_traversals, b.events.link_traversals);
+    }
+
+    #[test]
+    fn unit_mcm_matches_mesh_under_static_faults(
+        msgs in trace_strategy(16, 20),
+        seed in 0u64..1000,
+        drop_pct in 1u32..8,
+        dead in 1usize..15,
+    ) {
+        // Transient drops + a dead router: retransmission timeouts and
+        // fault-aware route planning both flow through the topology trait.
+        let msgs: Vec<Message> =
+            msgs.into_iter().filter(|m| m.src != dead && m.dst != dead).collect();
+        let fault = FaultModel::none()
+            .with_seed(seed)
+            .kill_router(dead)
+            .drop_rate(f64::from(drop_pct) / 100.0)
+            .retry_limit(12);
+        let (mesh, mcm) = mesh_and_unit_mcm();
+        let a = outcome(Simulator::with_faults(mesh, fault.clone()).unwrap().run(&msgs));
+        let b = outcome(Simulator::with_faults(mcm, fault).unwrap().run(&msgs));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_mcm_matches_mesh_under_death_schedules(
+        msgs in trace_strategy(16, 20),
+        death_node in 1usize..15,
+        death_cycle in 100u64..30_000,
+        link_node in 0usize..16,
+        dir_idx in 0usize..4,
+        link_cycle in 100u64..30_000,
+    ) {
+        // Mid-run deaths: worm severing, abandonment, heartbeat detection
+        // latencies — all topology-priced — must agree bit-exactly.
+        let schedule = FaultSchedule::new()
+            .router_death(death_cycle, death_node)
+            .link_death(link_cycle, link_node, Direction::ALL[dir_idx]);
+        let monitor = MonitorConfig::default();
+        let (mesh, mcm) = mesh_and_unit_mcm();
+        let a = Simulator::new(mesh).unwrap().run_recoverable(&msgs, &schedule, &monitor).unwrap();
+        let b = Simulator::new(mcm).unwrap().run_recoverable(&msgs, &schedule, &monitor).unwrap();
+        prop_assert_eq!(a.report, b.report);
+        prop_assert_eq!(a.detections, b.detections);
+        prop_assert_eq!(a.abandoned, b.abandoned);
+    }
+
+    #[test]
+    fn hop_split_sums_to_link_traversals_on_any_package(
+        msgs in trace_strategy(32, 25),
+        chiplets_idx in 0usize..3,
+    ) {
+        let chiplets = [1usize, 2, 4][chiplets_idx];
+        // Satellite invariant: the intra/inter split is an exact partition
+        // of link traversals on every package shape, with messages remapped
+        // onto however many nodes the package has.
+        let config = NocConfig::paper_mcm(chiplets, 32 / chiplets).unwrap();
+        let n = config.nodes();
+        let msgs: Vec<Message> = msgs
+            .into_iter()
+            .map(|m| {
+                let src = m.src % n;
+                let mut dst = m.dst % n;
+                if dst == src {
+                    dst = (dst + 1) % n;
+                }
+                Message::new(src, dst, m.bytes, m.inject_cycle)
+            })
+            .collect();
+        let r = Simulator::new(config).unwrap().run(&msgs).unwrap();
+        prop_assert_eq!(
+            r.intra_chip_traversals + r.inter_chip_traversals,
+            r.events.link_traversals
+        );
+        if chiplets == 1 {
+            prop_assert_eq!(r.inter_chip_traversals, 0);
+        }
+    }
+}

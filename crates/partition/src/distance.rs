@@ -8,7 +8,7 @@
 
 use lts_nn::regularizer::StrengthMask;
 use lts_nn::NnError;
-use lts_noc::Mesh2d;
+use lts_noc::Topology;
 
 /// The plain hop-distance mask: `factor(p, c) = distance(p, c)`,
 /// optionally normalized so the mean off-diagonal factor is 1 (keeps the
@@ -17,9 +17,9 @@ use lts_noc::Mesh2d;
 /// # Errors
 ///
 /// Propagates [`NnError::BadConfig`] from mask construction (cannot happen
-/// for a valid mesh, but the signature keeps the caller honest).
-pub fn hop_mask(mesh: &Mesh2d, normalize: bool) -> Result<StrengthMask, NnError> {
-    hop_power_mask(mesh, 1.0, normalize)
+/// for a valid topology, but the signature keeps the caller honest).
+pub fn hop_mask<T: Topology>(topo: &T, normalize: bool) -> Result<StrengthMask, NnError> {
+    hop_power_mask(topo, 1.0, normalize)
 }
 
 /// Generalized distance mask: `factor(p, c) = distance(p, c)^power` for
@@ -31,13 +31,39 @@ pub fn hop_mask(mesh: &Mesh2d, normalize: bool) -> Result<StrengthMask, NnError>
 /// # Errors
 ///
 /// Propagates [`NnError::BadConfig`] from mask construction.
-pub fn hop_power_mask(mesh: &Mesh2d, power: f32, normalize: bool) -> Result<StrengthMask, NnError> {
-    let n = mesh.nodes();
+pub fn hop_power_mask<T: Topology>(
+    topo: &T,
+    power: f32,
+    normalize: bool,
+) -> Result<StrengthMask, NnError> {
+    two_level_mask(topo, power, 0.0, normalize)
+}
+
+/// Two-level distance mask for multi-chip packages:
+/// `factor(p, c) = (distance(p, c) + inter_weight * chiplet_distance(p, c))^power`
+/// off-diagonal, `0` on the diagonal. The chiplet term adds an extra
+/// penalty per interposer crossing on top of the raw hop count, so
+/// SS_Mask training prunes cross-chip weight groups first. On a plain
+/// mesh `chiplet_distance` is identically 0 and this reduces to
+/// [`hop_power_mask`] bit-exactly, whatever `inter_weight` is.
+///
+/// # Errors
+///
+/// Propagates [`NnError::BadConfig`] from mask construction.
+pub fn two_level_mask<T: Topology>(
+    topo: &T,
+    power: f32,
+    inter_weight: f32,
+    normalize: bool,
+) -> Result<StrengthMask, NnError> {
+    let n = topo.nodes();
     let mut factors = vec![0.0f32; n * n];
     for p in 0..n {
         for c in 0..n {
             if p != c {
-                factors[p * n + c] = (mesh.distance(p, c) as f32).powf(power);
+                let level1 = topo.distance(p, c) as f32;
+                let level2 = inter_weight * topo.chiplet_distance(p, c) as f32;
+                factors[p * n + c] = (level1 + level2).powf(power);
             }
         }
     }
@@ -58,6 +84,31 @@ pub fn hop_power_mask(mesh: &Mesh2d, power: f32, normalize: bool) -> Result<Stre
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lts_noc::{McmTopology, Mesh2d};
+
+    #[test]
+    fn two_level_mask_on_a_mesh_ignores_inter_weight() {
+        let mesh = Mesh2d::new(4, 4);
+        let plain = hop_power_mask(&mesh, 1.0, true).unwrap();
+        let two = two_level_mask(&mesh, 1.0, 3.0, true).unwrap();
+        assert_eq!(plain.factors(), two.factors());
+    }
+
+    #[test]
+    fn two_level_mask_penalizes_interposer_crossings() {
+        // Two 2x2 chiplets side by side; package nodes 1 and 2 are
+        // geometric neighbors but live on different chips.
+        let mcm = McmTopology::new(2, 2, 2, 1);
+        let mask = two_level_mask(&mcm, 1.0, 2.0, false).unwrap();
+        // Same-chip neighbor: bare hop distance.
+        assert_eq!(mask.factor(0, 1), 1.0);
+        // Cross-chip neighbor: 1 hop + weight 2 * 1 chiplet crossing.
+        assert_eq!(mask.factor(1, 2), 3.0);
+        // Diagonal still free.
+        for i in 0..Topology::nodes(&mcm) {
+            assert_eq!(mask.factor(i, i), 0.0);
+        }
+    }
 
     #[test]
     fn diagonal_is_zero_everywhere() {

@@ -21,13 +21,15 @@
 pub mod comm;
 pub mod degrade;
 pub mod distance;
+pub mod mcm;
 pub mod ownership;
 pub mod plan;
 pub mod recover;
 pub mod traffic;
 
 pub use degrade::{replan, DegradedPlan, LostGroups};
-pub use distance::{hop_mask, hop_power_mask};
+pub use distance::{hop_mask, hop_power_mask, two_level_mask};
+pub use mcm::{partition_stages, partition_stages_at, McmPlan, StagePlacement};
 pub use ownership::OwnershipMap;
 pub use plan::{LayerPlan, Plan, PlanError};
 pub use recover::{replan_from_layer, IncrementalPlan};

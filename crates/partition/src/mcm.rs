@@ -1,0 +1,344 @@
+//! Multi-chip-module plans: pipeline stages on chiplets, channel groups
+//! within a chiplet.
+//!
+//! A single-chip plan ([`Plan::build`]) spreads every layer's output
+//! channels across all cores. On a multi-chip package that would put every
+//! layer transition on the interposer, so the MCM plan uses the two-level
+//! split the paper's scaling argument implies:
+//!
+//! * **between chiplets**: the network is cut into contiguous *pipeline
+//!   stages*, one per chiplet, balanced by MAC count (a DP over prefix
+//!   sums). Stages follow the serpentine chiplet order, so consecutive
+//!   stages sit on grid-adjacent chiplets and cross exactly one interposer
+//!   seam;
+//! * **within a chiplet**: each stage's layers are partitioned over that
+//!   chiplet's cores exactly like a single-chip plan (channel groups,
+//!   ownership propagation, sparsity-aware transitions).
+//!
+//! With one chiplet the stage partition is the whole network, every map is
+//! the identity and [`McmPlan::build`] reproduces [`Plan::build`]
+//! bit-exactly — the single-chip plan IS the 1-chiplet special case.
+
+use crate::ownership::OwnershipMap;
+use crate::plan::{assignment_counts, consumer_blocks, LayerPlan, Plan, PlanError};
+use crate::traffic::transition_messages_mapped;
+use lts_nn::descriptor::NetworkSpec;
+use lts_noc::traffic::TrafficTrace;
+use lts_noc::{McmTopology, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One pipeline stage placed on one chiplet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagePlacement {
+    /// The chiplet executing this stage.
+    pub chiplet: usize,
+    /// First layer index (into the network spec) of the stage.
+    pub layer_start: usize,
+    /// One past the last layer index of the stage.
+    pub layer_end: usize,
+    /// Total MACs of the stage's layers (the balance measure).
+    pub macs: u64,
+}
+
+impl StagePlacement {
+    /// The stage's layer index range.
+    pub fn layers(&self) -> Range<usize> {
+        self.layer_start..self.layer_end
+    }
+}
+
+/// A network placed on a multi-chip package: a global [`Plan`] whose node
+/// ids span the whole package, plus the stage→chiplet placement that
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McmPlan {
+    /// The global plan. `plan.cores` is the package's total node count;
+    /// `assignments` are indexed by global node id, and `traffic` message
+    /// endpoints are global node ids (interposer crossings appear at
+    /// stage boundaries). `layout` stays in stage-local core coordinates —
+    /// it parameterizes training, which happens per stage.
+    pub plan: Plan,
+    /// Stage placements, in execution order.
+    pub stages: Vec<StagePlacement>,
+    /// Cores per chiplet (each stage's intra-chip parallel width).
+    pub cores_per_chiplet: usize,
+}
+
+impl McmPlan {
+    /// Builds the MCM plan for `spec` on `topo`.
+    ///
+    /// `weights` follows [`Plan::build`]: layers present in the map use
+    /// sparsity-aware transition traffic (block layouts are stage-local).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::BadConfig`] for an empty network or zero
+    /// `bytes_per_value`, and [`PlanError::WeightsMismatch`] if a provided
+    /// weight tensor has the wrong length.
+    pub fn build(
+        spec: &NetworkSpec,
+        topo: &McmTopology,
+        weights: &HashMap<String, Vec<f32>>,
+        bytes_per_value: usize,
+    ) -> Result<McmPlan, PlanError> {
+        let _probe = lts_obs::span("partition.mcm_plan_build");
+        if spec.layers.is_empty() {
+            return Err(PlanError::BadConfig("network has no layers".into()));
+        }
+        if bytes_per_value == 0 {
+            return Err(PlanError::BadConfig("bytes_per_value must be positive".into()));
+        }
+        let per_chip = topo.nodes_per_chiplet();
+        let total = Topology::nodes(topo);
+        let costs: Vec<u64> = spec.layers.iter().map(|l| l.macs()).collect();
+        // A stage boundary is only meaningful where the plan already
+        // synchronizes: right before a weighted layer. Cutting before a
+        // pool/activation/flatten layer would move the feature maps across
+        // the interposer without any transition traffic to account for it.
+        let allowed: Vec<bool> = spec.layers.iter().map(|l| l.has_weights()).collect();
+        let ranges = partition_stages_at(&costs, Topology::chiplets(topo), &allowed);
+        let order = topo.serpentine_chiplets();
+
+        let mut ownership: Option<OwnershipMap> = None;
+        // The chiplet holding the previous layer's outputs (sources of the
+        // next transition). The first layer reads the replicated input.
+        let mut prev_chip = order[0];
+        let mut layers = Vec::with_capacity(spec.layers.len());
+        let mut stages = Vec::with_capacity(ranges.len());
+        for (s, range) in ranges.iter().enumerate() {
+            let chip = order[s];
+            let mut macs = 0u64;
+            for li in range.clone() {
+                let layer = &spec.layers[li];
+                macs += layer.macs();
+                let layout = Plan::layout_for(layer, ownership.as_ref(), per_chip);
+                if let (Some(l), Some(w)) = (&layout, weights.get(&layer.name)) {
+                    if l.weight_len() != w.len() {
+                        return Err(PlanError::WeightsMismatch {
+                            layer: layer.name.clone(),
+                            expected: l.weight_len(),
+                            actual: w.len(),
+                        });
+                    }
+                }
+                let consumers = consumer_blocks(layer, per_chip);
+                let traffic = match (&ownership, layer.has_weights()) {
+                    (Some(producer), true) => {
+                        let sparse = match (&layout, weights.get(&layer.name)) {
+                            (Some(l), Some(w)) => Some((l, w.as_slice())),
+                            _ => None,
+                        };
+                        transition_messages_mapped(
+                            producer,
+                            layer,
+                            &consumers,
+                            sparse,
+                            bytes_per_value,
+                            0,
+                            |p| topo.chiplet_node(prev_chip, p),
+                            |c| topo.chiplet_node(chip, c),
+                        )
+                    }
+                    _ => TrafficTrace::new(),
+                };
+                let local = assignment_counts(layer, ownership.as_ref(), per_chip);
+                let mut assignments = vec![0usize; total];
+                for (i, &a) in local.iter().enumerate() {
+                    assignments[topo.chiplet_node(chip, i)] = a;
+                }
+                ownership = crate::ownership::propagate(layer, ownership.as_ref(), per_chip);
+                prev_chip = chip;
+                layers.push(LayerPlan { spec: layer.clone(), assignments, layout, traffic });
+            }
+            stages.push(StagePlacement {
+                chiplet: chip,
+                layer_start: range.start,
+                layer_end: range.end,
+                macs,
+            });
+        }
+        Ok(McmPlan { plan: Plan { cores: total, layers }, stages, cores_per_chiplet: per_chip })
+    }
+
+    /// The chiplet executing layer `li` (`None` past the network's end).
+    pub fn chiplet_of_layer(&self, li: usize) -> Option<usize> {
+        self.stages.iter().find(|s| s.layers().contains(&li)).map(|s| s.chiplet)
+    }
+
+    /// Per-stage MAC totals, in execution order.
+    pub fn stage_macs(&self) -> Vec<u64> {
+        self.stages.iter().map(|s| s.macs).collect()
+    }
+}
+
+/// Splits `costs` (one entry per layer, execution order) into at most
+/// `stages` non-empty contiguous ranges minimizing the maximum range sum —
+/// the classic linear-partition DP. Returns fewer ranges when there are
+/// fewer layers than stages. Ties break toward earlier cuts, so the result
+/// is deterministic.
+///
+/// # Panics
+///
+/// Panics if `costs` is empty.
+pub fn partition_stages(costs: &[u64], stages: usize) -> Vec<Range<usize>> {
+    partition_stages_at(costs, stages, &vec![true; costs.len()])
+}
+
+/// [`partition_stages`] with an explicit cut mask: a boundary may start a
+/// new stage at layer `j` only when `allowed[j]` is true (the first layer
+/// is always a valid stage start). With fewer permitted cuts than
+/// requested stages the result has fewer stages.
+///
+/// # Panics
+///
+/// Panics if `costs` is empty or `allowed` has a different length.
+pub fn partition_stages_at(costs: &[u64], stages: usize, allowed: &[bool]) -> Vec<Range<usize>> {
+    let n = costs.len();
+    assert!(n > 0, "cannot partition zero layers");
+    assert_eq!(allowed.len(), n, "cut mask must cover every layer");
+    let usable_cuts = allowed.iter().skip(1).filter(|&&a| a).count();
+    let k = stages.clamp(1, usable_cuts + 1);
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    // dp[s][i]: minimal max-stage-cost over the first i layers in s stages.
+    let mut dp = vec![vec![u64::MAX; n + 1]; k + 1];
+    let mut cut = vec![vec![0usize; n + 1]; k + 1];
+    dp[0][0] = 0;
+    for s in 1..=k {
+        for i in s..=n {
+            for j in (s - 1)..i {
+                if dp[s - 1][j] == u64::MAX || (j > 0 && !allowed[j]) {
+                    continue;
+                }
+                let cost = dp[s - 1][j].max(prefix[i] - prefix[j]);
+                if cost < dp[s][i] {
+                    dp[s][i] = cost;
+                    cut[s][i] = j;
+                }
+            }
+        }
+    }
+    // With a restrictive mask the exact k-stage split may be infeasible;
+    // fall back to the largest feasible stage count.
+    let mut best_k = k;
+    while best_k > 1 && dp[best_k][n] == u64::MAX {
+        best_k -= 1;
+    }
+    let mut bounds = vec![n];
+    let mut i = n;
+    for s in (1..=best_k).rev() {
+        i = cut[s][i];
+        bounds.push(i);
+    }
+    bounds.reverse();
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_nn::descriptor::lenet_spec;
+
+    #[test]
+    fn partition_balances_uniform_costs() {
+        assert_eq!(partition_stages(&[4, 4, 4, 4], 2), vec![0..2, 2..4]);
+        assert_eq!(partition_stages(&[4, 4, 4, 4], 4), vec![0..1, 1..2, 2..3, 3..4]);
+    }
+
+    #[test]
+    fn partition_isolates_the_dominant_layer() {
+        // One huge layer: it gets a stage to itself.
+        let ranges = partition_stages(&[1, 100, 1, 1], 2);
+        let sums: Vec<u64> =
+            ranges.iter().map(|r| r.clone().map(|i| [1u64, 100, 1, 1][i]).sum()).collect();
+        assert!(sums.iter().max().unwrap() <= &102);
+        assert_eq!(ranges.iter().map(Range::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn more_stages_than_layers_caps_at_layers() {
+        let ranges = partition_stages(&[5, 5], 8);
+        assert_eq!(ranges, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn cut_mask_forbids_boundaries_mid_block() {
+        // Layers 1 and 3 may not start a stage (e.g. pools following
+        // convs): the only legal 2-way cut is before layer 2.
+        let ranges = partition_stages_at(&[10, 1, 10, 1], 2, &[true, false, true, false]);
+        assert_eq!(ranges, vec![0..2, 2..4]);
+        // A mask with no legal cuts collapses to a single stage.
+        let one = partition_stages_at(&[10, 1, 10, 1], 4, &[true, false, false, false]);
+        assert_eq!(one, vec![0..4]);
+    }
+
+    #[test]
+    fn one_chiplet_plan_is_the_single_chip_plan() {
+        let spec = lenet_spec();
+        let topo = McmTopology::new(4, 4, 1, 1);
+        let mcm = McmPlan::build(&spec, &topo, &HashMap::new(), 2).unwrap();
+        let single = Plan::dense(&spec, 16, 2).unwrap();
+        assert_eq!(mcm.plan, single);
+        assert_eq!(mcm.stages.len(), 1);
+        assert_eq!(mcm.stages[0].chiplet, 0);
+    }
+
+    #[test]
+    fn stage_boundaries_cross_exactly_one_seam() {
+        let spec = lenet_spec();
+        // 2x1 grid of 4x2 chiplets.
+        let topo = McmTopology::new(4, 2, 2, 1);
+        let mcm = McmPlan::build(&spec, &topo, &HashMap::new(), 2).unwrap();
+        assert_eq!(mcm.stages.len(), 2);
+        // Every layer's traffic either stays on one chiplet or flows
+        // between the two stages' (grid-adjacent) chiplets.
+        for (li, lp) in mcm.plan.layers.iter().enumerate() {
+            let chip = mcm.chiplet_of_layer(li).unwrap();
+            for m in &lp.traffic.messages {
+                let dst_chip = topo.chiplet_of(m.dst);
+                assert_eq!(dst_chip, chip, "layer {li} consumer off its chiplet");
+                let src_chip = topo.chiplet_of(m.src);
+                assert!(
+                    topo.chiplet_distance(
+                        topo.chiplet_node(src_chip, 0),
+                        topo.chiplet_node(dst_chip, 0)
+                    ) <= 1,
+                    "stage transition jumps more than one seam"
+                );
+            }
+        }
+        // The cross-chip transition exists: some message changes chiplet.
+        let crossings: usize = mcm
+            .plan
+            .layers
+            .iter()
+            .flat_map(|l| &l.traffic.messages)
+            .filter(|m| topo.chiplet_of(m.src) != topo.chiplet_of(m.dst))
+            .count();
+        assert!(crossings > 0, "pipelined stages must talk over the interposer");
+    }
+
+    #[test]
+    fn assignments_live_only_on_the_owning_chiplet() {
+        let spec = lenet_spec();
+        let topo = McmTopology::new(4, 2, 2, 1);
+        let mcm = McmPlan::build(&spec, &topo, &HashMap::new(), 2).unwrap();
+        for (li, lp) in mcm.plan.layers.iter().enumerate() {
+            let chip = mcm.chiplet_of_layer(li).unwrap();
+            assert_eq!(lp.assignments.len(), Topology::nodes(&topo));
+            for (node, &a) in lp.assignments.iter().enumerate() {
+                if a > 0 {
+                    assert_eq!(topo.chiplet_of(node), chip, "layer {li} node {node}");
+                }
+            }
+            if lp.spec.has_weights() {
+                let total: usize = lp.assignments.iter().sum();
+                assert_eq!(total, lp.spec.out_dims.0, "layer {}", lp.spec.name);
+            }
+        }
+    }
+}

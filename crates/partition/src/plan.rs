@@ -175,7 +175,7 @@ impl Plan {
 
     /// The weight block layout of `layer` given the current input
     /// ownership (ungrouped weight layers only).
-    fn layout_for(
+    pub(crate) fn layout_for(
         layer: &LayerSpec,
         ownership: Option<&OwnershipMap>,
         cores: usize,
@@ -222,12 +222,12 @@ impl Plan {
 }
 
 /// Output-unit block per consumer core for a layer.
-fn consumer_blocks(layer: &LayerSpec, cores: usize) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn consumer_blocks(layer: &LayerSpec, cores: usize) -> Vec<std::ops::Range<usize>> {
     even_blocks(layer.out_dims.0, cores)
 }
 
 /// How many output units each core computes for this layer.
-fn assignment_counts(
+pub(crate) fn assignment_counts(
     layer: &LayerSpec,
     ownership: Option<&OwnershipMap>,
     cores: usize,

@@ -41,13 +41,47 @@ pub fn transition_messages(
     bytes_per_value: usize,
     inject_cycle: u64,
 ) -> TrafficTrace {
+    transition_messages_mapped(
+        producer,
+        spec,
+        consumers,
+        sparse,
+        bytes_per_value,
+        inject_cycle,
+        |p| p,
+        |c| c,
+    )
+}
+
+/// [`transition_messages`] with explicit logical-core → NoC-node maps, for
+/// plans whose cores are placed on a larger package (e.g. one pipeline
+/// stage per chiplet). A transfer is emitted whenever the *mapped* nodes
+/// differ — in particular, logical pair `p == c` produces a message when
+/// stage boundaries put producer and consumer on different chiplets. With
+/// identity maps this is exactly [`transition_messages`].
+///
+/// # Panics
+///
+/// Same conditions as [`transition_messages`].
+#[allow(clippy::too_many_arguments)]
+pub fn transition_messages_mapped(
+    producer: &OwnershipMap,
+    spec: &LayerSpec,
+    consumers: &[Range<usize>],
+    sparse: Option<(&GroupLayout, &[f32])>,
+    bytes_per_value: usize,
+    inject_cycle: u64,
+    src_node: impl Fn(usize) -> usize,
+    dst_node: impl Fn(usize) -> usize,
+) -> TrafficTrace {
     let cores = consumers.len();
     assert_eq!(producer.cores(), cores, "producer/consumer core counts differ");
     let mut trace = TrafficTrace::new();
     let unit_bytes = (producer.values_per_unit() * bytes_per_value) as u64;
     for p in 0..cores {
         for (c, consumer_block) in consumers.iter().enumerate() {
-            if p == c || consumer_block.is_empty() {
+            let (src, dst) = (src_node(p), dst_node(c));
+            if src == dst || consumer_block.is_empty() {
                 continue;
             }
             let mut units_needed = 0u64;
@@ -57,7 +91,7 @@ pub fn transition_messages(
                 }
             }
             if units_needed > 0 {
-                trace.push(Message::new(p, c, units_needed * unit_bytes, inject_cycle));
+                trace.push(Message::new(src, dst, units_needed * unit_bytes, inject_cycle));
             }
         }
     }

@@ -41,4 +41,8 @@ LTS_EFFORT=quick LTS_BENCH_DIR="$(mktemp -d)" \
 echo "==> trainer kill-and-resume round-trip (bit-identical weights after crash recovery)"
 cargo run --release --offline --example trainer_resume
 
+echo "==> mcm smoke (1->2 chiplet scaling sweep: monotone throughput, per-hop-class + simcache accounting)"
+LTS_MCM_MAX_CHIPLETS=2 LTS_BENCH_ITERS=1 LTS_BENCH_DIR="$(mktemp -d)" \
+    cargo run --release --offline -p lts-bench --bin mcm_scaling
+
 echo "All checks passed."
