@@ -14,8 +14,9 @@
 //! Results are bit-reproducible at any `LTS_THREADS`: schedules are
 //! stateless hash draws and the NoC simulator is single-threaded.
 
-use lts_core::chaos::{chaos_soak, ChaosConfig, ChaosRow};
+use lts_core::chaos::{chaos_soak, outcome_histogram, ChaosConfig, ChaosRow};
 use lts_core::simcache::{self, SimCacheStats, SimUsage};
+use lts_core::Outcome;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -63,20 +64,23 @@ fn main() {
             r.trial,
             schedule,
             r.outcome,
-            if r.outcome == "ok" {
+            if r.outcome.is_success() {
                 format!("{:.3}x", r.overhead_vs_fault_free)
             } else {
                 "-".into()
             },
             format!("{:.3}", r.lost_output_fraction),
-            if r.outcome == "ok" { r.detection_cycles.to_string() } else { "-".into() },
+            if r.outcome.is_success() { r.detection_cycles.to_string() } else { "-".into() },
         );
         if !(0.0..=1.0).contains(&r.lost_output_fraction)
-            || !["ok", "unreachable", "cycle-limit"].contains(&r.outcome.as_str())
+            || !matches!(r.outcome, Outcome::Recovered | Outcome::Unreachable | Outcome::CycleLimit)
         {
             violations += 1;
         }
     }
+    let histogram = outcome_histogram(&rows);
+    println!();
+    println!("aggregate outcomes: {}", histogram.render());
     println!();
     println!("Every trial kills cores mid-inference; the system detects the deaths via");
     println!("heartbeat deadlines, reshards the remaining layers over the survivors, and");

@@ -7,18 +7,23 @@
 //! independent of `LTS_THREADS`) and must end one of exactly three
 //! ways:
 //!
-//! * [`outcome::OK`] — the run recovered; the lost-output fraction is
-//!   bounded in `[0, 1]` and the overhead ratios are finite;
-//! * [`outcome::UNREACHABLE`] — the dead set disconnected the mesh, a
+//! * [`Outcome::Recovered`] — the run recovered; the lost-output
+//!   fraction is bounded in `[0, 1]` and the overhead ratios are finite;
+//! * [`Outcome::Unreachable`] — the dead set disconnected the mesh, a
 //!   *typed* error ([`lts_noc::NocError::Unreachable`]);
-//! * [`outcome::CYCLE_LIMIT`] — the watchdog tripped
+//! * [`Outcome::CycleLimit`] — the watchdog tripped
 //!   ([`lts_noc::NocError::CycleLimitExceeded`]).
+//!
+//! Outcomes use the typed vocabulary shared with the serving simulator
+//! ([`crate::outcome`]); [`outcome_histogram`] aggregates a soak's rows
+//! into one [`OutcomeHistogram`].
 //!
 //! Panics and hangs are the failure modes the soak exists to rule out:
 //! anything other than the three outcomes above aborts the soak with
 //! the offending error.
 
-use crate::degradation::{outcome, workloads, Workload};
+use crate::degradation::{workloads, Workload};
+use crate::outcome::{Outcome, OutcomeHistogram};
 use crate::recovery::{run_with_recovery, InferenceFault};
 use crate::simcache::SimUsage;
 use crate::system::SystemModel;
@@ -66,11 +71,12 @@ pub struct ChaosRow {
     pub trial: usize,
     /// The injected schedule (layer boundary + cores per event).
     pub faults: Vec<InferenceFault>,
-    /// One of the [`outcome`] strings.
-    pub outcome: String,
+    /// How the trial ended ([`Outcome::Recovered`],
+    /// [`Outcome::Unreachable`] or [`Outcome::CycleLimit`]).
+    pub outcome: Outcome,
     /// Cores dead by the end of the run.
     pub dead_cores: Vec<usize>,
-    /// Composed-run latency in cycles (0 unless `outcome == "ok"`).
+    /// Composed-run latency in cycles (0 unless the trial recovered).
     pub total_cycles: u64,
     /// Latency relative to the fault-free run.
     pub overhead_vs_fault_free: f64,
@@ -89,8 +95,9 @@ pub struct ChaosRow {
     pub sim: SimUsage,
 }
 
-/// One step of the splitmix64 stream the schedules are drawn from.
-fn splitmix(state: &mut u64) -> u64 {
+/// One step of the splitmix64 stream the schedules are drawn from
+/// (shared with the serving simulator's arrival processes).
+pub(crate) fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -153,8 +160,8 @@ fn draw_schedule(
 /// by strategy in trial order.
 ///
 /// Trials where the schedule defeats the protocol do not abort the
-/// soak — they are reported as [`outcome::UNREACHABLE`] or
-/// [`outcome::CYCLE_LIMIT`] with zeroed measurements. Any *other*
+/// soak — they are reported as [`Outcome::Unreachable`] or
+/// [`Outcome::CycleLimit`] with zeroed measurements. Any *other*
 /// error is a harness failure and propagates.
 ///
 /// # Errors
@@ -179,6 +186,17 @@ pub fn chaos_soak(config: &ChaosConfig) -> Result<Vec<ChaosRow>> {
     Ok(per_strategy.into_iter().flatten().collect())
 }
 
+/// Aggregates a soak's rows into one outcome histogram (the shape the
+/// serving simulator also reports, so the two harnesses compare
+/// directly).
+pub fn outcome_histogram(rows: &[ChaosRow]) -> OutcomeHistogram {
+    let mut h = OutcomeHistogram::default();
+    for r in rows {
+        h.record(r.outcome);
+    }
+    h
+}
+
 fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Result<Vec<ChaosRow>> {
     let model = SystemModel::paper(config.cores)?;
     let monitor = MonitorConfig::default();
@@ -190,7 +208,7 @@ fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Res
             network: w.network.into(),
             trial,
             faults: faults.clone(),
-            outcome: outcome::OK.into(),
+            outcome: Outcome::Recovered,
             dead_cores: Vec::new(),
             total_cycles: 0,
             overhead_vs_fault_free: 0.0,
@@ -212,10 +230,10 @@ fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Res
                 row.sim = report.report.sim;
             }
             Err(CoreError::Noc(NocError::Unreachable { .. })) => {
-                row.outcome = outcome::UNREACHABLE.into();
+                row.outcome = Outcome::Unreachable;
             }
             Err(CoreError::Noc(NocError::CycleLimitExceeded { .. })) => {
-                row.outcome = outcome::CYCLE_LIMIT.into();
+                row.outcome = Outcome::CycleLimit;
             }
             Err(e) => return Err(e),
         }
@@ -243,9 +261,11 @@ mod tests {
         for r in &rows {
             assert!(!r.faults.is_empty(), "every trial injects at least one fault");
             assert!(
-                [outcome::OK, outcome::UNREACHABLE, outcome::CYCLE_LIMIT]
-                    .contains(&r.outcome.as_str()),
-                "unknown outcome {}",
+                matches!(
+                    r.outcome,
+                    Outcome::Recovered | Outcome::Unreachable | Outcome::CycleLimit
+                ),
+                "soak trials never shed or miss deadlines: {}",
                 r.outcome
             );
             assert!(
@@ -253,7 +273,7 @@ mod tests {
                 "lost fraction {} out of bounds",
                 r.lost_output_fraction
             );
-            if r.outcome == outcome::OK {
+            if r.outcome == Outcome::Recovered {
                 assert!(r.total_cycles > 0);
                 assert!(
                     r.overhead_vs_fault_free >= 1.0,
@@ -273,6 +293,19 @@ mod tests {
         let a = chaos_soak(&config).unwrap();
         let b = chaos_soak(&config).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregate_histogram_accounts_for_every_trial() {
+        let rows = chaos_soak(&quick()).unwrap();
+        let h = outcome_histogram(&rows);
+        assert_eq!(h.total() as usize, rows.len());
+        assert_eq!(h.served, 0, "a soak trial that completes did so by recovering");
+        assert_eq!(h.shed + h.deadline_miss, 0);
+        assert_eq!(
+            h.recovered as usize,
+            rows.iter().filter(|r| r.outcome == Outcome::Recovered).count()
+        );
     }
 
     #[test]

@@ -135,8 +135,9 @@ pub(crate) struct Workload {
 }
 
 /// The CIFAR ConvNet with its deeper convolutions grouped `groups` ways
-/// (the §IV-B structure-level layout at chip scale).
-fn grouped_convnet_spec(groups: usize) -> NetworkSpec {
+/// (the §IV-B structure-level layout at chip scale). Shared with the
+/// serving simulator's strategy ladder ([`crate::serve`]).
+pub(crate) fn grouped_convnet_spec(groups: usize) -> NetworkSpec {
     SpecBuilder::new("ConvNet-G", (3, 32, 32))
         .conv("conv1", 32, 5, 1, 2, 1)
         .pool("pool1", 3, 2)
@@ -157,8 +158,12 @@ fn grouped_convnet_spec(groups: usize) -> NetworkSpec {
 /// producer→consumer weight group whose cores sit more than one hop
 /// apart on the mesh is zeroed, nearby groups stay dense. This is the
 /// hop-local communication pattern the paper's mask regularizer learns,
-/// reproduced without training.
-fn hop_local_weights(spec: &NetworkSpec, cores: usize) -> Result<HashMap<String, Vec<f32>>> {
+/// reproduced without training. Shared with the serving simulator's
+/// strategy ladder ([`crate::serve`]).
+pub(crate) fn hop_local_weights(
+    spec: &NetworkSpec,
+    cores: usize,
+) -> Result<HashMap<String, Vec<f32>>> {
     let cfg = NocConfig::paper_cores(cores)?;
     let mesh = cfg.topo();
     let plan = Plan::dense(spec, cores, 2)?;

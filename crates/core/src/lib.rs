@@ -30,6 +30,12 @@
 //!   detected by heartbeat-deadline arithmetic, incrementally resharded
 //!   with [`lts_partition::replan_from_layer`] and resumed on the
 //!   degraded mesh, measured against the oracle static replan;
+//! * [`serve`] — fail-operational online serving: seeded open-loop
+//!   request streams, bounded-queue admission with deadline shedding,
+//!   layer-group pipelining, SLO-driven strategy switching with
+//!   hysteresis, and graceful degradation under mid-stream faults;
+//! * [`outcome`] — the typed request/trial outcome vocabulary shared by
+//!   the chaos soak and the serving simulator;
 //! * [`report`] — ASCII rendering of tables and weight-group matrices.
 //!
 //! # Examples
@@ -56,20 +62,27 @@ pub mod error;
 pub mod experiment;
 pub mod interlayer;
 pub mod mcm;
+pub mod outcome;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
+pub mod serve;
 pub mod simcache;
 pub mod strategy;
 pub mod system;
 
-pub use chaos::{chaos_soak, ChaosConfig, ChaosRow};
+pub use chaos::{chaos_soak, outcome_histogram, ChaosConfig, ChaosRow};
 pub use degradation::{fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use error::CoreError;
 pub use mcm::{scale_chiplets, McmScalingRow, ScaleMode};
+pub use outcome::{Outcome, OutcomeHistogram};
 pub use recovery::{
     boundary_checkpoints, run_with_recovery, BoundaryCheckpoint, InferenceFault, RecoveryEvent,
     RecoveryReport,
+};
+pub use serve::{
+    run_serving, service_capacity_rpmc, ArrivalConfig, ArrivalProcess, ControllerConfig,
+    ControllerEvent, ServingConfig, ServingReport, ServingStrategy, StreamFault,
 };
 pub use simcache::SimCacheStats;
 pub use strategy::{SparsityScheme, Strategy};

@@ -19,6 +19,11 @@
 //! The cache is process-global and thread-safe. Set `LTS_SIM_CACHE=0` to
 //! disable it (every call then simulates); [`reset`] clears entries and
 //! counters, [`stats`] exposes hit/miss totals for benches and sweeps.
+//!
+//! Callers whose runs are *not* pure functions of the triple — the
+//! serving simulator's entry bursts depend on the arrival seed and
+//! batch composition — use [`run_cached_keyed`] to fold an opaque
+//! context string into the key.
 
 use lts_noc::traffic::Message;
 use lts_noc::{FaultModel, NocConfig, NocError, SimReport, Simulator};
@@ -160,6 +165,7 @@ impl SharedCache {
         config: &NocConfig,
         fault: &FaultModel,
         messages: &[Message],
+        context: Option<&str>,
         usage: &mut SimUsage,
     ) -> Result<SimReport, NocError> {
         let simulate = |sim: &mut Simulator, usage: &mut SimUsage| {
@@ -173,9 +179,14 @@ impl SharedCache {
         if !enabled() {
             return simulate(sim, usage);
         }
-        let Ok(encoding) =
-            serde_json::to_string(&(config, fault, messages)).map(String::into_bytes)
-        else {
+        // A keyed lookup encodes a quad, an unkeyed one the plain triple:
+        // different JSON arity, so a keyed entry can never alias an
+        // unkeyed one even if the context string were empty.
+        let encoded = match context {
+            None => serde_json::to_string(&(config, fault, messages)),
+            Some(ctx) => serde_json::to_string(&(config, fault, messages, ctx)),
+        };
+        let Ok(encoding) = encoded.map(String::into_bytes) else {
             return simulate(sim, usage);
         };
         let hash = lts_nn::saved::fnv1a64(&encoding);
@@ -227,7 +238,29 @@ pub fn run_cached(
     messages: &[Message],
     usage: &mut SimUsage,
 ) -> Result<SimReport, NocError> {
-    CACHE.run_cached(sim, config, fault, messages, usage)
+    CACHE.run_cached(sim, config, fault, messages, None, usage)
+}
+
+/// Like [`run_cached`], but the key additionally covers an opaque
+/// `context` string. The serving path uses this to fold the arrival
+/// seed and batch composition into the key: two sweeps at different
+/// rates or seeds replay physically identical entry bursts, and without
+/// the context they would alias even though the surrounding serving
+/// state differs. Keyed and unkeyed entries never alias each other (the
+/// encodings have different arity).
+///
+/// # Errors
+///
+/// Exactly those of [`Simulator::run`].
+pub fn run_cached_keyed(
+    sim: &mut Simulator,
+    config: &NocConfig,
+    fault: &FaultModel,
+    messages: &[Message],
+    context: &str,
+    usage: &mut SimUsage,
+) -> Result<SimReport, NocError> {
+    CACHE.run_cached(sim, config, fault, messages, Some(context), usage)
 }
 
 #[cfg(test)]
@@ -250,8 +283,10 @@ mod tests {
         let fault = FaultModel::none();
         let mut sim = Simulator::with_faults(config, fault.clone()).unwrap();
         let mut usage = SimUsage::default();
-        let first = cache.run_cached(&mut sim, &config, &fault, &trace(), &mut usage).unwrap();
-        let again = cache.run_cached(&mut sim, &config, &fault, &trace(), &mut usage).unwrap();
+        let first =
+            cache.run_cached(&mut sim, &config, &fault, &trace(), None, &mut usage).unwrap();
+        let again =
+            cache.run_cached(&mut sim, &config, &fault, &trace(), None, &mut usage).unwrap();
         assert_eq!(first, again);
         assert_eq!(first, sim.run(&trace()).unwrap(), "cache must match a direct run");
         let s = cache.locked(|c| c.stats());
@@ -290,8 +325,10 @@ mod tests {
         let mut sim_clean = Simulator::with_faults(config, clean.clone()).unwrap();
         let mut sim_drops = Simulator::with_faults(config, drops.clone()).unwrap();
         let mut usage = SimUsage::default();
-        let a = cache.run_cached(&mut sim_clean, &config, &clean, &trace(), &mut usage).unwrap();
-        let b = cache.run_cached(&mut sim_drops, &config, &drops, &trace(), &mut usage).unwrap();
+        let a =
+            cache.run_cached(&mut sim_clean, &config, &clean, &trace(), None, &mut usage).unwrap();
+        let b =
+            cache.run_cached(&mut sim_drops, &config, &drops, &trace(), None, &mut usage).unwrap();
         assert!(!a.faults.any());
         assert!(b.faults.any(), "a 5% drop rate over this trace must fire");
         assert_ne!(a, b);
@@ -313,13 +350,45 @@ mod tests {
         let mut sim_mcm = Simulator::with_faults(mcm, fault.clone()).unwrap();
         let mut usage = SimUsage::default();
         let cross = vec![Message::new(0, 31, 2048, 0)];
-        let a = cache.run_cached(&mut sim_mesh, &mesh, &fault, &cross, &mut usage).unwrap();
-        let b = cache.run_cached(&mut sim_mcm, &mcm, &fault, &cross, &mut usage).unwrap();
+        let a = cache.run_cached(&mut sim_mesh, &mesh, &fault, &cross, None, &mut usage).unwrap();
+        let b = cache.run_cached(&mut sim_mcm, &mcm, &fault, &cross, None, &mut usage).unwrap();
         assert_eq!(a.inter_chip_traversals, 0);
         assert!(b.inter_chip_traversals > 0, "0→31 must cross the seam");
         assert_ne!(a, b, "seam pricing must show up in the report");
         let s = cache.locked(|c| c.stats());
         assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn serving_contexts_with_identical_triples_do_not_alias() {
+        // The serving path replays physically identical entry bursts
+        // under different arrival seeds/rates: the context must keep
+        // those lookups apart, and keyed entries must never alias the
+        // unkeyed triple either.
+        let cache = SharedCache::default();
+        let config = NocConfig::paper_16core();
+        let fault = FaultModel::none();
+        let mut sim = Simulator::with_faults(config, fault.clone()).unwrap();
+        let mut usage = SimUsage::default();
+        let ctx_a = "serve:seed=1:proc=poisson@4:batch=2:ii=100";
+        let ctx_b = "serve:seed=2:proc=poisson@4:batch=2:ii=100";
+        let a =
+            cache.run_cached(&mut sim, &config, &fault, &trace(), Some(ctx_a), &mut usage).unwrap();
+        let b =
+            cache.run_cached(&mut sim, &config, &fault, &trace(), Some(ctx_b), &mut usage).unwrap();
+        let unkeyed =
+            cache.run_cached(&mut sim, &config, &fault, &trace(), None, &mut usage).unwrap();
+        assert_eq!(a, b, "same physical trace, same report");
+        assert_eq!(a, unkeyed);
+        let s = cache.locked(|c| c.stats());
+        assert_eq!((s.hits, s.misses, s.entries), (0, 3, 3), "three distinct keys, no aliasing");
+        // Replaying a known context is a hit.
+        let again =
+            cache.run_cached(&mut sim, &config, &fault, &trace(), Some(ctx_a), &mut usage).unwrap();
+        assert_eq!(again, a);
+        let s = cache.locked(|c| c.stats());
+        assert_eq!((s.hits, s.misses, s.entries), (1, 3, 3));
+        assert_eq!((usage.sims, usage.cache_hits), (3, 1));
     }
 
     #[test]

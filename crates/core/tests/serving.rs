@@ -1,0 +1,72 @@
+//! Serving determinism: the full [`lts_core::ServingReport`] — batch
+//! boundaries included — must be bit-identical across `LTS_THREADS`
+//! settings and across simcache cold/warm runs, for any stream shape.
+//!
+//! All sweeps share one `#[test]`-generating proptest block so the
+//! process-wide [`lts_tensor::par::install`] calls never race.
+
+use lts_core::serve::service_capacity_rpmc;
+use lts_core::{run_serving, simcache, ArrivalConfig, ArrivalProcess, ServingConfig, StreamFault};
+use lts_tensor::par::{self, ExecConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn serving_reports_are_bit_identical_across_threads_and_cache_state(
+        seed in 0u64..1_000,
+        rate_pct in 30u32..260, // percent of saturated capacity
+        max_batch in 1usize..5,
+        fault_sel in 0u8..2,
+    ) {
+        let mut config = ServingConfig { max_batch, ..ServingConfig::default() };
+        let capacity = service_capacity_rpmc(&config).expect("capacity");
+        config.arrivals = ArrivalConfig {
+            process: ArrivalProcess::Poisson { rate_rpmc: capacity * rate_pct as f64 / 100.0 },
+            horizon_cycles: 4_000_000,
+            seed,
+        };
+        if fault_sel == 1 {
+            config.faults = vec![StreamFault { at_cycle: 1_300_000, dead_cores: vec![5] }];
+        }
+
+        // Cold cache, serial execution.
+        simcache::reset();
+        par::install(ExecConfig::new(1));
+        let serial_cold = run_serving(&config).expect("serial run");
+
+        // Warm cache, 4 workers.
+        par::install(ExecConfig::new(4));
+        let threaded_warm = run_serving(&config).expect("threaded warm run");
+
+        // Cold cache again, still 4 workers.
+        simcache::reset();
+        let threaded_cold = run_serving(&config).expect("threaded cold run");
+
+        par::install(ExecConfig::from_env());
+
+        prop_assert_eq!(&serial_cold, &threaded_warm,
+            "thread count or cache temperature leaked into the report");
+        prop_assert_eq!(&serial_cold, &threaded_cold,
+            "cache temperature leaked into the report");
+        // Batch boundaries are the schedule: spell them out so a future
+        // report-shape change cannot silently weaken this check.
+        let a: Vec<(u64, u64, usize)> = serial_cold
+            .batches
+            .iter()
+            .map(|b| (b.dispatched_at, b.completed_at, b.size))
+            .collect();
+        let b: Vec<(u64, u64, usize)> = threaded_warm
+            .batches
+            .iter()
+            .map(|b| (b.dispatched_at, b.completed_at, b.size))
+            .collect();
+        prop_assert_eq!(a, b, "batch boundaries must not move");
+        prop_assert_eq!(
+            serial_cold.outcomes.total() as usize,
+            serial_cold.offered,
+            "every offered request must reach exactly one outcome"
+        );
+    }
+}

@@ -337,6 +337,38 @@ mod tests {
     }
 
     #[test]
+    fn mcm_beat_latency_prices_interposer_seam_hops() {
+        use crate::topology::HopClass;
+        // An 8×4 single-chip mesh and a 2×(4×4)-chiplet package share
+        // the same node grid, so any beat-latency difference is exactly
+        // the seam pricing. Node 31 sits on chiplet 1; its XY route to
+        // the monitor at node 0 crosses the interposer seam once.
+        let mesh = NocConfig::paper_cores(32).unwrap();
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        assert_eq!(mesh.nodes(), mcm.nodes());
+        let m = MonitorConfig::default();
+        // beat_latency is the uncongested route plus fixed overhead on
+        // both topologies — no mesh-only shortcut.
+        assert_eq!(m.beat_latency(&mesh, 31), mesh.uncongested_route_cycles(31, 0) + m.overhead);
+        assert_eq!(m.beat_latency(&mcm, 31), mcm.uncongested_route_cycles(31, 0) + m.overhead);
+        // The one seam hop swaps an intra-chip link traversal for an
+        // inter-chip one: the delta is exactly the per-class difference.
+        let seam_delta =
+            mcm.link_cycles_for(HopClass::Inter) - mcm.link_cycles_for(HopClass::Intra);
+        assert!(seam_delta > 0, "paper MCM prices seam links above mesh links");
+        assert_eq!(m.beat_latency(&mcm, 31), m.beat_latency(&mesh, 31) + seam_delta);
+        // A node on the monitor's own chiplet (node 11 = package (3, 1))
+        // never crosses the seam: identical beat latency on both.
+        assert_eq!(m.beat_latency(&mcm, 11), m.beat_latency(&mesh, 11));
+        // The heartbeat deadline inherits the seam pricing verbatim.
+        let died_at = 300;
+        assert_eq!(
+            m.detection_cycle(&mcm, 31, died_at),
+            m.detection_cycle(&mesh, 31, died_at) + seam_delta
+        );
+    }
+
+    #[test]
     fn death_at_emission_instant_counts_as_missed() {
         let cfg = NocConfig::paper_16core();
         let m = MonitorConfig::default();

@@ -124,6 +124,18 @@ impl SimReport {
         self.flits_delivered as f64 / self.makespan as f64
     }
 
+    /// Share of the run's cycles in which at least one ready flit was
+    /// blocked (`blocked_flit_cycles / makespan`, `0` for an empty
+    /// trace) — the saturation signal serving and the sweeps report.
+    /// Near `0` the network is contention-free; toward `1` almost every
+    /// cycle stalled somebody.
+    pub fn blocked_share(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.blocked_flit_cycles as f64 / self.makespan as f64
+    }
+
     /// The most-loaded directed link's flit count.
     pub fn max_link_flits(&self) -> u64 {
         self.link_flits.iter().copied().max().unwrap_or(0)
@@ -192,6 +204,7 @@ mod tests {
         assert_eq!(r.link_imbalance(), 0.0);
         assert_eq!(r.max_latency(), 0);
         assert_eq!(r.throughput_flits_per_cycle(), 0.0);
+        assert_eq!(r.blocked_share(), 0.0);
     }
 
     #[test]
@@ -216,6 +229,7 @@ mod tests {
         assert_eq!(r.throughput_flits_per_cycle(), 0.5);
         assert_eq!(r.max_link_flits(), 4);
         assert!((r.link_imbalance() - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.blocked_share(), 0.05);
     }
 
     #[test]

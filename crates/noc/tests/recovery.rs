@@ -111,6 +111,41 @@ fn mid_run_link_death_reroutes_and_still_delivers_everything() {
 }
 
 #[test]
+fn mcm_router_death_detects_exactly_at_the_seam_priced_deadline() {
+    // Same 8×4 node grid as `paper_cores(32)`, but split into two 4×4
+    // chiplets: the victim sits on the far chiplet, so its heartbeat
+    // deadline includes one interposer seam hop. The in-sim detection
+    // must land cycle-exactly on the seam-priced analytic deadline —
+    // and strictly after the deadline the plain mesh would compute.
+    let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+    let mesh = NocConfig::paper_cores(32).unwrap();
+    let monitor = MonitorConfig::default();
+    let died_at = 3_000u64;
+    let victim = 31usize; // package (7, 3), chiplet 1
+    let mut msgs = Vec::new();
+    for i in 0..200usize {
+        let src = i % 32;
+        let dst = (i * 11 + 5) % 32;
+        if src != dst {
+            msgs.push(Message::new(src, dst, 256, (i as u64) * 50));
+        }
+    }
+    let schedule = FaultSchedule::new().router_death(died_at, victim);
+    let mut s = Simulator::new(mcm).unwrap();
+    let rec = s.run_recoverable(&msgs, &schedule, &monitor).unwrap();
+
+    assert_eq!(rec.detections.len(), 1);
+    let d = rec.detections[0];
+    assert_eq!((d.node, d.died_at), (victim, died_at));
+    assert_eq!(d.cause, DetectionCause::MissedHeartbeats);
+    assert_eq!(d.detected_at, monitor.detection_cycle(&mcm, victim, died_at));
+    assert!(
+        d.detected_at > monitor.detection_cycle(&mesh, victim, died_at),
+        "seam hops must push the MCM deadline past the uniform-mesh one"
+    );
+}
+
+#[test]
 fn recoverable_runs_are_reproducible() {
     let cfg = NocConfig::paper_16core();
     let msgs = stream();

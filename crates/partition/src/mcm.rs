@@ -171,6 +171,44 @@ impl McmPlan {
     pub fn stage_macs(&self) -> Vec<u64> {
         self.stages.iter().map(|s| s.macs).collect()
     }
+
+    /// Fraction of each stage's chiplet-local cores that hold work in at
+    /// least one of the stage's layers, in execution order. Assignments
+    /// live only on the owning chiplet, so each value is in `(0, 1]` —
+    /// the pipeline-stage occupancy signal serving reports per strategy.
+    pub fn stage_occupancy(&self) -> Vec<f64> {
+        self.stages
+            .iter()
+            .map(|s| {
+                let busy = (0..self.plan.cores)
+                    .filter(|&n| s.layers().any(|li| self.plan.layers[li].assignments[n] > 0))
+                    .count();
+                busy as f64 / self.cores_per_chiplet.max(1) as f64
+            })
+            .collect()
+    }
+}
+
+/// Fraction of `plan`'s cores that hold work in each layer group — the
+/// single-chip analogue of [`McmPlan::stage_occupancy`] for a plan whose
+/// layers have been split into pipeline groups (e.g. by
+/// [`partition_stages_at`]). Out-of-range layer indices count as idle.
+pub fn group_occupancy(plan: &Plan, groups: &[Range<usize>]) -> Vec<f64> {
+    groups
+        .iter()
+        .map(|r| {
+            let busy = (0..plan.cores)
+                .filter(|&c| {
+                    r.clone().any(|li| {
+                        plan.layers
+                            .get(li)
+                            .is_some_and(|lp| lp.assignments.get(c).copied().unwrap_or(0) > 0)
+                    })
+                })
+                .count();
+            busy as f64 / plan.cores.max(1) as f64
+        })
+        .collect()
 }
 
 /// Splits `costs` (one entry per layer, execution order) into at most
@@ -320,6 +358,36 @@ mod tests {
             .filter(|m| topo.chiplet_of(m.src) != topo.chiplet_of(m.dst))
             .count();
         assert!(crossings > 0, "pipelined stages must talk over the interposer");
+    }
+
+    #[test]
+    fn stage_occupancy_is_positive_and_bounded() {
+        let spec = lenet_spec();
+        let topo = McmTopology::new(4, 2, 2, 1);
+        let mcm = McmPlan::build(&spec, &topo, &HashMap::new(), 2).unwrap();
+        let occ = mcm.stage_occupancy();
+        assert_eq!(occ.len(), mcm.stages.len());
+        for (s, &o) in occ.iter().enumerate() {
+            assert!(o > 0.0 && o <= 1.0, "stage {s} occupancy {o} out of (0, 1]");
+        }
+    }
+
+    #[test]
+    fn group_occupancy_matches_hand_counted_assignments() {
+        let spec = lenet_spec();
+        let plan = Plan::dense(&spec, 4, 2).unwrap();
+        let groups = vec![0..2, 2..plan.layers.len()];
+        let occ = group_occupancy(&plan, &groups);
+        assert_eq!(occ.len(), 2);
+        for (g, range) in groups.iter().enumerate() {
+            let busy = (0..plan.cores)
+                .filter(|&c| range.clone().any(|li| plan.layers[li].assignments[c] > 0))
+                .count();
+            assert_eq!(occ[g], busy as f64 / plan.cores as f64);
+            assert!(occ[g] > 0.0);
+        }
+        // Out-of-range groups read as idle instead of panicking.
+        assert_eq!(group_occupancy(&plan, std::slice::from_ref(&(999..1000))), vec![0.0]);
     }
 
     #[test]

@@ -38,6 +38,18 @@ echo "==> chaos smoke (mid-flight core deaths: bounded loss or typed outcome, ne
 LTS_EFFORT=quick LTS_BENCH_DIR="$(mktemp -d)" \
     cargo run --release --offline -p lts-bench --bin chaos_soak
 
+echo "==> serving smoke (open-loop streams: sub-saturation serves all, 2x overload sheds within budget, mid-stream core death rides through)"
+# The LTS_BENCH_BASELINE gate is wired through the run itself: the sweep
+# writes BENCH_serving.json and then loads/compares it as its own
+# baseline, so the write -> load -> compare path is exercised every CI
+# run without wall-clock flake (the ms-scale cells jitter beyond the
+# 25% tolerance on shared hosts; gating against a *stored* baseline is
+# the manual workflow, as for the hotpath bench — see README).
+SERVING_DIR="$(mktemp -d)"
+LTS_EFFORT=quick LTS_BENCH_DIR="$SERVING_DIR" \
+    LTS_BENCH_BASELINE="$SERVING_DIR/BENCH_serving.json" \
+    cargo run --release --offline -p lts-bench --bin serving_sweep
+
 echo "==> trainer kill-and-resume round-trip (bit-identical weights after crash recovery)"
 cargo run --release --offline --example trainer_resume
 
