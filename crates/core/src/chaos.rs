@@ -18,24 +18,33 @@
 //! ([`crate::outcome`]); [`outcome_histogram`] aggregates a soak's rows
 //! into one [`OutcomeHistogram`].
 //!
+//! MCM topologies ([`ChaosConfig::chiplets`] entries above 1) soak the
+//! package-level fault classes instead: mid-flight whole-chiplet deaths
+//! through [`crate::recovery::run_with_recovery_chiplets`] and static
+//! interposer-seam severings (which succeed as [`Outcome::Served`] when
+//! the NoC reroutes around the dead seam).
+//!
 //! Panics and hangs are the failure modes the soak exists to rule out:
-//! anything other than the three outcomes above aborts the soak with
+//! anything other than the typed outcomes above aborts the soak with
 //! the offending error.
 
 use crate::degradation::{workloads, Workload};
 use crate::outcome::{Outcome, OutcomeHistogram};
-use crate::recovery::{run_with_recovery, InferenceFault};
+use crate::recovery::{
+    run_with_recovery, run_with_recovery_chiplets, ChipletFault, InferenceFault,
+};
 use crate::simcache::SimUsage;
 use crate::system::SystemModel;
 use crate::{CoreError, Result};
-use lts_noc::{MonitorConfig, NocError};
+use lts_noc::{FaultModel, MonitorConfig, NocError, Topo};
+use lts_partition::McmPlan;
 use lts_tensor::par;
 use serde::{Deserialize, Serialize};
 
 /// Shape of the randomized soak.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosConfig {
-    /// Cores on the (healthy) chip.
+    /// Cores on the (healthy) chip — per chiplet for MCM topologies.
     pub cores: usize,
     /// Trials per strategy.
     pub trials: usize,
@@ -45,11 +54,23 @@ pub struct ChaosConfig {
     pub max_dead_per_fault: usize,
     /// Schedule seed.
     pub seed: u64,
+    /// Package sizes to sample, in order. `1` soaks the single-chip
+    /// mesh with mid-flight core deaths; an entry above 1 soaks a
+    /// `paper_mcm` package of that many chiplets (`cores` each) with
+    /// whole-chiplet and interposer-seam fault classes.
+    pub chiplets: Vec<usize>,
 }
 
 impl Default for ChaosConfig {
     fn default() -> Self {
-        Self { cores: 16, trials: 8, max_faults: 2, max_dead_per_fault: 2, seed: 2019 }
+        Self {
+            cores: 16,
+            trials: 8,
+            max_faults: 2,
+            max_dead_per_fault: 2,
+            seed: 2019,
+            chiplets: vec![1],
+        }
     }
 }
 
@@ -93,6 +114,16 @@ pub struct ChaosRow {
     /// Simulated-vs-cached NoC work behind the composed run (zeroed
     /// when the trial fails before evaluation).
     pub sim: SimUsage,
+    /// Chiplets of the sampled package (`1` = single-chip mesh).
+    pub chiplets: usize,
+    /// `cores` (mid-flight core deaths), `chiplet` (mid-flight
+    /// whole-chiplet death) or `seam` (static interposer-seam
+    /// severing).
+    pub fault_class: String,
+    /// Chiplet ids behind a package fault: the killed chiplet for
+    /// `chiplet` rows, the severed seam's two endpoint chiplets for
+    /// `seam` rows, empty for `cores` rows.
+    pub dead_chiplets: Vec<usize>,
 }
 
 /// One step of the splitmix64 stream the schedules are drawn from
@@ -177,13 +208,24 @@ pub fn chaos_soak(config: &ChaosConfig) -> Result<Vec<ChaosRow>> {
             "trials, max_faults and max_dead_per_fault must be positive".into(),
         ));
     }
+    if config.chiplets.is_empty() || config.chiplets.contains(&0) {
+        return Err(CoreError::BadConfig("chiplet counts must be present and positive".into()));
+    }
     let workloads = workloads(config.cores)?;
-    // Strategies are independent; fan them out on the execution engine
-    // (par_map preserves order, and every trial is deterministic).
-    let per_strategy = par::par_map(&workloads, |i, w| soak_workload(config, i, w))
+    let mut rows = Vec::new();
+    for &chiplets in &config.chiplets {
+        // Strategies are independent; fan them out on the execution
+        // engine (par_map preserves order, every trial is deterministic).
+        let per_strategy = if chiplets == 1 {
+            par::par_map(&workloads, |i, w| soak_workload(config, i, w))
+        } else {
+            par::par_map(&workloads, |i, w| soak_mcm_workload(config, chiplets, i, w))
+        }
         .into_iter()
         .collect::<Result<Vec<_>>>()?;
-    Ok(per_strategy.into_iter().flatten().collect())
+        rows.extend(per_strategy.into_iter().flatten());
+    }
+    Ok(rows)
 }
 
 /// Aggregates a soak's rows into one outcome histogram (the shape the
@@ -217,6 +259,9 @@ fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Res
             redistribution_bytes: 0,
             lost_output_fraction: 0.0,
             sim: SimUsage::default(),
+            chiplets: 1,
+            fault_class: "cores".into(),
+            dead_chiplets: Vec::new(),
         };
         match run_with_recovery(&model, &w.spec, &w.weights, &faults, &monitor) {
             Ok(report) => {
@@ -236,6 +281,108 @@ fn soak_workload(config: &ChaosConfig, strategy_idx: usize, w: &Workload) -> Res
                 row.outcome = Outcome::CycleLimit;
             }
             Err(e) => return Err(e),
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// MCM package soak: trials alternate between a mid-flight whole-chiplet
+/// death (even trials, through the hierarchical detection + survivor
+/// restaging path) and a static interposer-seam severing (odd trials,
+/// evaluated as a ride-through on the healthy stage plan — the NoC
+/// either reroutes around the dead seam or fails with a typed outcome).
+fn soak_mcm_workload(
+    config: &ChaosConfig,
+    chiplets: usize,
+    strategy_idx: usize,
+    w: &Workload,
+) -> Result<Vec<ChaosRow>> {
+    let model = SystemModel::paper_mcm(chiplets, config.cores)?;
+    let Topo::Mcm(topo) = model.noc_config().topo() else {
+        return Err(CoreError::BadConfig("paper_mcm produced a single-chip mesh topology".into()));
+    };
+    let monitor = MonitorConfig::default();
+    let order = topo.serpentine_chiplets();
+    let healthy = McmPlan::build(&w.spec, &topo, &w.weights, 2)?;
+    let fault_free = model.evaluate(&healthy.plan)?;
+    let mut rows = Vec::with_capacity(config.trials);
+    for trial in 0..config.trials {
+        let mut state = config
+            .seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add((chiplets as u64) << 48)
+            .wrapping_add((strategy_idx as u64) << 32)
+            .wrapping_add(trial as u64 + 1);
+        let span = w.spec.layers.len().saturating_sub(1).max(1);
+        let layer = 1 + (splitmix(&mut state) as usize) % span;
+        let mut row = ChaosRow {
+            strategy: w.strategy.into(),
+            network: w.network.into(),
+            trial,
+            faults: Vec::new(),
+            outcome: Outcome::Recovered,
+            dead_cores: Vec::new(),
+            total_cycles: 0,
+            overhead_vs_fault_free: 0.0,
+            overhead_vs_oracle: None,
+            detection_cycles: 0,
+            redistribution_bytes: 0,
+            lost_output_fraction: 0.0,
+            sim: SimUsage::default(),
+            chiplets,
+            fault_class: String::new(),
+            dead_chiplets: Vec::new(),
+        };
+        if trial % 2 == 0 {
+            let victim = (splitmix(&mut state) as usize) % chiplets;
+            row.fault_class = "chiplet".into();
+            row.dead_chiplets = vec![victim];
+            row.faults = vec![InferenceFault { layer, dead_cores: topo.chiplet_nodes(victim) }];
+            let faults = [ChipletFault { layer, dead_chiplets: vec![victim] }];
+            match run_with_recovery_chiplets(&model, &w.spec, &w.weights, &faults, &monitor) {
+                Ok(report) => {
+                    row.dead_cores = report.dead_cores.clone();
+                    row.total_cycles = report.report.total_cycles;
+                    row.overhead_vs_fault_free = report.overhead_vs_fault_free();
+                    row.overhead_vs_oracle = report.overhead_vs_oracle();
+                    row.detection_cycles = report.detection_cycles();
+                    row.redistribution_bytes = report.redistribution_bytes();
+                    row.lost_output_fraction = report.lost_fraction();
+                    row.sim = report.report.sim;
+                }
+                Err(CoreError::Noc(NocError::Unreachable { .. })) => {
+                    row.outcome = Outcome::Unreachable;
+                }
+                Err(CoreError::Noc(NocError::CycleLimitExceeded { .. })) => {
+                    row.outcome = Outcome::CycleLimit;
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            // Consecutive serpentine chiplets are grid-adjacent, so the
+            // pair always shares a physical interposer seam.
+            let i = (splitmix(&mut state) as usize) % (order.len() - 1);
+            let (a, b) = (order[i], order[i + 1]);
+            row.fault_class = "seam".into();
+            row.dead_chiplets = vec![a, b];
+            let severed = FaultModel::none().kill_seam(&topo, a, b);
+            match model.clone().with_fault_model(severed).evaluate(&healthy.plan) {
+                Ok(report) => {
+                    row.outcome = Outcome::Served;
+                    row.total_cycles = report.total_cycles;
+                    row.overhead_vs_fault_free =
+                        report.total_cycles as f64 / fault_free.total_cycles.max(1) as f64;
+                    row.sim = report.sim;
+                }
+                Err(CoreError::Noc(NocError::Unreachable { .. })) => {
+                    row.outcome = Outcome::Unreachable;
+                }
+                Err(CoreError::Noc(NocError::CycleLimitExceeded { .. })) => {
+                    row.outcome = Outcome::CycleLimit;
+                }
+                Err(e) => return Err(e),
+            }
         }
         rows.push(row);
     }
@@ -338,5 +485,69 @@ mod tests {
         assert!(chaos_soak(&ChaosConfig { trials: 0, ..quick() }).is_err());
         assert!(chaos_soak(&ChaosConfig { max_faults: 0, ..quick() }).is_err());
         assert!(chaos_soak(&ChaosConfig { max_dead_per_fault: 0, ..quick() }).is_err());
+        assert!(chaos_soak(&ChaosConfig { chiplets: Vec::new(), ..quick() }).is_err());
+        assert!(chaos_soak(&ChaosConfig { chiplets: vec![1, 0], ..quick() }).is_err());
+    }
+
+    #[test]
+    fn mcm_soak_samples_chiplet_and_seam_fault_classes() {
+        let config = ChaosConfig { cores: 8, chiplets: vec![2], ..quick() };
+        let rows = chaos_soak(&config).unwrap();
+        assert_eq!(rows.len(), 3 * config.trials);
+        for r in &rows {
+            assert_eq!(r.chiplets, 2);
+            match r.fault_class.as_str() {
+                "chiplet" => {
+                    assert_eq!(r.trial % 2, 0, "even trials kill a chiplet");
+                    assert_eq!(r.dead_chiplets.len(), 1);
+                    assert_eq!(r.faults.len(), 1);
+                    assert_eq!(
+                        r.faults[0].dead_cores.len(),
+                        config.cores,
+                        "a chiplet death is all of its cores"
+                    );
+                    assert!(matches!(
+                        r.outcome,
+                        Outcome::Recovered | Outcome::Unreachable | Outcome::CycleLimit
+                    ));
+                    if r.outcome == Outcome::Recovered {
+                        assert!(r.detection_cycles > 0, "chiplet deaths must be detected");
+                        assert!(r.overhead_vs_fault_free >= 1.0);
+                    }
+                }
+                "seam" => {
+                    assert_eq!(r.trial % 2, 1, "odd trials sever a seam");
+                    assert_eq!(r.dead_chiplets.len(), 2, "a seam joins two chiplets");
+                    assert!(r.faults.is_empty(), "seam severing kills no cores");
+                    assert!(matches!(
+                        r.outcome,
+                        Outcome::Served | Outcome::Unreachable | Outcome::CycleLimit
+                    ));
+                }
+                other => panic!("unexpected fault class `{other}`"),
+            }
+            assert!((0.0..=1.0).contains(&r.lost_output_fraction));
+        }
+        assert!(rows.iter().any(|r| r.fault_class == "chiplet"));
+        assert!(rows.iter().any(|r| r.fault_class == "seam"));
+        // Histograms split cleanly per topology config.
+        let h = outcome_histogram(&rows);
+        assert_eq!(h.total() as usize, rows.len());
+        // Determinism across simcache temperature.
+        crate::simcache::reset();
+        let again = chaos_soak(&config).unwrap();
+        assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn mixed_topology_soak_orders_rows_by_package_size() {
+        let config = ChaosConfig { cores: 8, chiplets: vec![1, 2], trials: 2, ..quick() };
+        let rows = chaos_soak(&config).unwrap();
+        assert_eq!(rows.len(), 2 * 3 * config.trials);
+        assert!(rows[..6].iter().all(|r| r.chiplets == 1 && r.fault_class == "cores"));
+        assert!(rows[6..].iter().all(|r| r.chiplets == 2 && r.fault_class != "cores"));
+        for r in &rows[..6] {
+            assert!(r.dead_chiplets.is_empty(), "mesh rows carry no chiplet ids");
+        }
     }
 }

@@ -126,12 +126,17 @@ pub struct FaultSweepRow {
 
 /// One strategy's workload: a spec plus (possibly sparse) weights.
 /// Shared with the chaos-soak harness ([`crate::chaos`]), which stresses
-/// the same three strategies with mid-flight faults.
-pub(crate) struct Workload {
-    pub(crate) strategy: &'static str,
-    pub(crate) network: &'static str,
-    pub(crate) spec: NetworkSpec,
-    pub(crate) weights: HashMap<String, Vec<f32>>,
+/// the same three strategies with mid-flight faults, and with external
+/// fault-injection benches that sweep the same ladder.
+pub struct Workload {
+    /// Strategy label: `traditional`, `structure` or `sparsified`.
+    pub strategy: &'static str,
+    /// Workload network name.
+    pub network: &'static str,
+    /// The network to plan and evaluate.
+    pub spec: NetworkSpec,
+    /// Per-layer weights; empty for dense strategies.
+    pub weights: HashMap<String, Vec<f32>>,
 }
 
 /// The CIFAR ConvNet with its deeper convolutions grouped `groups` ways
@@ -187,7 +192,17 @@ pub(crate) fn hop_local_weights(
     Ok(weights)
 }
 
-pub(crate) fn workloads(cores: usize) -> Result<Vec<Workload>> {
+/// The three-strategy workload ladder on a `cores`-core chip:
+/// traditional (dense), structure-level (grouped ConvNet, grouping
+/// degree picked to divide the conv channel counts), and the
+/// communication-aware sparsified layout (synthetic hop-local SS_Mask
+/// weights).
+///
+/// # Errors
+///
+/// Propagates plan construction failures from the hop-local weight
+/// synthesis (e.g. an unsupported core count).
+pub fn workloads(cores: usize) -> Result<Vec<Workload>> {
     let dense = convnet_spec();
     // Grouping degree: the chip size when it divides the conv channel
     // counts, otherwise the largest divisor that does.

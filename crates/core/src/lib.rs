@@ -72,17 +72,17 @@ pub mod strategy;
 pub mod system;
 
 pub use chaos::{chaos_soak, outcome_histogram, ChaosConfig, ChaosRow};
-pub use degradation::{fault_sweep, FaultSweepConfig, FaultSweepRow};
+pub use degradation::{fault_sweep, workloads, FaultSweepConfig, FaultSweepRow, Workload};
 pub use error::CoreError;
 pub use mcm::{scale_chiplets, McmScalingRow, ScaleMode};
 pub use outcome::{Outcome, OutcomeHistogram};
 pub use recovery::{
-    boundary_checkpoints, run_with_recovery, BoundaryCheckpoint, InferenceFault, RecoveryEvent,
-    RecoveryReport,
+    boundary_checkpoints, run_with_recovery, run_with_recovery_chiplets, BoundaryCheckpoint,
+    ChipletFault, InferenceFault, RecoveryEvent, RecoveryReport,
 };
 pub use serve::{
-    run_serving, service_capacity_rpmc, ArrivalConfig, ArrivalProcess, ControllerConfig,
-    ControllerEvent, ServingConfig, ServingReport, ServingStrategy, StreamFault,
+    chiplet_stream_fault, run_serving, service_capacity_rpmc, ArrivalConfig, ArrivalProcess,
+    ControllerConfig, ControllerEvent, ServingConfig, ServingReport, ServingStrategy, StreamFault,
 };
 pub use simcache::SimCacheStats;
 pub use strategy::{SparsityScheme, Strategy};

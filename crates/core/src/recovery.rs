@@ -33,9 +33,11 @@ use crate::system::{LayerBreakdown, SystemModel, SystemReport};
 use crate::{CoreError, Result};
 use lts_nn::descriptor::NetworkSpec;
 use lts_noc::traffic::Message;
-use lts_noc::{FaultModel, FaultStats, MonitorConfig, NocError, Simulator};
+use lts_noc::{
+    FaultModel, FaultStats, McmTopology, MonitorConfig, NocError, Simulator, Topo, Topology,
+};
 use lts_partition::ownership::{propagate, OwnershipMap};
-use lts_partition::{replan, replan_from_layer, Plan};
+use lts_partition::{replan, replan_from_layer, McmPlan, Plan};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -63,6 +65,18 @@ pub struct InferenceFault {
     pub layer: usize,
     /// Physical core ids killed by this fault.
     pub dead_cores: Vec<usize>,
+}
+
+/// One mid-inference *package* fault: every router of each chiplet in
+/// `dead_chiplets` dies — together with its interposer seam endpoints —
+/// at the boundary before layer `layer` (original layer numbering; `0` =
+/// before anything ran).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipletFault {
+    /// First layer that had not run when the chiplets died.
+    pub layer: usize,
+    /// Chiplet ids killed by this fault.
+    pub dead_chiplets: Vec<usize>,
 }
 
 /// What one recovery cost, on the composed timeline.
@@ -417,9 +431,266 @@ pub fn run_with_recovery(
     })
 }
 
+/// Runs `spec` end to end on an MCM package while whole chiplets die
+/// mid-inference — the package-level analogue of [`run_with_recovery`].
+///
+/// Each death is noticed hierarchically: per-router heartbeat deadlines
+/// (seam-priced when the monitor sits on another chiplet) aggregate to a
+/// chiplet-liveness verdict — `MonitorConfig::chiplet_detection_latency`
+/// declares the chiplet dead only once *every* member router's deadline
+/// has lapsed, so a slow seam alone never triggers a replan. Then the
+/// remaining layers are re-staged over the survivor chiplets
+/// ([`McmPlan::replan_from_layer`]: fewer, fatter stages, transition
+/// traffic re-priced over the new seam distances) and the surviving
+/// boundary shard resyncs over the degraded package. The composed report
+/// carries one `recovery@N` pseudo-layer per fault next to the
+/// fault-free baseline and the oracle static replan
+/// ([`McmPlan::replan_without_chiplets`] with the final dead set known
+/// up front).
+///
+/// With an empty fault list the composed report is bit-identical to
+/// [`SystemModel::evaluate`] on the healthy [`McmPlan`].
+///
+/// MCM replans regenerate every per-stage layout from scratch, so no
+/// pinned-group output is ever lost: `lost_output_fraction` is always
+/// `0.0` here and the only loss mechanism is the orphaned boundary shard
+/// of a dead producer chiplet (`lost_boundary_fraction`).
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] when the model is not an MCM package, for
+/// unsorted/out-of-range faults, or when a fault kills every surviving
+/// chiplet; plan and NoC errors propagate (e.g.
+/// [`NocError::Unreachable`] when the dead set disconnects the package).
+pub fn run_with_recovery_chiplets(
+    model: &SystemModel,
+    spec: &NetworkSpec,
+    weights: &HashMap<String, Vec<f32>>,
+    faults: &[ChipletFault],
+    monitor: &MonitorConfig,
+) -> Result<RecoveryReport> {
+    let _probe = lts_obs::span("core.recovery_chiplets");
+    let Topo::Mcm(topo) = model.noc_config().topo() else {
+        return Err(CoreError::BadConfig(
+            "chiplet recovery requires an MCM package topology".into(),
+        ));
+    };
+    let chiplets = Topology::chiplets(&topo);
+    let full_plan = McmPlan::build(spec, &topo, weights, 2)?;
+    let fault_free = model.evaluate(&full_plan.plan)?;
+    monitor.validate(model.noc_config()).map_err(CoreError::Noc)?;
+    if faults.is_empty() {
+        return Ok(RecoveryReport {
+            report: fault_free.clone(),
+            fault_free,
+            oracle: None,
+            events: Vec::new(),
+            dead_cores: Vec::new(),
+            lost_output_fraction: 0.0,
+            lost_boundary_fraction: 0.0,
+        });
+    }
+    for pair in faults.windows(2) {
+        if pair[1].layer < pair[0].layer {
+            return Err(CoreError::BadConfig("faults must be sorted by layer".into()));
+        }
+    }
+    if let Some(f) = faults.iter().find(|f| f.layer > spec.layers.len()) {
+        return Err(CoreError::BadConfig(format!(
+            "fault layer {} beyond the network's {} layers",
+            f.layer,
+            spec.layers.len()
+        )));
+    }
+    if let Some(&bad) = faults.iter().flat_map(|f| &f.dead_chiplets).find(|&&c| c >= chiplets) {
+        return Err(CoreError::BadConfig(format!(
+            "dead chiplet {bad} out of range for a {chiplets}-chiplet package"
+        )));
+    }
+
+    // Composed-run accumulators. Unlike the flat path, MCM plans carry
+    // *physical* node ids throughout (dead chiplets simply hold no
+    // assignments), so there is no logical→physical map to compose.
+    let mut acc = Accumulator::default();
+    let mut current_plan = full_plan;
+    let mut current_spec = spec.clone();
+    let mut plan_start = 0usize; // original index of current_plan's first layer
+    let mut completed = 0usize; // original layers finished so far
+    let mut dead_chips: Vec<usize> = Vec::new();
+    let mut events = Vec::new();
+    let mut lost_boundary_fraction = 0.0f64;
+
+    for fault in faults {
+        // Healthy-for-now segment up to the fault boundary.
+        let seg = &current_plan.plan.layers[completed - plan_start..fault.layer - plan_start];
+        let seg_model = model.clone().with_fault_model(kill_chiplet_set(&topo, &dead_chips));
+        acc.push_segment(seg_model.evaluate_layers(seg, None)?);
+        completed = fault.layer;
+
+        let mut newly: Vec<usize> =
+            fault.dead_chiplets.iter().copied().filter(|c| !dead_chips.contains(c)).collect();
+        newly.sort_unstable();
+        newly.dedup();
+        if newly.is_empty() {
+            continue;
+        }
+        let died_at = acc.total_cycles;
+        // Hierarchical detection: per-router heartbeat verdicts aggregate
+        // to the chiplet level — the worst member router of the worst
+        // newly-dead chiplet sets the replan trigger.
+        let detection_cycles = newly
+            .iter()
+            .map(|&c| monitor.chiplet_detection_latency(model.noc_config(), &topo, c, died_at))
+            .max()
+            .unwrap_or(0);
+
+        // Replan over the *cumulative* dead set: the tail's stage order
+        // is the serpentine sequence minus every chiplet lost so far.
+        dead_chips.extend(&newly);
+        dead_chips.sort_unstable();
+        let inc = {
+            let _replan_probe = lts_obs::span("core.recovery.replan");
+            current_plan.replan_from_layer(
+                &current_spec,
+                &topo,
+                fault.layer - plan_start,
+                &dead_chips,
+                weights,
+                2,
+            )?
+        };
+        lost_boundary_fraction = lost_boundary_fraction.max(inc.lost_boundary_fraction());
+
+        // Boundary resync on the degraded package (endpoints are already
+        // physical node ids, straight from the incremental plan).
+        let resync = inc.redistribution.messages.clone();
+        let (resync_report, resync_energy) = if resync.is_empty() {
+            (None, 0.0)
+        } else {
+            let _resync_probe = lts_obs::span("core.recovery.resync");
+            let fault_model = kill_chiplet_set(&topo, &dead_chips);
+            let mut sim = Simulator::with_faults(*model.noc_config(), fault_model.clone())
+                .map_err(CoreError::Noc)?;
+            let rep = crate::simcache::run_cached(
+                &mut sim,
+                model.noc_config(),
+                &fault_model,
+                &resync,
+                &mut acc.sim,
+            )
+            .map_err(CoreError::Noc)?;
+            let energy = model.noc_total_energy_pj(&rep);
+            (Some(rep), energy)
+        };
+        let (resync_cycles, resync_flits, resync_stats) = match &resync_report {
+            Some(r) => (r.makespan, r.flits_delivered, r.faults),
+            None => (0, 0, FaultStats::default()),
+        };
+        if let Some(r) = &resync_report {
+            acc.intra_chip_traversals += r.intra_chip_traversals;
+            acc.inter_chip_traversals += r.inter_chip_traversals;
+        }
+
+        let overhead = detection_cycles + resync_cycles;
+        let resync_bytes = inc.redistribution_bytes;
+        acc.push_overhead(LayerBreakdown {
+            name: format!("recovery@{}", fault.layer),
+            compute_cycles: 0,
+            comm_cycles: overhead,
+            traffic_bytes: resync_bytes,
+            compute_energy_pj: 0.0,
+            noc_energy_pj: resync_energy,
+            blocked_flit_cycles: resync_report.as_ref().map_or(0, |r| r.blocked_flit_cycles),
+        });
+        acc.faults.merge(&resync_stats);
+
+        if lts_obs::enabled() {
+            let track = lts_obs::cycle_track_named("core.recovery");
+            let at = format!("layer{}", fault.layer);
+            lts_obs::cycle_record(track, "detect", &at, detection_cycles);
+            lts_obs::cycle_record(track, "resync", &at, resync_cycles);
+            lts_obs::counter_add("recovery.events", 1);
+            lts_obs::counter_add("recovery.detection_cycles", detection_cycles);
+            lts_obs::counter_add("recovery.redistribution_cycles", resync_cycles);
+            lts_obs::counter_add("recovery.redistribution_bytes", resync_bytes);
+        }
+
+        let mut member_dead: Vec<usize> =
+            newly.iter().flat_map(|&c| topo.chiplet_nodes(c)).collect();
+        member_dead.sort_unstable();
+        events.push(RecoveryEvent {
+            layer: fault.layer,
+            dead_cores: member_dead,
+            died_at,
+            detection_cycles,
+            redistribution_bytes: resync_bytes,
+            redistribution_flits: resync_flits,
+            redistribution_cycles: resync_cycles,
+            lost_boundary_units: inc.lost_boundary_units,
+            boundary_units: inc.boundary_units,
+            survivors: inc.survivors() * topo.nodes_per_chiplet(),
+        });
+
+        // Adopt the re-staged tail.
+        current_plan = inc.tail;
+        current_spec = NetworkSpec {
+            name: current_spec.name.clone(),
+            input: if fault.layer == 0 {
+                spec.input
+            } else {
+                spec.layers[fault.layer - 1].out_dims
+            },
+            layers: spec.layers[fault.layer..].to_vec(),
+        };
+        plan_start = fault.layer;
+    }
+
+    // The surviving tail.
+    let seg = &current_plan.plan.layers[completed - plan_start..];
+    let seg_model = model.clone().with_fault_model(kill_chiplet_set(&topo, &dead_chips));
+    acc.push_segment(seg_model.evaluate_layers(seg, None)?);
+
+    // The oracle knew the final dead chiplet set before starting.
+    let oracle = match McmPlan::replan_without_chiplets(spec, &topo, &dead_chips, weights, 2) {
+        Ok(replanned) => {
+            match model
+                .clone()
+                .with_fault_model(kill_chiplet_set(&topo, &dead_chips))
+                .evaluate(&replanned.plan)
+            {
+                Ok(r) => Some(r),
+                Err(CoreError::Noc(
+                    NocError::Unreachable { .. } | NocError::CycleLimitExceeded { .. },
+                )) => None,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(_) => None,
+    };
+
+    let mut dead_cores: Vec<usize> =
+        dead_chips.iter().flat_map(|&c| topo.chiplet_nodes(c)).collect();
+    dead_cores.sort_unstable();
+    Ok(RecoveryReport {
+        report: acc.into_report(),
+        fault_free,
+        oracle,
+        events,
+        dead_cores,
+        lost_output_fraction: 0.0,
+        lost_boundary_fraction,
+    })
+}
+
 /// A fault model with exactly `dead` routers killed.
 fn kill_set(dead: &[usize]) -> FaultModel {
     dead.iter().fold(FaultModel::none(), |f, &d| f.kill_router(d))
+}
+
+/// The fault model of whole-chiplet losses: every member router plus
+/// every interposer seam endpoint of each chiplet in `dead`.
+pub(crate) fn kill_chiplet_set(topo: &McmTopology, dead: &[usize]) -> FaultModel {
+    dead.iter().fold(FaultModel::none(), |f, &c| f.kill_chiplet(topo, c))
 }
 
 /// Builds the composed [`SystemReport`] incrementally.
@@ -629,5 +900,146 @@ mod tests {
         let a = run_with_recovery(&m, &spec, &no_weights(), &faults, &mon).unwrap();
         let b = run_with_recovery(&m, &spec, &no_weights(), &faults, &mon).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// A 2x2 package grid of 2x2 chiplets (16 cores total).
+    fn mcm_model() -> SystemModel {
+        SystemModel::paper_mcm(4, 4).unwrap()
+    }
+
+    fn package_of(m: &SystemModel) -> McmTopology {
+        match m.noc_config().topo() {
+            Topo::Mcm(t) => t,
+            Topo::Mesh(_) => panic!("expected an MCM package"),
+        }
+    }
+
+    #[test]
+    fn chiplet_faults_require_a_package_topology() {
+        let spec = lenet_spec();
+        let faults = [ChipletFault { layer: 2, dead_chiplets: vec![1] }];
+        let err = run_with_recovery_chiplets(
+            &model(),
+            &spec,
+            &no_weights(),
+            &faults,
+            &MonitorConfig::default(),
+        );
+        assert!(err.is_err(), "a flat mesh has no chiplets to kill");
+    }
+
+    #[test]
+    fn empty_chiplet_fault_list_is_bit_identical_to_the_mcm_evaluation() {
+        let spec = lenet_spec();
+        let m = mcm_model();
+        let topo = package_of(&m);
+        let plan = McmPlan::build(&spec, &topo, &no_weights(), 2).unwrap();
+        let plain = m.evaluate(&plan.plan).unwrap();
+        let rec =
+            run_with_recovery_chiplets(&m, &spec, &no_weights(), &[], &MonitorConfig::default())
+                .unwrap();
+        assert_eq!(rec.report, plain);
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.overhead_vs_fault_free(), 1.0);
+        assert_eq!(rec.lost_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mid_inference_chiplet_death_restages_onto_the_survivors() {
+        let spec = lenet_spec();
+        let m = mcm_model();
+        let topo = package_of(&m);
+        let faults = [ChipletFault { layer: 3, dead_chiplets: vec![1] }];
+        let rec = run_with_recovery_chiplets(
+            &m,
+            &spec,
+            &no_weights(),
+            &faults,
+            &MonitorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.events.len(), 1);
+        let e = &rec.events[0];
+        assert_eq!(e.layer, 3);
+        assert_eq!(e.dead_cores, topo.chiplet_nodes(1), "a chiplet death is its member routers");
+        assert!(e.detection_cycles > 0, "hierarchical detection takes time");
+        assert_eq!(e.survivors, 12, "three chiplets of four cores survive");
+        assert!(rec.overhead_vs_fault_free() > 1.0, "recovery is never free");
+        assert!(rec.report.layers.iter().any(|l| l.name == "recovery@3"));
+        assert_eq!(rec.report.layers.len(), spec.layers.len() + 1);
+        assert_eq!(rec.dead_cores, topo.chiplet_nodes(1));
+        // MCM replans regenerate every layout: only boundary loss exists,
+        // and a surviving producer chiplet means none at all is forced.
+        assert_eq!(rec.lost_output_fraction, 0.0);
+        assert!(rec.lost_fraction() <= 1.0);
+        // The oracle static replan over the survivor set is viable and
+        // cheaper than recovering online.
+        let oracle = rec.overhead_vs_oracle().expect("3 survivor chiplets carry the network");
+        assert!(oracle > 1.0, "online recovery must cost more than foreknowledge");
+    }
+
+    #[test]
+    fn stacked_chiplet_faults_accumulate_the_dead_set() {
+        let spec = lenet_spec();
+        let m = mcm_model();
+        let topo = package_of(&m);
+        let faults = [
+            ChipletFault { layer: 2, dead_chiplets: vec![3] },
+            ChipletFault { layer: 4, dead_chiplets: vec![1, 3] }, // 3 already dead
+        ];
+        let rec = run_with_recovery_chiplets(
+            &m,
+            &spec,
+            &no_weights(),
+            &faults,
+            &MonitorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].survivors, 12);
+        assert_eq!(
+            rec.events[1].dead_cores,
+            topo.chiplet_nodes(1),
+            "re-killing a dead chiplet is a no-op"
+        );
+        assert_eq!(rec.events[1].survivors, 8);
+        let mut expected: Vec<usize> = topo.chiplet_nodes(1);
+        expected.extend(topo.chiplet_nodes(3));
+        expected.sort_unstable();
+        assert_eq!(rec.dead_cores, expected);
+        assert!(rec.events[1].died_at > rec.events[0].died_at);
+    }
+
+    #[test]
+    fn invalid_chiplet_fault_lists_are_rejected() {
+        let spec = lenet_spec();
+        let m = mcm_model();
+        let mon = MonitorConfig::default();
+        let unsorted = [
+            ChipletFault { layer: 4, dead_chiplets: vec![1] },
+            ChipletFault { layer: 2, dead_chiplets: vec![2] },
+        ];
+        assert!(run_with_recovery_chiplets(&m, &spec, &no_weights(), &unsorted, &mon).is_err());
+        let oob_layer = [ChipletFault { layer: 99, dead_chiplets: vec![1] }];
+        assert!(run_with_recovery_chiplets(&m, &spec, &no_weights(), &oob_layer, &mon).is_err());
+        let oob_chiplet = [ChipletFault { layer: 1, dead_chiplets: vec![4] }];
+        assert!(run_with_recovery_chiplets(&m, &spec, &no_weights(), &oob_chiplet, &mon).is_err());
+        let wipeout = [ChipletFault { layer: 1, dead_chiplets: (0..4).collect() }];
+        assert!(run_with_recovery_chiplets(&m, &spec, &no_weights(), &wipeout, &mon).is_err());
+    }
+
+    #[test]
+    fn chiplet_recovery_is_bit_identical_across_cache_temperature() {
+        let spec = lenet_spec();
+        let m = mcm_model();
+        let faults = [ChipletFault { layer: 4, dead_chiplets: vec![2] }];
+        let mon = MonitorConfig::default();
+        let a = run_with_recovery_chiplets(&m, &spec, &no_weights(), &faults, &mon).unwrap();
+        crate::simcache::reset();
+        let b = run_with_recovery_chiplets(&m, &spec, &no_weights(), &faults, &mon).unwrap();
+        assert_eq!(a.report.total_cycles, b.report.total_cycles);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fault_free, b.fault_free);
+        assert_eq!(a.oracle.map(|r| r.total_cycles), b.oracle.map(|r| r.total_cycles));
     }
 }

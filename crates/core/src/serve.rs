@@ -46,13 +46,17 @@
 use crate::chaos::splitmix;
 use crate::degradation::{grouped_convnet_spec, hop_local_weights};
 use crate::outcome::{Outcome, OutcomeHistogram};
-use crate::recovery::{run_with_recovery, InferenceFault};
+use crate::recovery::{
+    run_with_recovery, run_with_recovery_chiplets, ChipletFault, InferenceFault,
+};
 use crate::simcache::{self, SimUsage};
 use crate::system::{SystemModel, SystemReport};
 use crate::{CoreError, Result};
 use lts_nn::descriptor::{convnet_spec, NetworkSpec};
 use lts_noc::traffic::Message;
-use lts_noc::{FaultModel, MonitorConfig, NocError, Simulator, Topo};
+use lts_noc::{
+    FaultModel, McmTopology, MonitorConfig, NocConfig, NocError, Simulator, Topo, Topology,
+};
 use lts_partition::{group_occupancy, partition_stages_at, replan, DegradedPlan, McmPlan, Plan};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -255,6 +259,40 @@ pub struct StreamFault {
     pub at_cycle: u64,
     /// Physical cores killed (distinct, in range, never everything).
     pub dead_cores: Vec<usize>,
+}
+
+/// The [`StreamFault`] that kills every core of `chiplet` at `at_cycle`
+/// on `config`'s package — the serving-level form of a whole-chiplet
+/// death. The dead set covers the chiplet exactly, so profile rebuilds
+/// and in-flight recoveries take the hierarchical MCM path
+/// (chiplet-liveness detection, survivor-stage restaging) rather than
+/// the mesh fallback.
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] when `config` is not an MCM package
+/// (`chiplets <= 1`) or `chiplet` is out of range.
+pub fn chiplet_stream_fault(
+    config: &ServingConfig,
+    chiplet: usize,
+    at_cycle: u64,
+) -> Result<StreamFault> {
+    if config.chiplets <= 1 {
+        return Err(CoreError::BadConfig(
+            "chiplet faults need an MCM package (chiplets > 1)".into(),
+        ));
+    }
+    if chiplet >= config.chiplets {
+        return Err(CoreError::BadConfig(format!(
+            "chiplet {chiplet} out of range for a {}-chiplet package",
+            config.chiplets
+        )));
+    }
+    let noc = NocConfig::paper_mcm(config.chiplets, config.cores).map_err(CoreError::Noc)?;
+    let Topo::Mcm(topo) = noc.topo() else {
+        return Err(CoreError::BadConfig("paper_mcm produced a single-chip mesh topology".into()));
+    };
+    Ok(StreamFault { at_cycle, dead_cores: topo.chiplet_nodes(chiplet) })
 }
 
 /// SLO-driven strategy-switching policy. The controller is evaluated at
@@ -471,6 +509,11 @@ pub struct StrategySummary {
     pub interval_cycles: u64,
     /// Worst per-group/per-stage core occupancy, in `(0, 1]`.
     pub min_stage_occupancy: f64,
+    /// Pipeline groups/stages of the profile. On an MCM package this is
+    /// the chiplet stage count — after a whole-chiplet loss it shrinks
+    /// to the survivor count (fewer, fatter stages), the typed signature
+    /// of a degraded-MCM service profile.
+    pub stages: usize,
     /// Batches dispatched under this strategy.
     pub batches: usize,
     /// Requests completed under this strategy.
@@ -634,6 +677,7 @@ fn build_profile(
     usage: &mut SimUsage,
 ) -> Result<Option<ServiceProfile>> {
     type Parts = (SystemReport, Vec<Range<usize>>, Vec<f64>, Vec<Message>);
+    let mut fault_model = kill_set(dead);
     let evaluated: Result<Parts> = if dead.is_empty() {
         if platform.chiplets > 1 {
             let Topo::Mcm(topo) = platform.model.noc_config().topo() else {
@@ -654,12 +698,28 @@ fn build_profile(
                 (report, ranges, occupancy, entry_messages(&plan, None))
             })
         }
+    } else if let Some((topo, chips)) = mcm_dead_chiplets(platform, dead) {
+        // Whole-chiplet losses keep the stage symmetry the MCM planner
+        // assumes: restage the pipeline over the survivor chiplets
+        // (fewer, fatter stages, seam distances re-priced) instead of
+        // falling back to mesh-style grouping. The kill set is the
+        // chiplet expansion — member routers plus seam endpoints.
+        let mcm = McmPlan::replan_without_chiplets(&w.spec, &topo, &chips, &w.weights, 2)?;
+        fault_model = crate::recovery::kill_chiplet_set(&topo, &chips);
+        let ranges: Vec<Range<usize>> = mcm.stages.iter().map(|s| s.layers()).collect();
+        let occupancy = mcm.stage_occupancy();
+        platform
+            .model
+            .clone()
+            .with_fault_model(fault_model.clone())
+            .evaluate(&mcm.plan)
+            .map(|report| (report, ranges, occupancy, entry_messages(&mcm.plan, None)))
     } else {
         let degraded = replan(&w.spec, platform.total_cores(), dead, &w.weights, 2)?;
         let model = platform.model.clone().with_fault_model(kill_set(dead));
-        // MCM packages fall back to mesh-style layer grouping over the
-        // survivor plan: a dead chiplet core breaks the stage symmetry
-        // the MCM planner assumes.
+        // MCM packages with a *partially* dead chiplet fall back to
+        // mesh-style layer grouping over the survivor plan: the lone
+        // dead core breaks the stage symmetry the MCM planner assumes.
         model.evaluate_degraded(&degraded).map(|report| {
             let ranges = mesh_group_ranges(&w.spec, &report, platform.pipeline_groups);
             let occupancy = group_occupancy(&degraded.plan, &ranges);
@@ -702,9 +762,32 @@ fn build_profile(
         group_cycles,
         entry,
         min_occupancy: occupancy.iter().copied().fold(1.0, f64::min),
-        fault: kill_set(dead),
+        fault: fault_model,
         saturation,
     }))
+}
+
+/// On an MCM platform, the dead chiplet ids when `dead` covers whole
+/// chiplets exactly (every member core of every touched chiplet is in
+/// `dead`); `None` on a flat mesh or when any touched chiplet is only
+/// partially dead.
+fn mcm_dead_chiplets(platform: &Platform, dead: &[usize]) -> Option<(McmTopology, Vec<usize>)> {
+    if platform.chiplets <= 1 || dead.is_empty() {
+        return None;
+    }
+    let Topo::Mcm(topo) = platform.model.noc_config().topo() else {
+        return None;
+    };
+    let mut chips: Vec<usize> = dead.iter().map(|&n| topo.chiplet_of(n)).collect();
+    chips.sort_unstable();
+    chips.dedup();
+    if chips.len() * topo.nodes_per_chiplet() != dead.len() {
+        return None;
+    }
+    chips
+        .iter()
+        .all(|&c| topo.chiplet_nodes(c).iter().all(|n| dead.contains(n)))
+        .then_some((topo, chips))
 }
 
 /// Layer-group ranges for a single-chip pipeline: the measured
@@ -1159,15 +1242,25 @@ impl ServeState {
                         completion_of(t0, &profile, j as u64, contention, &deltas) > f.at_cycle
                     })
                     .count();
-                let inference_fault =
-                    InferenceFault { layer: boundary, dead_cores: f.dead_cores.clone() };
-                match run_with_recovery(
-                    &platform.model,
-                    &w.spec,
-                    &w.weights,
-                    &[inference_fault],
-                    &config.monitor,
-                ) {
+                // Whole-chiplet deaths on a package take the hierarchical
+                // path: chiplet-liveness detection + survivor restaging.
+                let recovery = match mcm_dead_chiplets(platform, &f.dead_cores) {
+                    Some((_, chips)) => run_with_recovery_chiplets(
+                        &platform.model,
+                        &w.spec,
+                        &w.weights,
+                        &[ChipletFault { layer: boundary, dead_chiplets: chips }],
+                        &config.monitor,
+                    ),
+                    None => run_with_recovery(
+                        &platform.model,
+                        &w.spec,
+                        &w.weights,
+                        &[InferenceFault { layer: boundary, dead_cores: f.dead_cores.clone() }],
+                        &config.monitor,
+                    ),
+                };
+                match recovery {
                     Ok(rec) => {
                         let delta =
                             rec.report.total_cycles.saturating_sub(rec.fault_free.total_cycles);
@@ -1307,6 +1400,7 @@ impl ServeState {
                     latency_cycles: p.latency,
                     interval_cycles: p.interval,
                     min_stage_occupancy: p.min_occupancy,
+                    stages: p.group_ranges.len(),
                     batches: self.batch_counts[i].0,
                     requests: self.batch_counts[i].1,
                 })
@@ -1671,6 +1765,49 @@ mod tests {
             .expect("traditional profile");
         assert!(traditional.interval_cycles <= traditional.latency_cycles);
         assert!(traditional.min_stage_occupancy > 0.0);
+    }
+
+    #[test]
+    fn whole_chiplet_loss_restages_the_pipeline_on_survivors() {
+        let mut config = base_config();
+        config.chiplets = 4;
+        config.cores = 4;
+        config.arrivals = poisson(0.3, 4_000_000, 5);
+        config.faults = vec![chiplet_stream_fault(&config, 2, 1_200_000).unwrap()];
+        let report = run_serving(&config).unwrap();
+        assert!(report.halted_at.is_none(), "a single chiplet loss must not halt the package");
+        assert_eq!(report.recoveries.len(), 1, "one chiplet death, exactly one recovery");
+        assert_eq!(report.recoveries[0].dead_cores.len(), 4, "the whole chiplet died");
+        assert!(report.served() > 0);
+        assert_eq!(
+            report.outcomes.total() as usize,
+            report.offered,
+            "every request ends in a typed outcome"
+        );
+        assert_eq!(report.phases.len(), 2, "the fault splits the run into two phases");
+        // The degraded profile is a genuine MCM restage: fewer, fatter
+        // stages over the three survivor chiplets — not a mesh-grouping
+        // fallback.
+        let traditional = report
+            .strategies
+            .iter()
+            .find(|s| s.strategy == ServingStrategy::Traditional)
+            .expect("traditional profile survives");
+        assert_eq!(traditional.stages, 3, "four chiplet stages shrink to three survivors");
+        assert!(traditional.min_stage_occupancy > 0.0);
+    }
+
+    #[test]
+    fn chiplet_stream_faults_reject_non_package_configs() {
+        let flat = base_config();
+        assert!(chiplet_stream_fault(&flat, 0, 100).is_err(), "flat mesh has no chiplets");
+        let mut mcm = base_config();
+        mcm.chiplets = 2;
+        mcm.cores = 8;
+        assert!(chiplet_stream_fault(&mcm, 2, 100).is_err(), "chiplet id out of range");
+        let f = chiplet_stream_fault(&mcm, 1, 100).unwrap();
+        assert_eq!(f.at_cycle, 100);
+        assert_eq!(f.dead_cores.len(), 8, "the fault covers the whole chiplet");
     }
 
     #[test]

@@ -105,17 +105,64 @@ impl FaultModel {
         self
     }
 
-    /// Marks a router as permanently dead.
+    /// Marks a router as permanently dead. Repeated kills of the same
+    /// router are deduplicated — the model stays a *set* of faults.
     #[must_use]
     pub fn kill_router(mut self, node: usize) -> Self {
-        self.dead_routers.push(node);
+        if !self.dead_routers.contains(&node) {
+            self.dead_routers.push(node);
+        }
         self
     }
 
-    /// Marks a link as permanently dead (both directions).
+    /// Marks a link as permanently dead (both directions). Repeated
+    /// kills of the same `(node, dir)` pair are deduplicated.
     #[must_use]
     pub fn kill_link(mut self, node: usize, dir: Direction) -> Self {
-        self.dead_links.push((node, dir));
+        if !self.dead_links.contains(&(node, dir)) {
+            self.dead_links.push((node, dir));
+        }
+        self
+    }
+
+    /// Kills a whole chiplet on an MCM package: every router on the
+    /// chiplet dies, and the interposer seam links it terminates are
+    /// severed explicitly (the seam endpoints die with the chiplet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chiplet` is out of range for the package.
+    #[must_use]
+    pub fn kill_chiplet(mut self, topo: &crate::topology::McmTopology, chiplet: usize) -> Self {
+        assert!(
+            chiplet < Topology::chiplets(topo),
+            "chiplet {chiplet} out of range for a {}-chiplet package",
+            Topology::chiplets(topo)
+        );
+        for node in topo.chiplet_nodes(chiplet) {
+            self = self.kill_router(node);
+        }
+        for (node, dir) in topo.chiplet_seam_links(chiplet) {
+            self = self.kill_link(node, dir);
+        }
+        self
+    }
+
+    /// Kills the whole interposer seam between adjacent chiplets `a` and
+    /// `b`: every seam link goes down in both directions, forcing traffic
+    /// to detour over surviving seams (or fail typed if none remain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either chiplet id is out of range, or if the chiplets
+    /// share no seam (they are not grid-adjacent).
+    #[must_use]
+    pub fn kill_seam(mut self, topo: &crate::topology::McmTopology, a: usize, b: usize) -> Self {
+        let links = topo.seam_links(a, b);
+        assert!(!links.is_empty(), "chiplets {a} and {b} share no interposer seam");
+        for (node, dir) in links {
+            self = self.kill_link(node, dir);
+        }
         self
     }
 
@@ -268,8 +315,20 @@ pub fn edge_dead<T: Topology>(fault: &FaultModel, topo: &T, node: usize, dir: Di
 /// Routes are minimal over the surviving graph, with ties broken toward
 /// the XY dimension-ordered direction (then port order), so the table
 /// degenerates to plain XY routing on a fault-free topology.
+///
+/// # Panics
+///
+/// Panics if the fault model names a router or link endpoint outside the
+/// topology: an out-of-range id would silently match nothing and leave
+/// the intended fault uninjected, which is worse than failing loudly.
 pub fn plan_routes<T: Topology>(topo: &T, fault: &FaultModel) -> Vec<Option<Direction>> {
     let n = topo.nodes();
+    for &r in &fault.dead_routers {
+        assert!(r < n, "dead router {r} out of range for a {n}-node topology");
+    }
+    for &(node, _) in &fault.dead_links {
+        assert!(node < n, "dead link at node {node} out of range for a {n}-node topology");
+    }
     let mesh_dirs = [Direction::North, Direction::East, Direction::South, Direction::West];
     let mut table = vec![None; n * n];
     for dst in 0..n {
@@ -431,6 +490,85 @@ mod tests {
         let table = plan_routes(&mcm, &f);
         assert_eq!(table[n + 2], Some(Direction::South));
         assert!(table.iter().all(|e| e.is_some()), "one dead seam link keeps all pairs reachable");
+    }
+
+    #[test]
+    fn builders_dedupe_repeated_kills() {
+        let f = FaultModel::none()
+            .kill_router(3)
+            .kill_router(3)
+            .kill_link(0, Direction::East)
+            .kill_link(0, Direction::East)
+            .kill_router(3);
+        assert_eq!(f.dead_routers, vec![3]);
+        assert_eq!(f.dead_links, vec![(0, Direction::East)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plan_routes_panics_on_out_of_range_router() {
+        let mesh = Mesh2d::new(4, 4);
+        let _ = plan_routes(&mesh, &FaultModel::none().kill_router(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plan_routes_panics_on_out_of_range_link() {
+        let mesh = Mesh2d::new(4, 4);
+        let _ = plan_routes(&mesh, &FaultModel::none().kill_link(99, Direction::East));
+    }
+
+    #[test]
+    fn kill_chiplet_expands_to_routers_and_seam_endpoints() {
+        // 2x1 grid of 2x2 chiplets: chiplet 1 is nodes {2, 3, 6, 7} and
+        // its seam endpoints are the West links back toward chiplet 0.
+        let mcm = McmTopology::new(2, 2, 2, 1);
+        let f = FaultModel::none().kill_chiplet(&mcm, 1);
+        assert_eq!(f.dead_routers, mcm.chiplet_nodes(1));
+        assert_eq!(f.dead_links, vec![(2, Direction::West), (6, Direction::West)]);
+        // Survivors on chiplet 0 still reach each other.
+        let n = Topology::nodes(&mcm);
+        let table = plan_routes(&mcm, &f);
+        for &a in &mcm.chiplet_nodes(0) {
+            for &b in &mcm.chiplet_nodes(0) {
+                assert!(table[a * n + b].is_some(), "{a} -> {b} must survive the chiplet loss");
+            }
+        }
+        for &dead in &f.dead_routers {
+            assert_eq!(table[dead], None, "routes into the dead chiplet must vanish");
+        }
+    }
+
+    #[test]
+    fn kill_seam_severs_every_interposer_link_between_two_chiplets() {
+        // 2x1 grid of 2x2 chiplets: the seam is {1<->2, 5<->6}. Killing
+        // it disconnects the package (no other seam exists).
+        let mcm = McmTopology::new(2, 2, 2, 1);
+        let f = FaultModel::none().kill_seam(&mcm, 0, 1);
+        assert_eq!(f.dead_links, vec![(1, Direction::East), (5, Direction::East)]);
+        let n = Topology::nodes(&mcm);
+        let table = plan_routes(&mcm, &f);
+        assert_eq!(table[2], None, "no surviving seam: chiplets are partitioned");
+        assert!(table[n + 5].is_some(), "intra-chiplet traffic is untouched");
+        // On a 2x2 package grid the same seam loss reroutes instead.
+        let quad = McmTopology::new(2, 2, 2, 2);
+        let table = plan_routes(&quad, &FaultModel::none().kill_seam(&quad, 0, 1));
+        assert!(table.iter().all(|e| e.is_some()), "a 2x2 grid detours around one dead seam");
+    }
+
+    #[test]
+    #[should_panic(expected = "share no interposer seam")]
+    fn kill_seam_panics_on_non_adjacent_chiplets() {
+        // Chiplets 0 and 3 sit on a package diagonal: no shared seam.
+        let quad = McmTopology::new(2, 2, 2, 2);
+        let _ = FaultModel::none().kill_seam(&quad, 0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kill_chiplet_panics_on_out_of_range_chiplet() {
+        let mcm = McmTopology::new(2, 2, 2, 1);
+        let _ = FaultModel::none().kill_chiplet(&mcm, 2);
     }
 
     #[test]

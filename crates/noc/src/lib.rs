@@ -59,8 +59,8 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use fault::{FaultModel, RetransmitConfig};
 pub use network::Simulator;
 pub use recovery::{
-    Detection, DetectionCause, FaultEvent, FaultEventKind, FaultSchedule, MonitorConfig,
-    RecoverableReport,
+    aggregate_chiplet_detections, ChipletDetection, ChipletVerdict, Detection, DetectionCause,
+    FaultEvent, FaultEventKind, FaultSchedule, MonitorConfig, RecoverableReport,
 };
 pub use stats::{FaultStats, SimReport};
 pub use topology::{HopClass, McmTopology, Mesh2d, Topo, Topology};

@@ -1149,6 +1149,10 @@ impl Simulator {
         let _probe = lts_obs::span("noc.run_recoverable");
         schedule.validate(&self.config)?;
         monitor.validate(&self.config)?;
+        // Hierarchical package-level events (chiplet/seam deaths) lower
+        // to flat router/link deaths here, so the stepper below only
+        // ever sees hardware-granularity faults.
+        let schedule = schedule.expanded(&self.config)?;
         if schedule.is_empty() {
             let report =
                 if full_scan { self.run_reference(messages)? } else { self.run(messages)? };
@@ -1156,7 +1160,7 @@ impl Simulator {
         }
         let saved_fault = self.fault.clone();
         let saved_routes = self.routes.clone();
-        let result = self.run_recoverable_inner(messages, schedule, monitor, full_scan);
+        let result = self.run_recoverable_inner(messages, &schedule, monitor, full_scan);
         self.fault = saved_fault;
         self.routes = saved_routes;
         self.dynamic = false;
@@ -1225,6 +1229,9 @@ impl Simulator {
                         resolved += self.apply_router_death(node);
                     }
                     FaultEventKind::LinkDeath { node, dir } => self.apply_link_death(node, dir),
+                    FaultEventKind::ChipletDeath { .. } | FaultEventKind::SeamDeath { .. } => {
+                        unreachable!("hierarchical fault events are lowered before stepping")
+                    }
                 }
             }
             while next_beat < beats.len()

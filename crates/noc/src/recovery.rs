@@ -27,10 +27,19 @@
 
 use crate::config::{NocConfig, NocError};
 use crate::stats::SimReport;
-use crate::topology::Direction;
+use crate::topology::{Direction, McmTopology, Topo, Topology};
 use serde::{Deserialize, Serialize};
 
 /// What dies in a [`FaultEvent`].
+///
+/// The first two kinds are *flat* hardware faults the stepper applies
+/// directly. The last two are *hierarchical* package-level faults that
+/// only exist on MCM topologies; [`FaultSchedule::expanded`] lowers them
+/// into the flat kinds before any simulation (a chiplet death expands to
+/// its routers plus the interposer seam endpoints it terminates, a seam
+/// death to every link of that seam), so the fault-aware BFS and the
+/// active-set stepper route around what remains without ever seeing a
+/// hierarchical event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultEventKind {
     /// A router (and its attached core) stops forwarding, injecting and
@@ -45,6 +54,20 @@ pub enum FaultEventKind {
         node: usize,
         /// The link's direction from `node`.
         dir: Direction,
+    },
+    /// A whole chiplet drops off the package: all of its routers plus
+    /// the seam endpoints it terminates. MCM topologies only.
+    ChipletDeath {
+        /// The dying chiplet (package id).
+        chiplet: usize,
+    },
+    /// An entire interposer seam between two adjacent chiplets goes
+    /// down; traffic detours over surviving seams. MCM topologies only.
+    SeamDeath {
+        /// One chiplet flanking the seam.
+        a: usize,
+        /// The other chiplet flanking the seam.
+        b: usize,
     },
 }
 
@@ -93,6 +116,22 @@ impl FaultSchedule {
         self
     }
 
+    /// Adds a whole-chiplet death at `cycle` (MCM topologies only —
+    /// validation rejects it on a single-chip mesh).
+    #[must_use]
+    pub fn chiplet_death(mut self, cycle: u64, chiplet: usize) -> Self {
+        self.events.push(FaultEvent { cycle, kind: FaultEventKind::ChipletDeath { chiplet } });
+        self
+    }
+
+    /// Adds a whole-seam death at `cycle` between adjacent chiplets `a`
+    /// and `b` (MCM topologies only).
+    #[must_use]
+    pub fn seam_death(mut self, cycle: u64, a: usize, b: usize) -> Self {
+        self.events.push(FaultEvent { cycle, kind: FaultEventKind::SeamDeath { a, b } });
+        self
+    }
+
     /// The events, in insertion order (sort with [`FaultSchedule::sorted`]).
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -112,13 +151,16 @@ impl FaultSchedule {
     }
 
     /// The router-death nodes in the schedule (deduplicated, sorted).
+    /// Hierarchical events are not expanded here — lower the schedule
+    /// with [`FaultSchedule::expanded`] first to include the routers a
+    /// chiplet death takes down.
     pub fn dead_routers(&self) -> Vec<usize> {
         let mut v: Vec<usize> = self
             .events
             .iter()
             .filter_map(|e| match e.kind {
                 FaultEventKind::RouterDeath { node } => Some(node),
-                FaultEventKind::LinkDeath { .. } => None,
+                _ => None,
             })
             .collect();
         v.sort_unstable();
@@ -126,12 +168,71 @@ impl FaultSchedule {
         v
     }
 
-    /// Validates the schedule against a mesh configuration.
+    /// Lowers hierarchical package-level events into flat hardware
+    /// events: each [`FaultEventKind::ChipletDeath`] becomes the router
+    /// deaths of its member nodes plus the link deaths of its seam
+    /// endpoints, each [`FaultEventKind::SeamDeath`] the link deaths of
+    /// the whole seam — all at the original event cycle, in a stable
+    /// deterministic order. Flat events pass through unchanged, so a
+    /// schedule without hierarchical events expands to itself.
     ///
     /// # Errors
     ///
-    /// Returns [`NocError::BadConfig`] for out-of-range nodes or a
-    /// `Local` link direction.
+    /// Returns [`NocError::BadConfig`] when a hierarchical event targets
+    /// a single-chip mesh, an out-of-range chiplet, or a chiplet pair
+    /// with no shared seam.
+    pub fn expanded(&self, config: &NocConfig) -> Result<FaultSchedule, NocError> {
+        let mut events = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            match e.kind {
+                FaultEventKind::RouterDeath { .. } | FaultEventKind::LinkDeath { .. } => {
+                    events.push(*e);
+                }
+                FaultEventKind::ChipletDeath { chiplet } => {
+                    let topo = package_topology(config, "chiplet death")?;
+                    check_chiplet(&topo, chiplet)?;
+                    for node in topo.chiplet_nodes(chiplet) {
+                        events.push(FaultEvent {
+                            cycle: e.cycle,
+                            kind: FaultEventKind::RouterDeath { node },
+                        });
+                    }
+                    for (node, dir) in topo.chiplet_seam_links(chiplet) {
+                        events.push(FaultEvent {
+                            cycle: e.cycle,
+                            kind: FaultEventKind::LinkDeath { node, dir },
+                        });
+                    }
+                }
+                FaultEventKind::SeamDeath { a, b } => {
+                    let topo = package_topology(config, "seam death")?;
+                    check_chiplet(&topo, a)?;
+                    check_chiplet(&topo, b)?;
+                    let links = topo.seam_links(a, b);
+                    if links.is_empty() {
+                        return Err(NocError::BadConfig(format!(
+                            "scheduled seam death between chiplets {a} and {b}, which share no seam"
+                        )));
+                    }
+                    for (node, dir) in links {
+                        events.push(FaultEvent {
+                            cycle: e.cycle,
+                            kind: FaultEventKind::LinkDeath { node, dir },
+                        });
+                    }
+                }
+            }
+        }
+        Ok(FaultSchedule { events })
+    }
+
+    /// Validates the schedule against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::BadConfig`] for out-of-range nodes, a `Local`
+    /// link direction, or a hierarchical (chiplet/seam) event that does
+    /// not name a valid MCM package seam or chiplet.
     pub fn validate(&self, config: &NocConfig) -> Result<(), NocError> {
         let nodes = config.nodes();
         for e in &self.events {
@@ -155,10 +256,47 @@ impl FaultSchedule {
                         ));
                     }
                 }
+                FaultEventKind::ChipletDeath { chiplet } => {
+                    let topo = package_topology(config, "chiplet death")?;
+                    check_chiplet(&topo, chiplet)?;
+                }
+                FaultEventKind::SeamDeath { a, b } => {
+                    let topo = package_topology(config, "seam death")?;
+                    check_chiplet(&topo, a)?;
+                    check_chiplet(&topo, b)?;
+                    if topo.seam_links(a, b).is_empty() {
+                        return Err(NocError::BadConfig(format!(
+                            "scheduled seam death between chiplets {a} and {b}, which share no seam"
+                        )));
+                    }
+                }
             }
         }
         Ok(())
     }
+}
+
+/// The MCM package behind `config`, or a typed error when the topology
+/// is a single-chip mesh (hierarchical fault events have no meaning
+/// there).
+fn package_topology(config: &NocConfig, what: &str) -> Result<McmTopology, NocError> {
+    match config.topo() {
+        Topo::Mcm(topo) => Ok(topo),
+        Topo::Mesh(_) => Err(NocError::BadConfig(format!(
+            "scheduled {what} requires an MCM package topology, not a single-chip mesh"
+        ))),
+    }
+}
+
+/// Bounds-checks a chiplet id against the package, as a typed error.
+fn check_chiplet(topo: &McmTopology, chiplet: usize) -> Result<(), NocError> {
+    let chiplets = Topology::chiplets(topo);
+    if chiplet >= chiplets {
+        return Err(NocError::BadConfig(format!(
+            "scheduled fault names chiplet {chiplet}, out of range for a {chiplets}-chiplet package"
+        )));
+    }
+    Ok(())
 }
 
 /// Heartbeat health-monitor parameters.
@@ -226,6 +364,48 @@ impl MonitorConfig {
     pub fn detection_latency(&self, config: &NocConfig, node: usize, died_at: u64) -> u64 {
         self.detection_cycle(config, node, died_at).saturating_sub(died_at)
     }
+
+    /// The cycle at which the monitor upgrades per-router evidence to a
+    /// *chiplet-liveness* verdict for `chiplet`, given the whole chiplet
+    /// died at `died_at`: the latest [`MonitorConfig::detection_cycle`]
+    /// across the chiplet's member routers. Individual routers missing
+    /// beats is ambiguous — a congested or backing-off seam delays
+    /// heartbeats just as effectively — so the monitor only declares the
+    /// chiplet dead once *every* member router has lapsed its own
+    /// seam-priced deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chiplet` is out of range for the package.
+    pub fn chiplet_detection_cycle(
+        &self,
+        config: &NocConfig,
+        topo: &McmTopology,
+        chiplet: usize,
+        died_at: u64,
+    ) -> u64 {
+        topo.chiplet_nodes(chiplet)
+            .iter()
+            .map(|&n| self.detection_cycle(config, n, died_at))
+            .max()
+            .unwrap_or(died_at)
+    }
+
+    /// Chiplet-verdict latency in cycles:
+    /// [`MonitorConfig::chiplet_detection_cycle`] minus the death cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chiplet` is out of range for the package.
+    pub fn chiplet_detection_latency(
+        &self,
+        config: &NocConfig,
+        topo: &McmTopology,
+        chiplet: usize,
+        died_at: u64,
+    ) -> u64 {
+        self.chiplet_detection_cycle(config, topo, chiplet, died_at).saturating_sub(died_at)
+    }
 }
 
 /// How a death was noticed.
@@ -255,6 +435,83 @@ impl Detection {
     pub fn latency(&self) -> u64 {
         self.detected_at.saturating_sub(self.died_at)
     }
+}
+
+/// The monitor's chiplet-liveness verdict, aggregated from per-router
+/// heartbeat evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChipletVerdict {
+    /// Only *some* of the chiplet's routers missed their deadlines —
+    /// evidence consistent with a slow or severed interposer seam
+    /// delaying heartbeats, not a package-level loss. The right response
+    /// is link-level: retransmission and backoff, no replan.
+    SlowSeam,
+    /// *Every* router on the chiplet lapsed its seam-priced deadline:
+    /// the chiplet is gone and the pipeline must replan without it.
+    DeadChiplet,
+}
+
+/// One aggregated chiplet-level detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipletDetection {
+    /// The chiplet the evidence points at.
+    pub chiplet: usize,
+    /// Earliest member-router death cycle (ground truth).
+    pub died_at: u64,
+    /// Cycle at which the verdict firmed up: the latest member
+    /// detection for [`ChipletVerdict::DeadChiplet`], the latest
+    /// available evidence for [`ChipletVerdict::SlowSeam`].
+    pub detected_at: u64,
+    /// What the evidence supports.
+    pub verdict: ChipletVerdict,
+}
+
+impl ChipletDetection {
+    /// Verdict latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.detected_at.saturating_sub(self.died_at)
+    }
+}
+
+/// Aggregates per-router [`Detection`]s into per-chiplet liveness
+/// verdicts: a chiplet with *all* member routers detected is
+/// [`ChipletVerdict::DeadChiplet`] (firm at the last member's
+/// detection), one with partial evidence is
+/// [`ChipletVerdict::SlowSeam`]. Chiplets with no detections at all
+/// produce no entry. Results are sorted by chiplet id.
+pub fn aggregate_chiplet_detections(
+    detections: &[Detection],
+    topo: &McmTopology,
+) -> Vec<ChipletDetection> {
+    let chiplets = Topology::chiplets(topo);
+    let per_chip = topo.nodes_per_chiplet();
+    let mut seen: Vec<Vec<&Detection>> = vec![Vec::new(); chiplets];
+    for d in detections {
+        if d.node < Topology::nodes(topo) {
+            seen[topo.chiplet_of(d.node)].push(d);
+        }
+    }
+    let mut verdicts = Vec::new();
+    for (chiplet, members) in seen.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let mut nodes: Vec<usize> = members.iter().map(|d| d.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let verdict = if nodes.len() == per_chip {
+            ChipletVerdict::DeadChiplet
+        } else {
+            ChipletVerdict::SlowSeam
+        };
+        verdicts.push(ChipletDetection {
+            chiplet,
+            died_at: members.iter().map(|d| d.died_at).min().unwrap_or(0),
+            detected_at: members.iter().map(|d| d.detected_at).max().unwrap_or(0),
+            verdict,
+        });
+    }
+    verdicts
 }
 
 /// Result of a [`crate::Simulator::run_recoverable`] run: the usual
@@ -366,6 +623,121 @@ mod tests {
             m.detection_cycle(&mcm, 31, died_at),
             m.detection_cycle(&mesh, 31, died_at) + seam_delta
         );
+    }
+
+    #[test]
+    fn hierarchical_events_require_a_package_topology() {
+        let mesh = NocConfig::paper_16core();
+        assert!(FaultSchedule::new().chiplet_death(100, 0).validate(&mesh).is_err());
+        assert!(FaultSchedule::new().seam_death(100, 0, 1).validate(&mesh).is_err());
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        assert!(FaultSchedule::new().chiplet_death(100, 1).validate(&mcm).is_ok());
+        assert!(FaultSchedule::new().chiplet_death(100, 2).validate(&mcm).is_err());
+        assert!(FaultSchedule::new().seam_death(100, 0, 1).validate(&mcm).is_ok());
+        // A 2x2 package grid has no seam across the diagonal.
+        let quad = NocConfig::paper_mcm(4, 4).unwrap();
+        assert!(FaultSchedule::new().seam_death(100, 0, 3).validate(&quad).is_err());
+        assert!(FaultSchedule::new().seam_death(100, 0, 1).validate(&quad).is_ok());
+    }
+
+    #[test]
+    fn chiplet_death_expands_to_member_routers_and_seam_endpoints() {
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        let Topo::Mcm(topo) = mcm.topo() else { panic!("paper_mcm must be a package") };
+        let s = FaultSchedule::new().chiplet_death(5_000, 1);
+        let expanded = s.expanded(&mcm).unwrap();
+        let routers = expanded.dead_routers();
+        let mut members = topo.chiplet_nodes(1);
+        members.sort_unstable();
+        assert_eq!(routers, members, "every member router dies");
+        let links: Vec<(usize, Direction)> = expanded
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultEventKind::LinkDeath { node, dir } => Some((node, dir)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(links, topo.chiplet_seam_links(1), "seam endpoints are severed explicitly");
+        assert!(expanded.events().iter().all(|e| e.cycle == 5_000));
+        // A flat schedule expands to itself.
+        let flat = FaultSchedule::new().router_death(10, 3).link_death(20, 0, Direction::East);
+        assert_eq!(flat.expanded(&mcm).unwrap(), flat);
+    }
+
+    #[test]
+    fn seam_death_expands_to_the_whole_seam() {
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        let Topo::Mcm(topo) = mcm.topo() else { panic!("paper_mcm must be a package") };
+        let expanded = FaultSchedule::new().seam_death(1_000, 0, 1).expanded(&mcm).unwrap();
+        assert!(expanded.dead_routers().is_empty(), "a seam death kills no routers");
+        assert_eq!(expanded.events().len(), topo.seam_links(0, 1).len());
+    }
+
+    #[test]
+    fn chiplet_detection_is_the_slowest_member_deadline() {
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        let Topo::Mcm(topo) = mcm.topo() else { panic!("paper_mcm must be a package") };
+        let m = MonitorConfig::default();
+        let died_at = 300;
+        let verdict_at = m.chiplet_detection_cycle(&mcm, &topo, 1, died_at);
+        let per_router =
+            topo.chiplet_nodes(1).iter().map(|&n| m.detection_cycle(&mcm, n, died_at)).max();
+        assert_eq!(Some(verdict_at), per_router);
+        // The verdict can only lag individual member detections.
+        for &n in &topo.chiplet_nodes(1) {
+            assert!(verdict_at >= m.detection_cycle(&mcm, n, died_at));
+        }
+        assert_eq!(
+            m.chiplet_detection_latency(&mcm, &topo, 1, died_at),
+            verdict_at - died_at,
+            "latency is the verdict cycle minus the death cycle"
+        );
+        // The remote chiplet's verdict is strictly later than the
+        // monitor's own: seam-priced beat latencies shift the deadline.
+        assert!(verdict_at > m.chiplet_detection_cycle(&mcm, &topo, 0, died_at));
+    }
+
+    #[test]
+    fn aggregation_separates_dead_chiplets_from_slow_seams() {
+        let mcm = NocConfig::paper_mcm(2, 16).unwrap();
+        let Topo::Mcm(topo) = mcm.topo() else { panic!("paper_mcm must be a package") };
+        let m = MonitorConfig::default();
+        // All 16 routers of chiplet 1 detected: a firm chiplet loss.
+        let mut detections: Vec<Detection> = topo
+            .chiplet_nodes(1)
+            .iter()
+            .map(|&n| Detection {
+                node: n,
+                died_at: 300,
+                detected_at: m.detection_cycle(&mcm, n, 300),
+                cause: DetectionCause::MissedHeartbeats,
+            })
+            .collect();
+        // Two routers of chiplet 0 detected: seam-shaped evidence only.
+        for &n in &topo.chiplet_nodes(0)[..2] {
+            detections.push(Detection {
+                node: n,
+                died_at: 400,
+                detected_at: m.detection_cycle(&mcm, n, 400),
+                cause: DetectionCause::MissedHeartbeats,
+            });
+        }
+        let verdicts = aggregate_chiplet_detections(&detections, &topo);
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[0].chiplet, 0);
+        assert_eq!(verdicts[0].verdict, ChipletVerdict::SlowSeam);
+        assert_eq!(verdicts[1].chiplet, 1);
+        assert_eq!(verdicts[1].verdict, ChipletVerdict::DeadChiplet);
+        assert_eq!(verdicts[1].died_at, 300);
+        assert_eq!(
+            verdicts[1].detected_at,
+            m.chiplet_detection_cycle(&mcm, &topo, 1, 300),
+            "the aggregated verdict lands exactly on the analytic chiplet deadline"
+        );
+        assert!(verdicts[1].latency() > 0);
+        // No evidence, no verdict.
+        assert!(aggregate_chiplet_detections(&[], &topo).is_empty());
     }
 
     #[test]

@@ -482,6 +482,51 @@ impl McmTopology {
         (0..self.nodes_per_chiplet()).map(|l| self.chiplet_node(c, l)).collect()
     }
 
+    /// The interposer links forming the seam between chiplets `a` and
+    /// `b`, each named `(node, dir)` from the `a` side. Empty when the
+    /// chiplets are not grid-adjacent (there is no seam between them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either chiplet id is out of range.
+    pub fn seam_links(&self, a: usize, b: usize) -> Vec<(usize, Direction)> {
+        assert!(a < self.chiplets(), "chiplet {a} out of range for {} chiplets", self.chiplets());
+        assert!(b < self.chiplets(), "chiplet {b} out of range for {} chiplets", self.chiplets());
+        let mut links = Vec::new();
+        for node in self.chiplet_nodes(a) {
+            for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
+                if let Some(nb) = self.neighbor(node, dir) {
+                    if self.chiplet_of(nb) == b && b != a {
+                        links.push((node, dir));
+                    }
+                }
+            }
+        }
+        links
+    }
+
+    /// Every interposer link incident to chiplet `c` — the seam
+    /// endpoints severed when the whole chiplet drops off the package.
+    /// Each link is named `(node, dir)` from the `c` side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn chiplet_seam_links(&self, c: usize) -> Vec<(usize, Direction)> {
+        assert!(c < self.chiplets(), "chiplet {c} out of range for {} chiplets", self.chiplets());
+        let mut links = Vec::new();
+        for node in self.chiplet_nodes(c) {
+            for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
+                if let Some(nb) = self.neighbor(node, dir) {
+                    if self.chiplet_of(nb) != c {
+                        links.push((node, dir));
+                    }
+                }
+            }
+        }
+        links
+    }
+
     /// Chiplet ids in serpentine (boustrophedon) package order, so that
     /// consecutive entries are always grid-adjacent — the natural order
     /// for laying out pipeline stages with single-seam boundaries.

@@ -1,8 +1,10 @@
 //! Property-based tests for the NoC simulator's global invariants.
 
 use lts_noc::analytic::analyze;
+use lts_noc::fault::plan_routes;
+use lts_noc::topology::Direction;
 use lts_noc::traffic::{Message, TrafficTrace};
-use lts_noc::{Mesh2d, NocConfig, Simulator};
+use lts_noc::{FaultModel, McmTopology, Mesh2d, NocConfig, Simulator, Topology};
 use proptest::prelude::*;
 
 /// Strategy producing a random valid trace on a w×h mesh.
@@ -99,5 +101,39 @@ proptest! {
         let mut sim = Simulator::new(cfg).unwrap();
         let report = sim.run(&msgs).unwrap();
         prop_assert_eq!(report.messages_delivered, msgs.len());
+    }
+
+    #[test]
+    fn any_single_dead_seam_link_keeps_a_package_grid_connected(
+        chip_w in 2usize..4,
+        chip_h in 2usize..4,
+        grid_w in 2usize..4,
+        grid_h in 2usize..4,
+        pick in 0usize..1000,
+    ) {
+        // Generalizes the 2x1 unit test in `crates/noc/src/fault.rs`: on
+        // a >= 2x2 package grid every seam has a detour (around the grid
+        // cycle through neighboring chiplets), so killing any single
+        // interposer link must leave all node pairs mutually reachable.
+        let topo = McmTopology::new(chip_w, chip_h, grid_w, grid_h);
+        let mut seams: Vec<(usize, Direction)> = Vec::new();
+        for c in 0..Topology::chiplets(&topo) {
+            for (node, dir) in topo.chiplet_seam_links(c) {
+                // Each physical link shows up from both endpoints; keep
+                // the canonical (East/South) naming once.
+                if dir == Direction::East || dir == Direction::South {
+                    seams.push((node, dir));
+                }
+            }
+        }
+        prop_assert!(!seams.is_empty());
+        let (node, dir) = seams[pick % seams.len()];
+        let fault = FaultModel::none().kill_link(node, dir);
+        let table = plan_routes(&topo, &fault);
+        prop_assert!(
+            table.iter().all(|e| e.is_some()),
+            "dead seam link ({}, {:?}) disconnected a {}x{} grid of {}x{} chiplets",
+            node, dir, grid_w, grid_h, chip_w, chip_h
+        );
     }
 }

@@ -101,6 +101,82 @@ proptest! {
     }
 
     #[test]
+    fn unit_mcm_chiplet_death_matches_mesh_router_deaths(
+        msgs in trace_strategy(16, 20),
+        death_cycle in 100u64..30_000,
+    ) {
+        // The whole-chiplet fault class at chiplets = 1: killing the one
+        // chiplet of a unit package expands to exactly the sixteen
+        // router deaths a mesh schedule would spell out by hand, and the
+        // recoverable run stays bit-identical.
+        let (mesh, mcm) = mesh_and_unit_mcm();
+        let mut mesh_schedule = FaultSchedule::new();
+        for node in 0..16 {
+            mesh_schedule = mesh_schedule.router_death(death_cycle, node);
+        }
+        let mcm_schedule = FaultSchedule::new().chiplet_death(death_cycle, 0);
+        let monitor = MonitorConfig::default();
+        let a = Simulator::new(mesh).unwrap()
+            .run_recoverable(&msgs, &mesh_schedule, &monitor).unwrap();
+        let b = Simulator::new(mcm).unwrap()
+            .run_recoverable(&msgs, &mcm_schedule, &monitor).unwrap();
+        prop_assert_eq!(a.report, b.report);
+        prop_assert_eq!(a.detections, b.detections);
+        prop_assert_eq!(a.abandoned, b.abandoned);
+    }
+
+    #[test]
+    fn unit_mcm_kill_chiplet_matches_mesh_kill_routers(
+        msgs in trace_strategy(16, 20),
+        seed in 0u64..1000,
+    ) {
+        // Static half of the same story: `kill_chiplet` on the unit
+        // package is the mesh model with every router killed (there are
+        // no seams to sever), so outcomes agree bit-exactly.
+        let (mesh_cfg, mcm_cfg) = mesh_and_unit_mcm();
+        let lts_noc::Topo::Mcm(topo) = mcm_cfg.topo() else { panic!("expected a package") };
+        let mcm_fault =
+            FaultModel::none().with_seed(seed).kill_chiplet(&topo, 0).retry_limit(4);
+        let mut mesh_fault = FaultModel::none().with_seed(seed).retry_limit(4);
+        for node in 0..16 {
+            mesh_fault = mesh_fault.kill_router(node);
+        }
+        prop_assert_eq!(&mcm_fault.dead_routers, &mesh_fault.dead_routers);
+        prop_assert!(mcm_fault.dead_links.is_empty(), "a unit package has no seam endpoints");
+        let a = outcome(Simulator::with_faults(mesh_cfg, mesh_fault).unwrap().run(&msgs));
+        let b = outcome(Simulator::with_faults(mcm_cfg, mcm_fault).unwrap().run(&msgs));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hierarchical_schedule_matches_its_hand_expansion_on_a_real_package(
+        msgs in trace_strategy(32, 20),
+        death_cycle in 100u64..30_000,
+    ) {
+        // On a genuine 2-chiplet package, the sugar must be *exactly*
+        // its expansion: a chiplet death behaves bit-identically to the
+        // explicit router deaths + seam-endpoint link deaths.
+        let config = NocConfig::paper_mcm(2, 16).unwrap();
+        let lts_noc::Topo::Mcm(topo) = config.topo() else { panic!("expected a package") };
+        let sugar = FaultSchedule::new().chiplet_death(death_cycle, 1);
+        let mut manual = FaultSchedule::new();
+        for node in topo.chiplet_nodes(1) {
+            manual = manual.router_death(death_cycle, node);
+        }
+        for (node, dir) in topo.chiplet_seam_links(1) {
+            manual = manual.link_death(death_cycle, node, dir);
+        }
+        let monitor = MonitorConfig::default();
+        let a = Simulator::new(config).unwrap()
+            .run_recoverable(&msgs, &sugar, &monitor).unwrap();
+        let b = Simulator::new(config).unwrap()
+            .run_recoverable(&msgs, &manual, &monitor).unwrap();
+        prop_assert_eq!(a.report, b.report);
+        prop_assert_eq!(a.detections, b.detections);
+        prop_assert_eq!(a.abandoned, b.abandoned);
+    }
+
+    #[test]
     fn hop_split_sums_to_link_traversals_on_any_package(
         msgs in trace_strategy(32, 25),
         chiplets_idx in 0usize..3,

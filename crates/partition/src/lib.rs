@@ -29,7 +29,10 @@ pub mod traffic;
 
 pub use degrade::{replan, DegradedPlan, LostGroups};
 pub use distance::{hop_mask, hop_power_mask, two_level_mask};
-pub use mcm::{group_occupancy, partition_stages, partition_stages_at, McmPlan, StagePlacement};
+pub use mcm::{
+    group_occupancy, partition_stages, partition_stages_at, McmIncrementalPlan, McmPlan,
+    StagePlacement,
+};
 pub use ownership::OwnershipMap;
 pub use plan::{LayerPlan, Plan, PlanError};
 pub use recover::{replan_from_layer, IncrementalPlan};

@@ -3,10 +3,10 @@
 
 use lts_nn::descriptor::SpecBuilder;
 use lts_nn::grouping::GroupLayout;
-use lts_noc::Mesh2d;
+use lts_noc::{McmTopology, Mesh2d};
 use lts_partition::ownership::OwnershipMap;
 use lts_partition::traffic::{dense_volume_bytes, transition_messages};
-use lts_partition::{hop_power_mask, Plan};
+use lts_partition::{hop_power_mask, McmPlan, Plan};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -230,4 +230,27 @@ fn grouped_spec(groups: usize) -> lts_nn::descriptor::NetworkSpec {
         .flatten()
         .linear("ip1", 10)
         .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn replanning_without_no_chiplets_is_bit_identical_to_the_plan(
+        chip_w in 2usize..5,
+        chip_h in 1usize..3,
+        grid_w in 1usize..4,
+        grid_h in 1usize..3,
+        groups in 1usize..3,
+    ) {
+        // `replan_without_chiplets` with an empty fault set must be the
+        // original MCM plan, bit for bit, on any package shape — the
+        // degraded path IS the healthy path at zero faults.
+        let spec = grouped_spec(if groups == 1 { 1 } else { 16 });
+        let topo = McmTopology::new(chip_w, chip_h, grid_w, grid_h);
+        let original = McmPlan::build(&spec, &topo, &HashMap::new(), 2).unwrap();
+        let replanned =
+            McmPlan::replan_without_chiplets(&spec, &topo, &[], &HashMap::new(), 2).unwrap();
+        prop_assert_eq!(original, replanned);
+    }
 }

@@ -57,4 +57,13 @@ echo "==> mcm smoke (1->2 chiplet scaling sweep: monotone throughput, per-hop-cl
 LTS_MCM_MAX_CHIPLETS=2 LTS_BENCH_ITERS=1 LTS_BENCH_DIR="$(mktemp -d)" \
     cargo run --release --offline -p lts-bench --bin mcm_scaling
 
+echo "==> mcm-fault smoke (mid-inference chiplet death: hierarchical detection, survivor restaging, serving ride-through)"
+# Self-baselined like the serving smoke: the sweep writes
+# BENCH_mcm_fault.json and compares it as its own baseline, exercising
+# the regression-gate path without wall-clock flake.
+MCMF_DIR="$(mktemp -d)"
+LTS_EFFORT=quick LTS_BENCH_ITERS=1 LTS_BENCH_DIR="$MCMF_DIR" \
+    LTS_BENCH_BASELINE="$MCMF_DIR/BENCH_mcm_fault.json" \
+    cargo run --release --offline -p lts-bench --bin mcm_fault_sweep
+
 echo "All checks passed."
