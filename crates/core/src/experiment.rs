@@ -5,7 +5,7 @@
 //! and `EXPERIMENTS.md` records paper-vs-measured values.
 
 use crate::pipeline::{
-    plan_for, train_baseline, train_sparsified, PipelineConfig, SparsifiedOutcome,
+    plan_for_precision, train_baseline, train_sparsified, PipelineConfig, SparsifiedOutcome,
 };
 use crate::strategy::SparsityScheme;
 use crate::system::{SystemModel, SystemReport};
@@ -157,17 +157,32 @@ pub struct StructureRow {
 ///
 /// Propagates training/plan/simulation errors.
 pub fn table3_rows(preset: &EffortPreset) -> Result<Vec<StructureRow>> {
-    structure_rows_for_cores(preset, 16, true)
+    let (lr, mul) = train_presets::CONVNET;
+    table3_rows_with_config(preset, &preset.pipeline_config_with(lr, mul))
+}
+
+/// [`table3_rows`] under an explicit pipeline configuration — the hook the
+/// quantization sweep uses to rerun the structure-level strategy at
+/// another deployment precision.
+///
+/// # Errors
+///
+/// Propagates training/plan/simulation errors.
+pub fn table3_rows_with_config(
+    preset: &EffortPreset,
+    config: &PipelineConfig,
+) -> Result<Vec<StructureRow>> {
+    structure_rows_for_cores(preset, config, 16, true)
 }
 
 fn structure_rows_for_cores(
     preset: &EffortPreset,
+    config: &PipelineConfig,
     cores: usize,
     include_parallel2: bool,
 ) -> Result<Vec<StructureRow>> {
     let data = presets::synth_imagenet10(preset.train_samples, preset.test_samples, preset.seed);
-    let (lr, mul) = train_presets::CONVNET;
-    let config = preset.pipeline_config_with(lr, mul);
+    let config = *config;
     let model = SystemModel::paper(cores)?;
 
     let mut variants: Vec<(String, [usize; 3], usize)> =
@@ -183,7 +198,7 @@ fn structure_rows_for_cores(
         let _variant_probe = lts_obs::span(&format!("experiment.variant.{name}"));
         let net = models::convnet_variant(kernels, groups, preset.seed)?;
         let outcome = train_baseline(net, &data, &config)?;
-        let plan = plan_for(&outcome.network, cores, false, true)?;
+        let plan = plan_for_precision(&outcome.network, cores, false, true, config.precision)?;
         let report = model.evaluate(&plan)?;
         let base = baseline_report.get_or_insert_with(|| report.clone());
         let comm_speedup = if report.comm_cycles == 0 {
@@ -278,7 +293,7 @@ pub fn sparsified_experiment(
 
     // Baseline.
     let baseline = train_baseline(build(seed)?, data, &config)?;
-    let base_plan = plan_for(&baseline.network, cores, false, true)?;
+    let base_plan = plan_for_precision(&baseline.network, cores, false, true, config.precision)?;
     let base_report = model.evaluate(&base_plan)?;
     let mut rows = vec![SparsifiedRow {
         network: network_name.to_string(),
@@ -297,7 +312,7 @@ pub fn sparsified_experiment(
         let candidates = par::par_map(&params.lambda_grid, |_, &lambda| {
             let outcome =
                 train_sparsified(build(seed)?, data, &config, cores, scheme, lambda, params.prune)?;
-            let plan = plan_for(&outcome.network, cores, true, true)?;
+            let plan = plan_for_precision(&outcome.network, cores, true, true, config.precision)?;
             let report = model.evaluate(&plan)?;
             Ok::<(f32, SparsifiedOutcome, SystemReport), CoreError>((lambda, outcome, report))
         })
@@ -451,8 +466,10 @@ pub fn table5_rows(preset: &EffortPreset) -> Result<Vec<ScaleRow>> {
     // Each core count is an independent train+simulate run; fan them out
     // on the engine and collect in fixed core-count order.
     let core_counts = [4usize, 8, 16, 32];
+    let (lr, mul) = train_presets::CONVNET;
+    let config = preset.pipeline_config_with(lr, mul);
     par::par_map(&core_counts, |_, &cores| {
-        let pair = structure_rows_for_cores(preset, cores, false)?;
+        let pair = structure_rows_for_cores(preset, &config, cores, false)?;
         let p3 = pair
             .iter()
             .find(|r| r.name == "Parallel#3")
@@ -506,7 +523,13 @@ pub fn combined_strategy_rows(preset: &EffortPreset) -> Result<Vec<CombinedRow>>
     // Traditional baseline.
     let dense =
         train_baseline(models::convnet_variant([64, 128, 256], 1, preset.seed)?, &data, &config)?;
-    let dense_report = model.evaluate(&plan_for(&dense.network, cores, false, true)?)?;
+    let dense_report = model.evaluate(&plan_for_precision(
+        &dense.network,
+        cores,
+        false,
+        true,
+        config.precision,
+    )?)?;
     let mut rows = vec![CombinedRow {
         scheme: "Traditional".into(),
         accuracy: dense.test_accuracy,
@@ -521,7 +544,13 @@ pub fn combined_strategy_rows(preset: &EffortPreset) -> Result<Vec<CombinedRow>>
         &data,
         &config,
     )?;
-    let grouped_report = model.evaluate(&plan_for(&grouped.network, cores, false, true)?)?;
+    let grouped_report = model.evaluate(&plan_for_precision(
+        &grouped.network,
+        cores,
+        false,
+        true,
+        config.precision,
+    )?)?;
     rows.push(CombinedRow {
         scheme: format!("Grouped(n={cores})"),
         accuracy: grouped.test_accuracy,
@@ -541,7 +570,13 @@ pub fn combined_strategy_rows(preset: &EffortPreset) -> Result<Vec<CombinedRow>>
         2.0,
         PruneCriterion::RmsBelowRelative(0.35),
     )?;
-    let combined_report = model.evaluate(&plan_for(&combined.network, cores, true, true)?)?;
+    let combined_report = model.evaluate(&plan_for_precision(
+        &combined.network,
+        cores,
+        true,
+        true,
+        config.precision,
+    )?)?;
     rows.push(CombinedRow {
         scheme: format!("Grouped(n={cores})+SS_Mask"),
         accuracy: combined.test_accuracy,

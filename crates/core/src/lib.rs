@@ -9,6 +9,8 @@
 //!   sparsified (SS / SS_Mask);
 //! * [`pipeline`] — the train → sparsify → prune → fine-tune → quantize
 //!   flow that produces CMP-friendly models;
+//! * [`precision`] — the f32/i16 deployment-precision knob shared by the
+//!   pipelines, the communication-volume model and the benches;
 //! * [`system`] — the end-to-end system model: per-layer accelerator
 //!   compute latency ([`lts_accel`]) plus flit-level NoC simulation of the
 //!   layer-transition bursts ([`lts_noc`]), combined under a barrier
@@ -64,6 +66,7 @@ pub mod interlayer;
 pub mod mcm;
 pub mod outcome;
 pub mod pipeline;
+pub mod precision;
 pub mod recovery;
 pub mod report;
 pub mod serve;
@@ -76,6 +79,7 @@ pub use degradation::{fault_sweep, workloads, FaultSweepConfig, FaultSweepRow, W
 pub use error::CoreError;
 pub use mcm::{scale_chiplets, McmScalingRow, ScaleMode};
 pub use outcome::{Outcome, OutcomeHistogram};
+pub use precision::Precision;
 pub use recovery::{
     boundary_checkpoints, run_with_recovery, run_with_recovery_chiplets, BoundaryCheckpoint,
     ChipletFault, InferenceFault, RecoveryEvent, RecoveryReport,

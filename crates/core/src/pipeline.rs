@@ -12,16 +12,17 @@
 //! 4. fine-tune the survivors at a reduced learning rate;
 //! 5. quantize to the accelerator's 16-bit fixed point and evaluate.
 
+use crate::precision::Precision;
 use crate::strategy::SparsityScheme;
 use crate::{CoreError, Result};
 use lts_datasets::TrainTest;
 use lts_nn::prune::{prune_groups, PruneCriterion, PruneReport};
 use lts_nn::regularizer::{GroupLasso, StrengthMask};
 use lts_nn::trainer::{parallel_accuracy, TrainConfig, TrainStats, Trainer};
-use lts_nn::Network;
+use lts_nn::{quantized_parallel_accuracy, Network, QuantizedNetwork};
 use lts_noc::{NocConfig, Topo};
 use lts_partition::{hop_power_mask, two_level_mask, Plan};
-use lts_tensor::{par, ExecConfig};
+use lts_tensor::{par, ExecConfig, Tensor};
 use std::collections::HashMap;
 
 /// Shared pipeline knobs.
@@ -37,8 +38,15 @@ pub struct PipelineConfig {
     pub eval_batch: usize,
     /// Worker threads for test-set evaluation.
     pub eval_threads: usize,
-    /// Quantize weights to Q7.8 before evaluating (what the chip runs).
+    /// Quantize for deployment before evaluating (what the chip runs).
+    /// Under [`Precision::I16`] this is the full i16 inference path
+    /// (calibrated per-tensor scales, i16 GEMM); under [`Precision::F32`]
+    /// it is the historical Q7.8 weight-rounding shim. `false` evaluates
+    /// the f32 master weights unmodified in either precision.
     pub quantize: bool,
+    /// Deployed inference precision: the arithmetic evaluation runs under
+    /// and the element width plans charge per NoC-crossing value.
+    pub precision: Precision,
     /// Execution-engine worker count for the whole pipeline (kernels,
     /// data-parallel training, evaluation). Installed process-wide at
     /// every pipeline entry point; results are bit-identical for any
@@ -55,6 +63,7 @@ impl Default for PipelineConfig {
             eval_batch: 64,
             eval_threads: 4,
             quantize: true,
+            precision: Precision::I16,
             exec: ExecConfig::from_env(),
         }
     }
@@ -167,7 +176,7 @@ pub fn train_sparsified(
     let _probe = lts_obs::span("core.train_sparsified");
     par::install(config.exec);
     let spec = network.spec();
-    let dense_plan = Plan::dense(&spec, cores, 2)?;
+    let dense_plan = Plan::dense(&spec, cores, config.precision.bytes_per_value())?;
     // Regularize exactly the layers whose input synchronization crosses
     // the NoC: zeroing their blocks is what removes traffic.
     let mask = strength_mask(cores, scheme)?;
@@ -252,8 +261,33 @@ pub fn strength_mask_for(config: &NocConfig, power: f32) -> Result<StrengthMask>
     }
 }
 
+/// Samples used to calibrate per-tensor activation scales when building
+/// the i16 deployment network. A small prefix of the training set is
+/// enough: scales only need the coarse dynamic range, and a fixed prefix
+/// keeps calibration deterministic.
+pub const CALIBRATION_SAMPLES: usize = 64;
+
+/// The leading `CALIBRATION_SAMPLES` training images, as a standalone
+/// batch for quantization calibration.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] if the training set is empty.
+pub fn calibration_batch(data: &TrainTest) -> Result<Tensor> {
+    if data.train.is_empty() {
+        return Err(CoreError::BadConfig("empty training set: nothing to calibrate on".into()));
+    }
+    Ok(data.train.take(CALIBRATION_SAMPLES).images)
+}
+
 /// Test accuracy under the deployment conditions (optionally quantized),
 /// without disturbing the master weights.
+///
+/// Under the default [`Precision::I16`] this runs the genuine i16
+/// inference path: per-tensor symmetric scales calibrated on a training
+/// prefix ([`calibration_batch`]), i16 register-blocked GEMM, f32 only at
+/// layer boundaries. [`Precision::F32`] keeps the historical behavior
+/// (f32 arithmetic, optionally with Q7.8-rounded weights).
 ///
 /// # Errors
 ///
@@ -261,6 +295,17 @@ pub fn strength_mask_for(config: &NocConfig, power: f32) -> Result<StrengthMask>
 pub fn evaluate(network: &Network, data: &TrainTest, config: &PipelineConfig) -> Result<f32> {
     let _probe = lts_obs::span("core.evaluate_accuracy");
     par::install(config.exec);
+    if config.quantize && config.precision == Precision::I16 {
+        let calibration = calibration_batch(data)?;
+        let deployed = QuantizedNetwork::from_network(network, &calibration)?;
+        return Ok(quantized_parallel_accuracy(
+            &deployed,
+            &data.test.images,
+            &data.test.labels,
+            config.eval_batch,
+            config.eval_threads,
+        )?);
+    }
     let mut deployed = network.clone();
     if config.quantize {
         deployed.quantize_weights();
@@ -293,17 +338,37 @@ pub fn weights_map(network: &Network, quantize: bool) -> HashMap<String, Vec<f32
 
 /// Builds the parallelization plan for a trained network: sparsity-aware
 /// when `sparse` (uses the network's zero structure), dense otherwise.
+/// Values are charged at the accelerator's native 16-bit width; use
+/// [`plan_for_precision`] to plan at another element width.
 ///
 /// # Errors
 ///
 /// Propagates plan-construction errors.
 pub fn plan_for(network: &Network, cores: usize, sparse: bool, quantize: bool) -> Result<Plan> {
+    plan_for_precision(network, cores, sparse, quantize, Precision::I16)
+}
+
+/// [`plan_for`] with an explicit element precision: each value crossing
+/// the NoC is charged `precision.bytes_per_value()` bytes by the
+/// communication-volume model.
+///
+/// # Errors
+///
+/// Propagates plan-construction errors.
+pub fn plan_for_precision(
+    network: &Network,
+    cores: usize,
+    sparse: bool,
+    quantize: bool,
+    precision: Precision,
+) -> Result<Plan> {
     let _probe = lts_obs::span("core.plan_for");
     let spec = network.spec();
+    let width = precision.bytes_per_value();
     if sparse {
-        Ok(Plan::build(&spec, cores, &weights_map(network, quantize), 2)?)
+        Ok(Plan::build(&spec, cores, &weights_map(network, quantize), width)?)
     } else {
-        Ok(Plan::dense(&spec, cores, 2)?)
+        Ok(Plan::dense(&spec, cores, width)?)
     }
 }
 

@@ -51,6 +51,7 @@ pub mod optim;
 pub mod param;
 pub mod pool;
 pub mod prune;
+pub mod quantized;
 pub mod regularizer;
 pub mod saved;
 pub mod trainer;
@@ -61,6 +62,7 @@ pub use grouping::GroupLayout;
 pub use layer::Layer;
 pub use network::Network;
 pub use param::Param;
+pub use quantized::{quantized_parallel_accuracy, QuantizedNetwork};
 pub use regularizer::{GroupLasso, StrengthMask};
 
 /// Crate-wide result alias.

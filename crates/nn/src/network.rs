@@ -210,6 +210,13 @@ impl Network {
         self.layers.iter().filter(|l| l.weight().is_some()).map(|l| l.name().to_string()).collect()
     }
 
+    /// Deep copies of the layer chain, in order. Used by the quantized
+    /// inference builder ([`crate::quantized::QuantizedNetwork`]) to
+    /// calibrate against and wrap the trained f32 layers.
+    pub fn clone_layers(&self) -> Vec<Box<dyn Layer>> {
+        self.layers.iter().map(|l| l.clone_box()).collect()
+    }
+
     /// Quantizes every parameter through the accelerator's 16-bit
     /// fixed-point format (what the simulated chip computes with).
     pub fn quantize_weights(&mut self) {

@@ -1,0 +1,557 @@
+//! End-to-end 16-bit quantized inference.
+//!
+//! [`QuantizedNetwork`] is built from a trained f32 [`Network`] by a
+//! *calibration pass*: a sample of the dataset is run through the f32
+//! layers and each weight-bearing layer records the min/max of its input
+//! activations, from which a per-tensor symmetric scale
+//! ([`lts_tensor::quant::QuantParams`]) is chosen. Weights are scaled
+//! from their own min/max. At inference time, `Conv2d`/`Linear` forward
+//! passes run entirely in i16 (quantize input → i16 `im2col` → i16 GEMM
+//! with i32 accumulators → dequantize with `in_scale · w_scale`, add the
+//! f32 bias), while pooling, activations, flatten, and the loss stay in
+//! f32 — the *dequantize-at-boundary* convention, matching the paper's
+//! chip where the 16-bit MAC arrays do the heavy lifting and per-value
+//! NoC traffic is 2 bytes (Table I/II).
+//!
+//! Zero survives quantization exactly (symmetric scales map 0.0 to code
+//! 0), so sparsified/pruned weights stay zero in i16 and the zero-valued
+//! activations that the sparsified strategies elide from the NoC remain
+//! genuinely zero.
+//!
+//! Like the f32 layers, each quantized stage owns reusable scratch
+//! buffers (`Vec<i16>`/`Vec<i32>`, grown once, reused every batch), so
+//! steady-state inference allocates only its output tensors.
+
+use crate::descriptor::{Dims, LayerKind};
+use crate::layer::Layer;
+use crate::network::Network;
+use crate::{NnError, Result};
+use lts_tensor::im2col::{im2col_i16_into, ConvGeometry};
+use lts_tensor::qmatmul::{matmul_a_bt_i16_into, matmul_i16_into};
+use lts_tensor::quant::QuantParams;
+use lts_tensor::{ops, par, Shape, Tensor};
+
+/// Quantized grouped 2-D convolution: i16 weights + activations, i32
+/// accumulation, f32 output.
+#[derive(Debug, Clone)]
+pub struct QuantConv2d {
+    name: String,
+    in_dims: Dims,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    wq: Vec<i16>,
+    bias: Vec<f32>,
+    w_params: QuantParams,
+    in_params: QuantParams,
+    qin: Vec<i16>,
+    cols: Vec<i16>,
+    prod: Vec<i32>,
+}
+
+impl QuantConv2d {
+    fn group_geometry(&self) -> ConvGeometry {
+        ConvGeometry {
+            in_c: self.in_dims.0 / self.groups,
+            in_h: self.in_dims.1,
+            in_w: self.in_dims.2,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    fn out_dims(&self) -> Dims {
+        let g = self.group_geometry();
+        (self.out_c, g.out_h(), g.out_w())
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (c, h, w) = self.in_dims;
+        let ok = input.shape().rank() == 4
+            && input.shape().dim(1) == c
+            && input.shape().dim(2) == h
+            && input.shape().dim(3) == w;
+        if !ok {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("expected [batch, {c}, {h}, {w}], got {}", input.shape()),
+            });
+        }
+        let batch = input.shape().dim(0);
+        let (out_c, oh, ow) = self.out_dims();
+        let geom = self.group_geometry();
+        let icg = c / self.groups;
+        let ocg = out_c / self.groups;
+        let positions = oh * ow;
+        let row = geom.col_rows();
+        let wrow = icg * self.kernel * self.kernel;
+        let mut out = Tensor::zeros(Shape::d4(batch, out_c, oh, ow));
+        self.qin.resize(icg * h * w, 0);
+        self.cols.resize(row * positions, 0);
+        self.prod.resize(ocg * positions, 0);
+        let (inp, rescale) = (self.in_params, self.in_params.scale() * self.w_params.scale());
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for n in 0..batch {
+            for g in 0..self.groups {
+                let start = (n * c + g * icg) * h * w;
+                inp.quantize_into(&src[start..start + icg * h * w], &mut self.qin);
+                im2col_i16_into(&self.qin, &geom, &mut self.cols);
+                let wmat = &self.wq[g * ocg * wrow..(g + 1) * ocg * wrow];
+                matmul_i16_into(wmat, &self.cols, &mut self.prod, ocg, row, positions);
+                for oc in 0..ocg {
+                    let abs_oc = g * ocg + oc;
+                    let base = ((n * out_c) + abs_oc) * positions;
+                    let b = self.bias[abs_oc];
+                    for p in 0..positions {
+                        dst[base + p] = self.prod[oc * positions + p] as f32 * rescale + b;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Quantized fully-connected layer: i16 weights + activations, i32
+/// accumulation, f32 output.
+#[derive(Debug, Clone)]
+pub struct QuantLinear {
+    name: String,
+    in_f: usize,
+    out_f: usize,
+    wq: Vec<i16>,
+    bias: Vec<f32>,
+    w_params: QuantParams,
+    in_params: QuantParams,
+    qin: Vec<i16>,
+    prod: Vec<i32>,
+}
+
+impl QuantLinear {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.shape().rank() != 2 || input.shape().dim(1) != self.in_f {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("expected [batch, {}], got {}", self.in_f, input.shape()),
+            });
+        }
+        let batch = input.shape().dim(0);
+        let mut out = Tensor::zeros(Shape::d2(batch, self.out_f));
+        self.qin.resize(batch * self.in_f, 0);
+        self.prod.resize(batch * self.out_f, 0);
+        self.in_params.quantize_into(input.as_slice(), &mut self.qin);
+        // Y[b, o] = Σ_i Xq[b, i] · Wq[o, i]: the A·Bᵀ kernel, exactly as
+        // the f32 layer computes it.
+        matmul_a_bt_i16_into(&self.qin, &self.wq, &mut self.prod, batch, self.in_f, self.out_f);
+        let rescale = self.in_params.scale() * self.w_params.scale();
+        let dst = out.as_mut_slice();
+        for b in 0..batch {
+            for (o, &bv) in self.bias.iter().enumerate() {
+                dst[b * self.out_f + o] = self.prod[b * self.out_f + o] as f32 * rescale + bv;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One stage of a quantized network: either a quantized weighted layer or
+/// the retained f32 layer (pooling/activation/flatten/dropout — and any
+/// weighted layer kind the quantizer does not recognize, kept in f32
+/// rather than silently mis-quantized).
+enum QuantStage {
+    Conv(QuantConv2d),
+    Linear(QuantLinear),
+    Passthrough(Box<dyn Layer>),
+}
+
+impl Clone for QuantStage {
+    fn clone(&self) -> Self {
+        match self {
+            QuantStage::Conv(c) => QuantStage::Conv(c.clone()),
+            QuantStage::Linear(l) => QuantStage::Linear(l.clone()),
+            QuantStage::Passthrough(p) => QuantStage::Passthrough(p.clone_box()),
+        }
+    }
+}
+
+impl QuantStage {
+    fn name(&self) -> &str {
+        match self {
+            QuantStage::Conv(c) => &c.name,
+            QuantStage::Linear(l) => &l.name,
+            QuantStage::Passthrough(p) => p.name(),
+        }
+    }
+}
+
+/// A 16-bit quantized inference network built from a trained f32
+/// [`Network`] via a calibration pass.
+///
+/// # Examples
+///
+/// ```
+/// use lts_nn::network::NetworkBuilder;
+/// use lts_nn::quantized::QuantizedNetwork;
+/// use lts_tensor::{init, Shape, Tensor};
+///
+/// # fn main() -> Result<(), lts_nn::NnError> {
+/// let mut rng = init::rng(1);
+/// let net = NetworkBuilder::new("tiny", (1, 8, 8))
+///     .conv("conv1", 4, 3, 1, 1, 1)
+///     .relu()
+///     .flatten()
+///     .linear("ip1", 10)
+///     .build(&mut rng)?;
+/// let calib = init::uniform(Shape::d4(4, 1, 8, 8), 1.0, &mut rng);
+/// let mut qnet = QuantizedNetwork::from_network(&net, &calib)?;
+/// let out = qnet.forward(&Tensor::zeros(Shape::d4(2, 1, 8, 8)))?;
+/// assert_eq!(out.shape().dims(), &[2, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct QuantizedNetwork {
+    name: String,
+    stages: Vec<QuantStage>,
+}
+
+impl std::fmt::Debug for QuantizedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedNetwork")
+            .field("name", &self.name)
+            .field("stages", &self.stages.len())
+            .finish()
+    }
+}
+
+impl QuantizedNetwork {
+    /// Builds the quantized network from a trained f32 network and a
+    /// calibration batch (a representative sample of inputs; a few dozen
+    /// samples suffice — the pass only collects activation ranges).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors from the calibration forward pass (usually
+    /// a calibration-batch shape mismatch).
+    pub fn from_network(network: &Network, calibration: &Tensor) -> Result<Self> {
+        let _probe = lts_obs::span("nn.quantize_calibrate");
+        let mut stages = Vec::with_capacity(network.len());
+        let mut current = calibration.clone();
+        for mut layer in network.clone_layers() {
+            layer.set_training(false);
+            let stage = match (layer.weight().is_some(), layer.spec().kind) {
+                (true, LayerKind::Conv { out_c, kernel, stride, pad, groups }) => {
+                    let spec = layer.spec();
+                    // √k headroom on both operands of the length-k GEMM
+                    // reduction (k = icg·kh·kw receptive-field taps) keeps
+                    // the i32 accumulators overflow-free by construction.
+                    let head = (((spec.in_dims.0 / groups) * kernel * kernel) as f32).sqrt();
+                    let in_params = QuantParams::from_slice_with_headroom(current.as_slice(), head);
+                    let params = layer.params();
+                    let (weight, bias) = (params[0].value.as_slice(), params[1].value.as_slice());
+                    let w_params = QuantParams::from_slice_with_headroom(weight, head);
+                    let mut wq = vec![0i16; weight.len()];
+                    w_params.quantize_into(weight, &mut wq);
+                    Some(QuantStage::Conv(QuantConv2d {
+                        name: layer.name().to_string(),
+                        in_dims: spec.in_dims,
+                        out_c,
+                        kernel,
+                        stride,
+                        pad,
+                        groups,
+                        wq,
+                        bias: bias.to_vec(),
+                        w_params,
+                        in_params,
+                        qin: Vec::new(),
+                        cols: Vec::new(),
+                        prod: Vec::new(),
+                    }))
+                }
+                (true, LayerKind::Linear { in_f, out_f }) => {
+                    // √k headroom with k = in_f (see the Conv arm).
+                    let head = (in_f as f32).sqrt();
+                    let in_params = QuantParams::from_slice_with_headroom(current.as_slice(), head);
+                    let params = layer.params();
+                    let (weight, bias) = (params[0].value.as_slice(), params[1].value.as_slice());
+                    let w_params = QuantParams::from_slice_with_headroom(weight, head);
+                    let mut wq = vec![0i16; weight.len()];
+                    w_params.quantize_into(weight, &mut wq);
+                    Some(QuantStage::Linear(QuantLinear {
+                        name: layer.name().to_string(),
+                        in_f,
+                        out_f,
+                        wq,
+                        bias: bias.to_vec(),
+                        w_params,
+                        in_params,
+                        qin: Vec::new(),
+                        prod: Vec::new(),
+                    }))
+                }
+                _ => None,
+            };
+            current = layer.forward(&current)?;
+            stages.push(stage.unwrap_or(QuantStage::Passthrough(layer)));
+        }
+        Ok(QuantizedNetwork { name: format!("{}_i16", network.name()), stages })
+    }
+
+    /// The network's name (`<f32 name>_i16`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Names of the stages that run quantized (i16) kernels, in order.
+    pub fn quantized_stage_names(&self) -> Vec<String> {
+        self.stages
+            .iter()
+            .filter(|s| !matches!(s, QuantStage::Passthrough(_)))
+            .map(|s| s.name().to_string())
+            .collect()
+    }
+
+    /// The `(input_scale, weight_scale)` pair of a quantized stage, if
+    /// `name` names one.
+    pub fn stage_scales(&self, name: &str) -> Option<(f32, f32)> {
+        self.stages.iter().find(|s| s.name() == name).and_then(|s| match s {
+            QuantStage::Conv(c) => Some((c.in_params.scale(), c.w_params.scale())),
+            QuantStage::Linear(l) => Some((l.in_params.scale(), l.w_params.scale())),
+            QuantStage::Passthrough(_) => None,
+        })
+    }
+
+    /// Runs a full quantized forward pass over a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first stage error (usually a shape mismatch).
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let _probe = lts_obs::span("nn.forward_i16");
+        let mut current = input.clone();
+        for stage in &mut self.stages {
+            let _stage_probe = lts_obs::span(stage.name());
+            current = match stage {
+                QuantStage::Conv(c) => c.forward(&current)?,
+                QuantStage::Linear(l) => l.forward(&current)?,
+                QuantStage::Passthrough(p) => p.forward(&current)?,
+            };
+        }
+        Ok(current)
+    }
+
+    /// Predicted class per sample of a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict(&mut self, batch: &Tensor) -> Result<Vec<usize>> {
+        let out = self.forward(batch)?;
+        let classes = out.shape().dim(1);
+        Ok((0..out.shape().dim(0))
+            .map(|b| {
+                ops::argmax(&out.as_slice()[b * classes..(b + 1) * classes])
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect())
+    }
+
+    /// Classification accuracy on `(inputs, labels)` in batches of
+    /// `batch_size` — the quantized mirror of [`Network::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors; returns [`NnError::BadInput`] if the
+    /// label count disagrees with the input batch dimension.
+    pub fn evaluate(
+        &mut self,
+        inputs: &Tensor,
+        labels: &[usize],
+        batch_size: usize,
+    ) -> Result<f32> {
+        let total = inputs.shape().dim(0);
+        if labels.len() != total {
+            return Err(NnError::BadInput {
+                layer: "evaluate".into(),
+                reason: format!("{} labels for {total} inputs", labels.len()),
+            });
+        }
+        if total == 0 {
+            return Ok(0.0);
+        }
+        let sample_len = inputs.len() / total;
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + batch_size).min(total);
+            let n = end - start;
+            let mut dims = inputs.shape().dims().to_vec();
+            dims[0] = n;
+            let slice = inputs.as_slice()[start * sample_len..end * sample_len].to_vec();
+            let batch = Tensor::from_vec(Shape::new(dims), slice)?;
+            let preds = self.predict(&batch)?;
+            correct += preds.iter().zip(&labels[start..end]).filter(|(p, l)| p == l).count();
+            start = end;
+        }
+        Ok(correct as f32 / total as f32)
+    }
+}
+
+/// Data-parallel quantized accuracy: the i16 twin of
+/// [`crate::trainer::parallel_accuracy`], with the identical contiguous
+/// chunk decomposition, so the result is independent of `threads` and of
+/// the engine worker count (quantized forward passes are integer-exact
+/// per sample).
+///
+/// # Errors
+///
+/// Propagates forward errors from any worker.
+pub fn quantized_parallel_accuracy(
+    net: &QuantizedNetwork,
+    inputs: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    threads: usize,
+) -> Result<f32> {
+    let total = inputs.shape().dim(0);
+    if labels.len() != total {
+        return Err(NnError::BadInput {
+            layer: "quantized_parallel_accuracy".into(),
+            reason: format!("{} labels for {total} inputs", labels.len()),
+        });
+    }
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let threads = threads.clamp(1, total);
+    let sample_len = inputs.len() / total;
+    let ranges = par::stripe_ranges(total, threads);
+    let counts = par::par_map(&ranges, |_, range| -> Result<usize> {
+        let mut local = net.clone();
+        let mut dims = inputs.shape().dims().to_vec();
+        dims[0] = range.len();
+        let in_slice = &inputs.as_slice()[range.start * sample_len..range.end * sample_len];
+        let label_slice = &labels[range.start..range.end];
+        let local_inputs = Tensor::from_vec(Shape::new(dims), in_slice.to_vec())?;
+        let acc = local.evaluate(&local_inputs, label_slice, batch_size)?;
+        Ok((acc * label_slice.len() as f32).round() as usize)
+    });
+    let mut correct = 0usize;
+    for count in counts {
+        correct += count?;
+    }
+    Ok(correct as f32 / total as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use lts_tensor::init;
+
+    fn tiny_net(seed: u64) -> (Network, Tensor) {
+        let mut rng = init::rng(seed);
+        let net = NetworkBuilder::new("tiny", (1, 8, 8))
+            .conv("conv1", 4, 3, 1, 1, 1)
+            .relu()
+            .pool("pool1", 2, 2)
+            .flatten()
+            .linear("ip1", 10)
+            .build(&mut rng)
+            .unwrap();
+        let calib = init::uniform(Shape::d4(8, 1, 8, 8), 1.0, &mut rng);
+        (net, calib)
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_forward() {
+        let (mut net, calib) = tiny_net(3);
+        let mut qnet = QuantizedNetwork::from_network(&net, &calib).unwrap();
+        let mut rng = init::rng(7);
+        let x = init::uniform(Shape::d4(4, 1, 8, 8), 1.0, &mut rng);
+        net.set_training(false);
+        let f = net.forward(&x).unwrap();
+        let q = qnet.forward(&x).unwrap();
+        assert_eq!(f.shape(), q.shape());
+        // Per-tensor 16-bit scales keep logits within a small absolute
+        // error of the f32 network on in-calibration-range inputs.
+        let mut max_err = 0.0f32;
+        let mut max_mag = 0.0f32;
+        for (a, b) in f.as_slice().iter().zip(q.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+            max_mag = max_mag.max(a.abs());
+        }
+        assert!(max_err <= 0.02 * max_mag.max(1.0), "max_err={max_err} max_mag={max_mag}");
+    }
+
+    #[test]
+    fn quantized_stages_are_conv_and_linear_only() {
+        let (net, calib) = tiny_net(4);
+        let qnet = QuantizedNetwork::from_network(&net, &calib).unwrap();
+        assert_eq!(qnet.quantized_stage_names(), vec!["conv1", "ip1"]);
+        assert_eq!(qnet.name(), "tiny_i16");
+        let (in_s, w_s) = qnet.stage_scales("conv1").unwrap();
+        assert!(in_s > 0.0 && w_s > 0.0);
+        assert!(qnet.stage_scales("pool1").is_none());
+    }
+
+    #[test]
+    fn pruned_zero_weights_stay_zero_in_i16() {
+        let (mut net, calib) = tiny_net(5);
+        // Zero out half the linear weights, as pruning would.
+        {
+            let w = net.layer_weight_mut("ip1").unwrap();
+            for (i, v) in w.value.as_mut_slice().iter_mut().enumerate() {
+                if i % 2 == 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        let qnet = QuantizedNetwork::from_network(&net, &calib).unwrap();
+        let stage = qnet
+            .stages
+            .iter()
+            .find_map(|s| match s {
+                QuantStage::Linear(l) => Some(l),
+                _ => None,
+            })
+            .unwrap();
+        for (i, &q) in stage.wq.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(q, 0, "pruned weight {i} must quantize to exactly 0");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_parallel_accuracy_for_any_thread_count() {
+        let (net, calib) = tiny_net(6);
+        let mut qnet = QuantizedNetwork::from_network(&net, &calib).unwrap();
+        let mut rng = init::rng(11);
+        let x = init::uniform(Shape::d4(12, 1, 8, 8), 1.0, &mut rng);
+        let labels: Vec<usize> = (0..12).map(|i| i % 10).collect();
+        let serial = qnet.evaluate(&x, &labels, 4).unwrap();
+        for threads in [1, 2, 5] {
+            let par = quantized_parallel_accuracy(&qnet, &x, &labels, 4, threads).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn calibration_shape_mismatch_is_an_error() {
+        let (net, _) = tiny_net(8);
+        let bad = Tensor::zeros(Shape::d4(2, 3, 8, 8));
+        assert!(QuantizedNetwork::from_network(&net, &bad).is_err());
+        let mut qnet =
+            QuantizedNetwork::from_network(&net, &Tensor::zeros(Shape::d4(1, 1, 8, 8))).unwrap();
+        assert!(qnet.forward(&Tensor::zeros(Shape::d4(1, 2, 8, 8))).is_err());
+        assert!(qnet.evaluate(&Tensor::zeros(Shape::d4(2, 1, 8, 8)), &[0], 2).is_err());
+    }
+}

@@ -68,10 +68,20 @@ impl Fixed16 {
     }
 
     /// Saturating fixed-point multiplication (Q7.8 × Q7.8 → Q7.8).
+    ///
+    /// The 32-bit product's fractional bits are rounded half away from
+    /// zero before the result is clamped to the representable range, so
+    /// the result is the nearest representable value to the real product
+    /// (an arithmetic shift alone would floor, biasing negative products
+    /// toward -inf and positive ones toward zero).
     pub fn saturating_mul(self, rhs: Fixed16) -> Fixed16 {
         let wide = (self.0 as i32) * (rhs.0 as i32);
-        let shifted = wide >> DEFAULT_FRAC_BITS;
-        Fixed16(shifted.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+        // |wide| <= 2^30, so magnitude arithmetic fits comfortably in u32
+        // and the rounded magnitude in i32.
+        let half = 1u32 << (DEFAULT_FRAC_BITS - 1);
+        let mag = ((wide.unsigned_abs() + half) >> DEFAULT_FRAC_BITS) as i32;
+        let rounded = if wide < 0 { -mag } else { mag };
+        Fixed16(rounded.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
     }
 
     /// Whether the value is exactly zero (a zero value need not be sent over
@@ -100,15 +110,39 @@ impl From<Fixed16> for f32 {
 
 /// Quantizes an `f32` slice through the Q7.8 format, returning the
 /// dequantized values (what the accelerator would compute with).
+///
+/// Allocates a fresh `Vec`; hot paths should prefer
+/// [`quantize_dequantize_into`] or [`quantize_dequantize_in_place`] on a
+/// reused scratch buffer, per the `Workspace` zero-alloc convention.
 pub fn quantize_dequantize(values: &[f32]) -> Vec<f32> {
-    values.iter().map(|&x| Fixed16::from_f32(x).to_f32()).collect()
+    let mut out = vec![0.0; values.len()];
+    quantize_dequantize_into(values, &mut out);
+    out
+}
+
+/// Quantize→dequantize round trip through Q7.8 into a caller-provided
+/// buffer (no allocation).
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()`.
+pub fn quantize_dequantize_into(values: &[f32], out: &mut [f32]) {
+    assert_eq!(values.len(), out.len(), "quantize_dequantize_into: length mismatch");
+    for (dst, &x) in out.iter_mut().zip(values) {
+        *dst = Fixed16::from_f32(x).to_f32();
+    }
+}
+
+/// Quantize→dequantize round trip through Q7.8, in place.
+pub fn quantize_dequantize_in_place(values: &mut [f32]) {
+    for v in values {
+        *v = Fixed16::from_f32(*v).to_f32();
+    }
 }
 
 /// Quantizes a whole tensor in place through the Q7.8 format.
 pub fn quantize_tensor(t: &mut crate::tensor::Tensor) {
-    for v in t.as_mut_slice() {
-        *v = Fixed16::from_f32(*v).to_f32();
-    }
+    quantize_dequantize_in_place(t.as_mut_slice());
 }
 
 #[cfg(test)]
@@ -147,6 +181,33 @@ mod tests {
     }
 
     #[test]
+    fn multiplication_rounds_half_away_from_zero() {
+        // 3/256 * 85/256 = 255/65536 = 0.99609/256: nearest Q7.8 value is
+        // 1/256, but a truncating shift would floor it to 0.
+        let pos = Fixed16::from_bits(3).saturating_mul(Fixed16::from_bits(85));
+        assert_eq!(pos.to_bits(), 1);
+        // The mirrored negative product must round to -1/256, not floor
+        // to -1/256-by-accident or truncate toward zero to 0.
+        let neg = Fixed16::from_bits(-3).saturating_mul(Fixed16::from_bits(85));
+        assert_eq!(neg.to_bits(), -1);
+        // Exact half-ulp products (wide = ±128) round away from zero.
+        assert_eq!(Fixed16::from_bits(2).saturating_mul(Fixed16::from_bits(64)).to_bits(), 1);
+        assert_eq!(Fixed16::from_bits(-2).saturating_mul(Fixed16::from_bits(64)).to_bits(), -1);
+        // Just under half an ulp (wide = ±127) rounds to zero either way.
+        assert_eq!(Fixed16::from_bits(1).saturating_mul(Fixed16::from_bits(127)).to_bits(), 0);
+        assert_eq!(Fixed16::from_bits(-1).saturating_mul(Fixed16::from_bits(127)).to_bits(), 0);
+    }
+
+    #[test]
+    fn multiplication_saturates_at_extremes() {
+        // MIN * MIN = 2^30 (positive): saturates at MAX, not wraparound.
+        assert_eq!(Fixed16::MIN.saturating_mul(Fixed16::MIN), Fixed16::MAX);
+        assert_eq!(Fixed16::MAX.saturating_mul(Fixed16::MAX), Fixed16::MAX);
+        assert_eq!(Fixed16::MIN.saturating_mul(Fixed16::MAX), Fixed16::MIN);
+        assert_eq!(Fixed16::MAX.saturating_mul(Fixed16::MIN), Fixed16::MIN);
+    }
+
+    #[test]
     fn zero_detection() {
         assert!(Fixed16::from_f32(0.0).is_zero());
         // Values below half the resolution quantize to exactly zero: this is
@@ -160,6 +221,18 @@ mod tests {
         let v = quantize_dequantize(&[0.1, 0.2]);
         assert!((v[0] - 0.1).abs() < Fixed16::resolution());
         assert!((v[1] - 0.2).abs() < Fixed16::resolution());
+    }
+
+    #[test]
+    fn quantize_dequantize_variants_agree() {
+        let src = [0.1f32, -0.31, 2.875, 200.0, -0.0019];
+        let alloc = quantize_dequantize(&src);
+        let mut into = [0.0f32; 5];
+        quantize_dequantize_into(&src, &mut into);
+        let mut inplace = src;
+        quantize_dequantize_in_place(&mut inplace);
+        assert_eq!(alloc.as_slice(), into.as_slice());
+        assert_eq!(alloc.as_slice(), inplace.as_slice());
     }
 
     #[test]

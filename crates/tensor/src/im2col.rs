@@ -100,9 +100,27 @@ pub fn im2col(image: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
 ///
 /// Panics if `src` or `dst` disagree with the geometry's element counts.
 pub fn im2col_into(src: &[f32], geom: &ConvGeometry, dst: &mut [f32]) {
+    let _probe = lts_obs::span("tensor.im2col");
+    im2col_into_generic(src, geom, dst, 0.0);
+}
+
+/// i16 twin of [`im2col_into`] for the quantized inference path: unrolls a
+/// quantized image into a quantized column buffer, padding with exact
+/// zeros (which the symmetric quantization maps to real 0.0).
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` disagree with the geometry's element counts.
+pub fn im2col_i16_into(src: &[i16], geom: &ConvGeometry, dst: &mut [i16]) {
+    let _probe = lts_obs::span("tensor.im2col_i16");
+    im2col_into_generic(src, geom, dst, 0);
+}
+
+/// Element-type-generic unroll shared by the f32 and i16 entry points —
+/// identical traversal order, so the f32 path is unchanged byte for byte.
+fn im2col_into_generic<T: Copy>(src: &[T], geom: &ConvGeometry, dst: &mut [T], zero: T) {
     assert_eq!(src.len(), geom.in_c * geom.in_h * geom.in_w, "input size mismatch");
     assert_eq!(dst.len(), geom.col_rows() * geom.col_cols(), "column buffer size mismatch");
-    let _probe = lts_obs::span("tensor.im2col");
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let cols = oh * ow;
     let (ih, iw) = (geom.in_h as isize, geom.in_w as isize);
@@ -117,7 +135,7 @@ pub fn im2col_into(src: &[f32], geom: &ConvGeometry, dst: &mut [f32]) {
                         let val = if sy >= 0 && sy < ih && sx >= 0 && sx < iw {
                             src[(c * geom.in_h + sy as usize) * geom.in_w + sx as usize]
                         } else {
-                            0.0
+                            zero
                         };
                         dst[row * cols + oy * ow + ox] = val;
                     }
@@ -251,6 +269,25 @@ mod tests {
         assert_eq!(back.at(&[0, 1, 1]), 4.0);
         // Corner participates in exactly one.
         assert_eq!(back.at(&[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn im2col_i16_matches_f32_layout() {
+        // Same geometry, integer-valued image: the i16 unroll must place
+        // every element (and every padding zero) exactly where the f32
+        // unroll does.
+        let g = ConvGeometry { in_c: 2, in_h: 4, in_w: 3, kh: 3, kw: 2, stride: 1, pad: 1 };
+        let n = g.in_c * g.in_h * g.in_w;
+        let f: Vec<f32> = (0..n).map(|x| (x as f32) - 7.0).collect();
+        let q: Vec<i16> = (0..n).map(|x| (x as i16) - 7).collect();
+        let cols = g.col_rows() * g.col_cols();
+        let mut fd = vec![9.0f32; cols];
+        let mut qd = vec![9i16; cols];
+        im2col_into(&f, &g, &mut fd);
+        im2col_i16_into(&q, &g, &mut qd);
+        for (a, b) in fd.iter().zip(&qd) {
+            assert_eq!(*a, *b as f32);
+        }
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! ([`Shape`]), a blocked row-parallel GEMM ([`matmul`]), the `im2col`
 //! lowering used by convolution layers, seeded weight initializers, the
 //! 16-bit fixed-point format used by the simulated accelerator cores
-//! ([`fixed::Fixed16`]), and sparsity/norm statistics used by the
-//! structured-sparsification pipeline.
+//! ([`fixed::Fixed16`]) together with its first-class inference kernels
+//! (per-tensor symmetric scales in [`quant`], i16/i32 register-blocked
+//! GEMM in [`qmatmul`], i16 `im2col`), and sparsity/norm statistics used
+//! by the structured-sparsification pipeline.
 //!
 //! It also hosts the deterministic parallel execution engine ([`par`],
 //! configured by [`ExecConfig`] or the `LTS_THREADS` environment variable)
@@ -40,6 +42,8 @@ pub mod init;
 pub mod matmul;
 pub mod ops;
 pub mod par;
+pub mod qmatmul;
+pub mod quant;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
@@ -47,6 +51,7 @@ pub mod workspace;
 
 pub use fixed::Fixed16;
 pub use par::ExecConfig;
+pub use quant::QuantParams;
 pub use shape::Shape;
 pub use tensor::{Tensor, TensorError};
 pub use workspace::Workspace;

@@ -178,6 +178,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     let _probe = lts_obs::span("tensor.matmul");
+    lts_obs::counter_add("tensor.macs_f32", (m * k * n) as u64);
     if n == 0 {
         return;
     }
@@ -322,6 +323,7 @@ pub fn matmul_at_b_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     let _probe = lts_obs::span("tensor.matmul_at_b");
+    lts_obs::counter_add("tensor.macs_f32", (m * k * n) as u64);
     if n == 0 {
         return;
     }
@@ -347,6 +349,7 @@ pub fn matmul_a_bt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     let _probe = lts_obs::span("tensor.matmul_a_bt");
+    lts_obs::counter_add("tensor.macs_f32", (m * k * n) as u64);
     if n == 0 {
         return;
     }

@@ -134,6 +134,25 @@ pub fn par_row_stripes<F>(out: &mut [f32], row_len: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    par_row_stripes_of(out, row_len, f)
+}
+
+/// Element-type-generic form of [`par_row_stripes`].
+///
+/// Identical stripe decomposition and scheduling, for any `Send` element
+/// type — the i16/i32 fixed-point kernels stripe their `i32` accumulator
+/// matrices through this, while `par_row_stripes` (which delegates here)
+/// keeps the established `f32` API.
+///
+/// # Panics
+///
+/// Panics if `row_len` is zero or does not divide `out.len()`, or if `f`
+/// panics on any worker.
+pub fn par_row_stripes_of<T, F>(out: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     assert!(row_len > 0, "row_len must be positive");
     assert_eq!(out.len() % row_len, 0, "slice length must be a multiple of row_len");
     let rows = out.len() / row_len;

@@ -2,11 +2,16 @@
 
 use lts_tensor::im2col::{col2im, im2col, ConvGeometry};
 use lts_tensor::matmul::{matmul, matmul_a_bt, matmul_at_b, transpose};
-use lts_tensor::{ops, stats, Fixed16, Shape, Tensor};
+use lts_tensor::qmatmul::{matmul_a_bt_i16_into, matmul_i16_into, reference};
+use lts_tensor::{ops, stats, Fixed16, QuantParams, Shape, Tensor};
 use proptest::prelude::*;
 
 fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-8.0f32..8.0, len)
+}
+
+fn i16_strategy(len: usize) -> impl Strategy<Value = Vec<i16>> {
+    proptest::collection::vec(i16::MIN..=i16::MAX, len)
 }
 
 proptest! {
@@ -204,5 +209,51 @@ proptest! {
                 prop_assert_eq!(c2.as_slice()[i * n + j], acc, "a_bt ({}, {})", i, j);
             }
         }
+    }
+
+    #[test]
+    fn i16_blocked_kernels_bit_identical_to_naive_oracles(
+        m in 1usize..5, k in 1usize..260, n in 1usize..70,
+        pool in i16_strategy(5 * 260 + 260 * 70)
+    ) {
+        // k sweeps across the KC = 128 panel boundary, n across the NR = 32
+        // pack tile / NR_DOT = 8 dot group plus their scalar tails, with
+        // full-range i16 operands so accumulator wrap-around is exercised.
+        // Wrapping i32 accumulation is associative, so the blocked kernels
+        // must equal the naive serial oracles *exactly*, bit for bit.
+        let a = &pool[..m * k];
+        let b = &pool[5 * 260..5 * 260 + k * n];
+        let (mut c, mut cr) = (vec![1i32; m * n], vec![2i32; m * n]);
+        matmul_i16_into(a, b, &mut c, m, k, n);
+        reference::matmul_i16_into_ref(a, b, &mut cr, m, k, n);
+        prop_assert_eq!(&c, &cr, "matmul_i16 {}x{}x{}", m, k, n);
+
+        let bt = &pool[5 * 260..5 * 260 + n * k];
+        matmul_a_bt_i16_into(a, bt, &mut c, m, k, n);
+        reference::matmul_a_bt_i16_into_ref(a, bt, &mut cr, m, k, n);
+        prop_assert_eq!(&c, &cr, "a_bt_i16 {}x{}x{}", m, k, n);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_scale(
+        values in tensor_strategy(64), x in -8.0f32..8.0
+    ) {
+        // Calibrating on the observed values guarantees every in-range
+        // element round-trips within half a quantization step.
+        let params = QuantParams::from_slice(&values);
+        let mut q = vec![0i16; values.len()];
+        params.quantize_into(&values, &mut q);
+        let mut back = vec![0.0f32; values.len()];
+        params.dequantize_into(&q, &mut back);
+        for (v, b) in values.iter().zip(&back) {
+            prop_assert!(
+                (v - b).abs() <= params.scale() / 2.0 + f32::EPSILON,
+                "{} -> {} (scale {})", v, b, params.scale()
+            );
+        }
+        // A lone value is always within calibration range of itself.
+        let p = QuantParams::from_min_max(-x.abs(), x.abs());
+        let err = (p.dequantize(p.quantize(x)) - x).abs();
+        prop_assert!(err <= p.scale() / 2.0 + f32::EPSILON);
     }
 }
