@@ -1,0 +1,237 @@
+//! Cross-commit comparator: distribution-level significance verdicts.
+//!
+//! Given two [`HistoryRecord`]s, every metric present in both gets a
+//! Mann–Whitney U rank test over its repetition samples and a typed
+//! [`Verdict`] with effect size — replacing the old single-baseline
+//! "25 % slower fails" guess with an actual statistical statement.
+
+use super::stats::{classify, Judgment, SignificanceConfig, Verdict};
+use super::store::{HistoryRecord, MetricKind};
+use crate::timing::PROBE_GATE_FLOOR_MS;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One metric's cross-commit verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricVerdict {
+    /// Record name or probe path.
+    pub metric: String,
+    /// Record or probe.
+    pub kind: MetricKind,
+    /// The typed outcome.
+    pub verdict: Verdict,
+    /// Two-sided rank-test p-value.
+    pub p_value: f64,
+    /// Rank-biserial effect size (positive = new is slower).
+    pub effect_r: f64,
+    /// Old median-of-medians, milliseconds.
+    pub median_old_ms: f64,
+    /// New median-of-medians, milliseconds.
+    pub median_new_ms: f64,
+    /// Median shift in percent (`+` = slower).
+    pub delta_pct: f64,
+    /// How the verdict was reached, one line.
+    pub reason: String,
+}
+
+/// Comparison of two history entries of one bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// The bench both entries belong to.
+    pub bench: String,
+    /// Older entry's commit.
+    pub old_rev: String,
+    /// Newer entry's commit.
+    pub new_rev: String,
+    /// Older entry's ledger sequence number.
+    pub old_seq: u64,
+    /// Newer entry's ledger sequence number.
+    pub new_seq: u64,
+    /// Repetition counts `(old, new)`.
+    pub reps: (usize, usize),
+    /// Per-metric verdicts, records first, then probes.
+    pub verdicts: Vec<MetricVerdict>,
+    /// Verdict-label → count summary (plus `unmatched` for metrics
+    /// present on only one side).
+    pub summary: BTreeMap<String, usize>,
+}
+
+impl ComparisonReport {
+    /// The verdicts that are regressions.
+    pub fn regressions(&self) -> Vec<&MetricVerdict> {
+        self.verdicts.iter().filter(|v| v.verdict == Verdict::Regression).collect()
+    }
+
+    /// Renders the comparison as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## {}: {} (seq {}) → {} (seq {}), {}×{} reps\n\n\
+             | metric | kind | old median | new median | Δ | p | effect r | verdict |\n\
+             |---|---|---:|---:|---:|---:|---:|---|\n",
+            self.bench,
+            self.old_rev,
+            self.old_seq,
+            self.new_rev,
+            self.new_seq,
+            self.reps.0,
+            self.reps.1
+        );
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "| `{}` | {} | {:.3} ms | {:.3} ms | {:+.1}% | {:.4} | {:+.2} | **{}** |\n",
+                v.metric,
+                v.kind.label(),
+                v.median_old_ms,
+                v.median_new_ms,
+                v.delta_pct,
+                v.p_value,
+                v.effect_r,
+                v.verdict.label()
+            ));
+        }
+        out.push('\n');
+        let counts: Vec<String> = self.summary.iter().map(|(k, n)| format!("{n} {k}")).collect();
+        out.push_str(&format!("Summary: {}.\n", counts.join(", ")));
+        out
+    }
+}
+
+/// Compares `new` against `old`, metric by metric.
+///
+/// Probe metrics whose medians sit below the sub-50 µs jitter floor on
+/// both sides are reported [`Verdict::Inconclusive`] rather than tested:
+/// at that scale scheduler noise on a 1-CPU host swamps any real signal
+/// (same floor the single-baseline gate uses).
+pub fn compare_records(
+    old: &HistoryRecord,
+    new: &HistoryRecord,
+    cfg: &SignificanceConfig,
+) -> ComparisonReport {
+    let mut verdicts = Vec::new();
+    let mut summary: BTreeMap<String, usize> = BTreeMap::new();
+    for new_metric in &new.metrics {
+        let Some(old_metric) = old.metric(new_metric.kind, &new_metric.metric) else {
+            *summary.entry("unmatched".into()).or_insert(0) += 1;
+            continue;
+        };
+        let judgment: Judgment = if new_metric.kind == MetricKind::Probe
+            && old_metric.median_ms < PROBE_GATE_FLOOR_MS
+            && new_metric.median_ms < PROBE_GATE_FLOOR_MS
+        {
+            let base = classify(&old_metric.samples, &new_metric.samples, cfg);
+            Judgment {
+                verdict: Verdict::Inconclusive,
+                reason: format!(
+                    "medians below the {:.0} µs jitter floor; scheduler noise dominates",
+                    PROBE_GATE_FLOOR_MS * 1e3
+                ),
+                ..base
+            }
+        } else {
+            classify(&old_metric.samples, &new_metric.samples, cfg)
+        };
+        *summary.entry(judgment.verdict.label().into()).or_insert(0) += 1;
+        verdicts.push(MetricVerdict {
+            metric: new_metric.metric.clone(),
+            kind: new_metric.kind,
+            verdict: judgment.verdict,
+            p_value: judgment.p_value,
+            effect_r: judgment.effect_r,
+            median_old_ms: judgment.median_old,
+            median_new_ms: judgment.median_new,
+            delta_pct: 100.0 * judgment.delta,
+            reason: judgment.reason,
+        });
+    }
+    for old_metric in &old.metrics {
+        if new.metric(old_metric.kind, &old_metric.metric).is_none() {
+            *summary.entry("unmatched".into()).or_insert(0) += 1;
+        }
+    }
+    ComparisonReport {
+        bench: new.bench.clone(),
+        old_rev: old.git_rev.clone(),
+        new_rev: new.git_rev.clone(),
+        old_seq: old.seq,
+        new_seq: new.seq,
+        reps: (old.reps, new.reps),
+        verdicts,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::store::{fnv1a64_hex, MetricSeries, SCHEMA_VERSION};
+
+    fn entry(rev: &str, seq: u64, metrics: Vec<MetricSeries>) -> HistoryRecord {
+        HistoryRecord {
+            schema: SCHEMA_VERSION,
+            seq,
+            bench: "b".into(),
+            params: "p".into(),
+            params_hash: fnv1a64_hex("p"),
+            git_rev: rev.into(),
+            git_dirty: false,
+            effort: "quick".into(),
+            reps: 6,
+            fingerprint: crate::timing::HostFingerprint::probe(),
+            notes: vec![],
+            metrics,
+        }
+    }
+
+    fn series(name: &str, kind: MetricKind, scale: f64) -> MetricSeries {
+        let base = [100.0, 99.0, 101.0, 100.5, 99.5, 100.2];
+        MetricSeries::from_samples(name, kind, base.iter().map(|x| x * scale).collect())
+    }
+
+    #[test]
+    fn comparator_separates_regression_from_jitter() {
+        let old = entry(
+            "aaa",
+            1,
+            vec![
+                series("slowed", MetricKind::Record, 1.0),
+                series("jittery", MetricKind::Record, 1.0),
+            ],
+        );
+        let new = entry(
+            "bbb",
+            2,
+            vec![
+                series("slowed", MetricKind::Record, 1.30),
+                series("jittery", MetricKind::Record, 1.02),
+            ],
+        );
+        let report = compare_records(&old, &new, &SignificanceConfig::default());
+        let by_name =
+            |n: &str| report.verdicts.iter().find(|v| v.metric == n).expect("verdict present");
+        assert_eq!(by_name("slowed").verdict, Verdict::Regression, "{report:?}");
+        assert_eq!(by_name("jittery").verdict, Verdict::NoChange, "{report:?}");
+        assert_eq!(report.regressions().len(), 1);
+        assert_eq!(report.summary.get("regression"), Some(&1));
+        let md = report.to_markdown();
+        assert!(md.contains("**regression**") && md.contains("**no-change**"), "{md}");
+    }
+
+    #[test]
+    fn sub_jitter_floor_probes_are_inconclusive() {
+        // 1 µs probe medians: even a 10x shift is below the 50 µs floor.
+        let old = entry("aaa", 1, vec![series("core.tiny", MetricKind::Probe, 0.00001)]);
+        let new = entry("bbb", 2, vec![series("core.tiny", MetricKind::Probe, 0.0001)]);
+        let report = compare_records(&old, &new, &SignificanceConfig::default());
+        assert_eq!(report.verdicts[0].verdict, Verdict::Inconclusive, "{report:?}");
+        assert!(report.verdicts[0].reason.contains("jitter floor"), "{report:?}");
+    }
+
+    #[test]
+    fn unmatched_metrics_are_counted_not_judged() {
+        let old = entry("aaa", 1, vec![series("gone", MetricKind::Record, 1.0)]);
+        let new = entry("bbb", 2, vec![series("added", MetricKind::Record, 1.0)]);
+        let report = compare_records(&old, &new, &SignificanceConfig::default());
+        assert!(report.verdicts.is_empty());
+        assert_eq!(report.summary.get("unmatched"), Some(&2));
+    }
+}

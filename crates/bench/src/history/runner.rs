@@ -1,0 +1,253 @@
+//! Repetition runner: executes an existing bench N times and aggregates
+//! the per-repetition reports into one [`HistoryRecord`].
+//!
+//! Each repetition produces a full [`BenchReport`] — wall-clock records
+//! with per-iteration medians, plus the `lts-obs` probe snapshot so call
+//! paths get trend coverage, not just end-to-end timings. Aggregation is
+//! evobench's "level 2": per metric, take each repetition's median, then
+//! the median of *those* (median-of-medians) with MAD dispersion. Raw
+//! per-repetition samples are kept in the record because the comparator's
+//! rank test operates on distributions.
+
+use super::store::{
+    fnv1a64_hex, HistoryError, HistoryRecord, MetricKind, MetricSeries, SCHEMA_VERSION,
+};
+use crate::timing::{BenchReport, HostFingerprint};
+
+/// Identity of a history measurement: which bench, under which parameters.
+/// `params` must name everything that changes what is measured (effort
+/// tier, iteration caps, thread count) — records with different
+/// `params_hash` are never treated as comparable.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Benchmark name (ledger subdirectory).
+    pub bench: String,
+    /// Canonical parameter string.
+    pub params: String,
+    /// Effort preset label.
+    pub effort: String,
+    /// Measured repetitions to aggregate.
+    pub reps: usize,
+    /// Discarded warmup repetitions run first (cache/JIT/page warm).
+    pub warmup_reps: usize,
+}
+
+/// Runs `run_once` for `spec.warmup_reps + spec.reps` repetitions and
+/// aggregates the measured ones into a [`HistoryRecord`].
+///
+/// Before every repetition the `lts-obs` registries are reset so each
+/// report's probe p50s describe that repetition alone; if `run_once`
+/// forgot to attach probes, they are attached here from the live
+/// snapshot. The caller controls whether obs recording is enabled.
+///
+/// # Errors
+///
+/// [`HistoryError::NotEnoughHistory`]-free by construction; fails only
+/// when `spec.reps == 0`.
+pub fn run_repetitions(
+    spec: &RunSpec,
+    mut run_once: impl FnMut(usize) -> BenchReport,
+) -> Result<HistoryRecord, HistoryError> {
+    if spec.reps == 0 {
+        return Err(HistoryError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "history runner needs at least one measured repetition",
+        )));
+    }
+    for w in 0..spec.warmup_reps {
+        lts_obs::reset();
+        let _ = run_once(w);
+    }
+    let mut reports = Vec::with_capacity(spec.reps);
+    for rep in 0..spec.reps {
+        lts_obs::reset();
+        let mut report = run_once(spec.warmup_reps + rep);
+        if report.probes.is_none() {
+            report.attach_probes();
+        }
+        reports.push(report);
+    }
+    Ok(aggregate(spec, &reports))
+}
+
+/// Aggregates per-repetition reports into one [`HistoryRecord`] (the pure
+/// half of [`run_repetitions`], separated for testability).
+///
+/// Metrics are the record names and probe paths present in **every**
+/// repetition — a workload or call path that appeared only sometimes
+/// cannot be compared across commits, and is noted instead of silently
+/// aggregated.
+pub fn aggregate(spec: &RunSpec, reports: &[BenchReport]) -> HistoryRecord {
+    let mut metrics = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+
+    // Record series, in first-repetition order.
+    if let Some(first) = reports.first() {
+        for rec in &first.records {
+            let samples: Vec<f64> = reports
+                .iter()
+                .filter_map(|rep| {
+                    rep.records
+                        .iter()
+                        .find(|r| r.name == rec.name)
+                        .map(|r| r.median_ms.unwrap_or(r.mean_ms))
+                })
+                .collect();
+            if samples.len() == reports.len() {
+                metrics.push(MetricSeries::from_samples(&rec.name, MetricKind::Record, samples));
+            } else {
+                notes.push(format!(
+                    "record `{}` present in only {}/{} repetitions; excluded from history",
+                    rec.name,
+                    samples.len(),
+                    reports.len()
+                ));
+            }
+        }
+        // Probe series, sorted by path (snapshot order is already sorted).
+        for probe in first.probes.iter().flatten() {
+            let samples: Vec<f64> = reports
+                .iter()
+                .filter_map(|rep| {
+                    rep.probes.iter().flatten().find(|p| p.path == probe.path).map(|p| p.p50_ms)
+                })
+                .collect();
+            if samples.len() == reports.len() {
+                metrics.push(MetricSeries::from_samples(&probe.path, MetricKind::Probe, samples));
+            } else {
+                notes.push(format!(
+                    "probe `{}` present in only {}/{} repetitions; excluded from history",
+                    probe.path,
+                    samples.len(),
+                    reports.len()
+                ));
+            }
+        }
+        for note in &first.notes {
+            if !notes.contains(note) {
+                notes.push(note.clone());
+            }
+        }
+    }
+
+    let fingerprint = HostFingerprint::probe();
+    HistoryRecord {
+        schema: SCHEMA_VERSION,
+        seq: 0, // assigned by the store at append time
+        bench: spec.bench.clone(),
+        params: spec.params.clone(),
+        params_hash: fnv1a64_hex(&spec.params),
+        git_rev: fingerprint.git_rev.clone(),
+        git_dirty: fingerprint.git_dirty.unwrap_or(false),
+        effort: spec.effort.clone(),
+        reps: reports.len(),
+        fingerprint,
+        notes,
+        metrics,
+    }
+}
+
+/// Converts an already-written [`BenchReport`] into a single-repetition
+/// [`HistoryRecord`] — the `LTS_BENCH_HISTORY=1` hook in
+/// [`BenchReport::write_checked`] uses this so every existing bench binary
+/// contributes to the ledger without code changes. Single-rep entries are
+/// honest about their weakness: the comparator's `min_samples` floor
+/// keeps them [`super::stats::Verdict::Inconclusive`] until enough runs
+/// accumulate.
+pub fn record_from_report(report: &BenchReport) -> HistoryRecord {
+    let params = format!(
+        "effort={};iters=env;threads={}",
+        report.effort,
+        report.records.first().map_or(0, |r| r.threads)
+    );
+    let spec = RunSpec {
+        bench: report.bench.clone(),
+        params,
+        effort: report.effort.clone(),
+        reps: 1,
+        warmup_reps: 0,
+    };
+    aggregate(&spec, std::slice::from_ref(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::BenchRecord;
+
+    fn spec(reps: usize) -> RunSpec {
+        RunSpec {
+            bench: "t".into(),
+            params: "p".into(),
+            effort: "quick".into(),
+            reps,
+            warmup_reps: 1,
+        }
+    }
+
+    fn report_with(mean: f64, median: Option<f64>) -> BenchReport {
+        let mut r = BenchReport::new("t", "quick");
+        r.records.push(BenchRecord {
+            name: "w".into(),
+            threads: 1,
+            iters: 3,
+            mean_ms: mean,
+            min_ms: mean,
+            max_ms: mean,
+            median_ms: median,
+            mad_ms: median.map(|_| 0.0),
+            reps: None,
+        });
+        r
+    }
+
+    #[test]
+    fn runner_discards_warmup_and_aggregates_measured_reps() {
+        let mut calls = Vec::new();
+        let rec = run_repetitions(&spec(3), |i| {
+            calls.push(i);
+            report_with(10.0 + i as f64, Some(10.0 + i as f64))
+        })
+        .expect("run");
+        assert_eq!(calls, vec![0, 1, 2, 3], "1 warmup + 3 measured");
+        assert_eq!(rec.reps, 3);
+        let m = rec.metric(MetricKind::Record, "w").expect("series");
+        // Measured reps were called with i = 1, 2, 3.
+        assert_eq!(m.samples, vec![11.0, 12.0, 13.0]);
+        assert_eq!(m.median_ms, 12.0);
+    }
+
+    #[test]
+    fn zero_reps_is_a_typed_error() {
+        let err = run_repetitions(&spec(0), |_| report_with(1.0, None)).expect_err("refused");
+        assert!(err.to_string().contains("at least one"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_prefers_median_falls_back_to_mean() {
+        let reports = vec![report_with(10.0, Some(9.0)), report_with(20.0, None)];
+        let rec = aggregate(&spec(2), &reports);
+        let m = rec.metric(MetricKind::Record, "w").expect("series");
+        assert_eq!(m.samples, vec![9.0, 20.0], "median when present, mean otherwise");
+    }
+
+    #[test]
+    fn partially_present_metrics_are_noted_not_aggregated() {
+        let mut second = report_with(10.0, Some(10.0));
+        second.records[0].name = "renamed".into();
+        let reports = vec![report_with(10.0, Some(10.0)), second];
+        let rec = aggregate(&spec(2), &reports);
+        assert!(rec.metric(MetricKind::Record, "w").is_none());
+        assert!(rec.notes.iter().any(|n| n.contains("only 1/2")), "{:?}", rec.notes);
+    }
+
+    #[test]
+    fn record_from_report_is_single_rep() {
+        let rec = record_from_report(&report_with(5.0, Some(5.0)));
+        assert_eq!(rec.reps, 1);
+        assert_eq!(rec.bench, "t");
+        let m = rec.metric(MetricKind::Record, "w").expect("series");
+        assert_eq!(m.samples, vec![5.0]);
+        assert!(rec.params.contains("effort=quick"), "{}", rec.params);
+    }
+}

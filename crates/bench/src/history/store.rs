@@ -1,0 +1,473 @@
+//! Append-only on-disk store of repetition-aggregated benchmark records.
+//!
+//! Layout: `BENCH_HISTORY/<bench>/<seq>-<rev>-<params_hash>.json`, one
+//! self-contained [`HistoryRecord`] per file. Files are never rewritten:
+//! appending assigns the next sequence number and refuses to clobber an
+//! existing path, so the directory is a usable git-trackable ledger and a
+//! crashed writer can never corrupt prior history.
+
+use crate::timing::HostFingerprint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every record so future layout changes can
+/// keep loading old ledgers.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What a metric series measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// An end-to-end timed workload (a `BenchRecord`).
+    Record,
+    /// An `lts-obs` call-path probe (per-repetition p50).
+    Probe,
+}
+
+impl MetricKind {
+    /// Stable lowercase label for tables and summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Record => "record",
+            MetricKind::Probe => "probe",
+        }
+    }
+}
+
+/// One metric's repetition samples plus their level-2 aggregation:
+/// the median across per-repetition medians (median-of-medians) and a
+/// robust dispersion estimate. Raw samples are retained because the
+/// comparator's rank test needs the distributions, not just summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSeries {
+    /// Record name or `;`-joined probe path.
+    pub metric: String,
+    /// Whether this is a wall-clock record or a call-path probe.
+    pub kind: MetricKind,
+    /// One sample per repetition: the repetition's median (records) or
+    /// p50 (probes), milliseconds.
+    pub samples: Vec<f64>,
+    /// Median of `samples` — the median-of-medians location estimate.
+    pub median_ms: f64,
+    /// Median absolute deviation of `samples`.
+    pub mad_ms: f64,
+    /// Smallest sample.
+    pub min_ms: f64,
+    /// Largest sample.
+    pub max_ms: f64,
+}
+
+impl MetricSeries {
+    /// Builds a series from per-repetition samples, computing the
+    /// median-of-medians and MAD/min/max dispersion.
+    pub fn from_samples(metric: impl Into<String>, kind: MetricKind, samples: Vec<f64>) -> Self {
+        let median_ms = super::stats::median(&samples);
+        let mad_ms = super::stats::mad(&samples);
+        let min_ms = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_ms = samples.iter().copied().fold(0.0, f64::max);
+        Self {
+            metric: metric.into(),
+            kind,
+            samples,
+            median_ms,
+            mad_ms,
+            min_ms: if min_ms.is_finite() { min_ms } else { 0.0 },
+            max_ms,
+        }
+    }
+}
+
+/// One append-only history entry: everything needed to compare this
+/// (commit, bench, params, host) cell against any other without consulting
+/// external state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryRecord {
+    /// Record layout version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Ledger sequence number within the bench, assigned at append time
+    /// (1-based, strictly increasing).
+    pub seq: u64,
+    /// Benchmark name (one ledger subdirectory per bench).
+    pub bench: String,
+    /// Canonical parameter string (effort tier, iteration caps, thread
+    /// count, …) — anything that changes what was measured.
+    pub params: String,
+    /// FNV-1a-64 of `params`, hex — the filename key, so differently
+    /// parameterized runs of one bench never look comparable.
+    pub params_hash: String,
+    /// `git rev-parse --short HEAD` at measurement time.
+    pub git_rev: String,
+    /// Whether the working tree had uncommitted changes. Dirty records
+    /// are refused by [`HistoryStore::append`] unless explicitly allowed,
+    /// because a dirty tree makes `git_rev` a lie.
+    pub git_dirty: bool,
+    /// Effort preset label the run used (`quick`/`paper`).
+    pub effort: String,
+    /// Number of repetitions aggregated into each series.
+    pub reps: usize,
+    /// Full host provenance (rustc, OS, CPU count via the report).
+    pub fingerprint: HostFingerprint,
+    /// Free-form caveats carried over from the repetition reports.
+    pub notes: Vec<String>,
+    /// One series per record and per probe path.
+    pub metrics: Vec<MetricSeries>,
+}
+
+impl HistoryRecord {
+    /// The series for `metric`, if this record measured it.
+    pub fn metric(&self, kind: MetricKind, name: &str) -> Option<&MetricSeries> {
+        self.metrics.iter().find(|m| m.kind == kind && m.metric == name)
+    }
+}
+
+/// Typed failure of a history-store operation.
+#[derive(Debug)]
+pub enum HistoryError {
+    /// The working tree had uncommitted changes and
+    /// `LTS_BENCH_ALLOW_DIRTY=1` was not set: recording would attribute
+    /// unknown code to `git_rev`.
+    DirtyTree {
+        /// The rev the dirty tree sits on.
+        rev: String,
+    },
+    /// An underlying filesystem failure.
+    Io(std::io::Error),
+    /// A ledger file exists but does not parse as a [`HistoryRecord`].
+    Corrupt {
+        /// Path of the unreadable entry.
+        path: PathBuf,
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// An operation needed more history than the ledger holds.
+    NotEnoughHistory {
+        /// The bench whose ledger was consulted.
+        bench: String,
+        /// Entries actually present.
+        have: usize,
+        /// Entries the operation needed.
+        need: usize,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::DirtyTree { rev } => write!(
+                f,
+                "refusing to record history on a dirty tree at {rev}: commit first, or set \
+                 LTS_BENCH_ALLOW_DIRTY=1 to record anyway"
+            ),
+            HistoryError::Io(e) => write!(f, "history store I/O: {e}"),
+            HistoryError::Corrupt { path, detail } => {
+                write!(f, "corrupt history entry {}: {detail}", path.display())
+            }
+            HistoryError::NotEnoughHistory { bench, have, need } => {
+                write!(f, "bench `{bench}` has {have} history entr(ies); need {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl From<std::io::Error> for HistoryError {
+    fn from(e: std::io::Error) -> Self {
+        HistoryError::Io(e)
+    }
+}
+
+/// FNV-1a-64 hex digest (the same hash family the simcache uses; cheap,
+/// deterministic, no new dependencies).
+pub fn fnv1a64_hex(data: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Whether `LTS_BENCH_ALLOW_DIRTY` permits recording dirty-tree runs.
+pub fn allow_dirty_from_env() -> bool {
+    std::env::var("LTS_BENCH_ALLOW_DIRTY").is_ok_and(|v| v != "0")
+}
+
+/// Root directory of the history ledger: `LTS_BENCH_HISTORY_DIR` when
+/// set, else `BENCH_HISTORY/` under `LTS_BENCH_DIR` (default `.`).
+pub fn history_root_from_env() -> PathBuf {
+    if let Ok(dir) = std::env::var("LTS_BENCH_HISTORY_DIR") {
+        return PathBuf::from(dir);
+    }
+    let base = std::env::var("LTS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&base).join("BENCH_HISTORY")
+}
+
+/// Handle on one `BENCH_HISTORY/` directory.
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    root: PathBuf,
+}
+
+impl HistoryStore {
+    /// Opens (creating if needed) the ledger rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, HistoryError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// Opens the ledger at the environment-selected root (see
+    /// [`history_root_from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// Directory-creation failures.
+    pub fn open_from_env() -> Result<Self, HistoryError> {
+        Self::open(history_root_from_env())
+    }
+
+    /// The ledger root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Appends `record`, assigning the next sequence number for its bench
+    /// and returning the written path. Never overwrites: an existing file
+    /// at the computed path is an error, keeping the ledger append-only.
+    ///
+    /// # Errors
+    ///
+    /// [`HistoryError::DirtyTree`] when `record.git_dirty` and
+    /// `allow_dirty` is false; I/O and serialization failures otherwise.
+    pub fn append(
+        &self,
+        mut record: HistoryRecord,
+        allow_dirty: bool,
+    ) -> Result<PathBuf, HistoryError> {
+        if record.git_dirty && !allow_dirty {
+            return Err(HistoryError::DirtyTree { rev: record.git_rev });
+        }
+        let dir = self.root.join(sanitize(&record.bench));
+        std::fs::create_dir_all(&dir)?;
+        let next_seq = self
+            .load_bench(&record.bench)?
+            .iter()
+            .map(|r| r.seq)
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
+        record.seq = next_seq;
+        let name = format!(
+            "{:06}-{}-{}.json",
+            record.seq,
+            sanitize(&record.git_rev),
+            &record.params_hash[..record.params_hash.len().min(8)]
+        );
+        let path = dir.join(name);
+        if path.exists() {
+            return Err(HistoryError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already exists; the ledger is append-only", path.display()),
+            )));
+        }
+        let json = serde_json::to_string_pretty(&record)
+            .map_err(|e| HistoryError::Io(std::io::Error::other(e.to_string())))?;
+        std::fs::write(&path, json + "\n")?;
+        Ok(path)
+    }
+
+    /// Loads every entry for `bench`, sorted by sequence number.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`HistoryError::Corrupt`] naming the first
+    /// unparsable entry (a truncated write must not silently vanish).
+    pub fn load_bench(&self, bench: &str) -> Result<Vec<HistoryRecord>, HistoryError> {
+        let dir = self.root.join(sanitize(bench));
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let json = std::fs::read_to_string(&path)?;
+            let record: HistoryRecord = serde_json::from_str(&json)
+                .map_err(|e| HistoryError::Corrupt { path: path.clone(), detail: e.to_string() })?;
+            out.push(record);
+        }
+        out.sort_by_key(|r| r.seq);
+        Ok(out)
+    }
+
+    /// Bench names with at least one ledger entry, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Directory-listing failures.
+    pub fn benches(&self) -> Result<Vec<String>, HistoryError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                out.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The last two entries for `bench` as `(previous, latest)` — the
+    /// default comparison pair.
+    ///
+    /// # Errors
+    ///
+    /// [`HistoryError::NotEnoughHistory`] with fewer than two entries.
+    pub fn latest_pair(&self, bench: &str) -> Result<(HistoryRecord, HistoryRecord), HistoryError> {
+        let mut all = self.load_bench(bench)?;
+        if all.len() < 2 {
+            return Err(HistoryError::NotEnoughHistory {
+                bench: bench.into(),
+                have: all.len(),
+                need: 2,
+            });
+        }
+        let latest = all.pop().unwrap_or_else(|| unreachable!("len checked above"));
+        let previous = all.pop().unwrap_or_else(|| unreachable!("len checked above"));
+        Ok((previous, latest))
+    }
+
+    /// The latest entry recorded for `rev` under `bench` (re-measurements
+    /// of one commit supersede older entries for comparison purposes).
+    ///
+    /// # Errors
+    ///
+    /// [`HistoryError::NotEnoughHistory`] when `rev` never recorded.
+    pub fn latest_for_rev(&self, bench: &str, rev: &str) -> Result<HistoryRecord, HistoryError> {
+        self.load_bench(bench)?
+            .into_iter()
+            .rfind(|r| r.git_rev == rev)
+            .ok_or_else(|| HistoryError::NotEnoughHistory { bench: bench.into(), have: 0, need: 1 })
+    }
+}
+
+/// Filename-safe projection of a rev or bench name.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || "._-".contains(c) { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lts-history-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(bench: &str, rev: &str, dirty: bool, median: f64) -> HistoryRecord {
+        HistoryRecord {
+            schema: SCHEMA_VERSION,
+            seq: 0,
+            bench: bench.into(),
+            params: "effort=quick".into(),
+            params_hash: fnv1a64_hex("effort=quick"),
+            git_rev: rev.into(),
+            git_dirty: dirty,
+            effort: "quick".into(),
+            reps: 4,
+            fingerprint: crate::timing::HostFingerprint::probe(),
+            notes: vec![],
+            metrics: vec![MetricSeries::from_samples(
+                "e2e",
+                MetricKind::Record,
+                vec![median, median * 1.01, median * 0.99, median],
+            )],
+        }
+    }
+
+    #[test]
+    fn append_assigns_sequence_and_load_sorts() {
+        let store = HistoryStore::open(temp_root("seq")).expect("open");
+        store.append(record("b", "aaa1111", false, 10.0), false).expect("append 1");
+        store.append(record("b", "bbb2222", false, 11.0), false).expect("append 2");
+        let all = store.load_bench("b").expect("load");
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[0].seq, all[0].git_rev.as_str()), (1, "aaa1111"));
+        assert_eq!((all[1].seq, all[1].git_rev.as_str()), (2, "bbb2222"));
+        let (prev, latest) = store.latest_pair("b").expect("pair");
+        assert_eq!((prev.seq, latest.seq), (1, 2));
+    }
+
+    #[test]
+    fn dirty_tree_is_refused_unless_allowed() {
+        let store = HistoryStore::open(temp_root("dirty")).expect("open");
+        let err = store.append(record("b", "ccc3333", true, 10.0), false).expect_err("refused");
+        assert!(matches!(err, HistoryError::DirtyTree { ref rev } if rev == "ccc3333"), "{err}");
+        assert!(err.to_string().contains("LTS_BENCH_ALLOW_DIRTY"), "{err}");
+        store.append(record("b", "ccc3333", true, 10.0), true).expect("allowed explicitly");
+        assert_eq!(store.load_bench("b").expect("load").len(), 1);
+    }
+
+    #[test]
+    fn corrupt_entries_are_typed_not_skipped() {
+        let root = temp_root("corrupt");
+        let store = HistoryStore::open(&root).expect("open");
+        store.append(record("b", "ddd4444", false, 10.0), false).expect("append");
+        std::fs::write(root.join("b").join("000002-x-deadbeef.json"), "{ not json")
+            .expect("plant corrupt file");
+        let err = store.load_bench("b").expect_err("must surface corruption");
+        assert!(matches!(err, HistoryError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_bench_is_empty_and_latest_pair_is_typed() {
+        let store = HistoryStore::open(temp_root("missing")).expect("open");
+        assert!(store.load_bench("nope").expect("empty").is_empty());
+        let err = store.latest_pair("nope").expect_err("not enough");
+        assert!(matches!(err, HistoryError::NotEnoughHistory { have: 0, need: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let rec = record("rt", "eee5555", false, 3.5);
+        let json = serde_json::to_string(&rec).expect("serialize");
+        let back: HistoryRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.bench, "rt");
+        assert_eq!(back.metrics[0].kind, MetricKind::Record);
+        assert_eq!(back.metrics[0].samples.len(), 4);
+        assert_eq!(back.metrics[0].median_ms, rec.metrics[0].median_ms);
+    }
+
+    #[test]
+    fn metric_series_aggregates_median_of_medians_and_mad() {
+        let s =
+            MetricSeries::from_samples("m", MetricKind::Probe, vec![10.0, 12.0, 11.0, 100.0, 10.5]);
+        assert_eq!(s.median_ms, 11.0, "median-of-medians shrugs off the outlier rep");
+        // devs from 11: [1, 1, 0, 89, 0.5] -> sorted median 1.
+        assert_eq!(s.mad_ms, 1.0);
+        assert_eq!((s.min_ms, s.max_ms), (10.0, 100.0));
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        assert_eq!(fnv1a64_hex(""), "cbf29ce484222325");
+        assert_ne!(fnv1a64_hex("a"), fnv1a64_hex("b"));
+    }
+}

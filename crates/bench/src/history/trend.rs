@@ -1,0 +1,294 @@
+//! Trend reports: walk a bench's full history and render per-metric
+//! sparkline rows with dispersion bands, the latest verdict, and the
+//! first regressing commit — as markdown for humans and JSON for tooling
+//! (the consolidated-matrix-summary idiom of pg-stream's bench guide).
+
+use super::compare::compare_records;
+use super::stats::{SignificanceConfig, Verdict};
+use super::store::{HistoryRecord, MetricKind};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One history entry's aggregate for one metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Ledger sequence number.
+    pub seq: u64,
+    /// Commit the entry was measured at.
+    pub rev: String,
+    /// Median-of-medians, milliseconds.
+    pub median_ms: f64,
+    /// Median absolute deviation, milliseconds.
+    pub mad_ms: f64,
+    /// Repetitions behind the point.
+    pub reps: usize,
+}
+
+/// One metric's row in the trend report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendRow {
+    /// Record name or probe path.
+    pub metric: String,
+    /// Record or probe.
+    pub kind: MetricKind,
+    /// One point per history entry that measured this metric, in ledger
+    /// order.
+    pub points: Vec<TrendPoint>,
+    /// Unicode sparkline of the medians (▁..█ over the row's min..max).
+    pub sparkline: String,
+    /// Verdict of the newest entry versus the one before it
+    /// ([`Verdict::Inconclusive`] with fewer than two points).
+    pub latest_verdict: Verdict,
+    /// Median shift of the newest entry versus the previous, percent.
+    pub latest_delta_pct: f64,
+    /// Commit of the earliest entry whose comparison against its
+    /// predecessor was a significant regression, if any.
+    pub first_regressing_rev: Option<String>,
+}
+
+/// Whole-bench trend report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendReport {
+    /// The bench the report covers.
+    pub bench: String,
+    /// History entries walked.
+    pub entries: usize,
+    /// Commit of each entry, in ledger order.
+    pub revs: Vec<String>,
+    /// One row per metric measured by the newest entry.
+    pub rows: Vec<TrendRow>,
+    /// Caveats (host constraints, excluded metrics) from the entries.
+    pub notes: Vec<String>,
+}
+
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a sparkline scaled to the slice's own min..max;
+/// a flat series renders as all-middle glyphs.
+pub fn sparkline(values: &[f64]) -> String {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if values.is_empty() {
+        return String::new();
+    }
+    if !(hi - lo).is_normal() {
+        return SPARKS[3].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|v| {
+            let t = ((v - lo) / (hi - lo) * (SPARKS.len() - 1) as f64).round() as usize;
+            SPARKS[t.min(SPARKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Builds the trend report for one bench's history (entries must be in
+/// ledger order, as [`super::store::HistoryStore::load_bench`] returns
+/// them). Rows cover the metrics of the **newest** entry; consecutive
+/// entry pairs are compared with [`compare_records`] to locate the first
+/// regressing commit per metric.
+pub fn trend_report(history: &[HistoryRecord], cfg: &SignificanceConfig) -> TrendReport {
+    let Some(latest) = history.last() else {
+        return TrendReport {
+            bench: String::new(),
+            entries: 0,
+            revs: vec![],
+            rows: vec![],
+            notes: vec![],
+        };
+    };
+    // Pairwise comparisons once, reused for every metric row.
+    let pair_reports: Vec<_> =
+        history.windows(2).map(|w| compare_records(&w[0], &w[1], cfg)).collect();
+
+    let mut rows = Vec::new();
+    for metric in &latest.metrics {
+        let points: Vec<TrendPoint> = history
+            .iter()
+            .filter_map(|entry| {
+                entry.metric(metric.kind, &metric.metric).map(|m| TrendPoint {
+                    seq: entry.seq,
+                    rev: entry.git_rev.clone(),
+                    median_ms: m.median_ms,
+                    mad_ms: m.mad_ms,
+                    reps: entry.reps,
+                })
+            })
+            .collect();
+        let medians: Vec<f64> = points.iter().map(|p| p.median_ms).collect();
+        let verdict_for = |report: &super::compare::ComparisonReport| {
+            report
+                .verdicts
+                .iter()
+                .find(|v| v.kind == metric.kind && v.metric == metric.metric)
+                .map(|v| (v.verdict, v.delta_pct))
+        };
+        let first_regressing_rev = pair_reports
+            .iter()
+            .find(|r| verdict_for(r).is_some_and(|(v, _)| v == Verdict::Regression))
+            .map(|r| r.new_rev.clone());
+        let (latest_verdict, latest_delta_pct) =
+            pair_reports.last().and_then(verdict_for).unwrap_or((Verdict::Inconclusive, 0.0));
+        rows.push(TrendRow {
+            metric: metric.metric.clone(),
+            kind: metric.kind,
+            sparkline: sparkline(&medians),
+            points,
+            latest_verdict,
+            latest_delta_pct,
+            first_regressing_rev,
+        });
+    }
+    let mut notes = Vec::new();
+    for entry in history {
+        for note in &entry.notes {
+            if !notes.contains(note) {
+                notes.push(note.clone());
+            }
+        }
+    }
+    TrendReport {
+        bench: latest.bench.clone(),
+        entries: history.len(),
+        revs: history.iter().map(|r| r.git_rev.clone()).collect(),
+        rows,
+        notes,
+    }
+}
+
+impl TrendReport {
+    /// Renders the report as a markdown document: one sparkline table row
+    /// per metric with a `median ± MAD` dispersion band for the newest
+    /// entry.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "# Performance trend — `{}`\n\n{} history entr{} across revs: {}\n\n\
+             | metric | kind | trend | latest median ± MAD | Δ vs prev | verdict | first regression |\n\
+             |---|---|---|---:|---:|---|---|\n",
+            self.bench,
+            self.entries,
+            if self.entries == 1 { "y" } else { "ies" },
+            self.revs.join(" → "),
+        );
+        for row in &self.rows {
+            let (band, delta) = match row.points.last() {
+                Some(p) => (
+                    format!("{:.3} ± {:.3} ms", p.median_ms, p.mad_ms),
+                    format!("{:+.1}%", row.latest_delta_pct),
+                ),
+                None => ("-".into(), "-".into()),
+            };
+            out.push_str(&format!(
+                "| `{}` | {} | `{}` | {} | {} | {} | {} |\n",
+                row.metric,
+                row.kind.label(),
+                row.sparkline,
+                band,
+                delta,
+                row.latest_verdict.label(),
+                row.first_regressing_rev.as_deref().unwrap_or("-"),
+            ));
+        }
+        if !self.notes.is_empty() {
+            out.push_str("\nNotes:\n");
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes `TREND_<bench>.md` and `TREND_<bench>.json` into `dir`,
+    /// returning both paths.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem write failures.
+    pub fn write(&self, dir: impl AsRef<Path>) -> std::io::Result<(PathBuf, PathBuf)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let md_path = dir.join(format!("TREND_{}.md", self.bench));
+        std::fs::write(&md_path, self.to_markdown())?;
+        let json_path = dir.join(format!("TREND_{}.json", self.bench));
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(&json_path, json + "\n")?;
+        Ok((md_path, json_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::store::{fnv1a64_hex, MetricSeries, SCHEMA_VERSION};
+
+    fn entry(rev: &str, seq: u64, scale: f64) -> HistoryRecord {
+        let base = [100.0, 99.0, 101.0, 100.5, 99.5, 100.2];
+        HistoryRecord {
+            schema: SCHEMA_VERSION,
+            seq,
+            bench: "b".into(),
+            params: "p".into(),
+            params_hash: fnv1a64_hex("p"),
+            git_rev: rev.into(),
+            git_dirty: false,
+            effort: "quick".into(),
+            reps: base.len(),
+            fingerprint: crate::timing::HostFingerprint::probe(),
+            notes: vec![],
+            metrics: vec![MetricSeries::from_samples(
+                "e2e",
+                MetricKind::Record,
+                base.iter().map(|x| x * scale).collect(),
+            )],
+        }
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_flat_series() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+        let s = sparkline(&[1.0, 2.0, 3.0, 8.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+    }
+
+    #[test]
+    fn trend_locates_first_regressing_rev() {
+        // Stable, stable, 30% regression, stable-at-new-level.
+        let history = vec![
+            entry("r1", 1, 1.0),
+            entry("r2", 2, 1.005),
+            entry("r3", 3, 1.3),
+            entry("r4", 4, 1.302),
+        ];
+        let report = trend_report(&history, &SignificanceConfig::default());
+        assert_eq!(report.entries, 4);
+        let row = &report.rows[0];
+        assert_eq!(row.points.len(), 4);
+        assert_eq!(row.first_regressing_rev.as_deref(), Some("r3"), "{row:?}");
+        assert_eq!(row.latest_verdict, Verdict::NoChange, "r4 vs r3 is flat: {row:?}");
+        let md = report.to_markdown();
+        assert!(md.contains("r1 → r2 → r3 → r4"), "{md}");
+        assert!(md.contains("± "), "dispersion band rendered: {md}");
+        assert!(md.contains("| r3 |"), "first regression column: {md}");
+    }
+
+    #[test]
+    fn empty_history_renders_empty_report() {
+        let report = trend_report(&[], &SignificanceConfig::default());
+        assert_eq!(report.entries, 0);
+        assert!(report.rows.is_empty());
+    }
+
+    #[test]
+    fn trend_report_round_trips_through_json() {
+        let history = vec![entry("r1", 1, 1.0), entry("r2", 2, 1.1)];
+        let report = trend_report(&history, &SignificanceConfig::default());
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: TrendReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, report);
+    }
+}

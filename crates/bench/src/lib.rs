@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
+
 use lts_core::experiment::EffortPreset;
 
 /// Reads the effort preset from `LTS_EFFORT` (default: `paper`).
@@ -62,7 +64,7 @@ pub mod timing {
     /// Provenance of the host a report was produced on, so two
     /// `BENCH_*.json` files can be compared knowing whether the
     /// toolchain or the tree changed between them.
-    #[derive(Debug, Clone, Serialize, Deserialize)]
+    #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
     pub struct HostFingerprint {
         /// `rustc -V` output (or `unknown` when unavailable).
         pub rustc: String,
@@ -70,6 +72,11 @@ pub mod timing {
         pub git_rev: String,
         /// Compile-time target OS.
         pub os: String,
+        /// Whether the working tree had uncommitted changes — without
+        /// this, `git_rev` can silently describe code that was never
+        /// measured. `None` when git is unavailable (and in reports
+        /// written before the field existed).
+        pub git_dirty: Option<bool>,
     }
 
     impl HostFingerprint {
@@ -86,10 +93,17 @@ pub mod timing {
                     .filter(|s| !s.is_empty())
                     .unwrap_or_else(|| "unknown".into())
             };
+            let git_dirty = std::process::Command::new("git")
+                .args(["status", "--porcelain"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| !String::from_utf8_lossy(&o.stdout).trim().is_empty());
             Self {
                 rustc: run("rustc", &["-V"]),
                 git_rev: run("git", &["rev-parse", "--short", "HEAD"]),
                 os: std::env::consts::OS.to_string(),
+                git_dirty,
             }
         }
     }
@@ -135,6 +149,16 @@ pub mod timing {
         pub min_ms: f64,
         /// Slowest iteration, milliseconds.
         pub max_ms: f64,
+        /// Median wall-clock per iteration, milliseconds (`Option` so
+        /// pre-history `BENCH_*.json` baselines still load).
+        pub median_ms: Option<f64>,
+        /// Median absolute deviation across iterations, milliseconds — a
+        /// robust dispersion estimate one outlier iteration cannot
+        /// inflate (`Option` for the same loadability reason).
+        pub mad_ms: Option<f64>,
+        /// History-runner repetitions aggregated into this record;
+        /// `None` for a plain single-run timing.
+        pub reps: Option<usize>,
     }
 
     /// Times `f` for `iters` iterations after `warmup` untimed ones.
@@ -157,6 +181,9 @@ pub mod timing {
             mean_ms: sum / iters as f64,
             min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
             max_ms: samples.iter().copied().fold(0.0, f64::max),
+            median_ms: Some(crate::history::stats::median(&samples)),
+            mad_ms: Some(crate::history::stats::mad(&samples)),
+            reps: None,
         }
     }
 
@@ -300,11 +327,28 @@ pub mod timing {
         /// baseline namesake is listed and the call fails, so a
         /// `.expect()` in the bench `main` exits the process non-zero.
         ///
+        /// When `LTS_BENCH_HISTORY=1`, the report is additionally
+        /// appended to the `BENCH_HISTORY/` ledger as a single-repetition
+        /// record (see [`crate::history`]), so every existing bench
+        /// binary contributes to cross-commit trends without code
+        /// changes. Dirty working trees are refused there unless
+        /// `LTS_BENCH_ALLOW_DIRTY=1`.
+        ///
         /// # Errors
         ///
         /// Write/load errors, or `Other` naming the regressed records.
         pub fn write_checked(&self) -> std::io::Result<std::path::PathBuf> {
             let path = self.write()?;
+            if std::env::var("LTS_BENCH_HISTORY").is_ok_and(|v| v != "0") {
+                use crate::history;
+                let store = history::HistoryStore::open_from_env()
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let record = history::record_from_report(self);
+                let entry = store
+                    .append(record, history::allow_dirty_from_env())
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                println!("appended history entry {}", entry.display());
+            }
             let Ok(baseline_path) = std::env::var("LTS_BENCH_BASELINE") else {
                 return Ok(path);
             };
@@ -358,6 +402,9 @@ mod tests {
             mean_ms,
             min_ms: mean_ms,
             max_ms: mean_ms,
+            median_ms: Some(mean_ms),
+            mad_ms: Some(0.0),
+            reps: None,
         };
         let mut baseline = timing::BenchReport::new("gate", "quick");
         baseline.records.push(record("stable", 10.0));
@@ -383,6 +430,9 @@ mod tests {
             mean_ms: 1.5,
             min_ms: 1.0,
             max_ms: 2.0,
+            median_ms: Some(1.4),
+            mad_ms: Some(0.2),
+            reps: None,
         });
         report.notes.push("a note".into());
         let json = serde_json::to_string(&report).unwrap();
@@ -391,6 +441,41 @@ mod tests {
         assert_eq!(back.records.len(), 1);
         assert_eq!(back.records[0].name, "w");
         assert_eq!(back.notes, vec!["a note".to_string()]);
+    }
+
+    #[test]
+    fn pre_history_baselines_still_load() {
+        // A BENCH_*.json written before the dispersion fields and the
+        // fingerprint dirty-flag existed: every new field must read back
+        // as None, and re-serializing must round-trip the rest intact.
+        let json = r#"{
+            "bench": "old", "effort": "quick", "host_cpus": 1, "notes": [],
+            "records": [{"name": "w", "threads": 1, "iters": 2,
+                         "mean_ms": 1.0, "min_ms": 0.9, "max_ms": 1.1}],
+            "fingerprint": {"rustc": "rustc 1.0", "git_rev": "abc1234", "os": "linux"},
+            "probes": null
+        }"#;
+        let report: timing::BenchReport = serde_json::from_str(json).expect("old report loads");
+        let rec = &report.records[0];
+        assert_eq!((rec.median_ms, rec.mad_ms, rec.reps), (None, None, None));
+        assert_eq!(rec.mean_ms, 1.0);
+        let fp = report.fingerprint.as_ref().expect("fingerprint");
+        assert_eq!(fp.git_dirty, None, "pre-dirty-flag fingerprints load as unknown");
+        let back: timing::BenchReport =
+            serde_json::from_str(&serde_json::to_string(&report).expect("serialize"))
+                .expect("round-trip");
+        assert_eq!(back.records[0].median_ms, None);
+        assert_eq!(back.records[0].mean_ms, 1.0);
+    }
+
+    #[test]
+    fn time_fills_dispersion_fields() {
+        let record = timing::time("dispersion", 0, 5, || std::hint::black_box(()));
+        let median = record.median_ms.expect("median recorded");
+        let mad = record.mad_ms.expect("mad recorded");
+        assert!(record.min_ms <= median && median <= record.max_ms, "{record:?}");
+        assert!(mad >= 0.0);
+        assert_eq!(record.reps, None, "plain timing is not a repetition aggregate");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// An owned serialization tree: the stand-in's entire data model.
@@ -368,6 +368,23 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Already key-ordered, so output is deterministic by construction.
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +408,18 @@ mod tests {
         assert_eq!(<[usize; 3]>::from_value(&a.to_value()).unwrap(), a);
         let o: Option<usize> = None;
         assert_eq!(Option::<usize>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn btreemap_roundtrips_in_key_order() {
+        let mut m = BTreeMap::new();
+        m.insert("zeta".to_string(), 1usize);
+        m.insert("alpha".to_string(), 2usize);
+        let v = m.to_value();
+        let keys: Vec<&str> = v.as_map().expect("map").iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"], "BTreeMap serializes key-ordered");
+        assert_eq!(BTreeMap::<String, usize>::from_value(&v).expect("parse"), m);
+        assert!(BTreeMap::<String, usize>::from_value(&Value::U64(3)).is_err());
     }
 
     #[test]

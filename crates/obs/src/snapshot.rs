@@ -197,6 +197,28 @@ fn esc(s: &str) -> String {
 }
 
 impl Snapshot {
+    /// The aggregate row for one exact call path, if recorded.
+    pub fn probe(&self, path: &str) -> Option<&ProbeRow> {
+        self.probes.iter().find(|p| p.path == path)
+    }
+
+    /// The median (p50) milliseconds of one call path, if recorded —
+    /// the per-repetition sample the performance-history pipeline
+    /// aggregates across runs.
+    pub fn probe_p50_ms(&self, path: &str) -> Option<f64> {
+        self.probe(path).map(|p| p.p50_ms)
+    }
+
+    /// The value of one counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// The value of one gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
     /// Pretty-printed JSON of the whole snapshot.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_default()
@@ -343,6 +365,19 @@ mod tests {
             }],
             dropped_events: 0,
         }
+    }
+
+    #[test]
+    fn accessors_find_rows_by_exact_name() {
+        let snap = golden();
+        assert_eq!(snap.probe("evaluate;conv1").map(|p| p.count), Some(2));
+        assert_eq!(snap.probe_p50_ms("evaluate;conv1"), Some(0.5));
+        assert_eq!(snap.probe_p50_ms("evaluate"), Some(2.0));
+        assert_eq!(snap.probe("evaluate;conv"), None, "prefixes must not match");
+        assert_eq!(snap.counter("noc.cycles_simulated"), Some(42));
+        assert_eq!(snap.counter("noc.missing"), None);
+        assert_eq!(snap.gauge("noc.utilization"), Some(0.5));
+        assert_eq!(snap.gauge("absent"), None);
     }
 
     #[test]

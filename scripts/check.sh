@@ -75,4 +75,24 @@ LTS_EFFORT=quick LTS_BENCH_ITERS=1 LTS_BENCH_DIR="$QUANT_DIR" \
     LTS_BENCH_BASELINE="$QUANT_DIR/BENCH_quant.json" \
     cargo run --release --offline -p lts-bench --bin quant_sweep
 
+echo "==> trend smoke (synthetic two-rev ledger: 30% slowdown flagged, 2% jitter not; then a real bench through the runner)"
+# Part 1 is hermetic: bench_history smoke builds a synthetic two-commit
+# history in a temp ledger and hard-asserts the verdicts (injected 30%
+# slowdown -> regression, 2% jitter -> not, dirty append refused).
+cargo run --release --offline -p lts-bench --bin bench_history smoke
+# Part 2 drives a real bench end-to-end: two repeated runs of the quick
+# Table III pipeline recorded into a fresh ledger, then compared and
+# rendered as a trend report. Same commit twice, so the gate must pass;
+# ALLOW_DIRTY because CI working trees routinely carry local edits.
+TREND_DIR="$(mktemp -d)"
+LTS_EFFORT=quick LTS_BENCH_ITERS=1 LTS_BENCH_DIR="$TREND_DIR" LTS_BENCH_ALLOW_DIRTY=1 \
+    cargo run --release --offline -p lts-bench --bin bench_history run table3_structure_level --reps 2 --warmup 0
+LTS_EFFORT=quick LTS_BENCH_ITERS=1 LTS_BENCH_DIR="$TREND_DIR" LTS_BENCH_ALLOW_DIRTY=1 \
+    cargo run --release --offline -p lts-bench --bin bench_history run table3_structure_level --reps 2 --warmup 0
+LTS_BENCH_DIR="$TREND_DIR" \
+    cargo run --release --offline -p lts-bench --bin bench_history compare table3_structure_level
+LTS_BENCH_DIR="$TREND_DIR" \
+    cargo run --release --offline -p lts-bench --bin bench_history report table3_structure_level
+test -f "$TREND_DIR/TREND_table3_structure_level.md"
+
 echo "All checks passed."
